@@ -1,0 +1,73 @@
+// Ablation A7: automatic group sizing (the HeteroMPI-style
+// group_auto_create extension; the paper's conclusion points to this line
+// of work).
+//
+// For the Jacobi relaxation, more workers mean thinner row bands (less
+// compute each) but more halo pairs (more latency per iteration). The
+// runtime searches the process count p that minimises the predicted time.
+// Small plates should stay narrow; large plates should use every machine.
+#include <mutex>
+
+#include "apps/jacobi/jacobi.hpp"
+#include "bench_util.hpp"
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+namespace {
+
+using namespace hmpi;
+using apps::jacobi::JacobiConfig;
+
+/// Runs group_auto_create for a plate of `interior_rows` and returns the
+/// chosen worker count and its predicted per-iteration time.
+std::pair<int, double> auto_size(const hnoc::Cluster& cluster,
+                                 int interior_rows, int cols) {
+  pmdl::Model model = apps::jacobi::performance_model();
+  std::pair<int, double> result{0, 0.0};
+  std::mutex mutex;
+
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    Runtime rt(proc);
+    rt.recon([](mp::Proc& q) { q.compute(1.0); });
+    auto group = rt.group_auto_create(
+        model,
+        [&](int p) {
+          // Equal bands for the sizing search (the real run would then
+          // redistribute by speed; the tradeoff shape is the same).
+          std::vector<double> equal(static_cast<std::size_t>(p), 1.0);
+          const auto rows = apps::jacobi::distribute_rows(interior_rows, equal);
+          return apps::jacobi::model_parameters(rows, cols);
+        },
+        cluster.size());
+    if (group && rt.is_host()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      result = {group->size(), group->estimated_time()};
+    }
+    if (group) rt.group_free(*group);
+    rt.finalize();
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+
+  support::Table table(
+      "Ablation A7: group_auto_create worker-count search (Jacobi halo "
+      "exchange vs band width)",
+      {"interior_rows", "cols", "chosen_p", "predicted_s_per_iter"});
+
+  for (int rows : {9, 30, 90, 300, 1000, 4000}) {
+    const int cols = 8;  // narrow plate: halo latency matters
+    const auto [p, predicted] = auto_size(cluster, rows, cols);
+    table.add_row({support::Table::num(static_cast<long long>(rows)),
+                   support::Table::num(static_cast<long long>(cols)),
+                   support::Table::num(static_cast<long long>(p)),
+                   support::Table::num(predicted, 6)});
+  }
+
+  hmpi::bench::emit(table);
+  return 0;
+}

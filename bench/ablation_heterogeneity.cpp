@@ -1,0 +1,48 @@
+// Ablation A6: where process selection starts to matter.
+//
+// Sweeps the degree of heterogeneity of the EM3D network — the slowest
+// machine's speed drops from 46 (fully homogeneous) towards 3 — and reports
+// the HMPI-over-MPI speedup at each point. On the homogeneous end any group
+// is as good as any other (speedup ~1); as the network grows more lopsided,
+// rank-order assignment pays an increasing price.
+#include <vector>
+
+#include "apps/em3d/app.hpp"
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+
+int main() {
+  using namespace hmpi;
+  using apps::em3d::GeneratorConfig;
+  using apps::em3d::WorkMode;
+
+  GeneratorConfig config;
+  config.nodes_per_subbody = {400, 500, 700, 550, 650, 600, 800, 100, 205};
+  config.degree = 5;
+  config.remote_fraction = 0.05;
+  config.seed = 61;
+
+  support::Table table(
+      "Ablation A6: HMPI advantage vs degree of heterogeneity (EM3D)",
+      {"slowest_speed", "mpi_time_s", "hmpi_time_s", "speedup"});
+
+  for (double slow : {46.0, 30.0, 18.0, 9.0, 5.0, 3.0}) {
+    hnoc::ClusterBuilder b;
+    const double speeds[9] = {46, 46, 46, 46, 46, 46, 176, 106, slow};
+    for (int i = 0; i < 9; ++i) b.add("ws" + std::to_string(i), speeds[i]);
+    b.network(150e-6, 12.5e6);
+    hnoc::Cluster cluster = b.build();
+
+    auto mpi = apps::em3d::run_mpi(cluster, config, 8, WorkMode::kVirtualOnly);
+    auto hmpi_result =
+        apps::em3d::run_hmpi(cluster, config, 8, WorkMode::kVirtualOnly, 100);
+    table.add_row({support::Table::num(slow, 0),
+                   support::Table::num(mpi.algorithm_time),
+                   support::Table::num(hmpi_result.algorithm_time),
+                   support::Table::num(
+                       mpi.algorithm_time / hmpi_result.algorithm_time, 3)});
+  }
+
+  hmpi::bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation A1 (DESIGN.md): quality and cost of the process-selection
+// algorithms. For the paper's two performance models, each mapper's
+// predicted makespan is compared with the exhaustive optimum, along with
+// the wall-clock cost of running the mapper itself.
+#include <chrono>
+#include <memory>
+
+#include "apps/em3d/app.hpp"
+#include "apps/matmul/app.hpp"
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+#include "mapper/mapper.hpp"
+
+namespace {
+
+using namespace hmpi;
+
+struct Case {
+  const char* name;
+  pmdl::ModelInstance instance;
+  const hnoc::Cluster* cluster;
+};
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster em3d_net = hnoc::testbeds::paper_em3d_network();
+  const hnoc::Cluster mm_net = hnoc::testbeds::paper_mm_network();
+
+  // EM3D instance: the Figure-4 model over an irregular 9-subbody object.
+  apps::em3d::GeneratorConfig em3d_config;
+  em3d_config.nodes_per_subbody = {4000, 5000, 7000, 5500, 6500, 6000, 8000, 1000, 2050};
+  em3d_config.degree = 5;
+  em3d_config.remote_fraction = 0.05;
+  em3d_config.seed = 17;
+  const apps::em3d::System system = apps::em3d::generate(em3d_config);
+  pmdl::Model em3d_model = apps::em3d::performance_model();
+  pmdl::ModelInstance em3d_instance = em3d_model.instantiate(
+      apps::em3d::model_parameters(system, /*k=*/1000));
+
+  // MM instance: the Figure-7 model on a 2x2 grid (kept small enough for
+  // the exhaustive mapper to enumerate in reasonable time).
+  pmdl::Model mm_model = apps::matmul::performance_model();
+  std::vector<double> grid_speeds{106, 46, 46, 46};
+  apps::matmul::Partition partition(2, 6, grid_speeds);
+  pmdl::ModelInstance mm_instance = mm_model.instantiate(
+      apps::matmul::model_parameters(2, 8, 24, partition));
+
+  std::vector<Case> cases;
+  cases.push_back({"em3d", std::move(em3d_instance), &em3d_net});
+  cases.push_back({"matmul", std::move(mm_instance), &mm_net});
+
+  support::Table table("Ablation A1: mapper quality (predicted makespan) and cost",
+                       {"model", "mapper", "predicted_s", "vs_optimal", "wall_ms"});
+
+  for (const Case& c : cases) {
+    hnoc::NetworkModel net(*c.cluster);
+    std::vector<map::Candidate> candidates;
+    for (int i = 0; i < c.cluster->size(); ++i) candidates.push_back({i, i});
+
+    std::vector<std::unique_ptr<map::Mapper>> mappers;
+    mappers.push_back(std::make_unique<map::ExhaustiveMapper>(100'000'000));
+    mappers.push_back(std::make_unique<map::GreedyMapper>());
+    mappers.push_back(std::make_unique<map::SwapRefineMapper>());
+    mappers.push_back(std::make_unique<map::AnnealingMapper>());
+
+    double optimal = 0.0;
+    for (const auto& mapper : mappers) {
+      map::MappingResult result;
+      const double ms = wall_ms([&] {
+        result = mapper->select(c.instance, candidates, 0, net,
+                                est::EstimateOptions{});
+      });
+      if (mapper->name() == "exhaustive") optimal = result.estimated_time;
+      table.add_row({c.name, mapper->name(),
+                     support::Table::num(result.estimated_time),
+                     support::Table::num(result.estimated_time / optimal, 4),
+                     support::Table::num(ms, 2)});
+    }
+  }
+
+  bench::emit(table);
+  return 0;
+}

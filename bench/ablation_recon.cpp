@@ -1,0 +1,90 @@
+// Ablation A2 (DESIGN.md): the value of HMPI_Recon under external load.
+//
+// HNOCs are multi-user systems (paper §1): between installation-time
+// benchmarking and the run, other users load some machines. The runtime's
+// initial speed estimates (the machines' base speeds) are then stale. This
+// bench loads the two fastest machines of the paper network to 25% and runs
+// the HMPI EM3D application twice: once creating the group from the stale
+// estimates, once after HMPI_Recon refreshed them.
+#include <mutex>
+
+#include "apps/em3d/app.hpp"
+#include "apps/em3d/parallel.hpp"
+#include "bench_util.hpp"
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+namespace {
+
+using namespace hmpi;
+using apps::em3d::GeneratorConfig;
+using apps::em3d::System;
+using apps::em3d::WorkMode;
+
+/// The paper's EM3D network with machines 6 (speed 176) and 7 (speed 106)
+/// externally loaded to a quarter of their speed.
+hnoc::Cluster loaded_network() {
+  hnoc::ClusterBuilder b;
+  const double speeds[9] = {46, 46, 46, 46, 46, 46, 176, 106, 9};
+  for (int i = 0; i < 9; ++i) {
+    hnoc::LoadProfile load;
+    if (i == 6 || i == 7) load = hnoc::LoadProfile::constant(0.25);
+    b.add("ws" + std::to_string(i), speeds[i], load);
+  }
+  b.network(150e-6, 12.5e6);
+  return b.build();
+}
+
+double run_em3d(const hnoc::Cluster& cluster, const System& system,
+                int iterations, bool with_recon) {
+  pmdl::Model model = apps::em3d::performance_model();
+  const auto params = apps::em3d::model_parameters(system, /*k=*/1000);
+  double time = 0.0;
+  std::mutex mutex;
+
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    Runtime rt(proc);
+    if (with_recon) {
+      rt.recon([&](mp::Proc& q) { apps::em3d::recon_benchmark(q, system, 1000); });
+    }
+    auto group = rt.group_create(model, params);
+    if (group) {
+      auto result = apps::em3d::run_parallel(group->comm(), system, iterations,
+                                             WorkMode::kVirtualOnly);
+      if (rt.is_host()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        time = result.algorithm_time;
+      }
+      rt.group_free(*group);
+    }
+    rt.finalize();
+  });
+  return time;
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster cluster = loaded_network();
+
+  GeneratorConfig config;
+  config.nodes_per_subbody = {4000, 5000, 7000, 5500, 6500, 6000, 8000, 1000, 2050};
+  config.degree = 5;
+  config.remote_fraction = 0.05;
+  config.seed = 23;
+  const System system = apps::em3d::generate(config);
+
+  support::Table table(
+      "Ablation A2: HMPI_Recon under external load (machines 6 and 7 loaded "
+      "to 25%)",
+      {"speed_estimates", "em3d_time_s"});
+
+  const double stale = run_em3d(cluster, system, 8, /*with_recon=*/false);
+  const double fresh = run_em3d(cluster, system, 8, /*with_recon=*/true);
+  table.add_row({"stale (no recon)", support::Table::num(stale)});
+  table.add_row({"fresh (recon)", support::Table::num(fresh)});
+  table.add_row({"stale/fresh", support::Table::num(stale / fresh, 3)});
+
+  bench::emit(table);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A3 (DESIGN.md): HMPI_Timeof fidelity — the prediction the group
+// was created with versus the simulated execution time, for both paper
+// applications across problem sizes.
+#include <cmath>
+
+#include "apps/em3d/app.hpp"
+#include "apps/matmul/app.hpp"
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+
+int main() {
+  using namespace hmpi;
+
+  support::Table table("Ablation A3: Timeof prediction vs simulated execution",
+                       {"app", "size", "predicted_s", "measured_s", "error_pct"});
+
+  // EM3D across scales.
+  {
+    const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+    for (int scale : {1, 4, 16}) {
+      apps::em3d::GeneratorConfig config;
+      const int base[9] = {400, 500, 700, 550, 650, 600, 800, 100, 205};
+      for (int b : base) config.nodes_per_subbody.push_back(b * scale);
+      config.degree = 5;
+      config.remote_fraction = 0.05;
+      config.seed = 31;
+      const int iterations = 8;
+      auto result = apps::em3d::run_hmpi(cluster, config, iterations,
+                                         apps::em3d::WorkMode::kVirtualOnly, 100);
+      long long total = 0;
+      for (int n : config.nodes_per_subbody) total += n;
+      table.add_row(
+          {"em3d", support::Table::num(total),
+           support::Table::num(result.predicted_time),
+           support::Table::num(result.algorithm_time),
+           support::Table::num(100.0 *
+                                   (result.predicted_time - result.algorithm_time) /
+                                   result.algorithm_time,
+                               1)});
+    }
+  }
+
+  // MM across sizes.
+  {
+    const hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+    for (int n : {18, 36, 72}) {
+      apps::matmul::MmDriverConfig config;
+      config.m = 3;
+      config.r = 9;
+      config.n = n;
+      config.l = 9;
+      config.mode = apps::matmul::WorkMode::kVirtualOnly;
+      auto result = apps::matmul::run_hmpi(cluster, config);
+      table.add_row(
+          {"matmul", support::Table::num(static_cast<long long>(n) * config.r),
+           support::Table::num(result.predicted_time),
+           support::Table::num(result.algorithm_time),
+           support::Table::num(100.0 *
+                                   (result.predicted_time - result.algorithm_time) /
+                                   result.algorithm_time,
+                               1)});
+    }
+  }
+
+  hmpi::bench::emit(table);
+  return 0;
+}

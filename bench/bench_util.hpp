@@ -1,0 +1,17 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace hmpi::bench {
+
+inline void emit(support::Table& table) {
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace hmpi::bench

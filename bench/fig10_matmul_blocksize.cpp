@@ -1,0 +1,50 @@
+// Reproduces the paper's Figure 10: execution time of the matrix
+// multiplication under HMPI and plain MPI for different values of the
+// generalised block size l, at r = 8.
+//
+// The homogeneous MPI distribution does not depend on l in any interesting
+// way (equal rectangles regardless), so its curve is flat; the HMPI curve
+// has an interior structure — small l gives the heterogeneous distribution
+// too little resolution to mirror the speed ratios, very large l reduces
+// the number of generalised blocks until rounding effects dominate.
+#include "apps/matmul/app.hpp"
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+
+int main() {
+  using namespace hmpi;
+  using apps::matmul::MmDriverConfig;
+  using apps::matmul::MmDriverResult;
+  using apps::matmul::WorkMode;
+
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+
+  MmDriverConfig config;
+  config.m = 3;
+  config.r = 8;
+  config.n = 48;  // 384 x 384 elements
+  config.mode = WorkMode::kVirtualOnly;
+  config.seed = 2003;
+
+  support::Table table(
+      "Figure 10: MM execution time vs generalised block size l (r = 8, "
+      "n = 48 blocks)",
+      {"l", "mpi_time_s", "hmpi_time_s"});
+
+  // The MPI baseline does not use the generalised block machinery; run once.
+  MmDriverConfig mpi_config = config;
+  mpi_config.l = 3;
+  const MmDriverResult mpi = apps::matmul::run_mpi(cluster, mpi_config);
+
+  for (int l : {3, 4, 6, 8, 12, 16, 24, 48}) {
+    MmDriverConfig hmpi_config = config;
+    hmpi_config.l = l;
+    const MmDriverResult hmpi = apps::matmul::run_hmpi(cluster, hmpi_config);
+    table.add_row({support::Table::num(static_cast<long long>(l)),
+                   support::Table::num(mpi.algorithm_time),
+                   support::Table::num(hmpi.algorithm_time)});
+  }
+
+  bench::emit(table);
+  return 0;
+}

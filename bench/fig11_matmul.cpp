@@ -1,0 +1,50 @@
+// Reproduces the paper's Figure 11: (a) execution times of the matrix
+// multiplication under HMPI and plain MPI on the 9-machine heterogeneous
+// network, and (b) the speedup of HMPI over MPI, as a function of matrix
+// size. r = l = 9, as the paper found optimal.
+//
+// The homogeneous 2D block-cyclic baseline gives every machine the same
+// area, so the speed-9 machine paces the whole grid; the HMPI version sizes
+// each rectangle to its machine. The paper reports roughly 3x.
+#include "apps/matmul/app.hpp"
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+
+int main() {
+  using namespace hmpi;
+  using apps::matmul::MmDriverConfig;
+  using apps::matmul::MmDriverResult;
+  using apps::matmul::WorkMode;
+
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+
+  support::Table times(
+      "Figure 11(a): MM execution time, HMPI vs MPI (r = l = 9)",
+      {"matrix_size", "mpi_time_s", "hmpi_time_s"});
+  support::Table speedup("Figure 11(b): speedup of the HMPI MM program over MPI",
+                         {"matrix_size", "speedup"});
+
+  for (int n : {9, 18, 27, 36, 54, 72, 90}) {
+    MmDriverConfig config;
+    config.m = 3;
+    config.r = 9;
+    config.n = n;
+    config.l = 9;
+    config.mode = WorkMode::kVirtualOnly;
+    config.seed = 2003;
+
+    const MmDriverResult mpi = apps::matmul::run_mpi(cluster, config);
+    const MmDriverResult hmpi = apps::matmul::run_hmpi(cluster, config);
+
+    const long long size = static_cast<long long>(n) * config.r;
+    times.add_row({support::Table::num(size),
+                   support::Table::num(mpi.algorithm_time),
+                   support::Table::num(hmpi.algorithm_time)});
+    speedup.add_row({support::Table::num(size),
+                     support::Table::num(mpi.algorithm_time / hmpi.algorithm_time, 3)});
+  }
+
+  bench::emit(times);
+  bench::emit(speedup);
+  return 0;
+}

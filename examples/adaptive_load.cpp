@@ -1,0 +1,109 @@
+// Multi-user networks: why HMPI_Recon exists (paper §1-2).
+//
+// A HNOC's machines serve other users too; the speed a machine delivers
+// drifts over time. This example runs the same workload twice on a network
+// whose two fastest machines are externally loaded:
+//   * once creating the group from the stale installation-time speeds,
+//   * once after HMPI_Recon measured the speeds the machines deliver now.
+//
+// Build & run:  ./build/examples/adaptive_load
+#include <cstdio>
+#include <mutex>
+
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+using namespace hmpi;
+
+namespace {
+
+/// The paper's EM3D network, but machines 6 (176) and 7 (106) are busy with
+/// other users and only deliver a tenth of their speed.
+hnoc::Cluster loaded_network() {
+  hnoc::ClusterBuilder b;
+  const double speeds[9] = {46, 46, 46, 46, 46, 46, 176, 106, 9};
+  for (int i = 0; i < 9; ++i) {
+    hnoc::LoadProfile load;
+    if (i == 6 || i == 7) load = hnoc::LoadProfile::constant(0.10);
+    b.add("ws" + std::to_string(i), speeds[i], load);
+  }
+  return b.build();
+}
+
+/// 4 parallel workers with unequal volumes; parent is worker 0.
+pmdl::Model work_model() {
+  return pmdl::Model::from_source(R"(
+    algorithm Work(int p, int v[p]) {
+      coord I=p;
+      node { I>=0: bench*(v[I]); };
+      parent[0];
+      scheme { int i; par (i = 0; i < p; i++) 100%%[i]; };
+    };
+  )");
+}
+
+double run_once(const hnoc::Cluster& cluster, bool with_recon,
+                std::vector<int>* placement_out) {
+  pmdl::Model model = work_model();
+  const std::vector<pmdl::ParamValue> params{pmdl::scalar(4),
+                                             pmdl::array({500, 4000, 2000, 1000})};
+  const long long volumes[4] = {500, 4000, 2000, 1000};
+
+  double makespan = 0.0;
+  std::mutex mutex;
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    Runtime rt(proc);
+    if (with_recon) {
+      rt.recon([](mp::Proc& p) { p.compute(1.0); });
+    }
+    auto group = rt.group_create(model, params);
+    if (group) {
+      group->comm().barrier();
+      const double start = proc.clock();
+      proc.compute(static_cast<double>(volumes[group->rank()]));
+      double elapsed = proc.clock() - start;
+      double max_elapsed = 0.0;
+      group->comm().allreduce(std::span<const double>(&elapsed, 1),
+                              std::span<double>(&max_elapsed, 1),
+                              [](double a, double b) { return a > b ? a : b; });
+      if (rt.is_host()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        makespan = max_elapsed;
+        placement_out->clear();
+        for (int member : group->members()) {
+          placement_out->push_back(proc.world().processor_of(member));
+        }
+      }
+      rt.group_free(*group);
+    }
+    rt.finalize();
+  });
+  return makespan;
+}
+
+void describe(const hnoc::Cluster& cluster, const char* label, double time,
+              const std::vector<int>& placement) {
+  std::printf("%s: %8.3f s, placement:", label, time);
+  for (int machine : placement) {
+    std::printf(" %s", cluster.processor(machine).name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster cluster = loaded_network();
+  std::printf(
+      "ws6 (base 176) and ws7 (base 106) are loaded to 10%% by other users.\n"
+      "Workload: 4 processes with volumes {500, 4000, 2000, 1000}.\n\n");
+
+  std::vector<int> stale_placement, fresh_placement;
+  const double stale = run_once(cluster, /*with_recon=*/false, &stale_placement);
+  const double fresh = run_once(cluster, /*with_recon=*/true, &fresh_placement);
+
+  describe(cluster, "stale speed estimates (no HMPI_Recon)", stale, stale_placement);
+  describe(cluster, "fresh speed estimates (   HMPI_Recon)", fresh, fresh_placement);
+  std::printf("\nrecon advantage: %.2fx\n", stale / fresh);
+  return fresh <= stale ? 0 : 1;
+}

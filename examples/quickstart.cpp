@@ -1,0 +1,96 @@
+// Quickstart: the whole HMPI lifecycle in one small program.
+//
+//   1. Describe a simulated heterogeneous network of computers.
+//   2. Write the performance model of your algorithm in the model
+//      definition language.
+//   3. On every simulated process: init the runtime, refresh speed
+//      estimates (HMPI_Recon), predict (HMPI_Timeof), create the group
+//      (HMPI_Group_create), run ordinary message-passing code on the
+//      group's communicator, free, finalize.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <mutex>
+
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+using namespace hmpi;
+
+int main() {
+  // A 5-machine network: one fast box, three mid ones, one very slow one,
+  // on 100 Mbit switched Ethernet.
+  hnoc::Cluster cluster = hnoc::ClusterBuilder()
+                              .add("host", 50.0)
+                              .add("fast", 200.0)
+                              .add("mid1", 60.0)
+                              .add("mid2", 55.0)
+                              .add("slow", 5.0)
+                              .network(150e-6, 12.5e6)
+                              .build();
+
+  // The algorithm: 3 parallel workers with unequal workloads (volumes are in
+  // units of the benchmark kernel below), ring communication between them.
+  pmdl::Model model = pmdl::Model::from_source(R"(
+    algorithm Ring(int p, int work[p]) {
+      coord I=p;
+      node { I>=0: bench*(work[I]); };
+      link (J=p) { J == ((I+1) % p) : length*(1000) [I]->[J]; };
+      parent[0];
+      scheme {
+        int i;
+        par (i = 0; i < p; i++) 100%%[i];
+        par (i = 0; i < p; i++) 100%%[i]->[(i+1) % p];
+      };
+    };
+  )");
+  const std::vector<pmdl::ParamValue> params{
+      pmdl::scalar(3), pmdl::array({200, 1000, 400})};
+
+  std::mutex io;
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    Runtime rt(proc);  // HMPI_Init (collective)
+
+    // HMPI_Recon: one benchmark kernel == one unit of virtual work.
+    rt.recon([](mp::Proc& p) { p.compute(1.0); });
+
+    if (rt.is_host()) {
+      const double predicted = rt.timeof(model, params);
+      std::lock_guard<std::mutex> lock(io);
+      std::printf("[host] HMPI_Timeof predicts %.4f s for the best group\n",
+                  predicted);
+    }
+
+    auto group = rt.group_create(model, params);  // collective
+    if (group) {
+      // Ordinary message-passing code on the group's communicator: do the
+      // modelled work, pass a token around the ring.
+      const mp::Comm& comm = group->comm();
+      const long long volumes[3] = {200, 1000, 400};
+      proc.compute(static_cast<double>(volumes[comm.rank()]));
+      std::vector<std::byte> token(1000);
+      comm.send_bytes(token, (comm.rank() + 1) % comm.size(), 0);
+      comm.recv_bytes(token, (comm.rank() + comm.size() - 1) % comm.size(), 0);
+      comm.barrier();
+
+      {
+        std::lock_guard<std::mutex> lock(io);
+        std::printf(
+            "[group rank %d] runs on machine '%s' (volume %lld), done at "
+            "t=%.4f s\n",
+            comm.rank(), proc.cluster().processor(proc.processor()).name.c_str(),
+            volumes[comm.rank()], proc.clock());
+      }
+      rt.group_free(*group);
+    } else {
+      std::lock_guard<std::mutex> lock(io);
+      std::printf("[world rank %d] not selected (machine '%s' stays free)\n",
+                  proc.rank(),
+                  proc.cluster().processor(proc.processor()).name.c_str());
+    }
+    rt.finalize();  // HMPI_Finalize (collective)
+  });
+
+  std::printf("quickstart: ok\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Post-mortem of a simulated run: per-machine utilisation from the tracer.
+//
+// Runs the EM3D algorithm under both placements (rank-order MPI and the
+// HMPI selection) with the event tracer attached, then reports where each
+// machine spent its virtual time — the "why" behind the speedup numbers.
+//
+// Build & run:  ./build/examples/trace_report
+#include <cstdio>
+#include <map>
+
+#include "apps/em3d/app.hpp"
+#include "apps/em3d/parallel.hpp"
+#include "hnoc/cluster.hpp"
+#include "mpsim/trace.hpp"
+
+using namespace hmpi;
+using apps::em3d::GeneratorConfig;
+using apps::em3d::System;
+using apps::em3d::WorkMode;
+
+namespace {
+
+struct MachineUse {
+  double compute = 0.0;
+  double bytes = 0.0;
+  int messages = 0;
+};
+
+void report(const char* title, const hnoc::Cluster& cluster,
+            const System& system, const std::vector<int>& placement) {
+  mp::Tracer tracer;
+  mp::WorldOptions options;
+  options.tracer = &tracer;
+
+  double makespan = 0.0;
+  mp::World::run(
+      cluster, placement,
+      [&](mp::Proc& p) {
+        auto result = apps::em3d::run_parallel(p.world_comm(), system, 4,
+                                               WorkMode::kVirtualOnly);
+        if (p.rank() == 0) makespan = result.algorithm_time;
+      },
+      options);
+
+  std::map<int, MachineUse> use;
+  for (const mp::TraceEvent& e : tracer.events()) {
+    MachineUse& m = use[e.processor];
+    if (e.kind == mp::TraceEvent::Kind::kCompute) {
+      m.compute += e.end_time - e.start_time;
+    } else if (e.kind == mp::TraceEvent::Kind::kSend) {
+      m.bytes += static_cast<double>(e.bytes);
+      m.messages += 1;
+    }
+  }
+
+  std::printf("%s: algorithm time %.3f s\n", title, makespan);
+  std::printf("  %-8s %-7s %12s %10s %9s\n", "machine", "speed", "compute_s",
+              "busy_pct", "sent_kB");
+  for (const auto& [machine, stats] : use) {
+    const auto& proc = cluster.processor(machine);
+    std::printf("  %-8s %-7.0f %12.3f %9.1f%% %9.1f\n", proc.name.c_str(),
+                proc.speed, stats.compute, 100.0 * stats.compute / makespan,
+                stats.bytes / 1000.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  GeneratorConfig config;
+  config.nodes_per_subbody = {400, 500, 700, 550, 650, 600, 800, 100, 205};
+  config.degree = 5;
+  config.remote_fraction = 0.05;
+  config.seed = 77;
+  const System system = apps::em3d::generate(config);
+
+  // Rank order (the MPI baseline)...
+  std::vector<int> rank_order{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  report("MPI placement (rank order)", cluster, system, rank_order);
+
+  // ...versus the placement HMPI picks (biggest subbodies on the fast
+  // machines, the tiny one on the slow box).
+  auto hmpi = apps::em3d::run_hmpi(cluster, config, 1, WorkMode::kVirtualOnly, 100);
+  report("HMPI placement (runtime-selected)", cluster, system, hmpi.placement);
+
+  std::printf(
+      "Reading: under rank order the slow machine computes for most of the\n"
+      "makespan while fast machines idle; the selected placement evens the\n"
+      "busy percentages out.\n");
+  return 0;
+}

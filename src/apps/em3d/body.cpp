@@ -1,0 +1,147 @@
+#include "apps/em3d/body.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::apps::em3d {
+
+std::vector<long long> System::node_counts() const {
+  std::vector<long long> counts;
+  counts.reserve(bodies.size());
+  for (const Subbody& b : bodies) counts.push_back(b.nodes());
+  return counts;
+}
+
+std::vector<long long> System::dep_flat() const {
+  std::vector<long long> flat;
+  flat.reserve(dep.size());
+  for (std::size_t i = 0; i < dep.rows(); ++i) {
+    for (std::size_t j = 0; j < dep.cols(); ++j) flat.push_back(dep(i, j));
+  }
+  return flat;
+}
+
+double System::checksum() const {
+  double sum = 0.0;
+  for (const Subbody& b : bodies) {
+    for (double v : b.e_values) sum += v;
+    for (double v : b.h_values) sum += v;
+  }
+  return sum;
+}
+
+namespace {
+
+/// Picks the dependency targets for one field array.
+void wire_dependencies(System& system, int subbody, bool for_e_nodes,
+                       const GeneratorConfig& config, support::Rng& rng) {
+  const int p = system.subbody_count();
+  Subbody& body = system.bodies[static_cast<std::size_t>(subbody)];
+  auto& deps = for_e_nodes ? body.e_deps : body.h_deps;
+  auto& weights = for_e_nodes ? body.e_weights : body.h_weights;
+  const std::size_t count =
+      for_e_nodes ? body.e_values.size() : body.h_values.size();
+  deps.resize(count);
+  weights.resize(count);
+
+  for (std::size_t node = 0; node < count; ++node) {
+    for (int d = 0; d < config.degree; ++d) {
+      int target_body = subbody;
+      if (p > 1 && rng.next_double() < config.remote_fraction) {
+        target_body = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p - 1)));
+        if (target_body >= subbody) ++target_body;  // skip self
+      }
+      const Subbody& target = system.bodies[static_cast<std::size_t>(target_body)];
+      // E nodes read H values and vice versa (bipartite).
+      const std::size_t pool =
+          for_e_nodes ? target.h_values.size() : target.e_values.size();
+      if (pool == 0) continue;
+      const int idx = static_cast<int>(rng.next_below(pool));
+      deps[node].push_back({target_body, idx});
+      weights[node].push_back(rng.next_double_in(0.1, 1.0) / config.degree);
+    }
+  }
+}
+
+}  // namespace
+
+System generate(const GeneratorConfig& config) {
+  support::require(!config.nodes_per_subbody.empty(),
+                   "generator needs at least one subbody");
+  support::require(config.degree > 0, "degree must be positive");
+  support::require(config.remote_fraction >= 0.0 && config.remote_fraction <= 1.0,
+                   "remote_fraction must be in [0, 1]");
+  for (int n : config.nodes_per_subbody) {
+    support::require(n >= 2, "each subbody needs at least 2 nodes");
+  }
+
+  support::Rng rng(config.seed);
+  System system;
+  const int p = static_cast<int>(config.nodes_per_subbody.size());
+
+  // Allocate field values first (so dependency targets exist everywhere).
+  system.bodies.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    const int nodes = config.nodes_per_subbody[static_cast<std::size_t>(i)];
+    const int e_count = nodes / 2;
+    const int h_count = nodes - e_count;
+    Subbody& body = system.bodies[static_cast<std::size_t>(i)];
+    body.e_values.resize(static_cast<std::size_t>(e_count));
+    body.h_values.resize(static_cast<std::size_t>(h_count));
+    for (double& v : body.e_values) v = rng.next_double_in(-1.0, 1.0);
+    for (double& v : body.h_values) v = rng.next_double_in(-1.0, 1.0);
+  }
+
+  for (int i = 0; i < p; ++i) {
+    wire_dependencies(system, i, /*for_e_nodes=*/true, config, rng);
+    wire_dependencies(system, i, /*for_e_nodes=*/false, config, rng);
+  }
+
+  // Summarise remote needs: which foreign node indices each subbody reads.
+  system.remote_h_needed =
+      support::Matrix<std::vector<int>>(static_cast<std::size_t>(p),
+                                        static_cast<std::size_t>(p));
+  system.remote_e_needed =
+      support::Matrix<std::vector<int>>(static_cast<std::size_t>(p),
+                                        static_cast<std::size_t>(p));
+  system.dep = support::Matrix<int>(static_cast<std::size_t>(p),
+                                    static_cast<std::size_t>(p), 0);
+
+  for (int i = 0; i < p; ++i) {
+    std::vector<std::set<int>> h_needed(static_cast<std::size_t>(p));
+    std::vector<std::set<int>> e_needed(static_cast<std::size_t>(p));
+    const Subbody& body = system.bodies[static_cast<std::size_t>(i)];
+    for (const auto& refs : body.e_deps) {
+      for (const NodeRef& ref : refs) {
+        if (ref.subbody != i) {
+          h_needed[static_cast<std::size_t>(ref.subbody)].insert(ref.index);
+        }
+      }
+    }
+    for (const auto& refs : body.h_deps) {
+      for (const NodeRef& ref : refs) {
+        if (ref.subbody != i) {
+          e_needed[static_cast<std::size_t>(ref.subbody)].insert(ref.index);
+        }
+      }
+    }
+    for (int j = 0; j < p; ++j) {
+      auto& hs = system.remote_h_needed(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(j));
+      auto& es = system.remote_e_needed(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(j));
+      hs.assign(h_needed[static_cast<std::size_t>(j)].begin(),
+                h_needed[static_cast<std::size_t>(j)].end());
+      es.assign(e_needed[static_cast<std::size_t>(j)].begin(),
+                e_needed[static_cast<std::size_t>(j)].end());
+      system.dep(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          static_cast<int>(hs.size() + es.size());
+    }
+  }
+  return system;
+}
+
+}  // namespace hmpi::apps::em3d

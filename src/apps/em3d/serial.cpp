@@ -1,0 +1,69 @@
+#include "apps/em3d/serial.hpp"
+
+#include "support/error.hpp"
+
+namespace hmpi::apps::em3d {
+
+namespace {
+
+double gather_value(const System& system, const NodeRef& ref, bool from_h) {
+  const Subbody& body = system.bodies[static_cast<std::size_t>(ref.subbody)];
+  const auto& values = from_h ? body.h_values : body.e_values;
+  return values[static_cast<std::size_t>(ref.index)];
+}
+
+}  // namespace
+
+void serial_iteration(System& system) {
+  // E phase: every E node from current H values.
+  for (Subbody& body : system.bodies) {
+    for (std::size_t i = 0; i < body.e_values.size(); ++i) {
+      double v = 0.0;
+      const auto& deps = body.e_deps[i];
+      const auto& weights = body.e_weights[i];
+      for (std::size_t d = 0; d < deps.size(); ++d) {
+        v += weights[d] * gather_value(system, deps[d], /*from_h=*/true);
+      }
+      body.e_values[i] = v;
+    }
+  }
+  // H phase: every H node from the new E values.
+  for (Subbody& body : system.bodies) {
+    for (std::size_t i = 0; i < body.h_values.size(); ++i) {
+      double v = 0.0;
+      const auto& deps = body.h_deps[i];
+      const auto& weights = body.h_weights[i];
+      for (std::size_t d = 0; d < deps.size(); ++d) {
+        v += weights[d] * gather_value(system, deps[d], /*from_h=*/false);
+      }
+      body.h_values[i] = v;
+    }
+  }
+}
+
+double serial_run(System system, int iterations) {
+  support::require(iterations >= 0, "iterations must be non-negative");
+  for (int i = 0; i < iterations; ++i) serial_iteration(system);
+  return system.checksum();
+}
+
+void recon_benchmark(mp::Proc& proc, const System& system, int k) {
+  support::require(k > 0, "recon benchmark needs k > 0");
+  // Actually touch the data of subbody 0 (k node updates, wrapping around),
+  // then charge the k benchmark units.
+  const Subbody& body = system.bodies.front();
+  double sink = 0.0;
+  const std::size_t e_count = body.e_values.size();
+  for (int i = 0; i < k; ++i) {
+    const std::size_t node = static_cast<std::size_t>(i) % e_count;
+    const auto& deps = body.e_deps[node];
+    const auto& weights = body.e_weights[node];
+    for (std::size_t d = 0; d < deps.size(); ++d) {
+      sink += weights[d];
+    }
+  }
+  (void)sink;
+  proc.compute(static_cast<double>(k));
+}
+
+}  // namespace hmpi::apps::em3d

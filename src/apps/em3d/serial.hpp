@@ -1,0 +1,34 @@
+// Serial EM3D reference kernel.
+//
+// Also the HMPI_Recon benchmark: the paper uses the serial EM3D program
+// computing nodal values for a single subbody as the representative
+// benchmark of this application's core computation.
+//
+// Cost convention: updating one node costs one benchmark unit
+// (Proc::compute(1.0)); the performance model's node volumes (d[I]/k) use
+// the same unit, which is what makes HMPI_Timeof meaningful.
+#pragma once
+
+#include "apps/em3d/body.hpp"
+#include "mpsim/world.hpp"
+
+namespace hmpi::apps::em3d {
+
+/// Whether workload drivers actually crunch numbers or only account time.
+enum class WorkMode {
+  kReal,         ///< Compute field values (verifiable) and charge virtual time.
+  kVirtualOnly,  ///< Only charge virtual time (large benchmark sweeps).
+};
+
+/// One full iteration, in place: every E node from current H values, then
+/// every H node from the *new* E values (matches the parallel phase order).
+void serial_iteration(System& system);
+
+/// Runs `iterations` serial iterations and returns the checksum.
+double serial_run(System system, int iterations);
+
+/// The HMPI_Recon benchmark: computes the nodal values of `k` nodes of one
+/// subbody and charges `k` benchmark units of virtual time.
+void recon_benchmark(mp::Proc& proc, const System& system, int k);
+
+}  // namespace hmpi::apps::em3d

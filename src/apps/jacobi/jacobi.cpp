@@ -1,0 +1,302 @@
+#include "apps/jacobi/jacobi.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+
+#include "hmpi/runtime.hpp"
+#include "support/apportion.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::apps::jacobi {
+
+namespace {
+constexpr int kTagUp = 31;    // halo row travelling towards lower ranks
+constexpr int kTagDown = 32;  // halo row travelling towards higher ranks
+}  // namespace
+
+support::Matrix<double> make_grid(const JacobiConfig& config) {
+  support::require(config.rows >= 3 && config.cols >= 3,
+                   "grid needs at least 3x3 cells");
+  support::Rng rng(config.seed);
+  support::Matrix<double> grid(static_cast<std::size_t>(config.rows),
+                               static_cast<std::size_t>(config.cols));
+  for (double& cell : grid.flat()) cell = rng.next_double_in(0.0, 100.0);
+  return grid;
+}
+
+double grid_checksum(const support::Matrix<double>& grid) {
+  double sum = 0.0;
+  for (double cell : grid.flat()) sum += cell;
+  return sum;
+}
+
+namespace {
+
+/// One relaxation step of rows [first, last) of `src` into `dst`.
+void relax_rows(const support::Matrix<double>& src, support::Matrix<double>& dst,
+                std::size_t first, std::size_t last) {
+  const std::size_t cols = src.cols();
+  for (std::size_t r = first; r < last; ++r) {
+    for (std::size_t c = 1; c + 1 < cols; ++c) {
+      dst(r, c) = 0.25 * (src(r - 1, c) + src(r + 1, c) + src(r, c - 1) +
+                          src(r, c + 1));
+    }
+  }
+}
+
+}  // namespace
+
+support::Matrix<double> serial_jacobi(const JacobiConfig& config) {
+  support::Matrix<double> grid = make_grid(config);
+  support::Matrix<double> next = grid;
+  for (int it = 0; it < config.iterations; ++it) {
+    relax_rows(grid, next, 1, grid.rows() - 1);
+    std::swap(grid, next);
+  }
+  return grid;
+}
+
+std::vector<int> distribute_rows(int interior_rows,
+                                 std::span<const double> speeds) {
+  support::require(interior_rows >= static_cast<int>(speeds.size()),
+                   "fewer interior rows than workers");
+  std::vector<int> rows = support::apportion(interior_rows, speeds);
+  // Every worker needs at least one row (the halo protocol assumes a linear
+  // chain); take surplus from the currently largest band.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    while (rows[i] == 0) {
+      auto widest = std::max_element(rows.begin(), rows.end());
+      *widest -= 1;
+      rows[i] += 1;
+    }
+  }
+  return rows;
+}
+
+pmdl::Model performance_model() {
+  return pmdl::Model::from_source(R"(
+algorithm Jacobi(int p, int rows[p], int cols) {
+  coord I=p;
+  node { I>=0: bench*(rows[I]); };
+  link (J=p) {
+    I>=0 && (J == I+1 || J == I-1) :
+      length*(cols*sizeof(double)) [I]->[J];
+  };
+  parent[0];
+  scheme {
+    int i;
+    par (i = 0; i < p; i++) {
+      if (i > 0) 100%%[i]->[i-1];
+      if (i < p-1) 100%%[i]->[i+1];
+    }
+    par (i = 0; i < p; i++) 100%%[i];
+  };
+};
+)");
+}
+
+std::vector<pmdl::ParamValue> model_parameters(std::span<const int> row_counts,
+                                               int cols) {
+  std::vector<long long> rows(row_counts.begin(), row_counts.end());
+  return {pmdl::scalar(static_cast<long long>(row_counts.size())),
+          pmdl::array(std::move(rows)), pmdl::scalar(cols)};
+}
+
+ParallelResult run_parallel(const mp::Comm& comm, const JacobiConfig& config,
+                            std::span<const int> row_counts, WorkMode mode) {
+  support::require(comm.valid(), "run_parallel needs a valid communicator");
+  const int p = comm.size();
+  support::require(static_cast<int>(row_counts.size()) == p,
+                   "row_counts must have one entry per rank");
+  const int interior = config.rows - 2;
+  support::require(std::accumulate(row_counts.begin(), row_counts.end(), 0) ==
+                       interior,
+                   "row_counts must sum to the interior row count");
+  for (int rc : row_counts) support::require(rc >= 1, "empty row band");
+
+  const int me = comm.rank();
+  mp::Proc& proc = comm.proc();
+  const std::size_t cols = static_cast<std::size_t>(config.cols);
+  const std::size_t halo_bytes = cols * sizeof(double);
+
+  // My band: global interior rows [top, top + mine).
+  int top = 1;
+  for (int r = 0; r < me; ++r) top += row_counts[static_cast<std::size_t>(r)];
+  const int mine = row_counts[static_cast<std::size_t>(me)];
+
+  // Local storage: my rows plus one halo row above and below. In real mode
+  // initialise from the deterministic global grid.
+  const bool real = mode == WorkMode::kReal;
+  support::Matrix<double> block;
+  support::Matrix<double> next;
+  if (real) {
+    const support::Matrix<double> grid = make_grid(config);
+    block = support::Matrix<double>(static_cast<std::size_t>(mine) + 2, cols);
+    for (int r = -1; r <= mine; ++r) {
+      const auto src = grid.row(static_cast<std::size_t>(top + r));
+      auto dst = block.row(static_cast<std::size_t>(r + 1));
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    next = block;
+  }
+
+  comm.barrier();
+  const double start = proc.clock();
+
+  for (int it = 0; it < config.iterations; ++it) {
+    // Halo exchange: my first row goes up, my last row goes down.
+    if (me > 0) {
+      if (real) {
+        comm.send(std::span<const double>(block.row(1)), me - 1, kTagUp);
+      } else {
+        comm.send_placeholder(halo_bytes, me - 1, kTagUp);
+      }
+    }
+    if (me + 1 < p) {
+      if (real) {
+        comm.send(std::span<const double>(block.row(static_cast<std::size_t>(mine))),
+                  me + 1, kTagDown);
+      } else {
+        comm.send_placeholder(halo_bytes, me + 1, kTagDown);
+      }
+    }
+    if (me > 0) {
+      if (real) {
+        comm.recv(std::span<double>(block.row(0)), me - 1, kTagDown);
+      } else {
+        comm.recv_placeholder(me - 1, kTagDown);
+      }
+    }
+    if (me + 1 < p) {
+      if (real) {
+        comm.recv(std::span<double>(block.row(static_cast<std::size_t>(mine) + 1)),
+                  me + 1, kTagUp);
+      } else {
+        comm.recv_placeholder(me + 1, kTagUp);
+      }
+    }
+
+    if (real) {
+      relax_rows(block, next, 1, static_cast<std::size_t>(mine) + 1);
+      std::swap(block, next);
+    }
+    proc.compute(static_cast<double>(mine));
+  }
+
+  double elapsed = proc.clock() - start;
+  double makespan = 0.0;
+  comm.allreduce(std::span<const double>(&elapsed, 1),
+                 std::span<double>(&makespan, 1),
+                 [](double a, double b) { return a > b ? a : b; });
+
+  ParallelResult result;
+  result.algorithm_time = makespan;
+  if (real) {
+    // Checksum over my own rows; the host adds the fixed border afterwards.
+    double local = 0.0;
+    for (int r = 1; r <= mine; ++r) {
+      for (double cell : block.row(static_cast<std::size_t>(r))) local += cell;
+    }
+    // Owners sum their full rows (side border cells included); the top and
+    // bottom border rows belong to nobody — rank 0 contributes them once.
+    if (me == 0) {
+      const support::Matrix<double> grid = make_grid(config);
+      for (double cell : grid.row(0)) local += cell;
+      for (double cell : grid.row(grid.rows() - 1)) local += cell;
+    }
+    double total = 0.0;
+    comm.allreduce(std::span<const double>(&local, 1),
+                   std::span<double>(&total, 1),
+                   [](double a, double b) { return a + b; });
+    result.checksum = total;
+  }
+  return result;
+}
+
+DriverResult run_mpi(const hnoc::Cluster& cluster, const JacobiConfig& config,
+                     int workers, WorkMode mode) {
+  support::require(workers >= 1 && workers <= cluster.size(),
+                   "worker count out of range");
+  std::vector<double> equal(static_cast<std::size_t>(workers), 1.0);
+  const std::vector<int> rows = distribute_rows(config.rows - 2, equal);
+
+  DriverResult result;
+  result.row_counts = rows;
+  std::mutex mutex;
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    mp::Comm world = proc.world_comm();
+    const bool executing = proc.rank() < workers;
+    mp::Comm comm = world.split(executing ? 1 : mp::kUndefinedColor, proc.rank());
+    if (!executing) return;
+    ParallelResult parallel = run_parallel(comm, config, rows, mode);
+    if (proc.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      result.algorithm_time = parallel.algorithm_time;
+      result.total_time = proc.clock();
+      result.checksum = parallel.checksum;
+      for (int w = 0; w < workers; ++w) result.placement.push_back(w);
+    }
+  });
+  return result;
+}
+
+DriverResult run_hmpi(const hnoc::Cluster& cluster, const JacobiConfig& config,
+                      int workers, WorkMode mode) {
+  support::require(workers >= 1 && workers <= cluster.size(),
+                   "worker count out of range");
+  pmdl::Model model = performance_model();
+
+  DriverResult result;
+  std::mutex mutex;
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    Runtime rt(proc);
+    // One benchmark unit == one row of `cols` cell updates.
+    rt.recon([](mp::Proc& q) { q.compute(1.0); });
+
+    std::vector<int> rows;
+    std::vector<pmdl::ParamValue> params;
+    if (rt.is_host()) {
+      // Host-aware speed list: the parent (band 0) runs on the host; the
+      // remaining bands go to the fastest other machines.
+      std::vector<double> speeds = rt.processor_speeds();
+      const double host_speed = speeds.at(static_cast<std::size_t>(proc.processor()));
+      speeds.erase(speeds.begin() + proc.processor());
+      std::sort(speeds.begin(), speeds.end(), std::greater<double>());
+      std::vector<double> band_speeds{host_speed};
+      band_speeds.insert(band_speeds.end(), speeds.begin(),
+                         speeds.begin() + (workers - 1));
+      rows = distribute_rows(config.rows - 2, band_speeds);
+      params = model_parameters(rows, config.cols);
+    }
+
+    auto group = rt.group_create(model, params);
+    if (group) {
+      std::vector<long long> meta(rows.begin(), rows.end());
+      group->comm().bcast_vector(meta, group->parent_rank());
+      rows.assign(meta.begin(), meta.end());
+
+      ParallelResult parallel = run_parallel(group->comm(), config, rows, mode);
+      if (rt.is_host()) {
+        std::lock_guard<std::mutex> lock(mutex);
+        result.algorithm_time = parallel.algorithm_time;
+        result.checksum = parallel.checksum;
+        result.predicted_time = group->estimated_time() * config.iterations;
+        result.row_counts = rows;
+        for (int member : group->members()) {
+          result.placement.push_back(proc.world().processor_of(member));
+        }
+      }
+      rt.group_free(*group);
+    }
+    rt.finalize();
+    if (rt.is_host()) {
+      std::lock_guard<std::mutex> lock(mutex);
+      result.total_time = proc.clock();
+    }
+  });
+  return result;
+}
+
+}  // namespace hmpi::apps::jacobi

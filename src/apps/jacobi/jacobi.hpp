@@ -1,0 +1,86 @@
+// Heterogeneous Jacobi stencil — a third application built on the HMPI API.
+//
+// Not from the paper's evaluation: this is the "downstream user" exercise —
+// a regular 2-D heat-diffusion kernel whose row-block decomposition is sized
+// to the measured machine speeds, with the HMPI runtime matching blocks to
+// machines. It demonstrates the same reduction the paper describes for
+// regular problems (§4): turn the regular problem into an irregular one
+// whose irregularity mirrors the hardware.
+//
+// Domain: rows x cols grid of doubles; the border is held fixed; each
+// iteration replaces every interior cell by the average of its four
+// neighbours (Jacobi relaxation). Worker i owns a contiguous band of
+// interior rows and exchanges one halo row per neighbour per iteration.
+//
+// Cost convention: one benchmark unit == updating one row of `cols` cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/em3d/serial.hpp"  // WorkMode
+#include "hnoc/cluster.hpp"
+#include "mpsim/comm.hpp"
+#include "pmdl/model.hpp"
+#include "support/matrix.hpp"
+
+namespace hmpi::apps::jacobi {
+
+using em3d::WorkMode;
+
+struct JacobiConfig {
+  int rows = 64;        ///< Total grid rows (including the fixed border).
+  int cols = 64;        ///< Total grid columns.
+  int iterations = 10;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic initial grid (border plus interior) for a seed.
+support::Matrix<double> make_grid(const JacobiConfig& config);
+
+/// Serial reference: runs the relaxation and returns the final grid.
+support::Matrix<double> serial_jacobi(const JacobiConfig& config);
+
+/// Sum of all cells of a grid (placement-independent result check).
+double grid_checksum(const support::Matrix<double>& grid);
+
+/// Splits the interior rows proportionally to `speeds`, guaranteeing every
+/// worker at least one row (surplus is taken from the largest shares).
+std::vector<int> distribute_rows(int interior_rows,
+                                 std::span<const double> speeds);
+
+/// The Jacobi performance model:
+/// algorithm Jacobi(int p, int rows[p], int cols).
+pmdl::Model performance_model();
+std::vector<pmdl::ParamValue> model_parameters(std::span<const int> row_counts,
+                                               int cols);
+
+struct ParallelResult {
+  double algorithm_time = 0.0;
+  double checksum = 0.0;  ///< Real mode only.
+};
+
+/// Runs the relaxation on `comm`; rank i owns `row_counts[i]` interior rows,
+/// top to bottom. Collective over comm (comm.size() == row_counts.size()).
+ParallelResult run_parallel(const mp::Comm& comm, const JacobiConfig& config,
+                            std::span<const int> row_counts, WorkMode mode);
+
+struct DriverResult {
+  double algorithm_time = 0.0;
+  double total_time = 0.0;
+  double predicted_time = 0.0;       ///< HMPI only (per run).
+  double checksum = 0.0;             ///< Real mode only.
+  std::vector<int> row_counts;       ///< Interior rows per worker.
+  std::vector<int> placement;        ///< Machine of each worker.
+};
+
+/// Homogeneous baseline: equal row bands, worker i on machine i.
+DriverResult run_mpi(const hnoc::Cluster& cluster, const JacobiConfig& config,
+                     int workers, WorkMode mode);
+
+/// HMPI version: Recon with a one-row benchmark, speed-proportional bands,
+/// Group_create with the Jacobi model.
+DriverResult run_hmpi(const hnoc::Cluster& cluster, const JacobiConfig& config,
+                      int workers, WorkMode mode);
+
+}  // namespace hmpi::apps::jacobi

@@ -1,0 +1,210 @@
+#include "apps/matmul/algorithm.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::apps::matmul {
+
+namespace {
+
+constexpr int kTagA = 21;
+constexpr int kTagB = 22;
+constexpr int kTagCollect = 23;
+
+struct GridSelf {
+  int rank;  // comm rank == I*m + J
+  int i;     // grid row
+  int j;     // grid column
+};
+
+}  // namespace
+
+MmResult run_distributed(const mp::Comm& comm, const MmConfig& config,
+                         support::Matrix<double>* c_out) {
+  const int m = config.m;
+  const int n = config.n;
+  const int r = config.r;
+  const Partition& part = config.partition;
+  support::require(comm.valid(), "run_distributed needs a valid communicator");
+  support::require(m >= 1 && comm.size() == m * m,
+                   "communicator size must be m*m");
+  support::require(part.m() == m, "partition grid size mismatch");
+  support::require(n >= 1 && r >= 1, "matrix dimensions must be positive");
+  const bool real = config.mode == WorkMode::kReal;
+
+  GridSelf self{comm.rank(), comm.rank() / m, comm.rank() % m};
+  mp::Proc& proc = comm.proc();
+  const std::size_t block_len = static_cast<std::size_t>(r) * static_cast<std::size_t>(r);
+  const double unit = block_update_units(r);
+
+  // Owned C blocks (global block coordinates), and their storage.
+  std::vector<std::pair<long long, long long>> owned;
+  std::map<std::pair<long long, long long>, std::vector<double>> c_blocks;
+  for (long long i = 0; i < n; ++i) {
+    for (long long j = 0; j < n; ++j) {
+      if (part.owner_of_block(i, j) == self.rank) {
+        owned.push_back({i, j});
+        if (real) c_blocks[{i, j}] = std::vector<double>(block_len, 0.0);
+      }
+    }
+  }
+
+  comm.barrier();
+  const double start = proc.clock();
+
+  std::map<long long, std::vector<double>> a_cache;  // row i -> a(i, k)
+  std::map<long long, std::vector<double>> b_cache;  // col j -> b(k, j)
+
+  for (long long k = 0; k < n; ++k) {
+    a_cache.clear();
+    b_cache.clear();
+
+    // --- horizontal broadcast of the pivot column a(., k) ------------------
+    // Buffered sends first, then receives, to avoid any ordering dependence.
+    for (long long i = 0; i < n; ++i) {
+      const int owner = part.owner_of_block(i, k);
+      if (owner != self.rank) continue;
+      std::vector<double> block;
+      if (real) block = make_block(config.seed, /*which=*/0, i, k, r);
+      // Receivers: the processor owning row i in every other grid column
+      // (columns with no C blocks need no A).
+      for (int jc = 0; jc < m; ++jc) {
+        if (jc == self.j || part.width(jc) == 0) continue;
+        const int dst = part.row_of(jc, static_cast<int>(i % part.l())) * m + jc;
+        if (real) {
+          comm.send(std::span<const double>(block), dst, kTagA);
+        } else {
+          comm.send_placeholder(block_len * sizeof(double), dst, kTagA);
+        }
+      }
+      if (real) a_cache[i] = std::move(block);
+    }
+
+    // --- vertical broadcast of the pivot row b(k, .) ------------------------
+    for (long long j = 0; j < n; ++j) {
+      const int col = part.column_of(static_cast<int>(j % part.l()));
+      const int owner = part.row_of(col, static_cast<int>(k % part.l())) * m + col;
+      if (owner != self.rank) continue;
+      std::vector<double> block;
+      if (real) block = make_block(config.seed, /*which=*/1, k, j, r);
+      for (int ir = 0; ir < m; ++ir) {
+        const int dst = ir * m + col;
+        if (dst == self.rank || part.height(ir, col) == 0) continue;
+        if (real) {
+          comm.send(std::span<const double>(block), dst, kTagB);
+        } else {
+          comm.send_placeholder(block_len * sizeof(double), dst, kTagB);
+        }
+      }
+      if (real) b_cache[j] = std::move(block);
+    }
+
+    // --- receives ------------------------------------------------------------
+    // A blocks: every row i in which this processor owns C blocks, unless we
+    // own a(i, k) ourselves. Senders stream rows in ascending order, so
+    // per-sender FIFO keeps this deterministic.
+    if (part.width(self.j) > 0 && part.height(self.i, self.j) > 0) {
+      for (long long i = 0; i < n; ++i) {
+        if (part.row_of(self.j, static_cast<int>(i % part.l())) != self.i) continue;
+        const int owner = part.owner_of_block(i, k);
+        if (owner == self.rank) continue;
+        if (real) {
+          std::vector<double> block(block_len);
+          comm.recv(std::span<double>(block), owner, kTagA);
+          a_cache[i] = std::move(block);
+        } else {
+          comm.recv_placeholder(owner, kTagA);
+        }
+      }
+      // B blocks: every column j this processor owns, unless we own b(k, j).
+      for (long long j = 0; j < n; ++j) {
+        if (part.column_of(static_cast<int>(j % part.l())) != self.j) continue;
+        const int owner =
+            part.row_of(self.j, static_cast<int>(k % part.l())) * m + self.j;
+        if (owner == self.rank) continue;
+        if (real) {
+          std::vector<double> block(block_len);
+          comm.recv(std::span<double>(block), owner, kTagB);
+          b_cache[j] = std::move(block);
+        } else {
+          comm.recv_placeholder(owner, kTagB);
+        }
+      }
+    }
+
+    // --- update --------------------------------------------------------------
+    if (real) {
+      for (auto& [coords, c_block] : c_blocks) {
+        const auto& a_block = a_cache.at(coords.first);
+        const auto& b_block = b_cache.at(coords.second);
+        block_multiply_add(c_block, a_block, b_block, r);
+      }
+    }
+    proc.compute(unit * static_cast<double>(owned.size()));
+  }
+
+  double elapsed = proc.clock() - start;
+  double makespan = 0.0;
+  comm.allreduce(std::span<const double>(&elapsed, 1),
+                 std::span<double>(&makespan, 1),
+                 [](double a, double b) { return a > b ? a : b; });
+
+  MmResult result;
+  result.algorithm_time = makespan;
+
+  if (real) {
+    double local = 0.0;
+    for (const auto& [coords, block] : c_blocks) {
+      for (double v : block) local += v;
+    }
+    double total = 0.0;
+    comm.allreduce(std::span<const double>(&local, 1),
+                   std::span<double>(&total, 1),
+                   [](double a, double b) { return a + b; });
+    result.checksum = total;
+
+    if (c_out != nullptr) {
+      // Collect the full product at rank 0 (verification path).
+      if (self.rank == 0) {
+        *c_out = support::Matrix<double>(static_cast<std::size_t>(n) * static_cast<std::size_t>(r),
+                                         static_cast<std::size_t>(n) * static_cast<std::size_t>(r),
+                                         0.0);
+        auto place = [&](long long bi, long long bj, std::span<const double> block) {
+          for (int x = 0; x < r; ++x) {
+            for (int y = 0; y < r; ++y) {
+              (*c_out)(static_cast<std::size_t>(bi * r + x),
+                       static_cast<std::size_t>(bj * r + y)) =
+                  block[static_cast<std::size_t>(x * r + y)];
+            }
+          }
+        };
+        for (const auto& [coords, block] : c_blocks) {
+          place(coords.first, coords.second, block);
+        }
+        for (int src = 1; src < comm.size(); ++src) {
+          const long long count = comm.recv_value<long long>(src, kTagCollect);
+          for (long long b = 0; b < count; ++b) {
+            long long header[2];
+            comm.recv(std::span<long long>(header), src, kTagCollect);
+            std::vector<double> block(block_len);
+            comm.recv(std::span<double>(block), src, kTagCollect);
+            place(header[0], header[1], block);
+          }
+        }
+      } else {
+        comm.send_value(static_cast<long long>(c_blocks.size()), 0, kTagCollect);
+        for (const auto& [coords, block] : c_blocks) {
+          const long long header[2] = {coords.first, coords.second};
+          comm.send(std::span<const long long>(header, 2), 0, kTagCollect);
+          comm.send(std::span<const double>(block), 0, kTagCollect);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,47 @@
+// The distributed matrix-multiplication algorithm (paper §4, Figure 6).
+//
+// C = A x B on an m x m grid of processors, matrices of n x n square
+// r x r blocks distributed by a (possibly heterogeneous) generalised-block
+// Partition. At each step k:
+//   * each block a(i, k) of the pivot column is sent horizontally to the
+//     m-1 processors owning C blocks in row i of the other grid columns;
+//   * each block b(k, j) of the pivot row is sent vertically to the m-1
+//     other processors of its grid column;
+//   * every processor updates each owned block: c(i,j) += a(i,k) * b(k,j).
+#pragma once
+
+#include <optional>
+
+#include "apps/em3d/serial.hpp"  // WorkMode
+#include "apps/matmul/dense.hpp"
+#include "apps/matmul/partition.hpp"
+#include "mpsim/comm.hpp"
+
+namespace hmpi::apps::matmul {
+
+using em3d::WorkMode;
+
+struct MmConfig {
+  int m = 0;                  ///< Grid is m x m; comm.size() must be m*m.
+  int r = 8;                  ///< Element block size.
+  int n = 0;                  ///< Matrix size in r-blocks.
+  /// Generalised-block distribution (l = partition.l()).
+  Partition partition = Partition::homogeneous(1, 1);
+  WorkMode mode = WorkMode::kReal;
+  std::uint64_t seed = 1;     ///< Matrix material seed.
+};
+
+struct MmResult {
+  /// Virtual seconds from the post-setup barrier to the last rank's finish.
+  double algorithm_time = 0.0;
+  /// Sum of all C elements (real mode; 0 in virtual mode).
+  double checksum = 0.0;
+};
+
+/// Runs the algorithm; grid processor (I, J) is comm rank I*m + J.
+/// If `c_out` is non-null, rank 0 receives the full product there
+/// (real mode only; for verification).
+MmResult run_distributed(const mp::Comm& comm, const MmConfig& config,
+                         support::Matrix<double>* c_out = nullptr);
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,277 @@
+#include "apps/matmul/app.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "hmpi/runtime.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::apps::matmul {
+
+pmdl::Model performance_model() {
+  // The paper's Figure 7 (with its two obvious typos fixed: the h parameter
+  // is 4-dimensional, and the B-communication volume uses w[J] per the
+  // accompanying text).
+  pmdl::Model model = pmdl::Model::from_source(R"(
+typedef struct {int I; int J;} Processor;
+
+algorithm ParallelAxB(int m, int r, int n, int l, int w[m],
+                      int h[m][m][m][m])
+{
+  coord I=m, J=m;
+  node {I>=0 && J>=0: bench*(w[J]*(h[I][J][I][J])*(n/l)*(n/l)*n);};
+  link (K=m, L=m)
+  {
+    I>=0 && J>=0 && I!=K :
+      length*(w[J]*(h[I][J][I][J])*(n/l)*(n/l)*(r*r)*sizeof(double))
+              [I, J] -> [K, J];
+    I>=0 && J>=0 && J!=L && ((h[I][J][K][L]) > 0) :
+      length*(w[J]*(h[I][J][K][L])*(n/l)*(n/l)*(r*r)*sizeof(double))
+              [I, J] -> [K, L];
+  };
+  parent[0,0];
+  scheme
+  {
+    int k;
+    Processor Root, Receiver, Current;
+    for(k = 0; k < n; k++)
+    {
+      int Acolumn = k%l, Arow;
+      int Brow = k%l, Bcolumn;
+      par(Arow = 0; Arow < l; )
+      {
+        GetProcessor(Arow, Acolumn, m, h, w, &Root);
+        par(Receiver.I = 0; Receiver.I < m; Receiver.I++)
+          par(Receiver.J = 0; Receiver.J < m; Receiver.J++)
+             if((Root.I != Receiver.I || Root.J != Receiver.J) &&
+                Root.J != Receiver.J)
+               if((h[Root.I][Root.J][Receiver.I][Receiver.J]) > 0)
+                 (100/(w[Root.J]*(n/l)))%%
+                        [Root.I, Root.J] -> [Receiver.I, Receiver.J];
+        Arow += h[Root.I][Root.J][Root.I][Root.J];
+      }
+      par(Bcolumn = 0; Bcolumn < l; )
+      {
+        GetProcessor(Brow, Bcolumn, m, h, w, &Root);
+        par(Receiver.I = 0; Receiver.I < m; Receiver.I++)
+          if(Root.I != Receiver.I)
+             (100/((h[Root.I][Root.J][Root.I][Root.J])*(n/l))) %%
+                   [Root.I, Root.J] -> [Receiver.I, Root.J];
+        Bcolumn += w[Root.J];
+      }
+      par(Current.I = 0; Current.I < m; Current.I++)
+        par(Current.J = 0; Current.J < m; Current.J++)
+           (100/n) %% [Current.I, Current.J];
+    }
+  };
+};
+)");
+
+  // The scheme's GetProcessor: grid coordinates of the abstract processor
+  // owning the r-block at (row, col) of a generalised block, derived from
+  // the w / h model parameters by a cumulative widths/heights walk.
+  model.register_native("GetProcessor", [](std::vector<pmdl::Value>& args) {
+    support::require(args.size() == 6, "GetProcessor expects 6 arguments");
+    const long long row = pmdl::as_int(args[0]);
+    const long long col = pmdl::as_int(args[1]);
+    const long long m = pmdl::as_int(args[2]);
+    const auto& h = std::get<pmdl::ArrayRef>(args[3]);
+    const auto& w = std::get<pmdl::ArrayRef>(args[4]);
+    auto& root = std::get<pmdl::StructVal>(args[5]);
+
+    auto w_at = [&](long long j) {
+      return w.data->data[static_cast<std::size_t>(j)];
+    };
+    auto h_diag = [&](long long i, long long j) {
+      const long long idx = ((i * m + j) * m + i) * m + j;
+      return h.data->data[static_cast<std::size_t>(idx)];
+    };
+
+    long long j = 0;
+    long long acc = w_at(0);
+    while (col >= acc && j + 1 < m) acc += w_at(++j);
+    long long i = 0;
+    long long hacc = h_diag(0, j);
+    while (row >= hacc && i + 1 < m) hacc += h_diag(++i, j);
+    root.fields[0] = i;
+    root.fields[1] = j;
+  });
+  return model;
+}
+
+std::vector<pmdl::ParamValue> model_parameters(int m, int r, int n,
+                                               const Partition& partition) {
+  return {pmdl::scalar(m),
+          pmdl::scalar(r),
+          pmdl::scalar(n),
+          pmdl::scalar(partition.l()),
+          pmdl::array(partition.w_param()),
+          pmdl::array(partition.h_param())};
+}
+
+namespace {
+
+/// Recon benchmark: one r x r block multiply-accumulate (the paper's rMxM).
+void rmxm_benchmark(mp::Proc& proc, int r) {
+  std::vector<double> a(static_cast<std::size_t>(r) * static_cast<std::size_t>(r), 1.0);
+  std::vector<double> b = a;
+  std::vector<double> c(a.size(), 0.0);
+  block_multiply_add(c, a, b, r);
+  proc.compute(block_update_units(r));
+}
+
+std::vector<int> default_l_candidates(int m, int n) {
+  // A coarse sweep of [m, n]: enough resolution for the Timeof search
+  // without exploding the prediction cost.
+  std::vector<int> ls;
+  for (int l = m; l <= n; l = std::max(l + 1, l + (n - m) / 8)) ls.push_back(l);
+  if (ls.empty() || ls.back() != n) ls.push_back(n);
+  return ls;
+}
+
+}  // namespace
+
+MmDriverResult run_mpi(const hnoc::Cluster& cluster, const MmDriverConfig& config) {
+  const int m = config.m;
+  support::require(m * m <= cluster.size(),
+                   "cluster too small for the process grid");
+  const int l = config.l > 0 ? config.l : m;
+
+  MmConfig mm;
+  mm.m = m;
+  mm.r = config.r;
+  mm.n = config.n;
+  mm.partition = Partition::homogeneous(m, l);
+  mm.mode = config.mode;
+  mm.seed = config.seed;
+
+  MmDriverResult result;
+  result.chosen_l = l;
+  std::mutex result_mutex;
+
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    // Grid position I*m+J on machine I*m+J: the "ordered set of processes"
+    // baseline of the paper.
+    mp::Comm world = proc.world_comm();
+    const bool executing = proc.rank() < m * m;
+    mp::Comm grid =
+        world.split(executing ? 1 : mp::kUndefinedColor, proc.rank());
+    if (!executing) return;
+
+    MmResult mm_result = run_distributed(grid, mm);
+    if (proc.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.algorithm_time = mm_result.algorithm_time;
+      result.total_time = proc.clock();
+      result.checksum = mm_result.checksum;
+      result.grid_placement.resize(static_cast<std::size_t>(m * m));
+      for (int g = 0; g < m * m; ++g) {
+        result.grid_placement[static_cast<std::size_t>(g)] = g;
+      }
+    }
+  });
+  return result;
+}
+
+MmDriverResult run_hmpi(const hnoc::Cluster& cluster, const MmDriverConfig& config,
+                        std::vector<int> l_candidates) {
+  const int m = config.m;
+  support::require(m * m <= cluster.size(),
+                   "cluster too small for the process grid");
+
+  pmdl::Model model = performance_model();
+  MmDriverResult result;
+  std::mutex result_mutex;
+
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    // Figure 8 lifecycle.
+    Runtime rt(proc);
+
+    // HMPI_Recon with the rMxM benchmark.
+    rt.recon([&](mp::Proc& q) { rmxm_benchmark(q, config.r); });
+
+    // The host derives the heterogeneous distribution from the estimated
+    // speeds. Grid position (0,0) is the model's parent and is therefore
+    // pinned to the host's machine: its rectangle must be sized for the
+    // host's speed, with the m*m-1 fastest other machines (fastest first,
+    // row-major) filling the remaining positions.
+    int chosen_l = config.l;
+    std::vector<double> grid_speeds;
+    std::vector<pmdl::ParamValue> params;
+    if (rt.is_host()) {
+      std::vector<double> speeds = rt.processor_speeds();
+      const double host_speed = speeds.at(static_cast<std::size_t>(proc.processor()));
+      speeds.erase(speeds.begin() + proc.processor());
+      std::sort(speeds.begin(), speeds.end(), std::greater<double>());
+      grid_speeds.push_back(host_speed);
+      grid_speeds.insert(grid_speeds.end(), speeds.begin(),
+                         speeds.begin() + (m * m - 1));
+
+      auto partition_for = [&](int l) {
+        return Partition(m, l, grid_speeds);
+      };
+
+      if (chosen_l <= 0) {
+        // Figure 8: pick the generalised block size that minimises the
+        // predicted execution time.
+        std::vector<int> ls = l_candidates.empty()
+                                  ? default_l_candidates(m, config.n)
+                                  : l_candidates;
+        double best_time = 0.0;
+        for (int l : ls) {
+          Partition candidate = partition_for(l);
+          const double t = rt.timeof(
+              model, model_parameters(m, config.r, config.n, candidate));
+          if (chosen_l <= 0 || t < best_time) {
+            chosen_l = l;
+            best_time = t;
+          }
+        }
+      }
+      params = model_parameters(m, config.r, config.n, partition_for(chosen_l));
+    }
+
+    auto group = rt.group_create(model, params);
+    if (group) {
+      // Members need the partition the host chose; the group communicator
+      // is ordered by abstract processor (grid position), parent = (0,0).
+      std::vector<long long> meta{chosen_l};
+      group->comm().bcast_vector(meta, group->parent_rank());
+      chosen_l = static_cast<int>(meta[0]);
+      group->comm().bcast_vector(grid_speeds, group->parent_rank());
+      Partition dist(m, chosen_l, grid_speeds);
+
+      MmConfig mm;
+      mm.m = m;
+      mm.r = config.r;
+      mm.n = config.n;
+      mm.partition = dist;
+      mm.mode = config.mode;
+      mm.seed = config.seed;
+      MmResult mm_result = run_distributed(group->comm(), mm);
+
+      if (rt.is_host()) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        result.algorithm_time = mm_result.algorithm_time;
+        result.checksum = mm_result.checksum;
+        result.predicted_time = group->estimated_time();
+        result.chosen_l = chosen_l;
+        result.grid_placement.resize(static_cast<std::size_t>(m * m));
+        for (int g = 0; g < m * m; ++g) {
+          result.grid_placement[static_cast<std::size_t>(g)] =
+              proc.world().processor_of(
+                  group->members()[static_cast<std::size_t>(g)]);
+        }
+      }
+      rt.group_free(*group);
+    }
+    rt.finalize();
+    if (rt.is_host()) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.total_time = proc.clock();
+    }
+  });
+  return result;
+}
+
+}  // namespace hmpi::apps::matmul

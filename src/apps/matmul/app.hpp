@@ -1,0 +1,55 @@
+// Matrix-multiplication application drivers: the homogeneous MPI baseline
+// (ScaLAPACK-style 2D block-cyclic distribution, rank-order grid) and the
+// HMPI version (paper Figure 8: Recon with the rMxM benchmark, Timeof search
+// for the optimal generalised block size, Group_create with the Figure-7
+// model, heterogeneous distribution).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/matmul/algorithm.hpp"
+#include "hnoc/cluster.hpp"
+#include "pmdl/model.hpp"
+
+namespace hmpi::apps::matmul {
+
+/// The ParallelAxB performance model (the paper's Figure 7, with its
+/// GetProcessor native registered): algorithm ParallelAxB(int m, int r,
+/// int n, int l, int w[m], int h[m][m][m][m]).
+pmdl::Model performance_model();
+
+/// Parameter pack for performance_model().
+std::vector<pmdl::ParamValue> model_parameters(int m, int r, int n,
+                                               const Partition& partition);
+
+struct MmDriverResult {
+  double algorithm_time = 0.0;  ///< Virtual seconds of the n-step loop.
+  double total_time = 0.0;      ///< Host's total virtual time (incl. setup).
+  double predicted_time = 0.0;  ///< HMPI only: the runtime's prediction.
+  double checksum = 0.0;        ///< Real mode only.
+  int chosen_l = 0;             ///< Generalised block size actually used.
+  std::vector<int> grid_placement;  ///< Processor of grid position I*m+J.
+};
+
+struct MmDriverConfig {
+  int m = 3;        ///< Process grid is m x m.
+  int r = 8;        ///< Element block size.
+  int n = 18;       ///< Matrix size in r-blocks.
+  int l = 0;        ///< Generalised block size; 0 = HMPI searches with Timeof.
+  WorkMode mode = WorkMode::kVirtualOnly;
+  std::uint64_t seed = 1;
+};
+
+/// Homogeneous baseline: equal-area 2D block-cyclic distribution, grid
+/// position I*m+J on machine I*m+J (rank order). `config.l` of 0 defaults
+/// to m (plain block-cyclic).
+MmDriverResult run_mpi(const hnoc::Cluster& cluster, const MmDriverConfig& config);
+
+/// HMPI version (Figure 8). With config.l == 0 the host searches the
+/// generalised block size via HMPI_Timeof over `l_candidates` (defaults to
+/// a small sweep of divisors-friendly values in [m, n]).
+MmDriverResult run_hmpi(const hnoc::Cluster& cluster, const MmDriverConfig& config,
+                        std::vector<int> l_candidates = {});
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,79 @@
+#include "apps/matmul/dense.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::apps::matmul {
+
+double block_update_units(int r) {
+  support::require(r > 0, "block size must be positive");
+  const double x = static_cast<double>(r) / 8.0;
+  return x * x * x;
+}
+
+void block_multiply_add(std::span<double> c, std::span<const double> a,
+                        std::span<const double> b, int r) {
+  const auto rr = static_cast<std::size_t>(r);
+  support::require(c.size() == rr * rr && a.size() == rr * rr && b.size() == rr * rr,
+                   "block size mismatch");
+  for (std::size_t i = 0; i < rr; ++i) {
+    for (std::size_t k = 0; k < rr; ++k) {
+      const double aik = a[i * rr + k];
+      const double* brow = &b[k * rr];
+      double* crow = &c[i * rr];
+      for (std::size_t j = 0; j < rr; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+double matrix_element(std::uint64_t seed, int which, long long row, long long col) {
+  // One SplitMix64 step keyed by (seed, which, row, col): stateless and
+  // identical on every rank.
+  support::Rng rng(seed ^ (static_cast<std::uint64_t>(which) << 62) ^
+                   (static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL) ^
+                   (static_cast<std::uint64_t>(col) + 0x7f4a7c15ULL));
+  return rng.next_double_in(-1.0, 1.0);
+}
+
+std::vector<double> make_block(std::uint64_t seed, int which, long long brow,
+                               long long bcol, int r) {
+  std::vector<double> block(static_cast<std::size_t>(r) * static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      block[static_cast<std::size_t>(i * r + j)] =
+          matrix_element(seed, which, brow * r + i, bcol * r + j);
+    }
+  }
+  return block;
+}
+
+support::Matrix<double> make_matrix(std::uint64_t seed, int which, int n, int r) {
+  const auto size = static_cast<std::size_t>(n) * static_cast<std::size_t>(r);
+  support::Matrix<double> matrix(size, size);
+  for (std::size_t i = 0; i < size; ++i) {
+    for (std::size_t j = 0; j < size; ++j) {
+      matrix(i, j) = matrix_element(seed, which, static_cast<long long>(i),
+                                    static_cast<long long>(j));
+    }
+  }
+  return matrix;
+}
+
+support::Matrix<double> serial_multiply(const support::Matrix<double>& a,
+                                        const support::Matrix<double>& b) {
+  support::require(a.cols() == b.rows(), "dimension mismatch");
+  support::Matrix<double> c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,40 @@
+// Dense kernels and deterministic matrix material for the MM application.
+//
+// Cost convention: updating one r x r block (one block multiply-accumulate,
+// 2 r^3 flops) costs (r/8)^3 benchmark units — the benchmark unit is one
+// 8 x 8 block update, and HMPI_Recon's rMxM benchmark charges the same
+// amount, keeping model volumes and measured speeds in one unit system.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/matrix.hpp"
+
+namespace hmpi::apps::matmul {
+
+/// Benchmark units of one r x r block multiply-accumulate.
+double block_update_units(int r);
+
+/// c += a * b for r x r row-major blocks.
+void block_multiply_add(std::span<double> c, std::span<const double> a,
+                        std::span<const double> b, int r);
+
+/// Deterministic value of element (row, col) of matrix A or B for a given
+/// seed: every rank can materialise exactly the blocks it owns, without any
+/// global allocation.
+double matrix_element(std::uint64_t seed, int which, long long row, long long col);
+
+/// Materialises the r x r block at block coordinates (brow, bcol).
+std::vector<double> make_block(std::uint64_t seed, int which, long long brow,
+                               long long bcol, int r);
+
+/// Full n*r x n*r matrix (verification only; small sizes).
+support::Matrix<double> make_matrix(std::uint64_t seed, int which, int n, int r);
+
+/// Naive serial product (verification only).
+support::Matrix<double> serial_multiply(const support::Matrix<double>& a,
+                                        const support::Matrix<double>& b);
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,121 @@
+#include "apps/matmul/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/apportion.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::apps::matmul {
+
+
+Partition::Partition(int m, int l, std::span<const double> grid_speeds)
+    : m_(m), l_(l) {
+  support::require(m >= 1, "Partition: m must be >= 1");
+  support::require(l >= m, "Partition: generalised block size l must be >= m");
+  support::require(grid_speeds.size() == static_cast<std::size_t>(m) * static_cast<std::size_t>(m),
+                   "Partition: grid_speeds must have m*m entries");
+
+  // Step 1: column widths proportional to column speed sums.
+  std::vector<double> column_sums(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      column_sums[static_cast<std::size_t>(j)] +=
+          grid_speeds[static_cast<std::size_t>(i * m + j)];
+    }
+  }
+  widths_ = apportion(l, column_sums);
+
+  // Step 2: per-column heights proportional to the processors' speeds.
+  heights_ = support::Matrix<int>(static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(m), 0);
+  for (int j = 0; j < m; ++j) {
+    std::vector<double> col(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      col[static_cast<std::size_t>(i)] =
+          grid_speeds[static_cast<std::size_t>(i * m + j)];
+    }
+    const std::vector<int> hs = apportion(l, col);
+    for (int i = 0; i < m; ++i) {
+      heights_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          hs[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // Derived lookups.
+  col_tops_.assign(static_cast<std::size_t>(m), 0);
+  for (int j = 1; j < m; ++j) {
+    col_tops_[static_cast<std::size_t>(j)] =
+        col_tops_[static_cast<std::size_t>(j - 1)] + widths_[static_cast<std::size_t>(j - 1)];
+  }
+  row_tops_ = support::Matrix<int>(static_cast<std::size_t>(m),
+                                   static_cast<std::size_t>(m), 0);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 1; i < m; ++i) {
+      row_tops_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          row_tops_(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j)) +
+          heights_(static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j));
+    }
+  }
+
+  col_of_.assign(static_cast<std::size_t>(l), 0);
+  for (int j = 0, c = 0; j < m; ++j) {
+    for (int w = 0; w < widths_[static_cast<std::size_t>(j)]; ++w, ++c) {
+      col_of_[static_cast<std::size_t>(c)] = j;
+    }
+  }
+  row_of_.assign(static_cast<std::size_t>(m), std::vector<int>(static_cast<std::size_t>(l), 0));
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0, r = 0; i < m; ++i) {
+      for (int h = 0; h < heights_(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+           ++h, ++r) {
+        row_of_[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)] = i;
+      }
+    }
+  }
+}
+
+Partition Partition::homogeneous(int m, int l) {
+  std::vector<double> equal(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 1.0);
+  return Partition(m, l, equal);
+}
+
+int Partition::owner_of_block(long long block_row, long long block_col) const {
+  support::require(block_row >= 0 && block_col >= 0, "negative block coordinate");
+  const int c = static_cast<int>(block_col % l_);
+  const int r = static_cast<int>(block_row % l_);
+  const int j = column_of(c);
+  const int i = row_of(j, r);
+  return i * m_ + j;
+}
+
+int Partition::row_overlap(int i, int j, int k, int o) const {
+  const int top_a = row_tops_.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  const int bot_a = top_a + height(i, j);
+  const int top_b = row_tops_.at(static_cast<std::size_t>(k), static_cast<std::size_t>(o));
+  const int bot_b = top_b + height(k, o);
+  return std::max(0, std::min(bot_a, bot_b) - std::max(top_a, top_b));
+}
+
+std::vector<long long> Partition::w_param() const {
+  return std::vector<long long>(widths_.begin(), widths_.end());
+}
+
+std::vector<long long> Partition::h_param() const {
+  std::vector<long long> h;
+  h.reserve(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_) *
+            static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_));
+  for (int i = 0; i < m_; ++i) {
+    for (int j = 0; j < m_; ++j) {
+      for (int k = 0; k < m_; ++k) {
+        for (int o = 0; o < m_; ++o) {
+          h.push_back(row_overlap(i, j, k, o));
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,81 @@
+// Heterogeneous two-dimensional block-cyclic distribution (paper §4,
+// following Kalinov & Lastovetsky [6]).
+//
+// Matrices are partitioned into generalised blocks of l x l square r-blocks.
+// Each generalised block is identically partitioned into m x m rectangles:
+//   1. the l columns are split into m vertical slices, slice J's width
+//      proportional to the total speed of processor column J;
+//   2. each vertical slice is independently split into m horizontal slices,
+//      slice I's height proportional to the speed of processor P(I,J).
+// The area of P(I,J)'s rectangle is therefore proportional to its speed,
+// which balances the per-step work of the multiplication algorithm.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/apportion.hpp"
+#include "support/matrix.hpp"
+
+namespace hmpi::apps::matmul {
+
+/// The partition of one generalised block (identical for all of them).
+class Partition {
+ public:
+  /// grid_speeds is m*m row-major: speed of grid processor (I, J).
+  /// Widths and heights are apportioned by largest remainder so that they
+  /// sum to l exactly; a very slow processor may receive width/height 0.
+  Partition(int m, int l, std::span<const double> grid_speeds);
+
+  /// Convenience: the homogeneous distribution (the MPI baseline).
+  static Partition homogeneous(int m, int l);
+
+  int m() const noexcept { return m_; }
+  int l() const noexcept { return l_; }
+
+  /// Width of processor column J (in r-blocks).
+  int width(int j) const { return widths_.at(static_cast<std::size_t>(j)); }
+  /// Height of P(I, J)'s rectangle.
+  int height(int i, int j) const {
+    return heights_.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  }
+
+  /// Grid column owning block column `c` of a generalised block (0 <= c < l).
+  int column_of(int c) const { return col_of_.at(static_cast<std::size_t>(c)); }
+  /// Grid row owning block row `rrow` within processor column `j`.
+  int row_of(int j, int rrow) const {
+    return row_of_.at(static_cast<std::size_t>(j))
+        .at(static_cast<std::size_t>(rrow));
+  }
+
+  /// Flat grid index (I*m + J) of the processor owning the r-block at
+  /// (block_row, block_col) of a matrix (global block coordinates; the
+  /// distribution is periodic with period l).
+  int owner_of_block(long long block_row, long long block_col) const;
+
+  /// The model's h[I][J][K][L]: the number of rows shared by the rectangles
+  /// of P(I,J) and P(K,L) within a generalised block (h[I][J][I][J] is
+  /// P(I,J)'s own height).
+  int row_overlap(int i, int j, int k, int o) const;
+
+  /// Parameters for the ParallelAxB performance model.
+  std::vector<long long> w_param() const;
+  /// Flattened m^4 h parameter, index ((I*m + J)*m + K)*m + L.
+  std::vector<long long> h_param() const;
+
+ private:
+  int m_;
+  int l_;
+  std::vector<int> widths_;           // per column J
+  support::Matrix<int> heights_;      // (I, J)
+  std::vector<int> col_tops_;         // first block column of column J
+  support::Matrix<int> row_tops_;     // (I, J): first block row of P(I,J)
+  std::vector<int> col_of_;           // size l
+  std::vector<std::vector<int>> row_of_;  // [J][rrow]
+};
+
+/// Proportional integer split (re-exported from support for callers that
+/// think of it as part of the partitioning toolkit).
+using support::apportion;
+
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,113 @@
+#include "hmpi/hmpi_c.hpp"
+
+#include "support/error.hpp"
+
+namespace hmpi::capi {
+namespace {
+
+thread_local std::unique_ptr<Runtime> tls_runtime;
+
+}  // namespace
+
+Runtime* current() { return tls_runtime.get(); }
+
+namespace detail {
+
+Runtime& require_runtime() {
+  if (!tls_runtime) {
+    throw RuntimeError("HMPI routine called before HMPI_Init");
+  }
+  return *tls_runtime;
+}
+
+void init(mp::Proc& proc, RuntimeConfig config) {
+  if (tls_runtime) {
+    throw RuntimeError("HMPI_Init called twice on the same process");
+  }
+  tls_runtime = std::make_unique<Runtime>(proc, std::move(config));
+}
+
+void finalize(int exitcode) {
+  require_runtime().finalize(exitcode);
+  tls_runtime.reset();
+}
+
+}  // namespace detail
+}  // namespace hmpi::capi
+
+void HMPI_Init(hmpi::mp::Proc& proc, hmpi::RuntimeConfig config) {
+  hmpi::capi::detail::init(proc, std::move(config));
+}
+
+void HMPI_Finalize(int exitcode) { hmpi::capi::detail::finalize(exitcode); }
+
+bool HMPI_Is_host() { return hmpi::capi::detail::require_runtime().is_host(); }
+
+bool HMPI_Is_free() { return hmpi::capi::detail::require_runtime().is_free(); }
+
+bool HMPI_Is_member(const HMPI_Group& gid) {
+  return gid.has_value() && gid->valid();
+}
+
+hmpi::mp::Comm HMPI_Comm_world() {
+  return hmpi::capi::detail::require_runtime().world_comm();
+}
+
+void HMPI_Recon(const std::function<void(hmpi::mp::Proc&)>& benchmark) {
+  hmpi::capi::detail::require_runtime().recon(benchmark);
+}
+
+double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
+                   std::span<const hmpi::pmdl::ParamValue> model_parameters) {
+  return hmpi::capi::detail::require_runtime().timeof(perf_model,
+                                                      model_parameters);
+}
+
+void HMPI_Group_create(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                       std::span<const hmpi::pmdl::ParamValue> model_parameters) {
+  hmpi::support::require(gid != nullptr, "HMPI_Group_create: gid must not be null");
+  *gid = hmpi::capi::detail::require_runtime().group_create(perf_model,
+                                                            model_parameters);
+}
+
+void HMPI_Group_free(HMPI_Group* gid) {
+  hmpi::support::require(gid != nullptr && gid->has_value(),
+                         "HMPI_Group_free: not a live group");
+  hmpi::capi::detail::require_runtime().group_free(**gid);
+  gid->reset();
+}
+
+int HMPI_Group_rank(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(), "HMPI_Group_rank: not a live group");
+  return gid->rank();
+}
+
+int HMPI_Group_size(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(), "HMPI_Group_size: not a live group");
+  return gid->size();
+}
+
+const hmpi::mp::Comm* HMPI_Get_comm(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(), "HMPI_Get_comm: not a live group");
+  return &gid->comm();
+}
+
+std::vector<long long> HMPI_Group_topology(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(), "HMPI_Group_topology: not a live group");
+  return gid->shape();
+}
+
+std::vector<long long> HMPI_Group_coordof(const HMPI_Group& gid, int rank) {
+  hmpi::support::require(gid.has_value(), "HMPI_Group_coordof: not a live group");
+  return gid->coordinates_of(rank);
+}
+
+std::vector<double> HMPI_Group_performances(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(),
+                         "HMPI_Group_performances: not a live group");
+  return hmpi::capi::detail::require_runtime().group_performances(*gid);
+}
+
+std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info() {
+  return hmpi::capi::detail::require_runtime().processors_info();
+}

@@ -1,0 +1,75 @@
+// Paper-style HMPI interface.
+//
+// The paper presents HMPI as C functions (HMPI_Init, HMPI_Recon,
+// HMPI_Group_create, ...). This header provides those spellings over the
+// C++ runtime so that application code can read like the paper's Figures 5
+// and 8. The functions operate on a per-thread current runtime: each
+// simulated process calls HMPI_Init first, every other call implicitly uses
+// that process's runtime, and HMPI_Finalize tears it down.
+//
+// The C++ API (hmpi::Runtime) remains the primary interface; this layer is a
+// thin veneer for familiarity.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "hmpi/runtime.hpp"
+
+namespace hmpi::capi {
+
+/// The per-thread current runtime (set by HMPI_Init).
+Runtime* current();
+
+}  // namespace hmpi::capi
+
+/// Opaque group handle, as in the paper.
+using HMPI_Group = std::optional<hmpi::Group>;
+
+/// HMPI_Init: binds this simulated process to a fresh runtime. Collective.
+void HMPI_Init(hmpi::mp::Proc& proc, hmpi::RuntimeConfig config = hmpi::RuntimeConfig());
+
+/// HMPI_Finalize: collective; destroys this process's runtime.
+void HMPI_Finalize(int exitcode);
+
+/// HMPI_Is_host / HMPI_Is_free / HMPI_Is_member.
+bool HMPI_Is_host();
+bool HMPI_Is_free();
+bool HMPI_Is_member(const HMPI_Group& gid);
+
+/// HMPI_COMM_WORLD accessor (the paper's predefined communication universe).
+hmpi::mp::Comm HMPI_Comm_world();
+
+/// HMPI_Recon: refreshes processor speed estimates with a benchmark.
+void HMPI_Recon(const std::function<void(hmpi::mp::Proc&)>& benchmark);
+
+/// HMPI_Timeof: predicted execution time without running the algorithm.
+double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
+                   std::span<const hmpi::pmdl::ParamValue> model_parameters);
+
+/// HMPI_Group_create: fills `gid` for selected members (empty otherwise).
+void HMPI_Group_create(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                       std::span<const hmpi::pmdl::ParamValue> model_parameters);
+
+/// HMPI_Group_free: collective over the group's members.
+void HMPI_Group_free(HMPI_Group* gid);
+
+/// HMPI_Group_rank / HMPI_Group_size.
+int HMPI_Group_rank(const HMPI_Group& gid);
+int HMPI_Group_size(const HMPI_Group& gid);
+
+/// HMPI_Get_comm: the MPI communicator of the group (local operation).
+const hmpi::mp::Comm* HMPI_Get_comm(const HMPI_Group& gid);
+
+/// HMPI_Group_topology: extents of the model's processor arrangement.
+std::vector<long long> HMPI_Group_topology(const HMPI_Group& gid);
+
+/// HMPI_Group_coordof: coordinates of a group rank in that arrangement.
+std::vector<long long> HMPI_Group_coordof(const HMPI_Group& gid, int rank);
+
+/// HMPI_Group_performances: speed estimates of the members, by group rank.
+std::vector<double> HMPI_Group_performances(const HMPI_Group& gid);
+
+/// HMPI_Get_processors_info: per-machine name/speed/hosted-ranks view.
+std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info();

@@ -1,0 +1,403 @@
+#include "hmpi/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace hmpi {
+
+/// World-level blackboard shared by all Runtime instances of a run — the
+/// moral equivalent of the HMPI daemon: speed estimates, the free set, and
+/// the rendezvous queue for group creations.
+struct Runtime::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  std::unique_ptr<hnoc::NetworkModel> network;
+
+  /// Live-group membership count per world rank (a process can be in
+  /// several groups when it parents a nested one).
+  std::map<int, int> busy_count;
+
+  struct Creation {
+    std::vector<int> participants;  // sorted world ranks
+    int parent_rank = -1;
+  };
+  long long creation_seq = 0;
+  std::map<long long, Creation> creations;
+  std::vector<long long> next_creation;  // per world rank
+
+  long long group_counter = 0;
+
+  bool is_free_locked(int rank) const {
+    if (rank == 0) return false;
+    auto it = busy_count.find(rank);
+    return it == busy_count.end() || it->second == 0;
+  }
+};
+
+std::vector<long long> Group::coordinates_of(int r) const {
+  support::require(valid(), "coordinates_of on an invalid group");
+  support::require(r >= 0 && r < size(), "group rank out of range");
+  std::vector<long long> coords(shape_.size());
+  long long index = r;
+  for (std::size_t d = shape_.size(); d-- > 0;) {
+    coords[d] = index % shape_[d];
+    index /= shape_[d];
+  }
+  return coords;
+}
+
+int Group::rank_at(std::span<const long long> coordinates) const {
+  support::require(valid(), "rank_at on an invalid group");
+  support::require(coordinates.size() == shape_.size(),
+                   "coordinate count does not match the group topology");
+  long long index = 0;
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    support::require(coordinates[d] >= 0 && coordinates[d] < shape_[d],
+                     "coordinate out of range");
+    index = index * shape_[d] + coordinates[d];
+  }
+  return static_cast<int>(index);
+}
+
+Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
+    : proc_(&proc), config_(std::move(config)) {
+  if (!config_.mapper) {
+    config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
+  }
+  auto shared = proc.world().get_or_create_shared([&]() -> std::shared_ptr<void> {
+    auto s = std::make_shared<Shared>();
+    s->network = std::make_unique<hnoc::NetworkModel>(proc.cluster());
+    s->next_creation.assign(static_cast<std::size_t>(proc.nprocs()), 0);
+    return s;
+  });
+  shared_ = std::static_pointer_cast<Shared>(shared);
+  // HMPI_Init is collective; synchronise so no process races ahead.
+  proc.world_comm().barrier();
+}
+
+void Runtime::finalize(int exit_code) {
+  support::require(exit_code == 0, "HMPI application finalised with an error code");
+  if (finalized_) return;
+  proc_->world_comm().barrier();
+  finalized_ = true;
+}
+
+Runtime::~Runtime() = default;
+
+bool Runtime::is_free() const {
+  // Deliberately *local*: a process is free until it has itself completed a
+  // group_create in which it was selected. The blackboard's busy set may run
+  // ahead of this (the parent marks members busy as soon as it decides, and
+  // buffered sends let it finish group_create before the members even enter
+  // theirs); basing the paper's `HMPI_Is_host() || HMPI_Is_free()` calling
+  // convention on the blackboard would make selected processes skip the
+  // collective they are required to join.
+  return proc_->rank() != 0 && live_groups_ == 0;
+}
+
+void Runtime::recon(const std::function<void(mp::Proc&)>& bench) {
+  support::require(static_cast<bool>(bench), "recon requires a benchmark function");
+  const double start = proc_->clock();
+  bench(*proc_);
+  const double elapsed = proc_->clock() - start;
+  support::require(elapsed > 0.0,
+                   "the recon benchmark consumed no virtual time; it must call "
+                   "Proc::compute");
+
+  struct Entry {
+    int processor;
+    double speed;  // benchmark executions per second
+  };
+  Entry mine{proc_->processor(), 1.0 / elapsed};
+  std::vector<Entry> all(static_cast<std::size_t>(proc_->nprocs()));
+  mp::Comm world = proc_->world_comm();
+  world.allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+
+  // Every process applies the identical update (idempotent): per processor,
+  // the best speed any of its processes demonstrated.
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    std::map<int, double> best;
+    for (const Entry& e : all) {
+      double& slot = best[e.processor];
+      slot = std::max(slot, e.speed);
+    }
+    for (const auto& [processor, speed] : best) {
+      shared_->network->set_speed(processor, speed);
+    }
+  }
+  world.barrier();
+}
+
+std::vector<map::Candidate> Runtime::candidates_with(
+    int parent_rank, std::vector<int>* ranks) const {
+  std::vector<int> participants{parent_rank};
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    for (int r = 0; r < proc_->nprocs(); ++r) {
+      if (r != parent_rank && shared_->is_free_locked(r)) participants.push_back(r);
+    }
+  }
+  std::sort(participants.begin(), participants.end());
+  std::vector<map::Candidate> candidates;
+  candidates.reserve(participants.size());
+  for (int r : participants) {
+    candidates.push_back({r, proc_->world().processor_of(r)});
+  }
+  if (ranks != nullptr) *ranks = std::move(participants);
+  return candidates;
+}
+
+double Runtime::timeof(const pmdl::Model& model,
+                       std::span<const pmdl::ParamValue> params) const {
+  const pmdl::ModelInstance instance = model.instantiate(params);
+  std::vector<int> ranks;
+  const auto candidates = candidates_with(proc_->rank(), &ranks);
+  const auto parent_it = std::find(ranks.begin(), ranks.end(), proc_->rank());
+  const int parent_candidate = static_cast<int>(parent_it - ranks.begin());
+
+  hnoc::NetworkModel snapshot = [&] {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    return *shared_->network;
+  }();
+  return config_.mapper
+      ->select(instance, candidates, parent_candidate, snapshot,
+               config_.estimate)
+      .estimated_time;
+}
+
+std::optional<Group> Runtime::group_create(
+    const pmdl::Model& model, std::span<const pmdl::ParamValue> params) {
+  support::require(!finalized_, "group_create after finalize");
+  const int me = proc_->rank();
+  mp::World& world = proc_->world();
+
+  // --- rendezvous: agree on the participant set ----------------------------
+  // A caller first drains the creation queue from its consumption pointer:
+  // if a pending creation lists it as a participant, it joins that creation
+  // (this also covers a process that the parent already selected and marked
+  // busy before it even entered group_create — its role is decided by the
+  // queue, not by its current busy state). Only a non-free caller with no
+  // pending creation addressed to it becomes the parent of a new creation.
+  std::vector<int> participants;
+  int parent_world = -1;
+  {
+    std::unique_lock<std::mutex> lock(shared_->mutex);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(world.options().deadlock_timeout_s));
+    for (;;) {
+      const long long id = shared_->next_creation[static_cast<std::size_t>(me)];
+      auto it = shared_->creations.find(id);
+      if (it != shared_->creations.end()) {
+        const Shared::Creation& c = it->second;
+        if (std::find(c.participants.begin(), c.participants.end(), me) ==
+            c.participants.end()) {
+          // Announced while this process was busy; not ours to join.
+          shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
+          continue;
+        }
+        participants = c.participants;
+        parent_world = c.parent_rank;
+        shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
+        break;
+      }
+      if (me == 0 || live_groups_ > 0) {
+        // Non-free caller with no pending creation addressed to it: it is
+        // the parent; announce the creation. (Freeness here is the caller's
+        // local view — see is_free().)
+        parent_world = me;
+        participants.push_back(me);
+        for (int r = 0; r < world.nprocs(); ++r) {
+          if (r != me && shared_->is_free_locked(r)) participants.push_back(r);
+        }
+        std::sort(participants.begin(), participants.end());
+        shared_->creations[id] = {participants, me};
+        shared_->creation_seq = id + 1;
+        shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
+        shared_->cv.notify_all();
+        break;
+      }
+      // Free process with nothing announced yet: wait.
+      if (world.aborted()) {
+        throw MpError("world aborted while waiting for a group creation");
+      }
+      if (shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          shared_->creations.find(id) == shared_->creations.end()) {
+        throw DeadlockError(
+            "free process waited for a group creation that was never "
+            "announced (did the parent call HMPI_Group_create?)");
+      }
+    }
+  }
+
+  // --- coordination communicator over the participants ----------------------
+  mp::Comm coord = mp::Comm::create_subcomm(*proc_, participants);
+  const int parent_coord =
+      static_cast<int>(std::find(participants.begin(), participants.end(),
+                                 parent_world) -
+                       participants.begin());
+
+  // --- the parent solves the selection problem ------------------------------
+  std::vector<int> members;  // world rank per abstract processor
+  std::vector<long long> shape;
+  double estimated = 0.0;
+  long long group_id = -1;
+  if (me == parent_world) {
+    const pmdl::ModelInstance instance = model.instantiate(params);
+    shape = instance.shape();
+    std::vector<map::Candidate> candidates;
+    candidates.reserve(participants.size());
+    for (int r : participants) {
+      candidates.push_back({r, world.processor_of(r)});
+    }
+    hnoc::NetworkModel snapshot = [&] {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      return *shared_->network;
+    }();
+    const map::MappingResult result = config_.mapper->select(
+        instance, candidates, parent_coord, snapshot, config_.estimate);
+    members.resize(static_cast<std::size_t>(instance.size()));
+    for (int a = 0; a < instance.size(); ++a) {
+      members[static_cast<std::size_t>(a)] =
+          participants[static_cast<std::size_t>(
+              result.candidate_for_abstract[static_cast<std::size_t>(a)])];
+    }
+    estimated = result.estimated_time;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      group_id = shared_->group_counter++;
+      for (int r : members) {
+        shared_->busy_count[r] += 1;
+      }
+    }
+  }
+
+  coord.bcast_vector(members, parent_coord);
+  coord.bcast_vector(shape, parent_coord);
+  coord.bcast_value(estimated, parent_coord);
+  coord.bcast_value(group_id, parent_coord);
+
+  // --- selected members form the group (ordered by abstract processor) ------
+  const bool selected =
+      std::find(members.begin(), members.end(), me) != members.end();
+  if (!selected) return std::nullopt;
+
+  live_groups_ += 1;
+  Group group;
+  group.comm_ = mp::Comm::create_subcomm(*proc_, members);
+  group.parent_rank_ =
+      static_cast<int>(std::find(members.begin(), members.end(), parent_world) -
+                       members.begin());
+  group.estimated_time_ = estimated;
+  group.id_ = group_id;
+  group.shape_ = std::move(shape);
+  return group;
+}
+
+std::optional<Group> Runtime::group_auto_create(
+    const pmdl::Model& model,
+    const std::function<std::vector<pmdl::ParamValue>(int p)>& params_for,
+    int max_p) {
+  support::require(max_p >= 1, "group_auto_create needs max_p >= 1");
+  if (is_free()) {
+    // Free processes only follow the parent's decision.
+    return group_create(model, std::span<const pmdl::ParamValue>());
+  }
+  support::require(static_cast<bool>(params_for),
+                   "group_auto_create requires a parameter builder");
+
+  // Parent: search the p that minimises the prediction.
+  const int available = static_cast<int>(free_ranks().size()) + 1;
+  double best_time = 0.0;
+  int best_p = -1;
+  std::vector<pmdl::ParamValue> best_params;
+  for (int p = 1; p <= std::min(max_p, available); ++p) {
+    std::vector<pmdl::ParamValue> params = params_for(p);
+    double t;
+    try {
+      t = timeof(model, params);
+    } catch (const Error&) {
+      continue;  // this p is infeasible for the model
+    }
+    if (best_p < 0 || t < best_time) {
+      best_time = t;
+      best_p = p;
+      best_params = std::move(params);
+    }
+  }
+  support::require(best_p > 0, "no feasible group size found");
+  return group_create(model, best_params);
+}
+
+void Runtime::group_free(Group& group) {
+  support::require(group.valid(), "group_free on an invalid group");
+  support::require(live_groups_ > 0, "group_free by a process with no group membership");
+  // Collective: synchronise members before releasing them to the free pool.
+  group.comm_.barrier();
+  live_groups_ -= 1;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    const int me = proc_->rank();
+    auto it = shared_->busy_count.find(me);
+    support::require(it != shared_->busy_count.end() && it->second > 0,
+                     "group_free by a process with no group membership");
+    it->second -= 1;
+    // Rejoin the creation queue at the current head.
+    shared_->next_creation[static_cast<std::size_t>(me)] = shared_->creation_seq;
+  }
+  group = Group();
+}
+
+std::vector<double> Runtime::processor_speeds() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->network->speeds();
+}
+
+std::vector<Runtime::ProcessorInfo> Runtime::processors_info() const {
+  const hnoc::Cluster& cluster = proc_->cluster();
+  std::vector<ProcessorInfo> info(static_cast<std::size_t>(cluster.size()));
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    for (int p = 0; p < cluster.size(); ++p) {
+      info[static_cast<std::size_t>(p)].name = cluster.processor(p).name;
+      info[static_cast<std::size_t>(p)].speed_estimate = shared_->network->speed(p);
+    }
+  }
+  for (int r = 0; r < proc_->nprocs(); ++r) {
+    info[static_cast<std::size_t>(proc_->world().processor_of(r))]
+        .world_ranks.push_back(r);
+  }
+  return info;
+}
+
+std::vector<double> Runtime::group_performances(const Group& group) const {
+  support::require(group.valid(), "group_performances on an invalid group");
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  std::vector<double> speeds;
+  speeds.reserve(group.members().size());
+  for (int member : group.members()) {
+    speeds.push_back(
+        shared_->network->speed(proc_->world().processor_of(member)));
+  }
+  return speeds;
+}
+
+std::vector<int> Runtime::free_ranks() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  std::vector<int> out;
+  for (int r = 0; r < proc_->nprocs(); ++r) {
+    if (shared_->is_free_locked(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace hmpi

@@ -1,0 +1,214 @@
+// The HMPI runtime: the paper's contribution (§2).
+//
+// Lifecycle of a typical HMPI application (paper Figure 5 / Figure 8):
+//
+//   hmpi::Runtime rt(proc);                         // HMPI_Init
+//   rt.recon(bench);                                // HMPI_Recon
+//   double t = rt.timeof(model, params);            // HMPI_Timeof
+//   auto group = rt.group_create(model, params);    // HMPI_Group_create
+//   if (group) {
+//     mp::Comm comm = group->comm();                // HMPI_Get_comm
+//     ... standard message-passing code ...
+//     rt.group_free(*group);                        // HMPI_Group_free
+//   }
+//   rt.finalize(0);                                 // HMPI_Finalize
+//
+// Semantics reproduced from the paper:
+//   * HMPI_COMM_WORLD is the world communicator; the host is world rank 0.
+//   * A process is *free* iff it is not the host and not a member of any
+//     live group. HMPI_Group_create is collective over the parent (a
+//     non-free caller) and ALL currently free processes.
+//   * The parent belongs to the created group, pinned to the model's
+//     `parent` abstract processor; group rank a corresponds to abstract
+//     processor a of the performance model.
+//   * HMPI_Recon is collective over all world processes: each runs the
+//     benchmark function, and the measured (virtual) time refreshes the
+//     runtime's speed estimate of its processor, in units of "benchmark
+//     executions per second" — the same unit the models' node volumes use.
+//   * HMPI_Timeof is local: it predicts the execution time of the group
+//     that *would* be created (it runs the same mapper internally).
+//
+// The runtime state shared across processes (speed estimates, free set,
+// pending group creations) lives in a world-level blackboard — the moral
+// equivalent of the HMPI daemon processes of the real implementation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "estimator/estimator.hpp"
+#include "hnoc/network_model.hpp"
+#include "mapper/mapper.hpp"
+#include "mpsim/comm.hpp"
+#include "pmdl/model.hpp"
+
+namespace hmpi {
+
+/// Tunables of the runtime (identical at every process).
+struct RuntimeConfig {
+  /// Process-selection algorithm; null selects the library default
+  /// (swap-refine).
+  std::shared_ptr<const map::Mapper> mapper;
+  /// Cost-model overheads used by Timeof / Group_create (defaults match the
+  /// execution engine).
+  est::EstimateOptions estimate;
+};
+
+class Runtime;
+
+/// Handle to a group of processes created by Runtime::group_create.
+/// Group rank a executes abstract processor a of the performance model.
+class Group {
+ public:
+  Group() = default;
+
+  bool valid() const noexcept { return comm_.valid(); }
+
+  /// Communicator over the group, ordered by abstract processor
+  /// (HMPI_Get_comm). Safe to use with all message-passing routines.
+  const mp::Comm& comm() const noexcept { return comm_; }
+
+  /// This process's rank in the group (HMPI_Group_rank).
+  int rank() const noexcept { return comm_.rank(); }
+  /// Number of processes in the group (HMPI_Group_size).
+  int size() const noexcept { return comm_.size(); }
+
+  /// Group rank of the parent process.
+  int parent_rank() const noexcept { return parent_rank_; }
+
+  /// The execution time the runtime predicted when selecting this group.
+  double estimated_time() const noexcept { return estimated_time_; }
+
+  /// World ranks of the members, by group rank.
+  const std::vector<int>& members() const { return comm_.group(); }
+
+  /// Extents of the performance model's coordinate system (e.g. {p} or
+  /// {m, m}) — the group's topology (HeteroMPI's HMPI_Group_topology).
+  const std::vector<long long>& shape() const noexcept { return shape_; }
+
+  /// Coordinates of group rank `r` in the model's arrangement
+  /// (HeteroMPI's HMPI_Group_coordof).
+  std::vector<long long> coordinates_of(int r) const;
+
+  /// Group rank at the given coordinates.
+  int rank_at(std::span<const long long> coordinates) const;
+
+ private:
+  friend class Runtime;
+
+  mp::Comm comm_;
+  int parent_rank_ = -1;
+  double estimated_time_ = 0.0;
+  long long id_ = -1;
+  std::vector<long long> shape_;
+};
+
+/// Per-process handle to the HMPI runtime system (see file comment).
+class Runtime {
+ public:
+  /// HMPI_Init. Collective: every world process must construct a Runtime
+  /// before any other HMPI call. `config` must be identical everywhere.
+  explicit Runtime(mp::Proc& proc, RuntimeConfig config = RuntimeConfig());
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// HMPI_Finalize. Collective barrier; no HMPI calls may follow.
+  void finalize(int exit_code = 0);
+
+  ~Runtime();
+
+  /// HMPI_COMM_WORLD.
+  mp::Comm world_comm() const { return proc_->world_comm(); }
+
+  /// HMPI_Is_host: world rank 0.
+  bool is_host() const noexcept { return proc_->rank() == 0; }
+
+  /// HMPI_Is_free: not the host and not a member of any live group.
+  bool is_free() const;
+
+  /// HMPI_Is_member.
+  bool is_member(const Group& group) const noexcept { return group.valid(); }
+
+  /// HMPI_Recon: collective over all world processes. Runs `bench` (which
+  /// should execute one benchmark unit of the application's core
+  /// computation) and refreshes the speed estimate of this processor.
+  void recon(const std::function<void(mp::Proc&)>& bench);
+
+  /// HMPI_Timeof: local. Predicted execution time (seconds) of the group
+  /// that would be created for `model(params)` right now, with this process
+  /// as the parent.
+  double timeof(const pmdl::Model& model,
+                std::span<const pmdl::ParamValue> params) const;
+  double timeof(const pmdl::Model& model,
+                std::initializer_list<pmdl::ParamValue> params) const {
+    return timeof(model, std::span<const pmdl::ParamValue>(params.begin(),
+                                                           params.size()));
+  }
+
+  /// HMPI_Group_create: collective over the parent (a non-free caller;
+  /// exactly one) and all free processes. `model`/`params` are read at the
+  /// parent; free callers may pass empty params. Returns the group handle
+  /// for selected members, std::nullopt for participants left free.
+  std::optional<Group> group_create(const pmdl::Model& model,
+                                    std::span<const pmdl::ParamValue> params);
+  std::optional<Group> group_create(const pmdl::Model& model,
+                                    std::initializer_list<pmdl::ParamValue> params) {
+    return group_create(model, std::span<const pmdl::ParamValue>(params.begin(),
+                                                                 params.size()));
+  }
+
+  /// Extension (HeteroMPI's HMPI_Group_auto_create): searches the number of
+  /// processes p in [1, max_p] that minimises the predicted time, then
+  /// creates that group. `params_for` builds the parameter pack for a given
+  /// p. Collective like group_create; only the parent's arguments are used.
+  std::optional<Group> group_auto_create(
+      const pmdl::Model& model,
+      const std::function<std::vector<pmdl::ParamValue>(int p)>& params_for,
+      int max_p);
+
+  /// HMPI_Group_free: collective over the group's members.
+  void group_free(Group& group);
+
+  /// Current speed estimates (diagnostics; the paper's
+  /// HMPI_Get_processors_info).
+  std::vector<double> processor_speeds() const;
+
+  /// Per-machine view of the executing network: name, current speed
+  /// estimate, and the world ranks it hosts (HMPI_Get_processors_info).
+  struct ProcessorInfo {
+    std::string name;
+    double speed_estimate = 0.0;
+    std::vector<int> world_ranks;
+  };
+  std::vector<ProcessorInfo> processors_info() const;
+
+  /// Speed estimates of the group's members, by group rank (HeteroMPI's
+  /// HMPI_Group_performances). Local operation.
+  std::vector<double> group_performances(const Group& group) const;
+
+  /// World ranks currently free (diagnostics / tests).
+  std::vector<int> free_ranks() const;
+
+  mp::Proc& proc() const noexcept { return *proc_; }
+
+ private:
+  struct Shared;  // world-level blackboard
+
+  std::vector<map::Candidate> candidates_with(int parent_rank,
+                                              std::vector<int>* ranks) const;
+
+  mp::Proc* proc_;
+  RuntimeConfig config_;
+  std::shared_ptr<Shared> shared_;
+  /// Number of live groups THIS process belongs to (local view; see
+  /// is_free() for why this is not read off the shared blackboard).
+  int live_groups_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace hmpi

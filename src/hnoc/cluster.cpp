@@ -1,0 +1,129 @@
+#include "hnoc/cluster.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace hmpi::hnoc {
+
+Cluster::Cluster(std::vector<Processor> processors, LinkParams default_link,
+                 LinkParams self_link,
+                 std::map<std::pair<int, int>, LinkParams> overrides)
+    : processors_(std::move(processors)),
+      default_link_(default_link),
+      self_link_(self_link),
+      overrides_(std::move(overrides)) {
+  support::require(!processors_.empty(), "Cluster needs at least one processor");
+  for (const Processor& p : processors_) {
+    support::require(p.speed > 0.0 && std::isfinite(p.speed),
+                     "processor speed must be positive and finite");
+  }
+  auto check_link = [](const LinkParams& l, const char* what) {
+    support::require(l.latency_s >= 0.0, std::string(what) + ": negative latency");
+    support::require(l.bandwidth_bps > 0.0, std::string(what) + ": bandwidth must be positive");
+  };
+  check_link(default_link_, "default link");
+  check_link(self_link_, "self link");
+  for (const auto& [pair, l] : overrides_) {
+    support::require(pair.first >= 0 && pair.first < size() && pair.second >= 0 &&
+                         pair.second < size(),
+                     "link override references unknown processor");
+    check_link(l, "link override");
+  }
+}
+
+const Processor& Cluster::processor(int p) const {
+  support::require(p >= 0 && p < size(), "processor index out of range");
+  return processors_[static_cast<std::size_t>(p)];
+}
+
+const LinkParams& Cluster::link(int from, int to) const {
+  support::require(from >= 0 && from < size() && to >= 0 && to < size(),
+                   "link endpoint out of range");
+  auto it = overrides_.find({from, to});
+  if (it != overrides_.end()) return it->second;
+  return from == to ? self_link_ : default_link_;
+}
+
+double Cluster::compute_finish(int p, double start, double units) const {
+  const Processor& proc = processor(p);
+  return proc.load.finish_time(start, units, proc.speed);
+}
+
+double Cluster::effective_speed(int p, double t) const {
+  const Processor& proc = processor(p);
+  return proc.speed * proc.load.multiplier_at(t);
+}
+
+double Cluster::total_base_speed() const noexcept {
+  double sum = 0.0;
+  for (const Processor& p : processors_) sum += p.speed;
+  return sum;
+}
+
+ClusterBuilder& ClusterBuilder::add(std::string name, double speed,
+                                    LoadProfile load) {
+  processors_.push_back({std::move(name), speed, std::move(load)});
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::network(double latency_s, double bandwidth_bps) {
+  default_link_ = {latency_s, bandwidth_bps};
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::shared_memory(double latency_s,
+                                              double bandwidth_bps) {
+  self_link_ = {latency_s, bandwidth_bps};
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::link_override(int from, int to, double latency_s,
+                                              double bandwidth_bps) {
+  overrides_[{from, to}] = {latency_s, bandwidth_bps};
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::symmetric_link_override(int a, int b,
+                                                        double latency_s,
+                                                        double bandwidth_bps) {
+  link_override(a, b, latency_s, bandwidth_bps);
+  link_override(b, a, latency_s, bandwidth_bps);
+  return *this;
+}
+
+Cluster ClusterBuilder::build() const {
+  return Cluster(processors_, default_link_, self_link_, overrides_);
+}
+
+namespace testbeds {
+
+namespace {
+Cluster from_speeds(const std::vector<double>& speeds) {
+  ClusterBuilder b;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    b.add("ws" + std::to_string(i), speeds[i]);
+  }
+  // 100 Mbit switched Ethernet: ~12.5 MB/s, ~150 us message latency.
+  b.network(150e-6, 12.5e6);
+  b.shared_memory(5e-6, 1e9);
+  return b.build();
+}
+}  // namespace
+
+Cluster paper_em3d_network() {
+  return from_speeds({46, 46, 46, 46, 46, 46, 176, 106, 9});
+}
+
+Cluster paper_mm_network() {
+  return from_speeds({46, 46, 46, 46, 46, 46, 46, 106, 9});
+}
+
+Cluster homogeneous(int n, double speed) {
+  support::require(n > 0, "homogeneous cluster needs n > 0");
+  std::vector<double> speeds(static_cast<std::size_t>(n), speed);
+  return from_speeds(speeds);
+}
+
+}  // namespace testbeds
+}  // namespace hmpi::hnoc

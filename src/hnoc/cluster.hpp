@@ -1,0 +1,132 @@
+// The simulated heterogeneous network of computers (HNOC).
+//
+// This is the ground truth the whole library runs on: the paper evaluated
+// HMPI on a real 9-workstation Solaris/Linux network; we substitute a
+// configurable model of such a network (DESIGN.md §2). A Cluster describes
+//   * processors: name, base speed (benchmark units/second, the paper's
+//     relative speed figures), and an external LoadProfile;
+//   * links: latency + bandwidth per directed processor pair, with a
+//     switched-network default (independent parallel transfers), a distinct
+//     intra-machine "shared memory protocol" link, and per-pair overrides
+//     (the paper's ad-hoc, multi-protocol network challenge).
+//
+// The same cost formulas used here by the mpsim execution engine are used by
+// the estimator, which is what makes HMPI_Timeof predictions meaningful.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hnoc/load_profile.hpp"
+
+namespace hmpi::hnoc {
+
+/// Communication parameters of one directed link.
+struct LinkParams {
+  double latency_s = 0.0;       ///< Per-message fixed cost (seconds).
+  double bandwidth_bps = 1e12;  ///< Bytes per second.
+
+  /// Virtual duration of transferring `bytes` over this link.
+  double transfer_time(double bytes) const noexcept {
+    return latency_s + bytes / bandwidth_bps;
+  }
+};
+
+/// One machine of the network.
+struct Processor {
+  std::string name;
+  /// Base speed in benchmark units per second. The paper's relative speed
+  /// figures (46, 176, 106, 9, ...) are used directly as units/second.
+  double speed = 1.0;
+  /// External (multi-user) load; effective speed is speed * multiplier(t).
+  LoadProfile load;
+};
+
+/// Immutable description of a heterogeneous network of computers.
+class Cluster {
+ public:
+  Cluster(std::vector<Processor> processors, LinkParams default_link,
+          LinkParams self_link,
+          std::map<std::pair<int, int>, LinkParams> overrides = {});
+
+  int size() const noexcept { return static_cast<int>(processors_.size()); }
+  const Processor& processor(int p) const;
+  const std::vector<Processor>& processors() const noexcept { return processors_; }
+
+  /// Link parameters for messages from processor `from` to processor `to`.
+  /// `from == to` selects the intra-machine (shared-memory protocol) link
+  /// unless overridden for that pair.
+  const LinkParams& link(int from, int to) const;
+
+  /// Virtual finish time of `units` benchmark units started on processor `p`
+  /// at virtual time `start` (accounts for the load profile).
+  double compute_finish(int p, double start, double units) const;
+
+  /// Effective speed (units/second) processor `p` delivers at time `t`.
+  double effective_speed(int p, double t) const;
+
+  /// Sum of base speeds (useful for theoretical-bound calculations).
+  double total_base_speed() const noexcept;
+
+  /// Raw link configuration (used by cluster_io and diagnostics).
+  const LinkParams& default_link() const noexcept { return default_link_; }
+  const LinkParams& self_link() const noexcept { return self_link_; }
+  const std::map<std::pair<int, int>, LinkParams>& link_overrides() const noexcept {
+    return overrides_;
+  }
+
+ private:
+  std::vector<Processor> processors_;
+  LinkParams default_link_;
+  LinkParams self_link_;
+  std::map<std::pair<int, int>, LinkParams> overrides_;
+};
+
+/// Fluent builder for Cluster.
+class ClusterBuilder {
+ public:
+  /// Adds one processor; returns *this.
+  ClusterBuilder& add(std::string name, double speed, LoadProfile load = {});
+
+  /// Sets the default inter-machine link (switched network).
+  ClusterBuilder& network(double latency_s, double bandwidth_bps);
+
+  /// Sets the intra-machine link (shared-memory protocol).
+  ClusterBuilder& shared_memory(double latency_s, double bandwidth_bps);
+
+  /// Overrides the link between one directed pair (multi-protocol networks).
+  ClusterBuilder& link_override(int from, int to, double latency_s,
+                                double bandwidth_bps);
+
+  /// Overrides the link in both directions.
+  ClusterBuilder& symmetric_link_override(int a, int b, double latency_s,
+                                          double bandwidth_bps);
+
+  Cluster build() const;
+
+ private:
+  std::vector<Processor> processors_;
+  LinkParams default_link_{150e-6, 12.5e6};  // 100 Mbit switched Ethernet
+  LinkParams self_link_{5e-6, 1e9};          // shared memory
+  std::map<std::pair<int, int>, LinkParams> overrides_;
+};
+
+namespace testbeds {
+
+/// The paper's EM3D testbed: 9 workstations with speeds
+/// {46,46,46,46,46,46,176,106,9} on 100 Mbit switched Ethernet (§5).
+Cluster paper_em3d_network();
+
+/// The paper's matrix-multiplication testbed: 9 workstations with speeds
+/// {46,46,46,46,46,46,46,106,9} on 100 Mbit switched Ethernet (§5; the
+/// paper lists 8 figures for 9 machines — we complete the list with one
+/// more 46, see DESIGN.md).
+Cluster paper_mm_network();
+
+/// Homogeneous n-machine cluster (control case: HMPI should match MPI).
+Cluster homogeneous(int n, double speed = 50.0);
+
+}  // namespace testbeds
+}  // namespace hmpi::hnoc

@@ -1,0 +1,32 @@
+// Textual cluster descriptions.
+//
+// Lets experiments describe a heterogeneous network in a small config format
+// instead of C++ — one directive per line, '#' comments:
+//
+//   # the paper's EM3D testbed
+//   network latency 150e-6 bandwidth 12.5e6
+//   shared_memory latency 5e-6 bandwidth 1e9
+//   processor ws0 speed 46
+//   processor ws6 speed 176 load 0.25        # constant external load
+//   processor ws7 speed 106 load@10 0.5      # multiplier 0.5 from t=10 s
+//   link ws0 ws6 latency 1e-5 bandwidth 1e8  # per-pair override (directed)
+//   symmetric_link ws0 ws7 latency 1e-5 bandwidth 1e8
+//
+// Processors are indexed in declaration order. parse_cluster throws
+// InvalidArgument with a line number on malformed input.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hnoc/cluster.hpp"
+
+namespace hmpi::hnoc {
+
+/// Parses a cluster description (see file comment).
+Cluster parse_cluster(std::string_view text);
+
+/// Renders a cluster back to the description format (load profiles included).
+std::string to_description(const Cluster& cluster);
+
+}  // namespace hmpi::hnoc

@@ -1,0 +1,62 @@
+// The HMPI runtime's *estimate* of the executing network.
+//
+// The paper distinguishes the real network (whose processor speeds drift
+// under multi-user load) from the runtime's model of it, which "reflects the
+// state of this network just before the execution of the parallel algorithm"
+// (§2) and is refreshed by HMPI_Recon. The estimator and the mapper only
+// ever see a NetworkModel, never the ground-truth Cluster, so a stale model
+// produces exactly the paper's failure mode: a badly chosen group.
+//
+// Link parameters are considered static and known (the paper's runtime also
+// treats communication characteristics as measured once), so they are read
+// through from the topology; processor speeds are the mutable estimates.
+#pragma once
+
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::hnoc {
+
+/// Estimated speeds + static link topology of the executing network.
+class NetworkModel {
+ public:
+  /// Initialises speed estimates from the cluster's *base* speeds (what an
+  /// installation-time benchmark would have measured on idle machines).
+  /// The referenced cluster must outlive the model.
+  explicit NetworkModel(const Cluster& topology)
+      : topology_(&topology),
+        speeds_(topology.size()) {
+    for (int p = 0; p < topology.size(); ++p) {
+      speeds_[static_cast<std::size_t>(p)] = topology.processor(p).speed;
+    }
+  }
+
+  int size() const noexcept { return static_cast<int>(speeds_.size()); }
+
+  /// Current speed estimate for processor `p` (benchmark units/second).
+  double speed(int p) const { return speeds_.at(static_cast<std::size_t>(p)); }
+
+  /// Replaces the estimate for processor `p` (called by HMPI_Recon).
+  void set_speed(int p, double units_per_second) {
+    support::require(units_per_second > 0.0, "speed estimate must be positive");
+    speeds_.at(static_cast<std::size_t>(p)) = units_per_second;
+  }
+
+  /// All estimates, indexed by processor.
+  const std::vector<double>& speeds() const noexcept { return speeds_; }
+
+  /// Link parameters between two processors (static, from topology).
+  const LinkParams& link(int from, int to) const {
+    return topology_->link(from, to);
+  }
+
+  const Cluster& topology() const noexcept { return *topology_; }
+
+ private:
+  const Cluster* topology_;
+  std::vector<double> speeds_;
+};
+
+}  // namespace hmpi::hnoc

@@ -1,0 +1,320 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::map {
+
+int Mapper::check(const pmdl::ModelInstance& instance,
+                  std::span<const Candidate> candidates, int parent_candidate,
+                  const hnoc::NetworkModel& network) {
+  const int p = instance.size();
+  support::require(static_cast<int>(candidates.size()) >= p,
+                   "not enough candidate processes (" +
+                       std::to_string(candidates.size()) + ") for " +
+                       std::to_string(p) + " abstract processors");
+  support::require(parent_candidate >= 0 &&
+                       parent_candidate < static_cast<int>(candidates.size()),
+                   "parent candidate index out of range");
+  for (const Candidate& c : candidates) {
+    support::require(c.processor >= 0 && c.processor < network.size(),
+                     "candidate references a processor outside the network");
+  }
+  return p;
+}
+
+double Mapper::score(const pmdl::ModelInstance& instance,
+                     std::span<const Candidate> candidates,
+                     std::span<const int> selection,
+                     const hnoc::NetworkModel& network,
+                     est::EstimateOptions options) {
+  std::vector<int> processors(selection.size());
+  for (std::size_t a = 0; a < selection.size(); ++a) {
+    processors[a] = candidates[static_cast<std::size_t>(selection[a])].processor;
+  }
+  return est::estimate_time(instance, processors, network, options);
+}
+
+// --- ExhaustiveMapper ---------------------------------------------------------
+
+MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
+                                       std::span<const Candidate> candidates,
+                                       int parent_candidate,
+                                       const hnoc::NetworkModel& network,
+                                       est::EstimateOptions options) const {
+  const int p = check(instance, candidates, parent_candidate, network);
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+
+  // Search-space size: P(n-1, p-1) ordered selections of the free slots.
+  long long combos = 1;
+  for (int i = 0; i < p - 1; ++i) {
+    combos *= (n - 1 - i);
+    if (combos > max_combinations_) {
+      throw InvalidArgument(
+          "exhaustive mapping space exceeds the configured limit; use the "
+          "greedy or swap-refine mapper");
+    }
+  }
+
+  std::vector<int> selection(static_cast<std::size_t>(p), -1);
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  selection[static_cast<std::size_t>(parent_abstract)] = parent_candidate;
+  used[static_cast<std::size_t>(parent_candidate)] = true;
+
+  MappingResult best;
+  best.estimated_time = std::numeric_limits<double>::infinity();
+
+  // Depth-first over abstract processors, skipping the pinned parent slot.
+  auto recurse = [&](auto&& self, int a) -> void {
+    if (a == p) {
+      const double t = score(instance, candidates, selection, network, options);
+      if (t < best.estimated_time) {
+        best.estimated_time = t;
+        best.candidate_for_abstract = selection;
+      }
+      return;
+    }
+    if (a == parent_abstract) {
+      self(self, a + 1);
+      return;
+    }
+    for (int c = 0; c < n; ++c) {
+      if (used[static_cast<std::size_t>(c)]) continue;
+      used[static_cast<std::size_t>(c)] = true;
+      selection[static_cast<std::size_t>(a)] = c;
+      self(self, a + 1);
+      selection[static_cast<std::size_t>(a)] = -1;
+      used[static_cast<std::size_t>(c)] = false;
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+// --- GreedyMapper --------------------------------------------------------------
+
+std::vector<int> GreedyMapper::greedy_selection(
+    const pmdl::ModelInstance& instance, std::span<const Candidate> candidates,
+    int parent_candidate, const hnoc::NetworkModel& network) {
+  const int p = instance.size();
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+
+  // Abstract processors by descending volume; ties by index (determinism).
+  std::vector<int> abstract_order;
+  for (int a = 0; a < p; ++a) {
+    if (a != parent_abstract) abstract_order.push_back(a);
+  }
+  std::stable_sort(abstract_order.begin(), abstract_order.end(),
+                   [&](int a, int b) {
+                     return instance.node_volume(a) > instance.node_volume(b);
+                   });
+
+  // Candidates by descending estimated speed; ties by index.
+  std::vector<int> candidate_order;
+  for (int c = 0; c < n; ++c) {
+    if (c != parent_candidate) candidate_order.push_back(c);
+  }
+  std::stable_sort(candidate_order.begin(), candidate_order.end(),
+                   [&](int a, int b) {
+                     return network.speed(candidates[static_cast<std::size_t>(a)]
+                                              .processor) >
+                            network.speed(candidates[static_cast<std::size_t>(b)]
+                                              .processor);
+                   });
+
+  std::vector<int> selection(static_cast<std::size_t>(p), -1);
+  selection[static_cast<std::size_t>(parent_abstract)] = parent_candidate;
+  for (std::size_t i = 0; i < abstract_order.size(); ++i) {
+    selection[static_cast<std::size_t>(abstract_order[i])] = candidate_order[i];
+  }
+  return selection;
+}
+
+MappingResult GreedyMapper::select(const pmdl::ModelInstance& instance,
+                                   std::span<const Candidate> candidates,
+                                   int parent_candidate,
+                                   const hnoc::NetworkModel& network,
+                                   est::EstimateOptions options) const {
+  check(instance, candidates, parent_candidate, network);
+  MappingResult result;
+  result.candidate_for_abstract =
+      greedy_selection(instance, candidates, parent_candidate, network);
+  result.estimated_time = score(instance, candidates,
+                                result.candidate_for_abstract, network, options);
+  return result;
+}
+
+// --- SwapRefineMapper -----------------------------------------------------------
+
+MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
+                                       std::span<const Candidate> candidates,
+                                       int parent_candidate,
+                                       const hnoc::NetworkModel& network,
+                                       est::EstimateOptions options) const {
+  const int p = check(instance, candidates, parent_candidate, network);
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+
+  std::vector<int> selection =
+      GreedyMapper::greedy_selection(instance, candidates, parent_candidate,
+                                     network);
+  double best = score(instance, candidates, selection, network, options);
+
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int c : selection) used[static_cast<std::size_t>(c)] = true;
+
+  for (int round = 0; round < max_rounds_; ++round) {
+    bool improved = false;
+
+    // Pairwise swaps of assigned candidates (parent slot stays pinned).
+    for (int a = 0; a < p; ++a) {
+      if (a == parent_abstract) continue;
+      for (int b = a + 1; b < p; ++b) {
+        if (b == parent_abstract) continue;
+        std::swap(selection[static_cast<std::size_t>(a)],
+                  selection[static_cast<std::size_t>(b)]);
+        const double t = score(instance, candidates, selection, network, options);
+        if (t + 1e-15 < best) {
+          best = t;
+          improved = true;
+        } else {
+          std::swap(selection[static_cast<std::size_t>(a)],
+                    selection[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+
+    // Substitutions: replace an assigned candidate with an unused one.
+    for (int a = 0; a < p; ++a) {
+      if (a == parent_abstract) continue;
+      for (int c = 0; c < n; ++c) {
+        if (used[static_cast<std::size_t>(c)]) continue;
+        const int old = selection[static_cast<std::size_t>(a)];
+        selection[static_cast<std::size_t>(a)] = c;
+        const double t = score(instance, candidates, selection, network, options);
+        if (t + 1e-15 < best) {
+          best = t;
+          improved = true;
+          used[static_cast<std::size_t>(old)] = false;
+          used[static_cast<std::size_t>(c)] = true;
+        } else {
+          selection[static_cast<std::size_t>(a)] = old;
+        }
+      }
+    }
+
+    if (!improved) break;
+  }
+
+  MappingResult result;
+  result.candidate_for_abstract = std::move(selection);
+  result.estimated_time = best;
+  return result;
+}
+
+// --- AnnealingMapper -------------------------------------------------------------
+
+MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
+                                      std::span<const Candidate> candidates,
+                                      int parent_candidate,
+                                      const hnoc::NetworkModel& network,
+                                      est::EstimateOptions options) const {
+  const int p = check(instance, candidates, parent_candidate, network);
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+
+  std::vector<int> current = GreedyMapper::greedy_selection(
+      instance, candidates, parent_candidate, network);
+  double current_score = score(instance, candidates, current, network, options);
+  std::vector<int> best = current;
+  double best_score = current_score;
+
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int c : current) used[static_cast<std::size_t>(c)] = true;
+
+  support::Rng rng(options_.seed);
+  double temperature = std::max(1e-12, options_.initial_temperature_factor *
+                                           current_score);
+
+  // Mutable non-parent slots.
+  std::vector<int> slots;
+  for (int a = 0; a < p; ++a) {
+    if (a != parent_abstract) slots.push_back(a);
+  }
+  if (slots.empty()) {
+    return {std::move(best), best_score};
+  }
+
+  for (int iter = 0; iter < options_.iterations; ++iter, temperature *= options_.cooling) {
+    // Propose a move: swap two slots, or substitute an unused candidate.
+    const bool substitute =
+        n > p && (slots.size() < 2 || rng.next_double() < 0.5);
+    int slot_a = slots[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(slots.size())))];
+    int undo_slot_b = -1;
+    int undo_value_a = current[static_cast<std::size_t>(slot_a)];
+    int undo_value_b = -1;
+
+    if (substitute) {
+      // Pick an unused candidate uniformly.
+      int replacement = -1;
+      int seen = 0;
+      for (int c = 0; c < n; ++c) {
+        if (used[static_cast<std::size_t>(c)]) continue;
+        ++seen;
+        if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) replacement = c;
+      }
+      current[static_cast<std::size_t>(slot_a)] = replacement;
+      used[static_cast<std::size_t>(undo_value_a)] = false;
+      used[static_cast<std::size_t>(replacement)] = true;
+    } else {
+      int slot_b = slot_a;
+      while (slot_b == slot_a) {
+        slot_b = slots[static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(slots.size())))];
+      }
+      undo_slot_b = slot_b;
+      undo_value_b = current[static_cast<std::size_t>(slot_b)];
+      std::swap(current[static_cast<std::size_t>(slot_a)],
+                current[static_cast<std::size_t>(slot_b)]);
+    }
+
+    const double proposed = score(instance, candidates, current, network, options);
+    const double delta = proposed - current_score;
+    const bool accept =
+        delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
+    if (accept) {
+      current_score = proposed;
+      if (proposed < best_score) {
+        best_score = proposed;
+        best = current;
+      }
+    } else {
+      // Undo the move.
+      if (undo_slot_b >= 0) {
+        current[static_cast<std::size_t>(undo_slot_b)] = undo_value_b;
+        current[static_cast<std::size_t>(slot_a)] = undo_value_a;
+      } else {
+        used[static_cast<std::size_t>(current[static_cast<std::size_t>(slot_a)])] =
+            false;
+        used[static_cast<std::size_t>(undo_value_a)] = true;
+        current[static_cast<std::size_t>(slot_a)] = undo_value_a;
+      }
+    }
+  }
+
+  return {std::move(best), best_score};
+}
+
+std::unique_ptr<Mapper> make_default_mapper() {
+  return std::make_unique<SwapRefineMapper>();
+}
+
+}  // namespace hmpi::map

@@ -1,0 +1,157 @@
+// Process-selection algorithms behind HMPI_Group_create.
+//
+// The problem (paper §2): given the performance model of the algorithm and
+// the model of the executing network, select — out of the parent process and
+// the currently free processes — the set of processes, and their arrangement
+// as abstract processors, that minimises the estimated execution time. The
+// paper defers to the mpC mapping algorithms [7]; we implement the standard
+// family and benchmark them against each other (ablation A1):
+//   * ExhaustiveMapper — optimal by enumeration; small instances only.
+//   * GreedyMapper     — largest computation volume onto fastest estimated
+//                        processor (linear-time baseline).
+//   * SwapRefineMapper — greedy start, then hill-climbing over pairwise
+//                        swaps and substitutions of unused candidates,
+//                        scored by the estimator.
+//
+// The model's parent abstract processor is pinned to the parent process
+// (HMPI semantics: every group shares exactly one process with its creator).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "estimator/estimator.hpp"
+#include "hnoc/network_model.hpp"
+#include "pmdl/model.hpp"
+
+namespace hmpi::map {
+
+/// One selectable process.
+struct Candidate {
+  int world_rank = -1;  ///< Opaque id reported back in the result.
+  int processor = -1;   ///< Physical processor the process runs on.
+};
+
+/// A selection: which candidate plays each abstract processor.
+struct MappingResult {
+  /// candidate_for_abstract[a] indexes the `candidates` span.
+  std::vector<int> candidate_for_abstract;
+  /// Estimated execution time of this arrangement.
+  double estimated_time = 0.0;
+};
+
+/// Common interface of the selection algorithms.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Selects |instance| candidates (injectively). `parent_candidate` indexes
+  /// `candidates` and is pinned to the model's parent abstract processor.
+  /// Throws InvalidArgument when fewer candidates than abstract processors.
+  virtual MappingResult select(const pmdl::ModelInstance& instance,
+                               std::span<const Candidate> candidates,
+                               int parent_candidate,
+                               const hnoc::NetworkModel& network,
+                               est::EstimateOptions options) const = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Shared validation; returns instance.size().
+  static int check(const pmdl::ModelInstance& instance,
+                   std::span<const Candidate> candidates, int parent_candidate,
+                   const hnoc::NetworkModel& network);
+
+  /// Estimated time of `selection` (candidate indices per abstract proc).
+  static double score(const pmdl::ModelInstance& instance,
+                      std::span<const Candidate> candidates,
+                      std::span<const int> selection,
+                      const hnoc::NetworkModel& network,
+                      est::EstimateOptions options);
+};
+
+/// Optimal by enumeration of all injective assignments with the parent
+/// pinned. Throws InvalidArgument when the search space exceeds
+/// `max_combinations` (guard against accidental blow-up).
+class ExhaustiveMapper : public Mapper {
+ public:
+  explicit ExhaustiveMapper(long long max_combinations = 2'000'000)
+      : max_combinations_(max_combinations) {}
+
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options) const override;
+  std::string name() const override { return "exhaustive"; }
+
+ private:
+  long long max_combinations_;
+};
+
+/// Largest node volume onto the fastest estimated processor.
+class GreedyMapper : public Mapper {
+ public:
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options) const override;
+  std::string name() const override { return "greedy"; }
+
+  /// The raw greedy selection without the final scoring (shared with
+  /// SwapRefineMapper).
+  static std::vector<int> greedy_selection(const pmdl::ModelInstance& instance,
+                                           std::span<const Candidate> candidates,
+                                           int parent_candidate,
+                                           const hnoc::NetworkModel& network);
+};
+
+/// Tunables of AnnealingMapper (namespace scope: see WorldOptions for why).
+struct AnnealingOptions {
+  int iterations = 2000;
+  double initial_temperature_factor = 0.05;  ///< x the greedy makespan.
+  double cooling = 0.995;                    ///< Geometric schedule.
+  std::uint64_t seed = 0x48'4d'50'49;        ///< "HMPI"
+};
+
+/// Simulated annealing over swap/substitution moves, seeded deterministically
+/// (same inputs -> same selection). Escapes the local optima hill climbing
+/// can get stuck in on communication-shaped landscapes, at higher cost.
+class AnnealingMapper : public Mapper {
+ public:
+  using Options = AnnealingOptions;
+
+  explicit AnnealingMapper(Options options = AnnealingOptions())
+      : options_(options) {}
+
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options) const override;
+  std::string name() const override { return "annealing"; }
+
+ private:
+  Options options_;
+};
+
+/// Greedy start + estimator-scored hill climbing (swaps and substitutions).
+class SwapRefineMapper : public Mapper {
+ public:
+  explicit SwapRefineMapper(int max_rounds = 64) : max_rounds_(max_rounds) {}
+
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options) const override;
+  std::string name() const override { return "swap-refine"; }
+
+ private:
+  int max_rounds_;
+};
+
+/// The library default (what HMPI_Group_create uses).
+std::unique_ptr<Mapper> make_default_mapper();
+
+}  // namespace hmpi::map

@@ -1,0 +1,385 @@
+#include "mpsim/comm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "mpsim/trace.hpp"
+
+namespace hmpi::mp {
+
+namespace {
+
+std::string describe_recv(const Proc& proc, int src, int tag, int context) {
+  std::ostringstream os;
+  os << "world rank " << proc.rank() << " (virtual t=" << proc.clock()
+     << "s) blocked receiving from src=" << src << " tag=" << tag
+     << " context=" << context;
+  return os.str();
+}
+
+}  // namespace
+
+Comm Proc::world_comm() {
+  return Comm(this, /*context=*/0, world_->world_members_, rank_);
+}
+
+void Comm::check_member_rank(int r, const char* what) const {
+  support::require(valid(), "operation on an invalid communicator");
+  support::require(r >= 0 && r < size(),
+                   std::string(what) + ": rank " + std::to_string(r) +
+                       " out of range for communicator of size " +
+                       std::to_string(size()));
+}
+
+int Comm::world_rank_of(int r) const {
+  check_member_rank(r, "world_rank_of");
+  return (*members_)[static_cast<std::size_t>(r)];
+}
+
+int Comm::rank_of_world(int wr) const noexcept {
+  if (!members_) return -1;
+  for (std::size_t i = 0; i < members_->size(); ++i) {
+    if ((*members_)[i] == wr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) const {
+  send_impl(data, data.size(), dst, tag);
+}
+
+void Comm::send_placeholder(std::size_t bytes, int dst, int tag) const {
+  send_impl({}, bytes, dst, tag);
+}
+
+void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
+                     int dst, int tag) const {
+  check_member_rank(dst, "send destination");
+  support::require(tag >= 0, "send tag must be non-negative");
+  const int dst_world = world_rank_of(dst);
+  World& world = proc_->world();
+
+  const int src_proc = proc_->processor();
+  const int dst_proc = world.processor_of(dst_world);
+  const auto [start, finish] =
+      world.reserve_link(src_proc, dst_proc, proc_->clock(), logical_bytes);
+  (void)start;
+
+  Envelope e;
+  e.src_world = proc_->rank();
+  e.context = context_;
+  e.tag = tag;
+  e.payload.assign(data.begin(), data.end());
+  e.logical_bytes = logical_bytes;
+  e.arrival_time = finish;
+
+  if (Tracer* tracer = world.options().tracer) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kSend;
+    event.world_rank = proc_->rank();
+    event.processor = src_proc;
+    event.peer = dst_world;
+    event.tag = tag;
+    event.context = context_;
+    event.bytes = logical_bytes;
+    event.start_time = proc_->clock();
+    event.end_time = finish;
+    tracer->record(event);
+  }
+
+  proc_->set_clock(proc_->clock() + world.options().send_overhead_s);
+  proc_->stats().msgs_sent += 1;
+  proc_->stats().bytes_sent += logical_bytes;
+
+  world.mailbox(dst_world).deliver(std::move(e));
+}
+
+Status Comm::recv_bytes(std::span<std::byte> buffer, int src, int tag) const {
+  return recv_impl(&buffer, src, tag);
+}
+
+Status Comm::recv_placeholder(int src, int tag) const {
+  return recv_impl(nullptr, src, tag);
+}
+
+Status Comm::recv_impl(std::span<std::byte>* buffer, int src, int tag) const {
+  support::require(valid(), "receive on an invalid communicator");
+  support::require(src == kAnySource || (src >= 0 && src < size()),
+                   "receive source rank out of range");
+  support::require(tag == kAnyTag || tag >= 0, "receive tag must be >= 0 or kAnyTag");
+  World& world = proc_->world();
+  const int src_world = src == kAnySource ? kAnySource : world_rank_of(src);
+
+  auto envelope = world.mailbox(proc_->rank())
+                      .take_matching(src_world, tag, context_,
+                                     world.options().deadlock_timeout_s);
+  if (!envelope) {
+    if (world.aborted()) {
+      throw MpError("world aborted while " +
+                    describe_recv(*proc_, src, tag, context_));
+    }
+    throw DeadlockError("no matching message within the deadlock timeout; " +
+                        describe_recv(*proc_, src, tag, context_));
+  }
+  if (buffer != nullptr) {
+    support::require(buffer->size() >= envelope->payload.size(),
+                     "receive buffer smaller than the incoming message");
+    std::copy(envelope->payload.begin(), envelope->payload.end(),
+              buffer->begin());
+  }
+
+  const double before = proc_->clock();
+  const double matched =
+      std::max(before, envelope->arrival_time) + world.options().recv_overhead_s;
+  proc_->stats().wait_time += std::max(0.0, envelope->arrival_time - before);
+  if (Tracer* tracer = world.options().tracer) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kRecv;
+    event.world_rank = proc_->rank();
+    event.processor = proc_->processor();
+    event.peer = envelope->src_world;
+    event.tag = envelope->tag;
+    event.context = context_;
+    event.bytes = envelope->logical_bytes;
+    event.start_time = before;
+    event.end_time = matched;
+    tracer->record(event);
+  }
+  proc_->set_clock(matched);
+  proc_->stats().msgs_received += 1;
+  proc_->stats().bytes_received += envelope->logical_bytes;
+
+  Status status;
+  status.source = rank_of_world(envelope->src_world);
+  status.tag = envelope->tag;
+  status.bytes = envelope->logical_bytes;
+  status.arrival_time = envelope->arrival_time;
+  return status;
+}
+
+bool Comm::iprobe(int src, int tag) const {
+  support::require(valid(), "probe on an invalid communicator");
+  const int src_world = src == kAnySource ? kAnySource : world_rank_of(src);
+  return proc_->world().mailbox(proc_->rank()).probe(src_world, tag, context_);
+}
+
+Request Comm::isend_bytes(std::span<const std::byte> data, int dst,
+                          int tag) const {
+  send_bytes(data, dst, tag);  // buffered: completes immediately
+  return Request::completed_send();
+}
+
+Request Comm::irecv_bytes(std::span<std::byte> buffer, int src, int tag) const {
+  support::require(valid(), "irecv on an invalid communicator");
+  return Request::pending_recv(*this, buffer, src, tag);
+}
+
+Status Request::wait() {
+  if (done_) return status_;
+  status_ = comm_.recv_bytes(buffer_, src_, tag_);
+  done_ = true;
+  return status_;
+}
+
+bool Request::test(Status* status) {
+  if (!done_) {
+    if (!comm_.iprobe(src_, tag_)) return false;
+    status_ = comm_.recv_bytes(buffer_, src_, tag_);
+    done_ = true;
+  }
+  if (status != nullptr) *status = status_;
+  return true;
+}
+
+void Request::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) r.wait();
+}
+
+int Request::wait_any(std::span<Request> requests, Status* status) {
+  bool any_pending = false;
+  for (const Request& r : requests) {
+    if (!r.done()) {
+      any_pending = true;
+      break;
+    }
+  }
+  if (!any_pending) return -1;
+
+  // Round-robin test; when nothing is ready, block on the first pending one
+  // (its completion keeps virtual time consistent with a plain wait).
+  for (;;) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].done()) continue;
+      if (requests[i].test(status)) return static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (!requests[i].done()) {
+        Status s = requests[i].wait();
+        if (status != nullptr) *status = s;
+        return static_cast<int>(i);
+      }
+    }
+  }
+}
+
+void Comm::barrier() const {
+  support::require(valid(), "barrier on an invalid communicator");
+  const int n = size();
+  std::byte token{0};
+  // Dissemination barrier: round s exchanges with ranks +/- 2^s.
+  int round = 0;
+  for (int offset = 1; offset < n; offset <<= 1, ++round) {
+    const int dst = (rank() + offset) % n;
+    const int src = (rank() - offset + n) % n;
+    send_bytes(std::span<const std::byte>(&token, 1), dst,
+               internal_tag::kBarrierBase + round);
+    recv_bytes(std::span<std::byte>(&token, 1), src,
+               internal_tag::kBarrierBase + round);
+  }
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
+  check_member_rank(root, "bcast root");
+  const int n = size();
+  const int vr = (rank() - root + n) % n;
+
+  // Binomial tree: find the bit at which this process receives, then forward
+  // to processes at all lower bits.
+  int mask = 1;
+  while (mask < n && (vr & mask) == 0) mask <<= 1;
+  if (vr != 0) {
+    const int parent = ((vr - mask) + root) % n;
+    recv_bytes(data, parent, internal_tag::kBcastBase);
+  }
+  mask >>= 1;
+  for (; mask > 0; mask >>= 1) {
+    if (vr + mask < n) {
+      const int child = (vr + mask + root) % n;
+      send_bytes(data, child, internal_tag::kBcastBase);
+    }
+  }
+}
+
+Comm Comm::dup() const {
+  support::require(valid(), "dup of an invalid communicator");
+  int context = 0;
+  if (rank() == 0) context = proc_->world().alloc_context();
+  bcast_value(context, 0);
+  return Comm(proc_, context, members_, rank_);
+}
+
+Comm Comm::split(int color, int key) const {
+  support::require(valid(), "split of an invalid communicator");
+  support::require(color >= 0 || color == kUndefinedColor,
+                   "split color must be >= 0 or kUndefinedColor");
+  const int n = size();
+
+  // Gather (color, key) pairs at rank 0.
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+  };
+  Entry mine{color, key};
+  std::vector<Entry> all(static_cast<std::size_t>(n));
+  gather(std::span<const Entry>(&mine, 1), std::span<Entry>(all), 0);
+
+  // Rank 0 forms the groups and tells each member its new communicator:
+  // payload is [context, new_rank, group_size, world ranks...].
+  std::vector<std::int32_t> my_info;
+  if (rank() == 0) {
+    std::vector<int> colors;
+    for (const Entry& e : all) {
+      if (e.color != kUndefinedColor) colors.push_back(e.color);
+    }
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+    for (int c : colors) {
+      std::vector<int> ranks;  // old communicator ranks in this color
+      for (int r = 0; r < n; ++r) {
+        if (all[static_cast<std::size_t>(r)].color == c) ranks.push_back(r);
+      }
+      std::stable_sort(ranks.begin(), ranks.end(), [&](int a, int b) {
+        return all[static_cast<std::size_t>(a)].key <
+               all[static_cast<std::size_t>(b)].key;
+      });
+      const int context = proc_->world().alloc_context();
+      std::vector<std::int32_t> info;
+      info.push_back(context);
+      info.push_back(0);  // patched per member below
+      info.push_back(static_cast<std::int32_t>(ranks.size()));
+      for (int r : ranks) info.push_back(world_rank_of(r));
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        info[1] = static_cast<std::int32_t>(i);
+        if (ranks[i] == 0) {
+          my_info = info;
+        } else {
+          send(std::span<const std::int32_t>(info), ranks[i],
+               internal_tag::kSplit);
+        }
+      }
+    }
+    // Excluded members still need an answer.
+    for (int r = 0; r < n; ++r) {
+      if (all[static_cast<std::size_t>(r)].color == kUndefinedColor) {
+        std::int32_t none[3] = {-1, -1, 0};
+        if (r == 0) {
+          my_info.assign(none, none + 3);
+        } else {
+          send(std::span<const std::int32_t>(none, 3), r, internal_tag::kSplit);
+        }
+      }
+    }
+  } else {
+    // Header is fixed-size; the trailing rank list length is bounded by n.
+    std::vector<std::int32_t> buffer(static_cast<std::size_t>(3 + n));
+    Status s = recv(std::span<std::int32_t>(buffer), 0, internal_tag::kSplit);
+    buffer.resize(s.bytes / sizeof(std::int32_t));
+    my_info = std::move(buffer);
+  }
+
+  if (my_info[0] < 0) return Comm();  // kUndefinedColor
+  const int context = my_info[0];
+  const int new_rank = my_info[1];
+  const int group_size = my_info[2];
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(static_cast<std::size_t>(group_size));
+  for (int i = 0; i < group_size; ++i) {
+    members->push_back(my_info[static_cast<std::size_t>(3 + i)]);
+  }
+  return Comm(proc_, context, std::move(members), new_rank);
+}
+
+Comm Comm::create_subcomm(Proc& proc, std::vector<int> world_ranks) {
+  support::require(!world_ranks.empty(), "create_subcomm needs members");
+  {
+    std::vector<int> sorted = world_ranks;
+    std::sort(sorted.begin(), sorted.end());
+    support::require(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                         sorted.end(),
+                     "create_subcomm members must be unique");
+  }
+  const auto it =
+      std::find(world_ranks.begin(), world_ranks.end(), proc.rank());
+  support::require(it != world_ranks.end(),
+                   "create_subcomm must be called by a listed member");
+  const int my_rank = static_cast<int>(it - world_ranks.begin());
+
+  // The leader (first member) allocates the context and distributes it over
+  // the world communicator on a reserved tag.
+  Comm world = proc.world_comm();
+  int context = 0;
+  if (my_rank == 0) {
+    context = proc.world().alloc_context();
+    for (std::size_t i = 1; i < world_ranks.size(); ++i) {
+      world.send_value(context, world_ranks[i], internal_tag::kSubcommCtx);
+    }
+  } else {
+    context = world.recv_value<int>(world_ranks[0], internal_tag::kSubcommCtx);
+  }
+  auto members = std::make_shared<std::vector<int>>(std::move(world_ranks));
+  return Comm(&proc, context, std::move(members), my_rank);
+}
+
+}  // namespace hmpi::mp

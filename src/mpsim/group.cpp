@@ -1,0 +1,98 @@
+#include "mpsim/group.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hmpi::mp {
+
+ProcessGroup::ProcessGroup(std::vector<int> world_ranks)
+    : ranks_(std::move(world_ranks)) {
+  std::vector<int> sorted = ranks_;
+  std::sort(sorted.begin(), sorted.end());
+  support::require(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                       sorted.end(),
+                   "ProcessGroup members must be unique");
+  for (int r : ranks_) {
+    support::require(r >= 0, "ProcessGroup members must be non-negative");
+  }
+}
+
+ProcessGroup ProcessGroup::of(const Comm& comm) {
+  support::require(comm.valid(), "group of an invalid communicator");
+  return ProcessGroup(comm.group());
+}
+
+int ProcessGroup::world_rank(int r) const {
+  support::require(r >= 0 && r < size(), "group rank out of range");
+  return ranks_[static_cast<std::size_t>(r)];
+}
+
+int ProcessGroup::rank_of(int world_rank) const noexcept {
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (ranks_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ProcessGroup ProcessGroup::incl(std::span<const int> positions) const {
+  std::vector<int> picked;
+  picked.reserve(positions.size());
+  for (int p : positions) picked.push_back(world_rank(p));
+  return ProcessGroup(std::move(picked));
+}
+
+ProcessGroup ProcessGroup::excl(std::span<const int> positions) const {
+  std::vector<bool> dropped(ranks_.size(), false);
+  for (int p : positions) {
+    support::require(p >= 0 && p < size(), "group rank out of range");
+    dropped[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<int> kept;
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (!dropped[i]) kept.push_back(ranks_[i]);
+  }
+  return ProcessGroup(std::move(kept));
+}
+
+ProcessGroup ProcessGroup::set_union(const ProcessGroup& other) const {
+  std::vector<int> merged = ranks_;
+  for (int r : other.ranks_) {
+    if (!contains(r)) merged.push_back(r);
+  }
+  return ProcessGroup(std::move(merged));
+}
+
+ProcessGroup ProcessGroup::set_intersection(const ProcessGroup& other) const {
+  std::vector<int> common;
+  for (int r : ranks_) {
+    if (other.contains(r)) common.push_back(r);
+  }
+  return ProcessGroup(std::move(common));
+}
+
+ProcessGroup ProcessGroup::set_difference(const ProcessGroup& other) const {
+  std::vector<int> remaining;
+  for (int r : ranks_) {
+    if (!other.contains(r)) remaining.push_back(r);
+  }
+  return ProcessGroup(std::move(remaining));
+}
+
+std::vector<int> ProcessGroup::translate(const ProcessGroup& from,
+                                         std::span<const int> from_ranks,
+                                         const ProcessGroup& to) {
+  std::vector<int> out;
+  out.reserve(from_ranks.size());
+  for (int r : from_ranks) {
+    out.push_back(to.rank_of(from.world_rank(r)));
+  }
+  return out;
+}
+
+Comm create_comm(Proc& proc, const ProcessGroup& group) {
+  support::require(!group.empty(), "create_comm needs a non-empty group");
+  return Comm::create_subcomm(proc, group.world_ranks());
+}
+
+}  // namespace hmpi::mp

@@ -1,0 +1,80 @@
+// MPI-style process groups (ordered rank sets) and their algebra.
+//
+// HMPI deliberately provides no set-like group constructors of its own
+// (paper §2): "it is relatively straightforward for application programmers
+// to perform such group operations by obtaining the groups associated with
+// the MPI communicator given by HMPI_Get_comm". This is the substrate that
+// makes that sentence true: MPI_Group-shaped value types with incl/excl,
+// union/intersection/difference, rank translation, and communicator creation
+// from a group.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+
+namespace hmpi::mp {
+
+/// An ordered set of world ranks (the value semantics of MPI_Group).
+class ProcessGroup {
+ public:
+  /// The empty group.
+  ProcessGroup() = default;
+
+  /// A group of exactly these world ranks, in this order (must be unique).
+  explicit ProcessGroup(std::vector<int> world_ranks);
+
+  /// The group associated with a communicator (MPI_Comm_group).
+  static ProcessGroup of(const Comm& comm);
+
+  int size() const noexcept { return static_cast<int>(ranks_.size()); }
+  bool empty() const noexcept { return ranks_.empty(); }
+
+  /// World rank of group rank `r` (bounds-checked).
+  int world_rank(int r) const;
+
+  /// Group rank of a world rank, or -1 when not a member.
+  int rank_of(int world_rank) const noexcept;
+
+  bool contains(int world_rank) const noexcept { return rank_of(world_rank) >= 0; }
+
+  const std::vector<int>& world_ranks() const noexcept { return ranks_; }
+
+  /// Subgroup of the listed group-rank positions, in the listed order
+  /// (MPI_Group_incl).
+  ProcessGroup incl(std::span<const int> positions) const;
+
+  /// This group without the listed group-rank positions (MPI_Group_excl).
+  ProcessGroup excl(std::span<const int> positions) const;
+
+  /// Members of this group followed by members of `other` not already
+  /// present (MPI_Group_union ordering).
+  ProcessGroup set_union(const ProcessGroup& other) const;
+
+  /// Members of this group that are also in `other`, in this group's order
+  /// (MPI_Group_intersection ordering).
+  ProcessGroup set_intersection(const ProcessGroup& other) const;
+
+  /// Members of this group that are not in `other` (MPI_Group_difference).
+  ProcessGroup set_difference(const ProcessGroup& other) const;
+
+  /// Group ranks in `to` of the given group ranks in `from`; -1 where a
+  /// member of `from` is not in `to` (MPI_Group_translate_ranks).
+  static std::vector<int> translate(const ProcessGroup& from,
+                                    std::span<const int> from_ranks,
+                                    const ProcessGroup& to);
+
+  friend bool operator==(const ProcessGroup& a, const ProcessGroup& b) {
+    return a.ranks_ == b.ranks_;
+  }
+
+ private:
+  std::vector<int> ranks_;
+};
+
+/// Creates a communicator over `group` (collective over its members only;
+/// the analogue of MPI_Comm_create_group). The caller must be a member.
+Comm create_comm(Proc& proc, const ProcessGroup& group);
+
+}  // namespace hmpi::mp

@@ -1,0 +1,74 @@
+#include "mpsim/mailbox.hpp"
+
+#include <chrono>
+
+namespace hmpi::mp {
+
+void Mailbox::deliver(Envelope e) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(e));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const Envelope& e, int src_world, int tag, int context) {
+  if (e.context != context) return false;
+  if (src_world != kAnySource && e.src_world != src_world) return false;
+  if (tag != kAnyTag && e.tag != tag) return false;
+  return true;
+}
+
+std::optional<Envelope> Mailbox::extract_locked(int src_world, int tag,
+                                                int context) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src_world, tag, context)) {
+      Envelope e = std::move(*it);
+      queue_.erase(it);
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Envelope> Mailbox::take_matching(int src_world, int tag,
+                                               int context, double timeout_s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto timeout = std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    if (auto e = extract_locked(src_world, tag, context)) return e;
+    if (shutdown_.load()) return std::nullopt;
+    // Wait for new deliveries; restart the timeout whenever anything arrives
+    // (only total silence counts as a potential deadlock).
+    if (cv_.wait_for(lock, timeout) == std::cv_status::timeout) {
+      if (auto e = extract_locked(src_world, tag, context)) return e;
+      return std::nullopt;
+    }
+  }
+}
+
+void Mailbox::shutdown() {
+  shutdown_.store(true);
+  cv_.notify_all();
+}
+
+std::optional<Envelope> Mailbox::try_take_matching(int src_world, int tag,
+                                                   int context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return extract_locked(src_world, tag, context);
+}
+
+bool Mailbox::probe(int src_world, int tag, int context) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Envelope& e : queue_) {
+    if (matches(e, src_world, tag, context)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace hmpi::mp

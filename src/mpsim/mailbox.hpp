@@ -1,0 +1,75 @@
+// Per-process message queue with MPI-style matching.
+//
+// Every simulated process owns one Mailbox. Senders deliver envelopes from
+// their own thread; the receiver blocks until an envelope matching
+// (source, tag, context) is present. Matching scans the queue in delivery
+// order, which preserves MPI's non-overtaking guarantee for messages of one
+// sender on one communicator (a sender delivers in program order).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mpsim/types.hpp"
+
+namespace hmpi::mp {
+
+/// One in-flight message.
+struct Envelope {
+  int src_world = 0;               ///< World rank of the sender.
+  int context = 0;                 ///< Communicator context id.
+  int tag = 0;
+  std::vector<std::byte> payload;
+  /// Size the transfer was costed at. Equals payload.size() for ordinary
+  /// messages; placeholder messages carry no payload but a logical size
+  /// (used by workload drivers running in virtual-only mode).
+  std::size_t logical_bytes = 0;
+  double arrival_time = 0.0;       ///< Virtual time the transfer completes.
+};
+
+/// Thread-safe matching queue for one process.
+class Mailbox {
+ public:
+  /// Enqueues an envelope and wakes any blocked receiver.
+  void deliver(Envelope e);
+
+  /// Blocks until an envelope matching (src_world, tag, context) is present,
+  /// removes and returns it. Wildcards: src_world == kAnySource,
+  /// tag == kAnyTag. Returns std::nullopt on timeout (`timeout_s` of real
+  /// time with no queue activity), which the caller turns into a deadlock
+  /// diagnosis.
+  std::optional<Envelope> take_matching(int src_world, int tag, int context,
+                                        double timeout_s);
+
+  /// Non-blocking: removes and returns a matching envelope if present.
+  std::optional<Envelope> try_take_matching(int src_world, int tag, int context);
+
+  /// Non-destructive test for a matching envelope.
+  bool probe(int src_world, int tag, int context) const;
+
+  /// Number of queued envelopes (diagnostics only).
+  std::size_t pending() const;
+
+  /// Unblocks any waiting receiver permanently (world abort). Subsequent
+  /// take_matching calls return std::nullopt immediately when no matching
+  /// envelope is queued.
+  void shutdown();
+
+  bool is_shutdown() const noexcept { return shutdown_.load(); }
+
+ private:
+  static bool matches(const Envelope& e, int src_world, int tag, int context);
+  std::optional<Envelope> extract_locked(int src_world, int tag, int context);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace hmpi::mp

@@ -1,0 +1,49 @@
+#include "mpsim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace hmpi::mp {
+
+void Tracer::record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_time != b.start_time) return a.start_time < b.start_time;
+    return a.world_rank < b.world_rank;
+  });
+  return out;
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "kind,world_rank,processor,peer,tag,context,bytes,units,start,end\n";
+  for (const TraceEvent& e : events()) {
+    const char* kind = e.kind == TraceEvent::Kind::kSend
+                           ? "send"
+                           : (e.kind == TraceEvent::Kind::kRecv ? "recv"
+                                                                : "compute");
+    os << kind << ',' << e.world_rank << ',' << e.processor << ',' << e.peer
+       << ',' << e.tag << ',' << e.context << ',' << e.bytes << ',' << e.units
+       << ',' << e.start_time << ',' << e.end_time << '\n';
+  }
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace hmpi::mp

@@ -1,0 +1,52 @@
+// Virtual-time event tracing for simulated runs.
+//
+// Attach a Tracer through WorldOptions::tracer to record every message and
+// computation with its virtual start/end times. Useful for debugging
+// schedules, for the protocol ablation bench, and for post-hoc analysis
+// (write_csv emits one line per event).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace hmpi::mp {
+
+/// One recorded event.
+struct TraceEvent {
+  enum class Kind { kSend, kRecv, kCompute };
+
+  Kind kind = Kind::kCompute;
+  int world_rank = -1;  ///< Acting process.
+  int processor = -1;   ///< Its machine.
+  int peer = -1;        ///< Destination (send) / source (recv) world rank.
+  int tag = 0;
+  int context = 0;
+  std::size_t bytes = 0;   ///< Message size (logical bytes).
+  double units = 0.0;      ///< Computation volume (kCompute only).
+  double start_time = 0.0; ///< Virtual time the event began.
+  double end_time = 0.0;   ///< Virtual completion (message arrival for sends).
+};
+
+/// Thread-safe collector of TraceEvents for one run.
+class Tracer {
+ public:
+  void record(const TraceEvent& event);
+
+  /// All events, sorted by (start_time, world_rank). Call after World::run.
+  std::vector<TraceEvent> events() const;
+
+  /// `kind,world_rank,processor,peer,tag,context,bytes,units,start,end`
+  /// lines, header included.
+  void write_csv(std::ostream& os) const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hmpi::mp

@@ -1,0 +1,134 @@
+#include "mpsim/world.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <thread>
+
+#include "mpsim/trace.hpp"
+
+namespace hmpi::mp {
+
+int Proc::nprocs() const noexcept { return world_->nprocs(); }
+
+const hnoc::Cluster& Proc::cluster() const noexcept { return world_->cluster(); }
+
+void Proc::compute(double units) {
+  support::require(units >= 0.0, "compute volume must be non-negative");
+  const double finish = world_->cluster().compute_finish(processor_, clock_, units);
+  stats_.compute_units += units;
+  stats_.compute_time += finish - clock_;
+  if (Tracer* tracer = world_->options().tracer) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kCompute;
+    event.world_rank = rank_;
+    event.processor = processor_;
+    event.units = units;
+    event.start_time = clock_;
+    event.end_time = finish;
+    tracer->record(event);
+  }
+  clock_ = finish;
+}
+
+void Proc::elapse(double seconds) {
+  support::require(seconds >= 0.0, "elapse duration must be non-negative");
+  clock_ += seconds;
+}
+
+World::World(const hnoc::Cluster& cluster, std::vector<int> placement,
+             Options options)
+    : cluster_(&cluster), placement_(std::move(placement)), options_(options) {
+  support::require(!placement_.empty(), "World needs at least one process");
+  for (int p : placement_) {
+    support::require(p >= 0 && p < cluster.size(),
+                     "placement references processor outside the cluster");
+  }
+  mailboxes_.reserve(placement_.size());
+  for (std::size_t i = 0; i < placement_.size(); ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  auto members = std::make_shared<std::vector<int>>(placement_.size());
+  std::iota(members->begin(), members->end(), 0);
+  world_members_ = std::move(members);
+}
+
+std::pair<double, double> World::reserve_link(int src_proc, int dst_proc,
+                                              double ready_time,
+                                              std::size_t bytes) {
+  const hnoc::LinkParams& link = cluster_->link(src_proc, dst_proc);
+  std::lock_guard<std::mutex> lock(link_mutex_);
+  double& busy = link_busy_[{src_proc, dst_proc}];
+  const double start = std::max(ready_time, busy);
+  const double finish = start + link.transfer_time(static_cast<double>(bytes));
+  busy = finish;
+  return {start, finish};
+}
+
+std::shared_ptr<void> World::get_or_create_shared(
+    const std::function<std::shared_ptr<void>()>& factory) {
+  std::lock_guard<std::mutex> lock(shared_mutex_);
+  if (!shared_) shared_ = factory();
+  return shared_;
+}
+
+void World::abort_all() {
+  aborted_.store(true);
+  for (auto& mb : mailboxes_) mb->shutdown();
+}
+
+World::RunResult World::run(const hnoc::Cluster& cluster,
+                            std::vector<int> placement,
+                            const std::function<void(Proc&)>& body,
+                            Options options) {
+  World world(cluster, std::move(placement), options);
+  const int n = world.nprocs();
+
+  std::vector<Proc> procs;
+  procs.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    procs.push_back(Proc(&world, r, world.processor_of(r)));
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  std::atomic<int> first_error{-1};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(procs[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        int expected = -1;
+        first_error.compare_exchange_strong(expected, r);
+        world.abort_all();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (int fe = first_error.load(); fe >= 0) {
+    std::rethrow_exception(errors[static_cast<std::size_t>(fe)]);
+  }
+
+  RunResult result;
+  result.clocks.reserve(static_cast<std::size_t>(n));
+  result.stats.reserve(static_cast<std::size_t>(n));
+  for (const Proc& p : procs) {
+    result.clocks.push_back(p.clock());
+    result.stats.push_back(p.stats());
+  }
+  result.makespan = *std::max_element(result.clocks.begin(), result.clocks.end());
+  return result;
+}
+
+World::RunResult World::run_one_per_processor(
+    const hnoc::Cluster& cluster, const std::function<void(Proc&)>& body,
+    Options options) {
+  std::vector<int> placement(static_cast<std::size_t>(cluster.size()));
+  std::iota(placement.begin(), placement.end(), 0);
+  return run(cluster, std::move(placement), body, options);
+}
+
+}  // namespace hmpi::mp

@@ -1,0 +1,183 @@
+// The simulated world: N processes (std::thread each) running over a
+// hnoc::Cluster with deterministic virtual-time accounting.
+//
+// Time model (DESIGN.md §4):
+//   * every process owns a virtual clock, advanced by compute() through the
+//     cluster's speed/load model;
+//   * a message sent at sender-time t over processor link (i -> j) starts at
+//     max(t, link-busy), finishes at start + latency + bytes/bandwidth, and
+//     sets the receiver's clock to max(receiver clock, finish) at the
+//     matching receive (per-directed-processor-pair FIFO serialisation);
+//   * sends are buffered (eager): the sender only pays a small overhead.
+//
+// For programs with deterministic message matching this yields virtual times
+// that are independent of host scheduling, which is what lets a 9-machine
+// 2003 testbed be reproduced faithfully on one core.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/mailbox.hpp"
+#include "mpsim/types.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::mp {
+
+class World;
+class Comm;
+
+/// Execution context of one simulated process. Created by World::run and
+/// passed to the process body; only that process's thread may use it.
+class Proc {
+ public:
+  /// Rank of this process in the world (0..nprocs-1).
+  int rank() const noexcept { return rank_; }
+  /// Total number of processes in the world.
+  int nprocs() const noexcept;
+  /// Index of the physical processor this process runs on.
+  int processor() const noexcept { return processor_; }
+
+  /// The ground-truth cluster (for workload code that needs topology; the
+  /// HMPI runtime itself deliberately reads speeds only via Recon).
+  const hnoc::Cluster& cluster() const noexcept;
+
+  /// Current virtual time of this process (seconds).
+  double clock() const noexcept { return clock_; }
+
+  /// Executes `units` benchmark units of computation: advances the virtual
+  /// clock through the processor's speed/load model.
+  void compute(double units);
+
+  /// Advances the virtual clock by raw `seconds` (e.g. modelled I/O).
+  void elapse(double seconds);
+
+  /// The world communicator (context 0, all processes).
+  Comm world_comm();
+
+  Stats& stats() noexcept { return stats_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  World& world() noexcept { return *world_; }
+
+ private:
+  friend class World;
+  friend class Comm;
+
+  Proc(World* world, int rank, int processor)
+      : world_(world), rank_(rank), processor_(processor) {}
+
+  void set_clock(double t) noexcept { clock_ = t; }
+
+  World* world_;
+  int rank_;
+  int processor_;
+  double clock_ = 0.0;
+  Stats stats_;
+};
+
+class Tracer;
+
+/// Tunables of a simulated run. (Namespace-scope so it can be used as a
+/// defaulted argument of World's member functions.)
+struct WorldOptions {
+  /// Real-time silence after which a blocked receive is declared deadlocked.
+  double deadlock_timeout_s = 30.0;
+  /// Virtual per-message sender-side overhead (LogP's "o").
+  double send_overhead_s = 5e-6;
+  /// Virtual per-message receiver-side overhead.
+  double recv_overhead_s = 5e-6;
+  /// Optional event recorder (not owned; must outlive the run).
+  Tracer* tracer = nullptr;
+};
+
+/// Owns the processes, mailboxes, and link state of one simulated run.
+class World {
+ public:
+  using Options = WorldOptions;
+
+  struct RunResult {
+    std::vector<double> clocks;  ///< Final virtual clock per process.
+    std::vector<Stats> stats;    ///< Counters per process.
+    double makespan = 0.0;       ///< max(clocks).
+  };
+
+  /// Runs `nprocs = placement.size()` processes; process i executes `body`
+  /// on processor `placement[i]` of `cluster`. Blocks until every process
+  /// returns; rethrows the first process exception (after releasing the
+  /// others). The cluster must outlive the call.
+  static RunResult run(const hnoc::Cluster& cluster, std::vector<int> placement,
+                       const std::function<void(Proc&)>& body,
+                       Options options = Options());
+
+  /// Convenience: one process per processor, in cluster order.
+  static RunResult run_one_per_processor(
+      const hnoc::Cluster& cluster, const std::function<void(Proc&)>& body,
+      Options options = Options());
+
+  // --- internals used by Comm and the HMPI runtime -------------------------
+
+  const hnoc::Cluster& cluster() const noexcept { return *cluster_; }
+  const Options& options() const noexcept { return options_; }
+  int nprocs() const noexcept { return static_cast<int>(placement_.size()); }
+  int processor_of(int world_rank) const {
+    support::require(world_rank >= 0 && world_rank < nprocs(),
+                     "world rank out of range");
+    return placement_[static_cast<std::size_t>(world_rank)];
+  }
+
+  Mailbox& mailbox(int world_rank) {
+    support::require(world_rank >= 0 && world_rank < nprocs(),
+                     "world rank out of range");
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+
+  /// Reserves the directed link between two processors for a transfer of
+  /// `bytes` that is ready at `ready_time`; returns {start, finish}.
+  std::pair<double, double> reserve_link(int src_proc, int dst_proc,
+                                         double ready_time, std::size_t bytes);
+
+  /// Allocates a fresh communicator context id (world-unique).
+  int alloc_context() { return next_context_.fetch_add(1); }
+
+  /// True once any process has failed; blocked receives then unblock.
+  bool aborted() const noexcept { return aborted_.load(); }
+
+  /// Type-erased shared slot for higher layers (the HMPI runtime state).
+  /// The factory runs exactly once across all processes.
+  std::shared_ptr<void> get_or_create_shared(
+      const std::function<std::shared_ptr<void>()>& factory);
+
+ private:
+  World(const hnoc::Cluster& cluster, std::vector<int> placement,
+        Options options);
+
+  void abort_all();
+
+  const hnoc::Cluster* cluster_;
+  std::vector<int> placement_;
+  Options options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::shared_ptr<const std::vector<int>> world_members_;
+
+  std::mutex link_mutex_;
+  std::map<std::pair<int, int>, double> link_busy_;
+
+  std::atomic<int> next_context_{1};  // context 0 is the world communicator
+  std::atomic<bool> aborted_{false};
+
+  std::mutex shared_mutex_;
+  std::shared_ptr<void> shared_;
+
+  friend class Comm;
+  friend class Proc;
+};
+
+}  // namespace hmpi::mp

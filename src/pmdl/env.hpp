@@ -1,0 +1,57 @@
+// Lexically scoped symbol environment for PMDL evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pmdl/value.hpp"
+
+namespace hmpi::pmdl {
+
+/// Stack of scopes mapping names to values. Copyable (a ModelInstance keeps
+/// the parameter bindings as an Env copy).
+class Env {
+ public:
+  Env() { scopes_.emplace_back(); }
+
+  void push_scope() { scopes_.emplace_back(); }
+
+  void pop_scope() {
+    if (scopes_.size() <= 1) throw PmdlError("internal: popping the global scope");
+    scopes_.pop_back();
+  }
+
+  /// Defines `name` in the innermost scope; redefinition in the same scope
+  /// is an error (shadowing an outer scope is allowed).
+  void define(const std::string& name, Value value) {
+    auto [it, inserted] = scopes_.back().emplace(name, std::move(value));
+    (void)it;
+    if (!inserted) throw PmdlError("redefinition of '" + name + "'");
+  }
+
+  /// Innermost binding of `name`, or nullptr.
+  Value* lookup(const std::string& name) {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      auto it = scope->find(name);
+      if (it != scope->end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  const Value* lookup(const std::string& name) const {
+    return const_cast<Env*>(this)->lookup(name);
+  }
+
+  /// Binding that must exist.
+  Value& require(const std::string& name) {
+    Value* v = lookup(name);
+    if (v == nullptr) throw PmdlError("use of undeclared identifier '" + name + "'");
+    return *v;
+  }
+
+ private:
+  std::vector<std::map<std::string, Value>> scopes_;
+};
+
+}  // namespace hmpi::pmdl

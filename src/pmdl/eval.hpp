@@ -1,0 +1,33 @@
+// Expression and statement evaluation for PMDL (internal to the module;
+// exposed for white-box testing).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "pmdl/ast.hpp"
+#include "pmdl/env.hpp"
+#include "pmdl/model.hpp"
+#include "pmdl/value.hpp"
+
+namespace hmpi::pmdl {
+
+/// Evaluation context threaded through the tree walk.
+struct EvalCtx {
+  Env* env = nullptr;
+  const std::map<std::string, NativeFn>* natives = nullptr;
+  const std::map<std::string, std::shared_ptr<const StructInfo>>* structs = nullptr;
+  /// Scheme-only: activation receiver and coordinate extents for bounds checks.
+  ScheduleSink* sink = nullptr;
+  std::span<const long long> shape;
+};
+
+/// Evaluates an expression to a value (C arithmetic semantics; see value.hpp).
+Value eval_expr(const ast::Expr& expr, EvalCtx& ctx);
+
+/// Executes a statement (scheme bodies). Requires ctx.sink for kPar/kComm/kComp.
+void exec_stmt(const ast::Stmt& stmt, EvalCtx& ctx);
+
+}  // namespace hmpi::pmdl

@@ -1,0 +1,15 @@
+// Lexer for the performance-model definition language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pmdl/token.hpp"
+
+namespace hmpi::pmdl {
+
+/// Tokenises `source`; throws PmdlError on malformed input. Supports // line
+/// and /* block */ comments. The returned vector ends with a kEnd token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace hmpi::pmdl

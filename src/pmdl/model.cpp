@@ -1,0 +1,396 @@
+#include "pmdl/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "pmdl/eval.hpp"
+#include "pmdl/parser.hpp"
+#include "pmdl/sema.hpp"
+
+namespace hmpi::pmdl {
+
+// --- ModelInstance -----------------------------------------------------------
+
+double ModelInstance::node_volume(int index) const {
+  support::require(index >= 0 && index < size(), "abstract processor index out of range");
+  return volumes_[static_cast<std::size_t>(index)];
+}
+
+void ModelInstance::run_scheme(ScheduleSink& sink) const {
+  if (!scheme_) throw PmdlError("model '" + name_ + "' has no scheme");
+  scheme_(sink);
+}
+
+long long ModelInstance::flatten(std::span<const long long> coords) const {
+  support::require(coords.size() == shape_.size(),
+                   "coordinate count does not match the model shape");
+  long long index = 0;
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    support::require(coords[d] >= 0 && coords[d] < shape_[d],
+                     "coordinate out of range");
+    index = index * shape_[d] + coords[d];
+  }
+  return index;
+}
+
+std::vector<long long> ModelInstance::unflatten(long long index) const {
+  support::require(index >= 0 && index < size(), "flat index out of range");
+  std::vector<long long> coords(shape_.size());
+  for (std::size_t d = shape_.size(); d-- > 0;) {
+    coords[d] = index % shape_[d];
+    index /= shape_[d];
+  }
+  return coords;
+}
+
+std::string ModelInstance::summary() const {
+  std::ostringstream os;
+  os << "model " << name_ << ": shape (";
+  for (std::size_t d = 0; d < shape_.size(); ++d) {
+    os << (d ? " x " : "") << shape_[d];
+  }
+  os << "), " << size() << " abstract processor(s), parent #" << parent_
+     << ", scheme " << (scheme_ ? "present" : "absent") << "\n";
+
+  double total_volume = 0.0;
+  for (int a = 0; a < size(); ++a) {
+    const auto coords = unflatten(a);
+    os << "  node #" << a << " [";
+    for (std::size_t d = 0; d < coords.size(); ++d) {
+      os << (d ? "," : "") << coords[d];
+    }
+    os << "]: " << volumes_[static_cast<std::size_t>(a)] << " units\n";
+    total_volume += volumes_[static_cast<std::size_t>(a)];
+  }
+  double total_bytes = 0.0;
+  for (const auto& [pair, bytes] : links_) {
+    os << "  link #" << pair.first << " -> #" << pair.second << ": " << bytes
+       << " bytes\n";
+    total_bytes += bytes;
+  }
+  os << "  totals: " << total_volume << " units computed, " << total_bytes
+     << " bytes transferred\n";
+  return os.str();
+}
+
+// --- Model -------------------------------------------------------------------
+
+Model Model::from_source(std::string_view source) {
+  Model m;
+  m.ast_ = parse(source);
+  validate(*m.ast_);
+  m.name_ = m.ast_->name;
+  m.param_count_ = m.ast_->params.size();
+  for (const ast::StructDef& def : m.ast_->structs) {
+    auto info = std::make_shared<StructInfo>();
+    info->name = def.name;
+    info->fields = def.fields;
+    m.structs_[def.name] = std::move(info);
+  }
+  return m;
+}
+
+Model Model::from_factory(std::string name, std::size_t param_count,
+                          Factory factory) {
+  support::require(static_cast<bool>(factory), "factory must not be empty");
+  Model m;
+  m.name_ = std::move(name);
+  m.param_count_ = param_count;
+  m.factory_ = std::move(factory);
+  return m;
+}
+
+void Model::register_native(const std::string& name, NativeFn fn) {
+  support::require(static_cast<bool>(fn), "native function must not be empty");
+  (*natives_)[name] = std::move(fn);
+}
+
+namespace {
+
+/// Iterates all coordinate tuples of `extents` in row-major order.
+template <typename Fn>
+void for_each_tuple(std::span<const long long> extents, Fn&& fn) {
+  std::vector<long long> tuple(extents.size(), 0);
+  for (;;) {
+    fn(std::span<const long long>(tuple));
+    std::size_t d = extents.size();
+    while (d-- > 0) {
+      if (++tuple[d] < extents[d]) break;
+      tuple[d] = 0;
+      if (d == 0) return;
+    }
+    if (extents.empty()) return;
+  }
+}
+
+std::vector<long long> eval_clause_coords(const std::vector<ast::ExprPtr>& exprs,
+                                          EvalCtx& ctx,
+                                          std::span<const long long> shape,
+                                          const ast::Pos& pos) {
+  if (exprs.size() != shape.size()) {
+    throw PmdlError("link endpoint uses " + std::to_string(exprs.size()) +
+                        " coordinates, the model declares " +
+                        std::to_string(shape.size()),
+                    pos.line, pos.column);
+  }
+  std::vector<long long> coords(exprs.size());
+  for (std::size_t d = 0; d < exprs.size(); ++d) {
+    coords[d] = as_int(eval_expr(*exprs[d], ctx));
+    if (coords[d] < 0 || coords[d] >= shape[d]) {
+      throw PmdlError("link endpoint coordinate " + std::to_string(coords[d]) +
+                          " out of range [0, " + std::to_string(shape[d]) + ")",
+                      pos.line, pos.column);
+    }
+  }
+  return coords;
+}
+
+long long flatten_coords(std::span<const long long> coords,
+                         std::span<const long long> shape) {
+  long long index = 0;
+  for (std::size_t d = 0; d < shape.size(); ++d) index = index * shape[d] + coords[d];
+  return index;
+}
+
+}  // namespace
+
+ModelInstance Model::instantiate(std::span<const ParamValue> params) const {
+  if (params.size() != param_count_) {
+    throw PmdlError("model '" + name_ + "' expects " +
+                    std::to_string(param_count_) + " parameters, got " +
+                    std::to_string(params.size()));
+  }
+  if (factory_) return factory_(params);
+
+  const ast::Algorithm& algo = *ast_;
+
+  // Bind parameters. Array dimension expressions may reference earlier
+  // parameters (e.g. `int d[p]`).
+  auto param_env = std::make_shared<Env>();
+  EvalCtx bind_ctx;
+  bind_ctx.env = param_env.get();
+  bind_ctx.natives = natives_.get();
+  bind_ctx.structs = &structs_;
+
+  for (std::size_t i = 0; i < algo.params.size(); ++i) {
+    const ast::Param& decl = algo.params[i];
+    if (decl.dims.empty()) {
+      const auto* scalar_value = std::get_if<long long>(&params[i]);
+      if (scalar_value == nullptr) {
+        throw PmdlError("parameter '" + decl.name + "' expects a scalar",
+                        decl.pos.line, decl.pos.column);
+      }
+      param_env->define(decl.name, Value(*scalar_value));
+    } else {
+      const auto* array_value = std::get_if<std::vector<long long>>(&params[i]);
+      if (array_value == nullptr) {
+        throw PmdlError("parameter '" + decl.name + "' expects an array",
+                        decl.pos.line, decl.pos.column);
+      }
+      auto data = std::make_shared<ArrayData>();
+      long long expected = 1;
+      for (const ast::ExprPtr& dim : decl.dims) {
+        const long long extent = as_int(eval_expr(*dim, bind_ctx));
+        if (extent <= 0) {
+          throw PmdlError("parameter '" + decl.name + "' has non-positive dimension",
+                          decl.pos.line, decl.pos.column);
+        }
+        data->dims.push_back(extent);
+        expected *= extent;
+      }
+      if (static_cast<long long>(array_value->size()) != expected) {
+        throw PmdlError("parameter '" + decl.name + "' expects " +
+                            std::to_string(expected) + " elements, got " +
+                            std::to_string(array_value->size()),
+                        decl.pos.line, decl.pos.column);
+      }
+      data->data = *array_value;
+      param_env->define(decl.name, Value(ArrayRef{std::move(data), 0, 0}));
+    }
+  }
+
+  ModelInstance instance;
+  instance.name_ = name_;
+
+  // Coordinate system.
+  for (const ast::CoordVar& cv : algo.coords) {
+    const long long extent = as_int(eval_expr(*cv.extent, bind_ctx));
+    if (extent <= 0) {
+      throw PmdlError("coordinate '" + cv.name + "' has non-positive extent " +
+                          std::to_string(extent),
+                      cv.pos.line, cv.pos.column);
+    }
+    instance.shape_.push_back(extent);
+  }
+  long long total = 1;
+  for (long long e : instance.shape_) total *= e;
+
+  // Node volumes: first matching clause wins; no match means zero volume.
+  instance.volumes_.assign(static_cast<std::size_t>(total), 0.0);
+  for_each_tuple(instance.shape_, [&](std::span<const long long> tuple) {
+    param_env->push_scope();
+    for (std::size_t d = 0; d < algo.coords.size(); ++d) {
+      param_env->define(algo.coords[d].name, Value(tuple[d]));
+    }
+    for (const ast::NodeClause& clause : algo.node_clauses) {
+      if (truthy(eval_expr(*clause.cond, bind_ctx))) {
+        const double volume = as_double(eval_expr(*clause.volume, bind_ctx));
+        if (volume < 0.0) {
+          throw PmdlError("negative node volume", clause.pos.line,
+                          clause.pos.column);
+        }
+        instance.volumes_[static_cast<std::size_t>(
+            flatten_coords(tuple, instance.shape_))] = volume;
+        break;
+      }
+    }
+    param_env->pop_scope();
+  });
+
+  // Links: iterate coordinates x link-iterator variables; a matching clause
+  // *defines* the volume for the (src, dst) pair (max on re-definition).
+  if (!algo.link_clauses.empty()) {
+    std::vector<long long> iter_extents;
+    for (const ast::CoordVar& iv : algo.link_iters) {
+      const long long extent = as_int(eval_expr(*iv.extent, bind_ctx));
+      if (extent <= 0) {
+        throw PmdlError("link iterator '" + iv.name + "' has non-positive extent",
+                        iv.pos.line, iv.pos.column);
+      }
+      iter_extents.push_back(extent);
+    }
+    for_each_tuple(instance.shape_, [&](std::span<const long long> tuple) {
+      param_env->push_scope();
+      for (std::size_t d = 0; d < algo.coords.size(); ++d) {
+        param_env->define(algo.coords[d].name, Value(tuple[d]));
+      }
+      for_each_tuple(iter_extents, [&](std::span<const long long> iters) {
+        param_env->push_scope();
+        for (std::size_t d = 0; d < algo.link_iters.size(); ++d) {
+          param_env->define(algo.link_iters[d].name, Value(iters[d]));
+        }
+        for (const ast::LinkClause& clause : algo.link_clauses) {
+          if (!truthy(eval_expr(*clause.cond, bind_ctx))) continue;
+          const auto src = eval_clause_coords(clause.src_coords, bind_ctx,
+                                              instance.shape_, clause.pos);
+          const auto dst = eval_clause_coords(clause.dst_coords, bind_ctx,
+                                              instance.shape_, clause.pos);
+          const double bytes = as_double(eval_expr(*clause.bytes, bind_ctx));
+          if (bytes < 0.0) {
+            throw PmdlError("negative link volume", clause.pos.line,
+                            clause.pos.column);
+          }
+          const auto key = std::make_pair(
+              static_cast<int>(flatten_coords(src, instance.shape_)),
+              static_cast<int>(flatten_coords(dst, instance.shape_)));
+          if (key.first != key.second && bytes > 0.0) {
+            double& slot = instance.links_[key];
+            slot = std::max(slot, bytes);
+          }
+        }
+        param_env->pop_scope();
+      });
+      param_env->pop_scope();
+    });
+  }
+
+  // Parent (defaults to the processor at all-zero coordinates).
+  if (!algo.parent_coords.empty()) {
+    if (algo.parent_coords.size() != instance.shape_.size()) {
+      throw PmdlError("parent coordinate count does not match coord rank",
+                      algo.pos.line, algo.pos.column);
+    }
+    std::vector<long long> coords(algo.parent_coords.size());
+    for (std::size_t d = 0; d < coords.size(); ++d) {
+      coords[d] = as_int(eval_expr(*algo.parent_coords[d], bind_ctx));
+      if (coords[d] < 0 || coords[d] >= instance.shape_[d]) {
+        throw PmdlError("parent coordinate out of range", algo.pos.line,
+                        algo.pos.column);
+      }
+    }
+    instance.parent_ = static_cast<int>(flatten_coords(coords, instance.shape_));
+  }
+
+  // Scheme: replay the AST against the sink on demand. The closure keeps the
+  // algorithm, parameter bindings, natives, and struct table alive.
+  if (algo.scheme) {
+    auto ast = ast_;
+    auto natives = natives_;
+    auto structs = structs_;
+    auto shape = instance.shape_;
+    instance.scheme_ = [ast, param_env, natives, structs,
+                        shape](ScheduleSink& sink) {
+      Env env = *param_env;  // fresh copy per replay: schemes mutate locals
+      EvalCtx ctx;
+      ctx.env = &env;
+      ctx.natives = natives.get();
+      ctx.structs = &structs;
+      ctx.sink = &sink;
+      ctx.shape = shape;
+      exec_stmt(*ast->scheme, ctx);
+    };
+  }
+
+  return instance;
+}
+
+// --- InstanceBuilder ----------------------------------------------------------
+
+InstanceBuilder::InstanceBuilder(std::string name) {
+  instance_.name_ = std::move(name);
+}
+
+InstanceBuilder& InstanceBuilder::shape(std::vector<long long> dims) {
+  support::require(!dims.empty(), "shape needs at least one dimension");
+  long long total = 1;
+  for (long long d : dims) {
+    support::require(d > 0, "shape extents must be positive");
+    total *= d;
+  }
+  instance_.shape_ = std::move(dims);
+  instance_.volumes_.assign(static_cast<std::size_t>(total), 0.0);
+  shape_set_ = true;
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::node_volume(int index, double units) {
+  support::require(shape_set_, "set the shape before node volumes");
+  support::require(index >= 0 && index < instance_.size(), "node index out of range");
+  support::require(units >= 0.0, "node volume must be non-negative");
+  instance_.volumes_[static_cast<std::size_t>(index)] = units;
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::link(int src, int dst, double bytes) {
+  support::require(shape_set_, "set the shape before links");
+  support::require(src >= 0 && src < instance_.size() && dst >= 0 &&
+                       dst < instance_.size(),
+                   "link endpoint out of range");
+  support::require(src != dst, "self links are not allowed");
+  support::require(bytes >= 0.0, "link volume must be non-negative");
+  if (bytes > 0.0) {
+    double& slot = instance_.links_[{src, dst}];
+    slot = std::max(slot, bytes);
+  }
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::parent(int index) {
+  support::require(shape_set_, "set the shape before the parent");
+  support::require(index >= 0 && index < instance_.size(), "parent index out of range");
+  instance_.parent_ = index;
+  return *this;
+}
+
+InstanceBuilder& InstanceBuilder::scheme(std::function<void(ScheduleSink&)> fn) {
+  instance_.scheme_ = std::move(fn);
+  return *this;
+}
+
+ModelInstance InstanceBuilder::build() {
+  support::require(shape_set_, "InstanceBuilder requires a shape");
+  return std::move(instance_);
+}
+
+}  // namespace hmpi::pmdl

@@ -1,0 +1,17 @@
+// Pretty-printer: renders a parsed algorithm back to PMDL source text.
+//
+// Useful for diagnostics ("what did the compiler actually see?"), for
+// documenting programmatically assembled models, and as a parser test
+// oracle: print(parse(text)) re-parses to the same structure.
+#pragma once
+
+#include <string>
+
+#include "pmdl/ast.hpp"
+
+namespace hmpi::pmdl {
+
+/// Renders `algorithm` (and its typedefs) as canonical PMDL source.
+std::string to_source(const ast::Algorithm& algorithm);
+
+}  // namespace hmpi::pmdl

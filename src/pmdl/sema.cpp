@@ -1,0 +1,362 @@
+#include "pmdl/sema.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::pmdl {
+
+namespace {
+
+using namespace ast;
+
+/// Static type of a name or expression.
+struct Type {
+  enum Kind { kInt, kArray, kStruct } kind = kInt;
+  int array_rank = 0;       // kArray: remaining dimensions
+  std::string struct_name;  // kStruct
+};
+
+[[noreturn]] void fail(const Pos& pos, const std::string& message) {
+  throw PmdlError(message, pos.line, pos.column);
+}
+
+class Checker {
+ public:
+  explicit Checker(const Algorithm& algo) : algo_(algo) {
+    for (const StructDef& def : algo.structs) {
+      if (!structs_.emplace(def.name, &def).second) {
+        fail(def.pos, "duplicate struct type '" + def.name + "'");
+      }
+      std::set<std::string> fields;
+      for (const std::string& f : def.fields) {
+        if (!fields.insert(f).second) {
+          fail(def.pos, "duplicate field '" + f + "' in struct " + def.name);
+        }
+      }
+    }
+  }
+
+  void run() {
+    check_params();
+    // Coordinate variables are visible in node/link clauses only; the
+    // scheme addresses processors through expressions over its own locals
+    // and the parameters (matching the evaluator's scoping).
+    push_scope();
+    check_coords();
+    check_node();
+    check_link();
+    pop_scope();
+    check_parent();
+    if (algo_.scheme) {
+      push_scope();
+      check_stmt(*algo_.scheme);
+      pop_scope();
+    }
+  }
+
+ private:
+  // --- scopes ---------------------------------------------------------------
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void define(const std::string& name, Type type, const Pos& pos) {
+    if (!scopes_.back().emplace(name, type).second) {
+      fail(pos, "redefinition of '" + name + "'");
+    }
+  }
+
+  const Type* lookup(const std::string& name) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      auto it = scope->find(name);
+      if (it != scope->end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  // --- sections --------------------------------------------------------------
+
+  void check_params() {
+    push_scope();  // global scope: parameters
+    for (const Param& param : algo_.params) {
+      // Dimensions may reference earlier parameters only.
+      for (const ExprPtr& dim : param.dims) {
+        expect_scalar(check_expr(*dim), dim->pos, "array dimension");
+      }
+      Type type;
+      if (param.dims.empty()) {
+        type.kind = Type::kInt;
+      } else {
+        type.kind = Type::kArray;
+        type.array_rank = static_cast<int>(param.dims.size());
+      }
+      define(param.name, type, param.pos);
+    }
+  }
+
+  void check_coords() {
+    for (const CoordVar& cv : algo_.coords) {
+      expect_scalar(check_expr(*cv.extent), cv.pos, "coordinate extent");
+      define(cv.name, Type{Type::kInt, 0, {}}, cv.pos);
+    }
+  }
+
+  void check_node() {
+    for (const NodeClause& clause : algo_.node_clauses) {
+      expect_scalar(check_expr(*clause.cond), clause.pos, "node condition");
+      expect_scalar(check_expr(*clause.volume), clause.pos, "node volume");
+    }
+  }
+
+  void check_link() {
+    push_scope();  // link iterator variables
+    for (const CoordVar& iv : algo_.link_iters) {
+      expect_scalar(check_expr(*iv.extent), iv.pos, "link iterator extent");
+      define(iv.name, Type{Type::kInt, 0, {}}, iv.pos);
+    }
+    const std::size_t rank = algo_.coords.size();
+    for (const LinkClause& clause : algo_.link_clauses) {
+      expect_scalar(check_expr(*clause.cond), clause.pos, "link condition");
+      expect_scalar(check_expr(*clause.bytes), clause.pos, "link volume");
+      if (clause.src_coords.size() != rank || clause.dst_coords.size() != rank) {
+        fail(clause.pos, "link endpoints must use " + std::to_string(rank) +
+                             " coordinate(s)");
+      }
+      for (const ExprPtr& c : clause.src_coords) {
+        expect_scalar(check_expr(*c), c->pos, "link coordinate");
+      }
+      for (const ExprPtr& c : clause.dst_coords) {
+        expect_scalar(check_expr(*c), c->pos, "link coordinate");
+      }
+    }
+    pop_scope();
+  }
+
+  void check_parent() {
+    if (algo_.parent_coords.empty()) return;
+    if (algo_.parent_coords.size() != algo_.coords.size()) {
+      fail(algo_.pos, "parent declaration must use " +
+                          std::to_string(algo_.coords.size()) +
+                          " coordinate(s)");
+    }
+    for (const ExprPtr& c : algo_.parent_coords) {
+      expect_scalar(check_expr(*c), c->pos, "parent coordinate");
+    }
+  }
+
+  // --- statements -------------------------------------------------------------
+
+  void check_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock:
+        push_scope();
+        for (const StmtPtr& s : stmt.body) check_stmt(*s);
+        pop_scope();
+        return;
+
+      case StmtKind::kDecl: {
+        Type type;
+        if (stmt.decl_type == "int") {
+          type.kind = Type::kInt;
+        } else {
+          auto it = structs_.find(stmt.decl_type);
+          if (it == structs_.end()) {
+            fail(stmt.pos, "unknown type '" + stmt.decl_type + "'");
+          }
+          type.kind = Type::kStruct;
+          type.struct_name = stmt.decl_type;
+        }
+        for (const DeclItem& item : stmt.decls) {
+          if (item.init) {
+            if (type.kind == Type::kStruct) {
+              fail(stmt.pos, "struct variables cannot have initialisers");
+            }
+            expect_scalar(check_expr(*item.init), item.init->pos, "initialiser");
+          }
+          define(item.name, type, stmt.pos);
+        }
+        return;
+      }
+
+      case StmtKind::kExpr:
+        check_expr(*stmt.expr);
+        return;
+
+      case StmtKind::kIf:
+        expect_scalar(check_expr(*stmt.expr), stmt.expr->pos, "if condition");
+        check_stmt(*stmt.then_branch);
+        if (stmt.else_branch) check_stmt(*stmt.else_branch);
+        return;
+
+      case StmtKind::kFor:
+      case StmtKind::kPar: {
+        push_scope();
+        if (stmt.init_stmt) check_stmt(*stmt.init_stmt);
+        if (!stmt.expr) {
+          fail(stmt.pos, "loop requires a termination condition");
+        }
+        expect_scalar(check_expr(*stmt.expr), stmt.expr->pos, "loop condition");
+        if (stmt.step) check_expr(*stmt.step);
+        check_stmt(*stmt.loop_body);
+        pop_scope();
+        return;
+      }
+
+      case StmtKind::kComp:
+      case StmtKind::kComm: {
+        expect_scalar(check_expr(*stmt.expr), stmt.expr->pos,
+                      "activation percentage");
+        const std::size_t rank = algo_.coords.size();
+        auto check_coords = [&](const std::vector<ExprPtr>& coords) {
+          if (coords.size() != rank) {
+            fail(stmt.pos, "activation must use " + std::to_string(rank) +
+                               " coordinate(s), found " +
+                               std::to_string(coords.size()));
+          }
+          for (const ExprPtr& c : coords) {
+            expect_scalar(check_expr(*c), c->pos, "activation coordinate");
+          }
+        };
+        check_coords(stmt.src_coords);
+        if (stmt.kind == StmtKind::kComm) check_coords(stmt.dst_coords);
+        return;
+      }
+    }
+    fail(stmt.pos, "internal: unhandled statement kind");
+  }
+
+  // --- expressions --------------------------------------------------------------
+
+  static void expect_scalar(const Type& type, const Pos& pos, const char* what) {
+    if (type.kind != Type::kInt) {
+      fail(pos, std::string(what) + " must be a scalar expression");
+    }
+  }
+
+  Type check_lvalue(const Expr& expr) {
+    if (expr.kind == ExprKind::kIdent) {
+      const Type* type = lookup(expr.name);
+      if (type == nullptr) {
+        fail(expr.pos, "use of undeclared identifier '" + expr.name + "'");
+      }
+      if (type->kind != Type::kInt) {
+        fail(expr.pos, "'" + expr.name + "' is not an assignable int variable");
+      }
+      return *type;
+    }
+    if (expr.kind == ExprKind::kMember) {
+      if (expr.lhs->kind != ExprKind::kIdent) {
+        fail(expr.pos, "assignable member access must be of the form var.field");
+      }
+      return check_expr(expr);  // validates the base type and the field
+    }
+    fail(expr.pos, "expression is not assignable");
+  }
+
+  Type check_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kSizeof:
+        if (expr.kind == ExprKind::kSizeof && expr.name != "int" &&
+            expr.name != "double" && expr.name != "float" &&
+            structs_.find(expr.name) == structs_.end()) {
+          fail(expr.pos, "sizeof of unknown type '" + expr.name + "'");
+        }
+        return Type{Type::kInt, 0, {}};
+
+      case ExprKind::kIdent: {
+        const Type* type = lookup(expr.name);
+        if (type == nullptr) {
+          fail(expr.pos, "use of undeclared identifier '" + expr.name + "'");
+        }
+        return *type;
+      }
+
+      case ExprKind::kBinary: {
+        expect_scalar(check_expr(*expr.lhs), expr.lhs->pos, "operand");
+        expect_scalar(check_expr(*expr.rhs), expr.rhs->pos, "operand");
+        return Type{Type::kInt, 0, {}};
+      }
+
+      case ExprKind::kUnary:
+        expect_scalar(check_expr(*expr.lhs), expr.lhs->pos, "operand");
+        return Type{Type::kInt, 0, {}};
+
+      case ExprKind::kPostfix:
+        check_lvalue(*expr.lhs);
+        return Type{Type::kInt, 0, {}};
+
+      case ExprKind::kAssign: {
+        check_lvalue(*expr.lhs);
+        expect_scalar(check_expr(*expr.rhs), expr.rhs->pos, "assigned value");
+        return Type{Type::kInt, 0, {}};
+      }
+
+      case ExprKind::kIndex: {
+        const Type base = check_expr(*expr.lhs);
+        if (base.kind != Type::kArray) {
+          fail(expr.pos, "subscripted value is not an array");
+        }
+        expect_scalar(check_expr(*expr.rhs), expr.rhs->pos, "array index");
+        Type result = base;
+        result.array_rank -= 1;
+        if (result.array_rank == 0) return Type{Type::kInt, 0, {}};
+        return result;
+      }
+
+      case ExprKind::kMember: {
+        const Type base = check_expr(*expr.lhs);
+        if (base.kind != Type::kStruct) {
+          fail(expr.pos, "member access on a non-struct value");
+        }
+        const StructDef* def = structs_.at(base.struct_name);
+        for (const std::string& field : def->fields) {
+          if (field == expr.name) return Type{Type::kInt, 0, {}};
+        }
+        fail(expr.pos, "struct " + base.struct_name + " has no field '" +
+                           expr.name + "'");
+      }
+
+      case ExprKind::kCall: {
+        for (const ExprPtr& arg : expr.args) {
+          if (arg->kind == ExprKind::kAddressOf) {
+            // `&x` requires an lvalue-ish target: variable or member.
+            const Expr& target = *arg->lhs;
+            if (target.kind == ExprKind::kIdent) {
+              if (lookup(target.name) == nullptr) {
+                fail(target.pos,
+                     "use of undeclared identifier '" + target.name + "'");
+              }
+            } else {
+              check_lvalue(target);
+            }
+          } else {
+            check_expr(*arg);
+          }
+        }
+        return Type{Type::kInt, 0, {}};
+      }
+
+      case ExprKind::kAddressOf:
+        fail(expr.pos, "'&' is only valid on call arguments");
+    }
+    fail(expr.pos, "internal: unhandled expression kind");
+  }
+
+  const Algorithm& algo_;
+  std::map<std::string, const StructDef*> structs_;
+  std::vector<std::map<std::string, Type>> scopes_;
+};
+
+}  // namespace
+
+void validate(const ast::Algorithm& algorithm) {
+  Checker checker(algorithm);
+  checker.run();
+}
+
+}  // namespace hmpi::pmdl

@@ -1,0 +1,84 @@
+// Tokens of the performance-model definition language (PMDL).
+//
+// The language is the subset of mpC's network-type definition language used
+// by the paper's Figures 4 and 7: `algorithm` definitions with coord / node /
+// link / parent / scheme sections, C-like expressions, `par` loops, and the
+// `e %% [i] -> [j]` / `e %% [i]` activation statements.
+#pragma once
+
+#include <string>
+
+namespace hmpi::pmdl {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kIntLit,
+  // keywords
+  kAlgorithm,
+  kCoord,
+  kNode,
+  kLink,
+  kParent,
+  kScheme,
+  kBench,
+  kLength,
+  kPar,
+  kFor,
+  kIf,
+  kElse,
+  kInt,
+  kDouble,
+  kFloat,
+  kTypedef,
+  kStruct,
+  kSizeof,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  // operators
+  kAssign,      // =
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kPercent2,    // %%
+  kArrow,       // ->
+  kAmp,         // &
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kNot,         // !
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kGt,          // >
+  kLe,          // <=
+  kGe,          // >=
+  kPlusPlus,    // ++
+  kMinusMinus,  // --
+  kPlusAssign,  // +=
+  kMinusAssign, // -=
+};
+
+/// One lexed token with its 1-based source position.
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;     // identifier spelling or literal digits
+  long long int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char* tok_name(Tok kind);
+
+}  // namespace hmpi::pmdl

@@ -1,0 +1,68 @@
+// Runtime values of the performance-model definition language.
+//
+// Arithmetic follows C semantics (the language is a C dialect): integer
+// literals and int parameters are integers, int/int division truncates, `%`
+// requires integers, and any double operand promotes the result to double.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::pmdl {
+
+/// Immutable N-dimensional integer array (model parameters).
+struct ArrayData {
+  std::vector<long long> dims;
+  std::vector<long long> data;  // row-major
+
+  long long element_count() const {
+    long long n = 1;
+    for (long long d : dims) n *= d;
+    return n;
+  }
+};
+
+/// A (possibly partially indexed) view into an ArrayData.
+struct ArrayRef {
+  std::shared_ptr<const ArrayData> data;
+  std::size_t offset = 0;     // flat offset of the viewed sub-array
+  std::size_t dim_index = 0;  // how many leading dimensions are consumed
+
+  std::size_t remaining_dims() const { return data->dims.size() - dim_index; }
+};
+
+/// Field layout of a struct type declared via typedef.
+struct StructInfo {
+  std::string name;
+  std::vector<std::string> fields;
+
+  int field_index(const std::string& field) const {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] == field) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// A struct variable's storage (int fields only, value semantics).
+struct StructVal {
+  std::shared_ptr<const StructInfo> type;
+  std::vector<long long> fields;
+};
+
+/// Any PMDL runtime value.
+using Value = std::variant<long long, double, ArrayRef, StructVal>;
+
+/// Numeric coercions (throw PmdlError when the value is not numeric).
+double as_double(const Value& v);
+long long as_int(const Value& v);
+bool truthy(const Value& v);
+
+/// Short value description for diagnostics ("int", "double", "array", ...).
+std::string value_kind_name(const Value& v);
+
+}  // namespace hmpi::pmdl

@@ -1,0 +1,43 @@
+#include "support/apportion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+
+std::vector<int> apportion(int total, std::span<const double> shares) {
+  support::require(total >= 0, "apportion: negative total");
+  support::require(!shares.empty(), "apportion: no shares");
+  double sum = 0.0;
+  for (double s : shares) {
+    support::require(s >= 0.0, "apportion: negative share");
+    sum += s;
+  }
+  support::require(sum > 0.0, "apportion: all shares zero");
+
+  std::vector<int> result(shares.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  int assigned = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double exact = total * shares[i] / sum;
+    result[i] = static_cast<int>(std::floor(exact));
+    assigned += result[i];
+    remainders.push_back({exact - std::floor(exact), i});
+  }
+  // Largest remainder first; ties broken by lower index (determinism).
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (int leftover = total - assigned; leftover > 0; --leftover) {
+    result[remainders[static_cast<std::size_t>(total - assigned - leftover)]
+               .second] += 1;
+  }
+  return result;
+}
+
+}  // namespace hmpi::support

@@ -1,0 +1,18 @@
+// Proportional integer apportionment (largest-remainder method).
+//
+// The workhorse of heterogeneous data distribution: split `total` indivisible
+// units across parties proportionally to their (real-valued) shares so that
+// the result sums to `total` exactly. Used by the matmul generalised-block
+// partition and the Jacobi row distribution.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hmpi::support {
+
+/// Largest-remainder apportionment with deterministic tie-breaking by index.
+/// Shares must be non-negative with a positive sum; a zero share receives 0.
+std::vector<int> apportion(int total, std::span<const double> shares);
+
+}  // namespace hmpi::support

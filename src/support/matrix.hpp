@@ -1,0 +1,82 @@
+// Small owning 2-D array used throughout the library (dependency matrices,
+// dense matrix blocks, link-volume tables, ...).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+
+/// Row-major owning 2-D array with bounds-checked element access.
+///
+/// Kept deliberately minimal: the library needs a safe rectangular container,
+/// not a linear-algebra type. Arithmetic lives with the users (e.g. the
+/// matmul app's block kernels operate on spans of rows).
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix with every element set to `init`.
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot loops.
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// View of one row.
+  std::span<T> row(std::size_t r) {
+    check(r, 0);
+    return std::span<T>(data_).subspan(r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    check(r, 0);
+    return std::span<const T>(data_).subspan(r * cols_, cols_);
+  }
+
+  /// Whole storage, row-major.
+  std::span<T> flat() noexcept { return data_; }
+  std::span<const T> flat() const noexcept { return data_; }
+
+  void fill(const T& value) { data_.assign(data_.size(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || (cols_ == 0 ? c != 0 : c >= cols_)) {
+      throw InvalidArgument("Matrix index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace hmpi::support

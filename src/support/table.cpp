@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == columns_.size(),
+          "Table row has " + std::to_string(cells.size()) + " cells, expected " +
+              std::to_string(columns_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(long long v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  os << "== " << title_ << "\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << "\n";
+  };
+  line(columns_);
+  std::vector<std::string> rule(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule[c] = std::string(width[c], '-');
+  }
+  line(rule);
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto csv_line = [&](const std::vector<std::string>& cells) {
+    os << "csv:";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << "\n";
+  };
+  csv_line(columns_);
+  for (const auto& row : rows_) csv_line(row);
+}
+
+}  // namespace hmpi::support

@@ -1,0 +1,41 @@
+// Plain-text table printer shared by the benchmark harnesses.
+//
+// Every bench binary prints the series a paper figure reports as an aligned
+// table plus a machine-readable CSV block, so results can be eyeballed and
+// re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmpi::support {
+
+/// Column-aligned text table with a CSV emitter.
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are the header names.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 4);
+  static std::string num(long long v);
+
+  /// Writes the aligned human-readable table.
+  void print(std::ostream& os) const;
+
+  /// Writes a `csv:`-prefixed machine-readable block (one line per row).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hmpi::support

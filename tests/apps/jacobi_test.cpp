@@ -1,0 +1,157 @@
+#include "apps/jacobi/jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hnoc/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::apps::jacobi {
+namespace {
+
+JacobiConfig small_config() {
+  JacobiConfig config;
+  config.rows = 18;
+  config.cols = 12;
+  config.iterations = 5;
+  config.seed = 5;
+  return config;
+}
+
+TEST(JacobiSerial, RelaxationConvergesTowardsSmoothness) {
+  JacobiConfig config = small_config();
+  const auto initial = make_grid(config);
+  const auto relaxed = serial_jacobi(config);
+  // Interior variation shrinks under averaging: compare the maximum
+  // neighbour difference before and after.
+  auto max_jump = [](const support::Matrix<double>& g) {
+    double jump = 0.0;
+    for (std::size_t r = 2; r + 2 < g.rows(); ++r) {
+      for (std::size_t c = 2; c + 2 < g.cols(); ++c) {
+        jump = std::max(jump, std::abs(g(r, c) - g(r + 1, c)));
+      }
+    }
+    return jump;
+  };
+  EXPECT_LT(max_jump(relaxed), max_jump(initial));
+}
+
+TEST(JacobiSerial, BorderIsFixed) {
+  JacobiConfig config = small_config();
+  const auto initial = make_grid(config);
+  const auto relaxed = serial_jacobi(config);
+  for (std::size_t c = 0; c < initial.cols(); ++c) {
+    EXPECT_EQ(relaxed(0, c), initial(0, c));
+    EXPECT_EQ(relaxed(initial.rows() - 1, c), initial(initial.rows() - 1, c));
+  }
+  for (std::size_t r = 0; r < initial.rows(); ++r) {
+    EXPECT_EQ(relaxed(r, 0), initial(r, 0));
+    EXPECT_EQ(relaxed(r, initial.cols() - 1), initial(r, initial.cols() - 1));
+  }
+}
+
+TEST(JacobiDistribute, SumsAndMinimumOne) {
+  const double speeds[] = {100.0, 50.0, 1.0, 0.1};
+  const auto rows = distribute_rows(20, speeds);
+  EXPECT_EQ(std::accumulate(rows.begin(), rows.end(), 0), 20);
+  for (int r : rows) EXPECT_GE(r, 1);
+  EXPECT_GT(rows[0], rows[1]);  // proportionality preserved broadly
+  EXPECT_THROW(distribute_rows(2, speeds), InvalidArgument);
+}
+
+class JacobiPropertyP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JacobiPropertyP, ParallelMatchesSerial) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed);
+  JacobiConfig config;
+  config.rows = static_cast<int>(rng.next_in(8, 40));
+  config.cols = static_cast<int>(rng.next_in(4, 30));
+  config.iterations = static_cast<int>(rng.next_in(1, 6));
+  config.seed = seed;
+
+  const int p = static_cast<int>(rng.next_in(1, std::min(5, config.rows - 3)));
+  std::vector<double> speeds;
+  for (int i = 0; i < p; ++i) speeds.push_back(rng.next_double_in(1.0, 100.0));
+  const auto rows = distribute_rows(config.rows - 2, speeds);
+
+  const double expected = grid_checksum(serial_jacobi(config));
+
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(p, 50.0);
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& proc) {
+    auto result =
+        run_parallel(proc.world_comm(), config, rows, WorkMode::kReal);
+    EXPECT_NEAR(result.checksum, expected, 1e-8 + 1e-12 * std::abs(expected))
+        << "seed " << seed;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JacobiPropertyP,
+                         ::testing::Values(3, 14, 15, 92, 65, 35, 89, 79));
+
+TEST(JacobiModel, VolumesAndLinks) {
+  pmdl::Model model = performance_model();
+  const int rows[3] = {10, 30, 5};
+  auto inst = model.instantiate(model_parameters(rows, 64));
+  EXPECT_EQ(inst.size(), 3);
+  EXPECT_DOUBLE_EQ(inst.node_volume(0), 10.0);
+  EXPECT_DOUBLE_EQ(inst.node_volume(1), 30.0);
+  // Chain links only, 512 bytes per halo row (64 doubles).
+  const auto& links = inst.link_bytes();
+  ASSERT_EQ(links.size(), 4u);
+  EXPECT_DOUBLE_EQ(links.at({0, 1}), 512.0);
+  EXPECT_DOUBLE_EQ(links.at({1, 0}), 512.0);
+  EXPECT_DOUBLE_EQ(links.at({1, 2}), 512.0);
+  EXPECT_DOUBLE_EQ(links.at({2, 1}), 512.0);
+  EXPECT_EQ(links.count({0, 2}), 0u);
+}
+
+TEST(JacobiDrivers, HmpiBeatsMpiOnTheHeterogeneousNetwork) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  JacobiConfig config;
+  config.rows = 902;  // 900 interior rows
+  config.cols = 256;
+  config.iterations = 10;
+  const int workers = 9;
+
+  auto mpi = run_mpi(cluster, config, workers, WorkMode::kVirtualOnly);
+  auto hmpi = run_hmpi(cluster, config, workers, WorkMode::kVirtualOnly);
+  // Equal bands are paced by the speed-9 machine; proportional bands spread
+  // the rows. 100/9 vs ~900/total-ish: expect a large factor.
+  EXPECT_GT(mpi.algorithm_time / hmpi.algorithm_time, 2.0);
+  // The speed-9 machine holds the smallest band.
+  ASSERT_EQ(hmpi.row_counts.size(), 9u);
+  int slow_band = -1;
+  for (std::size_t w = 0; w < 9; ++w) {
+    if (hmpi.placement[w] == 8) slow_band = hmpi.row_counts[w];
+  }
+  ASSERT_GE(slow_band, 1);
+  EXPECT_EQ(slow_band, *std::min_element(hmpi.row_counts.begin(),
+                                         hmpi.row_counts.end()));
+}
+
+TEST(JacobiDrivers, ResultsMatchSerial) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  JacobiConfig config = small_config();
+  const double expected = grid_checksum(serial_jacobi(config));
+  auto mpi = run_mpi(cluster, config, 4, WorkMode::kReal);
+  auto hmpi = run_hmpi(cluster, config, 4, WorkMode::kReal);
+  EXPECT_NEAR(mpi.checksum, expected, 1e-8);
+  EXPECT_NEAR(hmpi.checksum, expected, 1e-8);
+}
+
+TEST(JacobiDrivers, PredictionTracksMeasurement) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  JacobiConfig config;
+  config.rows = 452;
+  config.cols = 128;
+  config.iterations = 10;
+  auto hmpi = run_hmpi(cluster, config, 9, WorkMode::kVirtualOnly);
+  ASSERT_GT(hmpi.predicted_time, 0.0);
+  EXPECT_NEAR(hmpi.predicted_time, hmpi.algorithm_time,
+              0.35 * hmpi.algorithm_time);
+}
+
+}  // namespace
+}  // namespace hmpi::apps::jacobi

@@ -1,0 +1,354 @@
+#include "apps/matmul/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hnoc/cluster.hpp"
+
+namespace hmpi::apps::matmul {
+namespace {
+
+// --- apportion -----------------------------------------------------------------
+
+TEST(Apportion, ExactProportions) {
+  const double shares[] = {1.0, 2.0, 1.0};
+  EXPECT_EQ(apportion(8, shares), (std::vector<int>{2, 4, 2}));
+}
+
+TEST(Apportion, LargestRemainderRounding) {
+  const double shares[] = {1.0, 1.0, 1.0};
+  auto result = apportion(10, shares);
+  EXPECT_EQ(std::accumulate(result.begin(), result.end(), 0), 10);
+  // Ties broken by index: the extra unit goes to the first share.
+  EXPECT_EQ(result, (std::vector<int>{4, 3, 3}));
+}
+
+TEST(Apportion, ZeroShareGetsZero) {
+  const double shares[] = {0.0, 1.0};
+  EXPECT_EQ(apportion(5, shares), (std::vector<int>{0, 5}));
+}
+
+TEST(Apportion, SumAlwaysExact) {
+  const double shares[] = {0.37, 1.21, 0.92, 3.3, 0.01};
+  for (int total : {0, 1, 7, 9, 100}) {
+    auto result = apportion(total, shares);
+    EXPECT_EQ(std::accumulate(result.begin(), result.end(), 0), total);
+  }
+}
+
+TEST(Apportion, Validation) {
+  const double negative[] = {1.0, -1.0};
+  EXPECT_THROW(apportion(3, negative), InvalidArgument);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW(apportion(3, zeros), InvalidArgument);
+}
+
+// --- Partition -------------------------------------------------------------------
+
+std::vector<double> paper_grid_speeds() {
+  // 3x3 grid from the paper's MM network, fastest first (what the HMPI
+  // driver does): {106, 46 x7, 9}.
+  return {106, 46, 46, 46, 46, 46, 46, 46, 9};
+}
+
+TEST(Partition, WidthsAndHeightsSumToL) {
+  Partition part(3, 9, paper_grid_speeds());
+  int wsum = 0;
+  for (int j = 0; j < 3; ++j) wsum += part.width(j);
+  EXPECT_EQ(wsum, 9);
+  for (int j = 0; j < 3; ++j) {
+    int hsum = 0;
+    for (int i = 0; i < 3; ++i) hsum += part.height(i, j);
+    EXPECT_EQ(hsum, 9);
+  }
+}
+
+TEST(Partition, AreasTrackSpeeds) {
+  Partition part(3, 30, paper_grid_speeds());
+  // Fastest processor (0,0) must hold the largest rectangle; the slowest
+  // (2,2) the smallest.
+  const int area_fast = part.width(0) * part.height(0, 0);
+  const int area_slow = part.width(2) * part.height(2, 2);
+  EXPECT_GT(area_fast, area_slow);
+  // Total area = l^2.
+  int total = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) total += part.width(j) * part.height(i, j);
+  }
+  EXPECT_EQ(total, 30 * 30);
+}
+
+TEST(Partition, HomogeneousIsBalanced) {
+  Partition part = Partition::homogeneous(3, 9);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(part.width(j), 3);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(part.height(i, j), 3);
+  }
+}
+
+TEST(Partition, OwnerCoversEveryBlockExactlyOnce) {
+  Partition part(3, 12, paper_grid_speeds());
+  std::vector<int> counts(9, 0);
+  for (int rrow = 0; rrow < 12; ++rrow) {
+    for (int c = 0; c < 12; ++c) {
+      const int owner = part.owner_of_block(rrow, c);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, 9);
+      counts[static_cast<std::size_t>(owner)] += 1;
+    }
+  }
+  for (int g = 0; g < 9; ++g) {
+    const int i = g / 3, j = g % 3;
+    EXPECT_EQ(counts[static_cast<std::size_t>(g)], part.width(j) * part.height(i, j));
+  }
+}
+
+TEST(Partition, OwnerIsPeriodicInL) {
+  Partition part(2, 5, std::vector<double>{3, 1, 1, 1});
+  for (int rrow = 0; rrow < 5; ++rrow) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_EQ(part.owner_of_block(rrow, c), part.owner_of_block(rrow + 5, c + 10));
+    }
+  }
+}
+
+TEST(Partition, RowOverlapProperties) {
+  Partition part(3, 9, paper_grid_speeds());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(part.row_overlap(i, j, i, j), part.height(i, j));
+      for (int k = 0; k < 3; ++k) {
+        for (int o = 0; o < 3; ++o) {
+          // Symmetry, as the paper notes: h[I][J][K][L] == h[K][L][I][J].
+          EXPECT_EQ(part.row_overlap(i, j, k, o), part.row_overlap(k, o, i, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, ModelParamsShapes) {
+  Partition part(3, 9, paper_grid_speeds());
+  EXPECT_EQ(part.w_param().size(), 3u);
+  EXPECT_EQ(part.h_param().size(), 81u);
+  // Diagonal of h == heights.
+  const auto h = part.h_param();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const std::size_t idx =
+          static_cast<std::size_t>(((i * 3 + j) * 3 + i) * 3 + j);
+      EXPECT_EQ(h[idx], part.height(i, j));
+    }
+  }
+}
+
+TEST(Partition, Validation) {
+  std::vector<double> speeds(4, 1.0);
+  EXPECT_THROW(Partition(2, 1, speeds), InvalidArgument);   // l < m
+  EXPECT_THROW(Partition(2, 4, std::vector<double>{1.0}), InvalidArgument);
+}
+
+// --- dense kernels ----------------------------------------------------------------
+
+TEST(Dense, BlockMultiplyAddMatchesNaive) {
+  const int r = 4;
+  std::vector<double> a(16), b(16), c(16, 1.0), expected(16, 1.0);
+  for (int i = 0; i < 16; ++i) {
+    a[static_cast<std::size_t>(i)] = i * 0.5;
+    b[static_cast<std::size_t>(i)] = 1.0 - i * 0.25;
+  }
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) {
+      for (int k = 0; k < r; ++k) {
+        expected[static_cast<std::size_t>(i * r + j)] +=
+            a[static_cast<std::size_t>(i * r + k)] * b[static_cast<std::size_t>(k * r + j)];
+      }
+    }
+  }
+  block_multiply_add(c, a, b, r);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NEAR(c[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Dense, BlockUpdateUnits) {
+  EXPECT_DOUBLE_EQ(block_update_units(8), 1.0);
+  EXPECT_DOUBLE_EQ(block_update_units(16), 8.0);
+  EXPECT_THROW(block_update_units(0), InvalidArgument);
+}
+
+TEST(Dense, BlocksAgreeWithMatrix) {
+  const int n = 3, r = 4;
+  support::Matrix<double> a = make_matrix(42, 0, n, r);
+  for (long long bi = 0; bi < n; ++bi) {
+    for (long long bj = 0; bj < n; ++bj) {
+      const auto block = make_block(42, 0, bi, bj, r);
+      for (int x = 0; x < r; ++x) {
+        for (int y = 0; y < r; ++y) {
+          EXPECT_EQ(block[static_cast<std::size_t>(x * r + y)],
+                    a(static_cast<std::size_t>(bi * r + x),
+                      static_cast<std::size_t>(bj * r + y)));
+        }
+      }
+    }
+  }
+}
+
+TEST(Dense, SerialMultiplyIdentity) {
+  support::Matrix<double> eye(3, 3, 0.0);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  support::Matrix<double> a(3, 3);
+  for (std::size_t i = 0; i < 9; ++i) a.flat()[i] = static_cast<double>(i);
+  EXPECT_EQ(serial_multiply(a, eye), a);
+  EXPECT_EQ(serial_multiply(eye, a), a);
+}
+
+// --- distributed algorithm -----------------------------------------------------
+
+void expect_matches_serial(int m, int r, int n, const Partition& partition) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(m * m, 50.0);
+  support::Matrix<double> expected =
+      serial_multiply(make_matrix(5, 0, n, r), make_matrix(5, 1, n, r));
+
+  mp::World::run_one_per_processor(cluster, [&](mp::Proc& p) {
+    MmConfig config;
+    config.m = m;
+    config.r = r;
+    config.n = n;
+    config.partition = partition;
+    config.mode = WorkMode::kReal;
+    config.seed = 5;
+    support::Matrix<double> c;
+    MmResult result = run_distributed(p.world_comm(), config, &c);
+    (void)result;
+    if (p.rank() == 0) {
+      ASSERT_EQ(c.rows(), expected.rows());
+      for (std::size_t i = 0; i < expected.rows(); ++i) {
+        for (std::size_t j = 0; j < expected.cols(); ++j) {
+          ASSERT_NEAR(c(i, j), expected(i, j), 1e-9)
+              << "mismatch at " << i << "," << j;
+        }
+      }
+    }
+  });
+}
+
+TEST(MmAlgorithm, MatchesSerialHomogeneous2x2) {
+  expect_matches_serial(2, 3, 4, Partition::homogeneous(2, 2));
+}
+
+TEST(MmAlgorithm, MatchesSerialHeterogeneous2x2) {
+  expect_matches_serial(2, 3, 6, Partition(2, 3, std::vector<double>{5, 2, 2, 1}));
+}
+
+TEST(MmAlgorithm, MatchesSerialHeterogeneous3x3) {
+  expect_matches_serial(3, 2, 6, Partition(3, 6, paper_grid_speeds()));
+}
+
+TEST(MmAlgorithm, MatchesSerialWhenLNotDividingN) {
+  // n = 5 blocks, l = 3: partial generalised blocks at the edges.
+  expect_matches_serial(2, 2, 5, Partition(2, 3, std::vector<double>{3, 1, 2, 1}));
+}
+
+TEST(MmAlgorithm, VirtualModeTimesMatchRealMode) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+  auto run_mode = [&](WorkMode mode) {
+    double t = 0.0;
+    mp::World::run(cluster, {0, 1, 2, 3}, [&](mp::Proc& p) {
+      MmConfig config;
+      config.m = 2;
+      config.r = 4;
+      config.n = 6;
+      config.partition = Partition(2, 3, std::vector<double>{46, 46, 106, 9});
+      config.mode = mode;
+      MmResult result = run_distributed(p.world_comm(), config);
+      if (p.rank() == 0) t = result.algorithm_time;
+    });
+    return t;
+  };
+  EXPECT_DOUBLE_EQ(run_mode(WorkMode::kReal), run_mode(WorkMode::kVirtualOnly));
+}
+
+// --- drivers ---------------------------------------------------------------------
+
+TEST(MmDrivers, HmpiBeatsMpiOnThePaperNetwork) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+  MmDriverConfig config;
+  config.m = 3;
+  config.r = 8;
+  config.n = 18;
+  config.l = 9;
+  config.mode = WorkMode::kVirtualOnly;
+  MmDriverResult mpi = run_mpi(cluster, config);
+  MmDriverResult hmpi = run_hmpi(cluster, config);
+  EXPECT_GT(mpi.algorithm_time, 0.0);
+  EXPECT_GT(hmpi.algorithm_time, 0.0);
+  // The homogeneous distribution is bottlenecked by the speed-9 machine;
+  // the paper reports roughly 3x.
+  EXPECT_GT(mpi.algorithm_time / hmpi.algorithm_time, 2.0);
+}
+
+TEST(MmDrivers, ResultsMatchSerial) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+  MmDriverConfig config;
+  config.m = 2;
+  config.r = 3;
+  config.n = 6;
+  config.l = 3;
+  config.mode = WorkMode::kReal;
+  config.seed = 9;
+  const auto serial =
+      serial_multiply(make_matrix(9, 0, 6, 3), make_matrix(9, 1, 6, 3));
+  double expected = 0.0;
+  for (double v : serial.flat()) expected += v;
+
+  MmDriverResult mpi = run_mpi(cluster, config);
+  MmDriverResult hmpi = run_hmpi(cluster, config);
+  EXPECT_NEAR(mpi.checksum, expected, 1e-8);
+  EXPECT_NEAR(hmpi.checksum, expected, 1e-8);
+}
+
+TEST(MmDrivers, TimeofSearchPicksAnL) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+  MmDriverConfig config;
+  config.m = 3;
+  config.r = 8;
+  config.n = 18;
+  config.l = 0;  // search
+  config.mode = WorkMode::kVirtualOnly;
+  MmDriverResult hmpi = run_hmpi(cluster, config, {3, 6, 9, 18});
+  EXPECT_GE(hmpi.chosen_l, 3);
+  EXPECT_LE(hmpi.chosen_l, 18);
+  EXPECT_GT(hmpi.algorithm_time, 0.0);
+}
+
+TEST(MmDrivers, PredictionTracksMeasurement) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_mm_network();
+  MmDriverConfig config;
+  config.m = 3;
+  config.r = 8;
+  config.n = 18;
+  config.l = 9;
+  config.mode = WorkMode::kVirtualOnly;
+  MmDriverResult hmpi = run_hmpi(cluster, config);
+  ASSERT_GT(hmpi.predicted_time, 0.0);
+  EXPECT_NEAR(hmpi.predicted_time, hmpi.algorithm_time,
+              0.5 * hmpi.algorithm_time);
+}
+
+TEST(MmDrivers, NoAdvantageOnHomogeneousCluster) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(9, 50.0);
+  MmDriverConfig config;
+  config.m = 3;
+  config.r = 8;
+  config.n = 18;
+  config.l = 9;
+  config.mode = WorkMode::kVirtualOnly;
+  MmDriverResult mpi = run_mpi(cluster, config);
+  MmDriverResult hmpi = run_hmpi(cluster, config);
+  EXPECT_NEAR(hmpi.algorithm_time, mpi.algorithm_time, 0.10 * mpi.algorithm_time);
+}
+
+}  // namespace
+}  // namespace hmpi::apps::matmul

@@ -1,0 +1,136 @@
+// Tests of the HeteroMPI-style accessor extensions: group topology and
+// coordinates, group performances, and the processors-info view.
+#include <gtest/gtest.h>
+
+#include "hmpi/hmpi_c.hpp"
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+namespace hmpi {
+namespace {
+
+using mp::Proc;
+using mp::World;
+using pmdl::InstanceBuilder;
+using pmdl::Model;
+using pmdl::ParamValue;
+
+/// A 2x2 grid model with equal volumes.
+Model grid_model() {
+  return Model::from_factory("grid", 0, [](std::span<const ParamValue>) {
+    InstanceBuilder b("grid");
+    b.shape({2, 2});
+    for (int a = 0; a < 4; ++a) b.node_volume(a, 10.0);
+    return b.build();
+  });
+}
+
+TEST(Accessors, GroupShapeAndCoordinates) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(5, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    Model model = grid_model();
+    auto group = rt.group_create(model, {});
+    if (group) {
+      EXPECT_EQ(group->shape(), (std::vector<long long>{2, 2}));
+      // Row-major: rank 0 -> (0,0), rank 1 -> (0,1), rank 3 -> (1,1).
+      EXPECT_EQ(group->coordinates_of(0), (std::vector<long long>{0, 0}));
+      EXPECT_EQ(group->coordinates_of(1), (std::vector<long long>{0, 1}));
+      EXPECT_EQ(group->coordinates_of(3), (std::vector<long long>{1, 1}));
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(group->rank_at(group->coordinates_of(r)), r);
+      }
+      EXPECT_THROW(group->coordinates_of(4), InvalidArgument);
+      const long long bad[2] = {2, 0};
+      EXPECT_THROW(group->rank_at(bad), InvalidArgument);
+      rt.group_free(*group);
+    }
+    rt.finalize();
+  });
+}
+
+TEST(Accessors, GroupPerformancesReflectEstimates) {
+  hnoc::Cluster cluster = hnoc::ClusterBuilder()
+                              .add("host", 40.0)
+                              .add("fast", 160.0)
+                              .add("mid", 80.0)
+                              .add("slow", 20.0)
+                              .add("spare", 10.0)
+                              .build();
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    rt.recon([](Proc& q) { q.compute(1.0); });
+    Model model = grid_model();
+    auto group = rt.group_create(model, {});
+    if (group) {
+      const auto perf = rt.group_performances(*group);
+      ASSERT_EQ(perf.size(), 4u);
+      // Member order is group-rank order; each entry is that member's
+      // machine speed estimate.
+      for (int r = 0; r < 4; ++r) {
+        const int machine = p.world().processor_of(group->members()[static_cast<std::size_t>(r)]);
+        EXPECT_DOUBLE_EQ(perf[static_cast<std::size_t>(r)],
+                         p.cluster().processor(machine).speed);
+      }
+      rt.group_free(*group);
+    }
+    rt.finalize();
+  });
+}
+
+TEST(Accessors, ProcessorsInfo) {
+  hnoc::Cluster cluster = hnoc::ClusterBuilder()
+                              .add("alpha", 100.0)
+                              .add("beta", 25.0)
+                              .build();
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    rt.recon([](Proc& q) { q.compute(1.0); });
+    const auto info = rt.processors_info();
+    ASSERT_EQ(info.size(), 2u);
+    EXPECT_EQ(info[0].name, "alpha");
+    EXPECT_DOUBLE_EQ(info[0].speed_estimate, 100.0);
+    EXPECT_EQ(info[0].world_ranks, (std::vector<int>{0}));
+    EXPECT_EQ(info[1].name, "beta");
+    EXPECT_EQ(info[1].world_ranks, (std::vector<int>{1}));
+    rt.finalize();
+  });
+}
+
+TEST(Accessors, ProcessorsInfoWithMultipleProcessesPerMachine) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 50.0);
+  World::run(cluster, {0, 0, 1}, [](Proc& p) {
+    Runtime rt(p);
+    const auto info = rt.processors_info();
+    ASSERT_EQ(info.size(), 2u);
+    EXPECT_EQ(info[0].world_ranks, (std::vector<int>{0, 1}));
+    EXPECT_EQ(info[1].world_ranks, (std::vector<int>{2}));
+    rt.finalize();
+  });
+}
+
+TEST(Accessors, CApiSpellings) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(5, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    HMPI_Init(p);
+    HMPI_Recon([](Proc& q) { q.compute(1.0); });
+    const auto info = HMPI_Get_processors_info();
+    EXPECT_EQ(info.size(), 5u);
+
+    Model model = grid_model();
+    HMPI_Group gid;
+    if (HMPI_Is_host() || HMPI_Is_free()) {
+      HMPI_Group_create(&gid, model, {});
+    }
+    if (HMPI_Is_member(gid)) {
+      EXPECT_EQ(HMPI_Group_topology(gid), (std::vector<long long>{2, 2}));
+      EXPECT_EQ(HMPI_Group_coordof(gid, HMPI_Group_rank(gid)).size(), 2u);
+      EXPECT_EQ(HMPI_Group_performances(gid).size(), 4u);
+      HMPI_Group_free(&gid);
+    }
+    HMPI_Finalize(0);
+  });
+}
+
+}  // namespace
+}  // namespace hmpi

@@ -1,0 +1,113 @@
+// Tests of the paper-style C interface (Figures 5/8 call shapes).
+#include "hmpi/hmpi_c.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hnoc/cluster.hpp"
+
+namespace {
+
+using hmpi::mp::Proc;
+using hmpi::mp::World;
+using hmpi::pmdl::InstanceBuilder;
+using hmpi::pmdl::Model;
+using hmpi::pmdl::ParamValue;
+
+Model tiny_model() {
+  return Model::from_factory("tiny", 1, [](std::span<const ParamValue> ps) {
+    const long long p = std::get<long long>(ps[0]);
+    InstanceBuilder b("tiny");
+    b.shape({p});
+    for (int a = 0; a < p; ++a) b.node_volume(a, 10.0);
+    b.scheme([p](hmpi::pmdl::ScheduleSink& s) {
+      s.par_begin();
+      for (long long a = 0; a < p; ++a) {
+        s.par_iter_begin();
+        const long long c[1] = {a};
+        s.compute(c, 100.0);
+      }
+      s.par_end();
+    });
+    return b.build();
+  });
+}
+
+TEST(CApi, PaperLifecycle) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(4, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    HMPI_Init(p);
+    EXPECT_EQ(HMPI_Is_host(), p.rank() == 0);
+    EXPECT_EQ(HMPI_Is_free(), p.rank() != 0);
+
+    HMPI_Recon([](Proc& q) { q.compute(1.0); });
+
+    Model model = tiny_model();
+    const std::vector<ParamValue> params{hmpi::pmdl::scalar(3)};
+    double predicted = 0.0;
+    if (HMPI_Is_host()) {
+      predicted = HMPI_Timeof(model, params);
+      EXPECT_GT(predicted, 0.0);
+    }
+
+    HMPI_Group gid;
+    if (HMPI_Is_host() || HMPI_Is_free()) {
+      HMPI_Group_create(&gid, model, params);
+    }
+    if (HMPI_Is_member(gid)) {
+      const hmpi::mp::Comm* comm = HMPI_Get_comm(gid);
+      ASSERT_NE(comm, nullptr);
+      EXPECT_EQ(HMPI_Group_size(gid), 3);
+      EXPECT_EQ(HMPI_Group_rank(gid), comm->rank());
+      int in = 1, out = 0;
+      comm->allreduce(std::span<const int>(&in, 1), std::span<int>(&out, 1),
+                      [](int a, int b) { return a + b; });
+      EXPECT_EQ(out, 3);
+    }
+    if (HMPI_Is_member(gid)) HMPI_Group_free(&gid);
+    EXPECT_FALSE(HMPI_Is_member(gid));
+    HMPI_Finalize(0);
+  });
+}
+
+TEST(CApi, RoutinesBeforeInitThrow) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
+  EXPECT_THROW(
+      World::run_one_per_processor(cluster, [](Proc&) { HMPI_Is_host(); }),
+      hmpi::RuntimeError);
+}
+
+TEST(CApi, DoubleInitThrows) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
+  EXPECT_THROW(World::run_one_per_processor(cluster,
+                                            [](Proc& p) {
+                                              HMPI_Init(p);
+                                              HMPI_Init(p);
+                                            }),
+               hmpi::RuntimeError);
+}
+
+TEST(CApi, FinalizeWithErrorCodeThrows) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
+  EXPECT_THROW(World::run_one_per_processor(cluster,
+                                            [](Proc& p) {
+                                              HMPI_Init(p);
+                                              HMPI_Finalize(1);
+                                            }),
+               hmpi::InvalidArgument);
+}
+
+TEST(CApi, GroupAccessorsRequireLiveGroup) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    HMPI_Init(p);
+    HMPI_Group gid;
+    EXPECT_FALSE(HMPI_Is_member(gid));
+    EXPECT_THROW(HMPI_Group_rank(gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Group_size(gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Get_comm(gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Group_free(&gid), hmpi::InvalidArgument);
+    HMPI_Finalize(0);
+  });
+}
+
+}  // namespace

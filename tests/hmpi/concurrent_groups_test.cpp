@@ -1,0 +1,141 @@
+// Two live HMPI groups executing different algorithms at the same time —
+// the situation the paper warns about for *untracked* MPI groups, which the
+// runtime handles fine when both groups are its own.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+namespace hmpi {
+namespace {
+
+using mp::Proc;
+using mp::World;
+using pmdl::InstanceBuilder;
+using pmdl::Model;
+using pmdl::ParamValue;
+
+Model sized_model() {
+  return Model::from_factory("sized", 1, [](std::span<const ParamValue> ps) {
+    const long long p = std::get<long long>(ps[0]);
+    InstanceBuilder b("sized");
+    b.shape({p});
+    for (int a = 0; a < p; ++a) b.node_volume(a, 50.0);
+    b.scheme([p](pmdl::ScheduleSink& s) {
+      s.par_begin();
+      for (long long a = 0; a < p; ++a) {
+        s.par_iter_begin();
+        const long long c[1] = {a};
+        s.compute(c, 100.0);
+      }
+      s.par_end();
+    });
+    return b.build();
+  });
+}
+
+TEST(ConcurrentGroups, TwoLiveGroupsRunIndependently) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(7, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    Model model = sized_model();
+
+    // Creation 1 (host parents a group of 3); creation 2 follows
+    // immediately (host is still the only non-free caller among the
+    // participants of creation 2 — it parents that one too, while remaining
+    // a member of group A).
+    auto group_a = rt.group_create(model, {pmdl::scalar(3)});
+    std::optional<Group> group_b;
+    if (p.rank() == 0 || !group_a) {
+      group_b = rt.group_create(model, {pmdl::scalar(3)});
+    }
+
+    // Both groups do work concurrently (the host is in both).
+    for (auto* group : {&group_a, &group_b}) {
+      if (!group->has_value()) continue;
+      const mp::Comm& comm = (*group)->comm();
+      p.compute(50.0);
+      int in = 1, out = 0;
+      comm.allreduce(std::span<const int>(&in, 1), std::span<int>(&out, 1),
+                     [](int a, int b) { return a + b; });
+      EXPECT_EQ(out, 3);
+    }
+
+    if (p.rank() == 0) {
+      ASSERT_TRUE(group_a.has_value());
+      ASSERT_TRUE(group_b.has_value());
+      // Disjoint member sets apart from the shared parent.
+      std::set<int> a(group_a->members().begin(), group_a->members().end());
+      std::set<int> b(group_b->members().begin(), group_b->members().end());
+      std::vector<int> overlap;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(overlap));
+      EXPECT_EQ(overlap, (std::vector<int>{0}));
+    }
+
+    if (group_b) rt.group_free(*group_b);
+    if (group_a) rt.group_free(*group_a);
+    rt.finalize();
+  });
+}
+
+TEST(ConcurrentGroups, FreedProcessesServeLaterCreations) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    Model model = sized_model();
+    // Three sequential generations; the member set can change each time.
+    for (int generation = 0; generation < 3; ++generation) {
+      auto group = rt.group_create(model, {pmdl::scalar(2)});
+      if (group) {
+        group->comm().barrier();
+        rt.group_free(*group);
+      }
+      rt.world_comm().barrier();
+    }
+    rt.finalize();
+  });
+}
+
+TEST(ConcurrentGroups, ReconBetweenGenerationsRefreshesSelection) {
+  // The fast machine becomes loaded after the first group; a fresh recon
+  // must steer the second group away from it.
+  hnoc::ClusterBuilder b;
+  b.add("host", 50.0);
+  b.add("fast_then_busy", 200.0, hnoc::LoadProfile({{5.0, 0.01}}));
+  b.add("steady", 100.0);
+  b.add("steady2", 100.0);
+  hnoc::Cluster cluster = b.build();
+
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Runtime rt(p);
+    Model model = sized_model();
+    rt.recon([](Proc& q) { q.compute(1.0); });
+
+    auto first = rt.group_create(model, {pmdl::scalar(2)});
+    if (p.rank() == 0) {
+      ASSERT_TRUE(first.has_value());
+      EXPECT_EQ(first->members()[1], 1);  // machine 1 measured fastest
+    }
+    if (first) rt.group_free(*first);
+    rt.world_comm().barrier();
+
+    // Move past t=5 so machine 1's load kicks in, then re-measure.
+    p.elapse(10.0);
+    rt.recon([](Proc& q) { q.compute(1.0); });
+
+    auto second = rt.group_create(model, {pmdl::scalar(2)});
+    if (p.rank() == 0) {
+      ASSERT_TRUE(second.has_value());
+      EXPECT_NE(second->members()[1], 1);  // now effectively speed 2
+    }
+    if (second) rt.group_free(*second);
+    rt.finalize();
+  });
+}
+
+}  // namespace
+}  // namespace hmpi

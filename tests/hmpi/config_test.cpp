@@ -1,0 +1,104 @@
+// RuntimeConfig behaviour: pluggable mappers and estimate options.
+#include <gtest/gtest.h>
+
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+
+namespace hmpi {
+namespace {
+
+using mp::Proc;
+using mp::World;
+using pmdl::InstanceBuilder;
+using pmdl::Model;
+using pmdl::ParamValue;
+
+Model comm_bound_model() {
+  return Model::from_factory("comm-bound", 0, [](std::span<const ParamValue>) {
+    InstanceBuilder b("comm-bound");
+    b.shape({2});
+    b.node_volume(0, 1.0);
+    b.node_volume(1, 1.0);
+    b.link(0, 1, 1e6);
+    b.scheme([](pmdl::ScheduleSink& s) {
+      const long long a[1] = {0}, c[1] = {1};
+      s.transfer(a, c, 100.0);
+      s.compute(c, 100.0);
+    });
+    return b.build();
+  });
+}
+
+/// The landscape from the mapper tests where greedy picks the raw-speed
+/// machine behind a terrible link and swap-refine picks the good link.
+hnoc::Cluster tricky_cluster() {
+  return hnoc::ClusterBuilder()
+      .add("parent", 10.0)
+      .add("goodlink", 10.0)
+      .add("fastbadlink", 11.0)
+      .network(1e-4, 1e7)
+      .symmetric_link_override(0, 2, 0.5, 1e5)
+      .build();
+}
+
+TEST(RuntimeConfig, MapperChoiceChangesSelection) {
+  Model model = comm_bound_model();
+
+  auto member_with = [&](std::shared_ptr<const map::Mapper> mapper) {
+    int chosen = -1;
+    hnoc::Cluster cluster = tricky_cluster();
+    World::run_one_per_processor(cluster, [&](Proc& p) {
+      RuntimeConfig config;
+      config.mapper = mapper;
+      Runtime rt(p, config);
+      auto group = rt.group_create(model, {});
+      if (group && rt.is_host()) chosen = group->members()[1];
+      if (group) rt.group_free(*group);
+      rt.finalize();
+    });
+    return chosen;
+  };
+
+  EXPECT_EQ(member_with(std::make_shared<map::GreedyMapper>()), 2);
+  EXPECT_EQ(member_with(std::make_shared<map::SwapRefineMapper>()), 1);
+}
+
+TEST(RuntimeConfig, DefaultMapperIsLinkAware) {
+  Model model = comm_bound_model();
+  hnoc::Cluster cluster = tricky_cluster();
+  World::run_one_per_processor(cluster, [&](Proc& p) {
+    Runtime rt(p);  // default config
+    auto group = rt.group_create(model, {});
+    if (group && rt.is_host()) {
+      EXPECT_EQ(group->members()[1], 1);
+    }
+    if (group) rt.group_free(*group);
+    rt.finalize();
+  });
+}
+
+TEST(RuntimeConfig, EstimateOverheadsFlowIntoPredictions) {
+  Model model = comm_bound_model();
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 10.0);
+  double cheap = 0.0, costly = 0.0;
+  for (double overhead : {0.0, 0.5}) {
+    World::run_one_per_processor(cluster, [&](Proc& p) {
+      RuntimeConfig config;
+      config.estimate.send_overhead_s = overhead;
+      config.estimate.recv_overhead_s = overhead;
+      Runtime rt(p, config);
+      double predicted = 0.0;
+      if (rt.is_host()) predicted = rt.timeof(model, {});
+      auto group = rt.group_create(model, {});
+      if (group && rt.is_host()) {
+        (overhead == 0.0 ? cheap : costly) = predicted;
+      }
+      if (group) rt.group_free(*group);
+      rt.finalize();
+    });
+  }
+  EXPECT_GT(costly, cheap + 0.4);
+}
+
+}  // namespace
+}  // namespace hmpi

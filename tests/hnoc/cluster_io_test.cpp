@@ -1,0 +1,109 @@
+#include "hnoc/cluster_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hmpi::hnoc {
+namespace {
+
+TEST(ClusterIo, ParsesTheBasics) {
+  Cluster c = parse_cluster(R"(
+    # the paper's network, abridged
+    network latency 150e-6 bandwidth 12.5e6
+    shared_memory latency 5e-6 bandwidth 1e9
+    processor ws0 speed 46
+    processor ws6 speed 176
+    processor ws8 speed 9
+  )");
+  ASSERT_EQ(c.size(), 3);
+  EXPECT_EQ(c.processor(0).name, "ws0");
+  EXPECT_DOUBLE_EQ(c.processor(1).speed, 176.0);
+  EXPECT_DOUBLE_EQ(c.link(0, 1).latency_s, 150e-6);
+  EXPECT_DOUBLE_EQ(c.link(2, 2).bandwidth_bps, 1e9);
+}
+
+TEST(ClusterIo, ParsesLoadAttributes) {
+  Cluster c = parse_cluster(R"(
+    processor busy speed 100 load 0.25
+    processor drifts speed 100 load@10 0.5
+  )");
+  EXPECT_DOUBLE_EQ(c.effective_speed(0, 0.0), 25.0);
+  EXPECT_DOUBLE_EQ(c.effective_speed(1, 5.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.effective_speed(1, 15.0), 50.0);
+}
+
+TEST(ClusterIo, ParsesLinkOverrides) {
+  Cluster c = parse_cluster(R"(
+    processor a speed 10
+    processor b speed 10
+    network latency 1e-4 bandwidth 1e7
+    link a b latency 1e-5 bandwidth 1e8
+    symmetric_link a b latency 2e-5 bandwidth 5e7
+  )");
+  // The symmetric directive came last and wins in both directions.
+  EXPECT_DOUBLE_EQ(c.link(0, 1).latency_s, 2e-5);
+  EXPECT_DOUBLE_EQ(c.link(1, 0).latency_s, 2e-5);
+}
+
+TEST(ClusterIo, LinksMayReferenceLaterProcessors) {
+  Cluster c = parse_cluster(R"(
+    link a b latency 1e-5 bandwidth 1e8
+    processor a speed 10
+    processor b speed 10
+  )");
+  EXPECT_DOUBLE_EQ(c.link(0, 1).bandwidth_bps, 1e8);
+}
+
+TEST(ClusterIo, ErrorsCarryLineNumbers) {
+  auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      parse_cluster(text);
+      FAIL() << "expected InvalidArgument for: " << text;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << "actual: " << e.what();
+    }
+  };
+  expect_error("frobnicate x\n", "unknown directive");
+  expect_error("processor a speed banana\n", "malformed speed");
+  expect_error("processor a speed 1\nprocessor a speed 2\n", "duplicate");
+  expect_error("network latency 1\n", "expected 'latency");
+  expect_error("processor a speed 1\nlink a nosuch latency 1 bandwidth 1\n",
+               "unknown processor");
+  expect_error("processor a speed 1 wibble 2\n", "unknown processor attribute");
+  expect_error("\n\nfrobnicate\n", "line 3");
+}
+
+TEST(ClusterIo, RoundTripsThroughDescription) {
+  Cluster original = parse_cluster(R"(
+    network latency 0.00015 bandwidth 12500000
+    shared_memory latency 5e-06 bandwidth 1e9
+    processor ws0 speed 46
+    processor ws6 speed 176 load 0.25
+    link ws0 ws6 latency 1e-05 bandwidth 1e8
+  )");
+  Cluster reparsed = parse_cluster(to_description(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (int p = 0; p < original.size(); ++p) {
+    EXPECT_EQ(reparsed.processor(p).name, original.processor(p).name);
+    EXPECT_DOUBLE_EQ(reparsed.processor(p).speed, original.processor(p).speed);
+    EXPECT_DOUBLE_EQ(reparsed.effective_speed(p, 0.0),
+                     original.effective_speed(p, 0.0));
+  }
+  for (int a = 0; a < original.size(); ++a) {
+    for (int b = 0; b < original.size(); ++b) {
+      EXPECT_DOUBLE_EQ(reparsed.link(a, b).latency_s, original.link(a, b).latency_s);
+      EXPECT_DOUBLE_EQ(reparsed.link(a, b).bandwidth_bps,
+                       original.link(a, b).bandwidth_bps);
+    }
+  }
+}
+
+TEST(ClusterIo, EmptyDescriptionRejected) {
+  // No processors declared -> the builder refuses.
+  EXPECT_THROW(parse_cluster("network latency 1 bandwidth 1\n"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hmpi::hnoc

@@ -1,0 +1,85 @@
+// Property tests of LoadProfile::finish_time: the analytic integration must
+// agree with a brute-force numeric integration of the effective speed, for
+// random profiles, start times, and volumes.
+#include <gtest/gtest.h>
+
+#include "hnoc/load_profile.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::hnoc {
+namespace {
+
+/// Numerically integrates work done between t0 and t1 with a fine step.
+double work_between(const LoadProfile& profile, double base_speed, double t0,
+                    double t1, double dt = 1e-4) {
+  double work = 0.0;
+  for (double t = t0; t < t1; t += dt) {
+    const double step = std::min(dt, t1 - t);
+    work += base_speed * profile.multiplier_at(t) * step;
+  }
+  return work;
+}
+
+class LoadProfilePropertyP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoadProfilePropertyP, FinishTimeMatchesNumericIntegration) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed);
+
+  // Random piecewise profile with 1..5 steps in [0, 10).
+  std::vector<LoadProfile::Step> steps;
+  const int count = static_cast<int>(rng.next_in(1, 5));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.next_double_in(0.5, 3.0);
+    steps.push_back({t, rng.next_double_in(0.1, 2.0)});
+  }
+  const LoadProfile profile(steps);
+
+  const double base_speed = rng.next_double_in(1.0, 100.0);
+  const double t0 = rng.next_double_in(0.0, 8.0);
+  const double units = rng.next_double_in(1.0, 300.0);
+
+  const double finish = profile.finish_time(t0, units, base_speed);
+  ASSERT_GT(finish, t0);
+  // The work accumulated between t0 and the predicted finish equals `units`.
+  const double integrated = work_between(profile, base_speed, t0, finish);
+  EXPECT_NEAR(integrated, units, 0.01 * units + 0.05 * base_speed)
+      << "seed " << seed;
+}
+
+TEST_P(LoadProfilePropertyP, FinishTimeIsMonotoneInVolume) {
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed ^ 0xa5a5);
+  const LoadProfile profile({{1.0, rng.next_double_in(0.1, 1.0)},
+                             {4.0, rng.next_double_in(0.1, 2.0)}});
+  const double speed = rng.next_double_in(1.0, 50.0);
+  double previous = 0.0;
+  for (double units : {1.0, 5.0, 25.0, 125.0}) {
+    const double finish = profile.finish_time(0.0, units, speed);
+    EXPECT_GT(finish, previous);
+    previous = finish;
+  }
+}
+
+TEST_P(LoadProfilePropertyP, SplittingAComputationIsEquivalent) {
+  // finish(t0, a+b) == finish(finish(t0, a), b): computations compose.
+  const std::uint64_t seed = GetParam();
+  support::Rng rng(seed ^ 0x1234);
+  const LoadProfile profile({{0.5, rng.next_double_in(0.2, 1.5)},
+                             {2.5, rng.next_double_in(0.2, 1.5)},
+                             {7.0, rng.next_double_in(0.2, 1.5)}});
+  const double speed = rng.next_double_in(1.0, 40.0);
+  const double a = rng.next_double_in(1.0, 60.0);
+  const double b = rng.next_double_in(1.0, 60.0);
+  const double whole = profile.finish_time(0.3, a + b, speed);
+  const double split = profile.finish_time(profile.finish_time(0.3, a, speed),
+                                           b, speed);
+  EXPECT_NEAR(whole, split, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoadProfilePropertyP,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace hmpi::hnoc

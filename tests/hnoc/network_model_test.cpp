@@ -1,0 +1,58 @@
+#include "hnoc/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hmpi::hnoc {
+namespace {
+
+TEST(NetworkModel, InitialisesFromBaseSpeeds) {
+  Cluster c = testbeds::paper_em3d_network();
+  NetworkModel m(c);
+  ASSERT_EQ(m.size(), 9);
+  EXPECT_DOUBLE_EQ(m.speed(6), 176.0);
+  EXPECT_DOUBLE_EQ(m.speed(8), 9.0);
+}
+
+TEST(NetworkModel, SetSpeedUpdatesEstimate) {
+  Cluster c = testbeds::homogeneous(3, 50.0);
+  NetworkModel m(c);
+  m.set_speed(1, 20.0);
+  EXPECT_DOUBLE_EQ(m.speed(1), 20.0);
+  EXPECT_DOUBLE_EQ(m.speed(0), 50.0);  // others untouched
+}
+
+TEST(NetworkModel, SetSpeedRejectsNonPositive) {
+  Cluster c = testbeds::homogeneous(2);
+  NetworkModel m(c);
+  EXPECT_THROW(m.set_speed(0, 0.0), hmpi::InvalidArgument);
+  EXPECT_THROW(m.set_speed(0, -3.0), hmpi::InvalidArgument);
+}
+
+TEST(NetworkModel, EstimateDivergesFromGroundTruth) {
+  // The model is an *estimate*: changing it must not affect the cluster.
+  Cluster c = testbeds::homogeneous(2, 50.0);
+  NetworkModel m(c);
+  m.set_speed(0, 5.0);
+  EXPECT_DOUBLE_EQ(c.processor(0).speed, 50.0);
+  EXPECT_DOUBLE_EQ(m.speed(0), 5.0);
+}
+
+TEST(NetworkModel, LinksReadThroughToTopology) {
+  Cluster c = testbeds::paper_em3d_network();
+  NetworkModel m(c);
+  EXPECT_DOUBLE_EQ(m.link(0, 1).bandwidth_bps, c.link(0, 1).bandwidth_bps);
+  EXPECT_DOUBLE_EQ(m.link(2, 2).latency_s, c.link(2, 2).latency_s);
+}
+
+TEST(NetworkModel, SpeedsVectorMatchesAccessors) {
+  Cluster c = testbeds::paper_mm_network();
+  NetworkModel m(c);
+  const auto& v = m.speeds();
+  ASSERT_EQ(v.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)], m.speed(i));
+}
+
+}  // namespace
+}  // namespace hmpi::hnoc

@@ -1,0 +1,117 @@
+#include "mpsim/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hnoc/cluster.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::mp {
+namespace {
+
+const std::vector<int> kA{0, 2, 4, 6};
+const std::vector<int> kB{4, 5, 6, 7};
+
+TEST(ProcessGroup, ConstructionAndAccessors) {
+  ProcessGroup g(kA);
+  EXPECT_EQ(g.size(), 4);
+  EXPECT_FALSE(g.empty());
+  EXPECT_EQ(g.world_rank(0), 0);
+  EXPECT_EQ(g.world_rank(3), 6);
+  EXPECT_EQ(g.rank_of(4), 2);
+  EXPECT_EQ(g.rank_of(5), -1);
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_THROW(g.world_rank(4), hmpi::InvalidArgument);
+}
+
+TEST(ProcessGroup, RejectsDuplicatesAndNegatives) {
+  EXPECT_THROW(ProcessGroup({1, 1}), hmpi::InvalidArgument);
+  EXPECT_THROW(ProcessGroup({0, -1}), hmpi::InvalidArgument);
+}
+
+TEST(ProcessGroup, InclPicksByPositionInOrder) {
+  ProcessGroup g(kA);
+  const int positions[] = {3, 0};
+  ProcessGroup sub = g.incl(positions);
+  EXPECT_EQ(sub.world_ranks(), (std::vector<int>{6, 0}));
+  const int bad[] = {4};
+  EXPECT_THROW(g.incl(bad), hmpi::InvalidArgument);
+}
+
+TEST(ProcessGroup, ExclDropsByPosition) {
+  ProcessGroup g(kA);
+  const int positions[] = {1, 2};
+  EXPECT_EQ(g.excl(positions).world_ranks(), (std::vector<int>{0, 6}));
+}
+
+TEST(ProcessGroup, UnionKeepsFirstOrderThenAppends) {
+  EXPECT_EQ(ProcessGroup(kA).set_union(ProcessGroup(kB)).world_ranks(),
+            (std::vector<int>{0, 2, 4, 6, 5, 7}));
+}
+
+TEST(ProcessGroup, IntersectionKeepsFirstOrder) {
+  EXPECT_EQ(ProcessGroup(kA).set_intersection(ProcessGroup(kB)).world_ranks(),
+            (std::vector<int>{4, 6}));
+  // Not symmetric in order.
+  EXPECT_EQ(ProcessGroup(kB).set_intersection(ProcessGroup(kA)).world_ranks(),
+            (std::vector<int>{4, 6}));
+}
+
+TEST(ProcessGroup, Difference) {
+  EXPECT_EQ(ProcessGroup(kA).set_difference(ProcessGroup(kB)).world_ranks(),
+            (std::vector<int>{0, 2}));
+  EXPECT_EQ(ProcessGroup(kB).set_difference(ProcessGroup(kA)).world_ranks(),
+            (std::vector<int>{5, 7}));
+}
+
+TEST(ProcessGroup, AlgebraIdentities) {
+  ProcessGroup a(kA), b(kB), empty;
+  EXPECT_EQ(a.set_union(empty), a);
+  EXPECT_EQ(a.set_intersection(a), a);
+  EXPECT_EQ(a.set_difference(a), empty);
+  EXPECT_EQ(a.set_difference(empty), a);
+  // |A u B| == |A| + |B| - |A n B|
+  EXPECT_EQ(a.set_union(b).size(),
+            a.size() + b.size() - a.set_intersection(b).size());
+}
+
+TEST(ProcessGroup, TranslateRanks) {
+  ProcessGroup a(kA), b(kB);
+  const int ranks[] = {0, 2, 3};  // world 0, 4, 6
+  EXPECT_EQ(ProcessGroup::translate(a, ranks, b),
+            (std::vector<int>{-1, 0, 2}));
+}
+
+TEST(ProcessGroup, CreateCommOverDerivedGroup) {
+  // The paper's §2 recipe: take the communicator's group, derive a subgroup
+  // with set operations, make a communicator from it.
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(6, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    ProcessGroup world_group = ProcessGroup::of(p.world_comm());
+    ASSERT_EQ(world_group.size(), 6);
+    const int evens_positions[] = {0, 2, 4};
+    ProcessGroup evens = world_group.incl(evens_positions);
+    ProcessGroup odds = world_group.set_difference(evens);
+    ProcessGroup mine = evens.contains(p.rank()) ? evens : odds;
+
+    Comm comm = create_comm(p, mine);
+    ASSERT_TRUE(comm.valid());
+    EXPECT_EQ(comm.size(), 3);
+    EXPECT_EQ(comm.rank(), mine.rank_of(p.rank()));
+    int in = p.rank(), out = 0;
+    comm.allreduce(std::span<const int>(&in, 1), std::span<int>(&out, 1),
+                   [](int a, int b) { return a + b; });
+    EXPECT_EQ(out, evens.contains(p.rank()) ? 0 + 2 + 4 : 1 + 3 + 5);
+  });
+}
+
+TEST(ProcessGroup, CreateCommRequiresNonEmpty) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(1);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    ProcessGroup empty;
+    EXPECT_THROW(create_comm(p, empty), hmpi::InvalidArgument);
+  });
+}
+
+}  // namespace
+}  // namespace hmpi::mp

@@ -1,0 +1,181 @@
+// Stress and property tests of the substrate: random traffic patterns must
+// produce scheduling-independent virtual times, collectives must compose on
+// arbitrary subcommunicators, and failures must release every blocked peer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/comm.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::mp {
+namespace {
+
+hnoc::Cluster random_cluster(std::uint64_t seed, int n) {
+  support::Rng rng(seed);
+  hnoc::ClusterBuilder b;
+  for (int i = 0; i < n; ++i) {
+    b.add("m" + std::to_string(i), rng.next_double_in(5.0, 200.0));
+  }
+  b.network(rng.next_double_in(1e-5, 1e-3), rng.next_double_in(1e6, 1e8));
+  return b.build();
+}
+
+class TrafficStormP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrafficStormP, RandomTrafficIsDeterministic) {
+  const std::uint64_t seed = GetParam();
+  const int n = 6;
+  hnoc::Cluster cluster = random_cluster(seed, n);
+
+  // A deterministic random program: every process interleaves computes with
+  // sends to known peers, then drains the exact set of messages addressed
+  // to it (sender/tag known a priori, so matching is deterministic).
+  // plan[src][dst] = number of messages src sends dst.
+  support::Rng plan_rng(seed ^ 0xfeed);
+  std::vector<std::vector<int>> plan(static_cast<std::size_t>(n),
+                                     std::vector<int>(static_cast<std::size_t>(n), 0));
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) plan[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)] =
+          static_cast<int>(plan_rng.next_in(0, 6));
+    }
+  }
+
+  auto run_once = [&] {
+    auto result = World::run_one_per_processor(cluster, [&](Proc& p) {
+      Comm comm = p.world_comm();
+      const int me = p.rank();
+      support::Rng rng(seed * 31 + static_cast<std::uint64_t>(me));
+      // Send phase (buffered, interleaved with compute).
+      for (int d = 0; d < n; ++d) {
+        for (int k = 0; k < plan[static_cast<std::size_t>(me)][static_cast<std::size_t>(d)]; ++k) {
+          p.compute(rng.next_double_in(0.1, 5.0));
+          comm.send_placeholder(static_cast<std::size_t>(rng.next_in(16, 4096)),
+                                d, 40 + k);
+        }
+      }
+      // Drain phase: receive everything addressed to me, in (src, k) order.
+      for (int s = 0; s < n; ++s) {
+        for (int k = 0; k < plan[static_cast<std::size_t>(s)][static_cast<std::size_t>(me)]; ++k) {
+          comm.recv_placeholder(s, 40 + k);
+        }
+      }
+    });
+    return result.clocks;
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrafficStormP,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+TEST(Stress, CollectivesOnRandomSubcommunicators) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(8, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Comm world = p.world_comm();
+    // Three generations of splits with interleaved collectives.
+    Comm level1 = world.split(p.rank() % 2, p.rank());
+    Comm level2 = level1.split(level1.rank() % 2, level1.rank());
+    for (int round = 0; round < 3; ++round) {
+      int ones = 1, total = 0;
+      world.allreduce(std::span<const int>(&ones, 1), std::span<int>(&total, 1),
+                      [](int a, int b) { return a + b; });
+      EXPECT_EQ(total, 8);
+      level1.allreduce(std::span<const int>(&ones, 1), std::span<int>(&total, 1),
+                       [](int a, int b) { return a + b; });
+      EXPECT_EQ(total, 4);
+      level2.allreduce(std::span<const int>(&ones, 1), std::span<int>(&total, 1),
+                       [](int a, int b) { return a + b; });
+      EXPECT_EQ(total, 2);
+      level2.barrier();
+      level1.barrier();
+      world.barrier();
+    }
+  });
+}
+
+TEST(Stress, WaitAnyCompletesInArrivalOpportunityOrder) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(3, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    Comm comm = p.world_comm();
+    if (p.rank() != 0) {
+      if (p.rank() == 2) p.compute(100.0);  // rank 2 sends much later
+      comm.send_value(p.rank(), 0, 9);
+      return;
+    }
+    int a = 0, b = 0;
+    std::vector<Request> reqs;
+    reqs.push_back(comm.irecv(std::span<int>(&a, 1), 1, 9));
+    reqs.push_back(comm.irecv(std::span<int>(&b, 1), 2, 9));
+    Status status;
+    const int first = Request::wait_any(reqs, &status);
+    ASSERT_GE(first, 0);
+    const int second = Request::wait_any(reqs, &status);
+    ASSERT_GE(second, 0);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(Request::wait_any(reqs), -1);  // all done
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+  });
+}
+
+TEST(Stress, FailureReleasesManyBlockedPeers) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(6, 50.0);
+  World::Options o;
+  o.deadlock_timeout_s = 30.0;
+  try {
+    World::run_one_per_processor(
+        cluster,
+        [](Proc& p) {
+          if (p.rank() == 3) throw std::runtime_error("injected failure");
+          // Everyone else blocks on a message that will never come.
+          p.world_comm().recv_value<int>(3, 0);
+        },
+        o);
+    FAIL() << "expected the injected failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected failure");
+  }
+}
+
+TEST(Stress, ManyProcessesPerMachine) {
+  // 12 processes on 3 machines, ring of placeholder messages.
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(3, 50.0);
+  std::vector<int> placement{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  auto result = World::run(cluster, placement, [](Proc& p) {
+    Comm comm = p.world_comm();
+    const int n = comm.size();
+    comm.send_placeholder(1024, (p.rank() + 1) % n, 1);
+    comm.recv_placeholder((p.rank() + n - 1) % n, 1);
+    comm.barrier();
+  });
+  EXPECT_EQ(result.stats.size(), 12u);
+  for (const auto& s : result.stats) EXPECT_GE(s.msgs_sent, 1u);
+}
+
+TEST(Stress, LongCollectiveChainsKeepVirtualTimeFinite) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  auto result = World::run_one_per_processor(cluster, [](Proc& p) {
+    Comm comm = p.world_comm();
+    double value = 1.0;
+    for (int i = 0; i < 50; ++i) {
+      double sum = 0.0;
+      comm.allreduce(std::span<const double>(&value, 1),
+                     std::span<double>(&sum, 1),
+                     [](double a, double b) { return a + b; });
+      value = sum / 9.0;
+    }
+    EXPECT_NEAR(value, 1.0, 1e-9);
+  });
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_LT(result.makespan, 1.0);  // pure latency, no data volume
+}
+
+}  // namespace
+}  // namespace hmpi::mp

@@ -1,0 +1,192 @@
+#include "pmdl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmdl_test_util.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::pmdl {
+namespace {
+
+TEST(Parser, MinimalAlgorithm) {
+  auto algo = parse("algorithm A(int p) { coord I=p; }");
+  EXPECT_EQ(algo->name, "A");
+  ASSERT_EQ(algo->params.size(), 1u);
+  EXPECT_EQ(algo->params[0].name, "p");
+  EXPECT_TRUE(algo->params[0].dims.empty());
+  ASSERT_EQ(algo->coords.size(), 1u);
+  EXPECT_EQ(algo->coords[0].name, "I");
+  EXPECT_FALSE(algo->scheme);
+  EXPECT_TRUE(algo->parent_coords.empty());
+}
+
+TEST(Parser, ArrayParameters) {
+  auto algo = parse("algorithm A(int p, int d[p], int dep[p][p]) { coord I=p; }");
+  ASSERT_EQ(algo->params.size(), 3u);
+  EXPECT_EQ(algo->params[1].dims.size(), 1u);
+  EXPECT_EQ(algo->params[2].dims.size(), 2u);
+}
+
+TEST(Parser, TwoDimensionalCoord) {
+  auto algo = parse("algorithm A(int m) { coord I=m, J=m; }");
+  ASSERT_EQ(algo->coords.size(), 2u);
+  EXPECT_EQ(algo->coords[1].name, "J");
+}
+
+TEST(Parser, NodeSection) {
+  auto algo = parse(
+      "algorithm A(int p) { coord I=p; node { I>=0: bench*(I+1); }; }");
+  ASSERT_EQ(algo->node_clauses.size(), 1u);
+  EXPECT_TRUE(algo->node_clauses[0].cond);
+  EXPECT_TRUE(algo->node_clauses[0].volume);
+}
+
+TEST(Parser, LinkSectionWithIterators) {
+  auto algo = parse(R"(
+    algorithm A(int p, int dep[p][p]) {
+      coord I=p;
+      link (L=p) { I!=L: length*(dep[I][L]) [L]->[I]; };
+    })");
+  ASSERT_EQ(algo->link_iters.size(), 1u);
+  EXPECT_EQ(algo->link_iters[0].name, "L");
+  ASSERT_EQ(algo->link_clauses.size(), 1u);
+  EXPECT_EQ(algo->link_clauses[0].src_coords.size(), 1u);
+  EXPECT_EQ(algo->link_clauses[0].dst_coords.size(), 1u);
+}
+
+TEST(Parser, ParentSection) {
+  auto algo = parse("algorithm A(int m) { coord I=m, J=m; parent[0,0]; }");
+  EXPECT_EQ(algo->parent_coords.size(), 2u);
+}
+
+TEST(Parser, SchemeStatements) {
+  auto algo = parse(R"(
+    algorithm A(int p) {
+      coord I=p;
+      scheme {
+        int i;
+        par (i = 0; i < p; i++) 100%%[i];
+        for (i = 0; i < p; i++)
+          if (i > 0) 50%%[i]->[0]; else 25%%[0];
+      };
+    })");
+  ASSERT_TRUE(algo->scheme);
+  ASSERT_EQ(algo->scheme->body.size(), 3u);
+  EXPECT_EQ(algo->scheme->body[0]->kind, ast::StmtKind::kDecl);
+  EXPECT_EQ(algo->scheme->body[1]->kind, ast::StmtKind::kPar);
+  EXPECT_EQ(algo->scheme->body[2]->kind, ast::StmtKind::kFor);
+  const ast::Stmt& if_stmt = *algo->scheme->body[2]->loop_body;
+  EXPECT_EQ(if_stmt.kind, ast::StmtKind::kIf);
+  EXPECT_EQ(if_stmt.then_branch->kind, ast::StmtKind::kComm);
+  EXPECT_EQ(if_stmt.else_branch->kind, ast::StmtKind::kComp);
+}
+
+TEST(Parser, TypedefStruct) {
+  auto algo = parse(R"(
+    typedef struct {int I; int J;} Processor;
+    algorithm A(int m) {
+      coord I=m;
+      scheme { Processor P; P.I = 0; };
+    })");
+  ASSERT_EQ(algo->structs.size(), 1u);
+  EXPECT_EQ(algo->structs[0].name, "Processor");
+  EXPECT_EQ(algo->structs[0].fields, (std::vector<std::string>{"I", "J"}));
+  EXPECT_EQ(algo->scheme->body[0]->kind, ast::StmtKind::kDecl);
+  EXPECT_EQ(algo->scheme->body[0]->decl_type, "Processor");
+}
+
+TEST(Parser, EmptyStructRejected) {
+  EXPECT_THROW(parse("typedef struct {} P; algorithm A(int m) { coord I=m; }"),
+               PmdlError);
+}
+
+TEST(Parser, MissingCoordRejected) {
+  EXPECT_THROW(parse("algorithm A(int p) { }"), PmdlError);
+}
+
+TEST(Parser, DuplicateSchemeRejected) {
+  EXPECT_THROW(parse(R"(
+    algorithm A(int p) { coord I=p; scheme { }; scheme { }; })"),
+               PmdlError);
+}
+
+TEST(Parser, SyntaxErrorCarriesPosition) {
+  try {
+    parse("algorithm A(int p) {\n coord I=; }");
+    FAIL() << "expected PmdlError";
+  } catch (const PmdlError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+  }
+}
+
+TEST(Parser, CallWithAddressOfArgument) {
+  auto algo = parse(R"(
+    typedef struct {int I; int J;} Processor;
+    algorithm A(int m) {
+      coord I=m;
+      scheme {
+        Processor Root;
+        GetProcessor(0, m, &Root);
+      };
+    })");
+  const ast::Stmt& call_stmt = *algo->scheme->body[1];
+  ASSERT_EQ(call_stmt.kind, ast::StmtKind::kExpr);
+  ASSERT_EQ(call_stmt.expr->kind, ast::ExprKind::kCall);
+  EXPECT_EQ(call_stmt.expr->name, "GetProcessor");
+  ASSERT_EQ(call_stmt.expr->args.size(), 3u);
+  EXPECT_EQ(call_stmt.expr->args[2]->kind, ast::ExprKind::kAddressOf);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto algo = parse(R"(
+    algorithm A(int p) { coord I=p; node { 1: bench*(1 + 2 * 3); }; })");
+  const ast::Expr& volume = *algo->node_clauses[0].volume;
+  ASSERT_EQ(volume.kind, ast::ExprKind::kBinary);
+  EXPECT_EQ(volume.op, Tok::kPlus);
+  EXPECT_EQ(volume.rhs->op, Tok::kStar);
+}
+
+TEST(Parser, ChainedIndexingAndMember) {
+  auto algo = parse(R"(
+    typedef struct {int I; int J;} Processor;
+    algorithm A(int m, int h[m][m]) {
+      coord I=m;
+      scheme {
+        Processor Root;
+        int x;
+        x = h[Root.I][Root.J];
+      };
+    })");
+  SUCCEED();
+}
+
+TEST(Parser, PaperFigure4Parses) {
+  auto algo = parse(pmdl::testing::em3d_source());
+  EXPECT_EQ(algo->name, "Em3d");
+  EXPECT_EQ(algo->params.size(), 4u);
+  EXPECT_EQ(algo->coords.size(), 1u);
+  EXPECT_EQ(algo->node_clauses.size(), 1u);
+  EXPECT_EQ(algo->link_clauses.size(), 1u);
+  EXPECT_EQ(algo->parent_coords.size(), 1u);
+  ASSERT_TRUE(algo->scheme);
+}
+
+TEST(Parser, PaperFigure7Parses) {
+  auto algo = parse(pmdl::testing::parallel_axb_source());
+  EXPECT_EQ(algo->name, "ParallelAxB");
+  EXPECT_EQ(algo->params.size(), 6u);
+  EXPECT_EQ(algo->coords.size(), 2u);
+  EXPECT_EQ(algo->link_iters.size(), 2u);
+  EXPECT_EQ(algo->link_clauses.size(), 2u);
+  ASSERT_EQ(algo->structs.size(), 1u);
+  ASSERT_TRUE(algo->scheme);
+}
+
+TEST(Parser, TrailingGarbageRejected) {
+  EXPECT_THROW(parse("algorithm A(int p) { coord I=p; } garbage"), PmdlError);
+}
+
+}  // namespace
+}  // namespace hmpi::pmdl

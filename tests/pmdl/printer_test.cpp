@@ -1,0 +1,108 @@
+#include "pmdl/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pmdl/model.hpp"
+#include "pmdl/parser.hpp"
+#include "pmdl_test_util.hpp"
+
+namespace hmpi::pmdl {
+namespace {
+
+/// Round-trip stability: print(parse(x)) must re-parse, and printing the
+/// re-parse must be byte-identical (the canonical form is a fixed point).
+void expect_round_trip(const char* source) {
+  auto first = parse(source);
+  const std::string printed = to_source(*first);
+  auto second = parse(printed);
+  EXPECT_EQ(printed, to_source(*second)) << "canonical form is not stable for:\n"
+                                         << source;
+}
+
+TEST(Printer, RoundTripsTheMinimalModel) {
+  expect_round_trip("algorithm A(int p) { coord I=p; }");
+}
+
+TEST(Printer, RoundTripsThePaperModels) {
+  expect_round_trip(pmdl::testing::em3d_source());
+  expect_round_trip(pmdl::testing::parallel_axb_source());
+}
+
+TEST(Printer, RoundTripPreservesSemantics) {
+  // The reprinted EM3D model must produce identical instances.
+  auto original = parse(pmdl::testing::em3d_source());
+  Model from_print = Model::from_source(to_source(*original));
+  Model from_text = Model::from_source(pmdl::testing::em3d_source());
+
+  const std::vector<ParamValue> params{
+      scalar(3), scalar(10), array({20, 35, 40}),
+      array({0, 5, 0, 5, 0, 7, 0, 7, 0})};
+  auto a = from_text.instantiate(params);
+  auto b = from_print.instantiate(params);
+  EXPECT_EQ(a.node_volumes(), b.node_volumes());
+  EXPECT_EQ(a.link_bytes(), b.link_bytes());
+  EXPECT_EQ(a.parent_index(), b.parent_index());
+}
+
+TEST(Printer, RendersSections) {
+  auto algo = parse(R"(
+    typedef struct {int I; int J;} P;
+    algorithm A(int m, int w[m]) {
+      coord I=m, J=m;
+      node { I>=0: bench*(w[J]); };
+      link (K=m) { I!=K: length*(w[I]*8) [I,J]->[K,J]; };
+      parent[0,0];
+      scheme {
+        int k;
+        for (k = 0; k < m; k++)
+          if (k % 2 == 0) (100/m)%%[k, 0]; else (100/m)%%[0, k]->[k, 0];
+      };
+    })");
+  const std::string text = to_source(*algo);
+  EXPECT_NE(text.find("typedef struct {int I; int J; } P;"), std::string::npos);
+  EXPECT_NE(text.find("algorithm A(int m, int w[m])"), std::string::npos);
+  EXPECT_NE(text.find("coord I=m, J=m;"), std::string::npos);
+  EXPECT_NE(text.find("bench*("), std::string::npos);
+  EXPECT_NE(text.find("length*("), std::string::npos);
+  EXPECT_NE(text.find("parent[0, 0];"), std::string::npos);
+  EXPECT_NE(text.find("scheme"), std::string::npos);
+  EXPECT_NE(text.find("else"), std::string::npos);
+}
+
+TEST(Printer, FullyParenthesisesExpressions) {
+  auto algo = parse("algorithm A(int a, int b) { coord I=1;"
+                    " node { 1: bench*(a + b * 2); }; }");
+  const std::string text = to_source(*algo);
+  // a + (b * 2), preserving precedence explicitly.
+  EXPECT_NE(text.find("(a + (b * 2))"), std::string::npos);
+}
+
+TEST(Printer, RendersParLoopsAndCalls) {
+  auto algo = parse(R"(
+    typedef struct {int I;} P;
+    algorithm A(int m, int w[m]) {
+      coord I=m;
+      scheme {
+        int i;
+        P Root;
+        par (i = 0; i < m; ) { Get(i, w, &Root); i += w[Root.I]; }
+      };
+    })");
+  const std::string text = to_source(*algo);
+  EXPECT_NE(text.find("par (i = 0; (i < m); )"), std::string::npos);
+  EXPECT_NE(text.find("Get(i, w, &Root);"), std::string::npos);
+  EXPECT_NE(text.find("i += w[Root.I];"), std::string::npos);
+  expect_round_trip(R"(
+    typedef struct {int I;} P;
+    algorithm A(int m, int w[m]) {
+      coord I=m;
+      scheme {
+        int i;
+        P Root;
+        par (i = 0; i < m; ) { Get(i, w, &Root); i += w[Root.I]; }
+      };
+    })");
+}
+
+}  // namespace
+}  // namespace hmpi::pmdl

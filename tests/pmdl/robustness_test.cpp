@@ -1,0 +1,163 @@
+// Robustness of the PMDL front end on unusual-but-valid programs and on a
+// second tier of malformed ones.
+#include <gtest/gtest.h>
+
+#include "pmdl/model.hpp"
+#include "pmdl_test_util.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::pmdl {
+namespace {
+
+using pmdl::testing::RecordingSink;
+using Event = RecordingSink::Event;
+
+TEST(Robustness, CommentsEverywhere) {
+  Model m = Model::from_source(R"(
+    // leading comment
+    algorithm /* inline */ A(int p /* param */) {
+      coord I=p; // trailing
+      /* block
+         spanning lines */
+      node { I>=0: bench*(1 /* one */); };
+    };
+  )");
+  EXPECT_EQ(m.name(), "A");
+  EXPECT_DOUBLE_EQ(m.instantiate({scalar(2)}).node_volume(1), 1.0);
+}
+
+TEST(Robustness, DeeplyNestedParLoops) {
+  Model m = Model::from_source(R"(
+    algorithm A(int n) {
+      coord I=n;
+      scheme {
+        int a, b, c;
+        par (a = 0; a < 2; a++)
+          par (b = 0; b < 2; b++)
+            par (c = 0; c < 2; c++)
+              if (a + b + c < n) 10%%[a + b + c];
+      };
+    })");
+  auto inst = m.instantiate({scalar(4)});
+  RecordingSink sink;
+  inst.run_scheme(sink);
+  EXPECT_EQ(sink.count(Event::kCompute), 8u);
+  EXPECT_EQ(sink.count(Event::kParBegin), 1u + 2u + 4u);
+}
+
+TEST(Robustness, ElseIfChain) {
+  Model m = Model::from_source(R"(
+    algorithm A(int p) {
+      coord I=p;
+      scheme {
+        int i;
+        for (i = 0; i < p; i++)
+          if (i == 0) 10%%[i];
+          else if (i == 1) 20%%[i];
+          else 30%%[i];
+      };
+    })");
+  auto inst = m.instantiate({scalar(3)});
+  RecordingSink sink;
+  inst.run_scheme(sink);
+  ASSERT_EQ(sink.count(Event::kCompute), 3u);
+  EXPECT_DOUBLE_EQ(sink.events[0].percent, 10.0);
+  EXPECT_DOUBLE_EQ(sink.events[1].percent, 20.0);
+  EXPECT_DOUBLE_EQ(sink.events[2].percent, 30.0);
+}
+
+TEST(Robustness, OverlappingNodeClausesFirstWins) {
+  Model m = Model::from_source(R"(
+    algorithm A(int p) {
+      coord I=p;
+      node {
+        I % 2 == 0: bench*(100);
+        I >= 0:     bench*(1);
+        I >= 0:     bench*(999);
+      };
+    })");
+  auto inst = m.instantiate({scalar(4)});
+  EXPECT_DOUBLE_EQ(inst.node_volume(0), 100.0);
+  EXPECT_DOUBLE_EQ(inst.node_volume(1), 1.0);
+  EXPECT_DOUBLE_EQ(inst.node_volume(2), 100.0);
+}
+
+TEST(Robustness, LinkWithoutIteratorVariables) {
+  Model m = Model::from_source(R"(
+    algorithm A(int p) {
+      coord I=p;
+      link { I > 0: length*(64) [I]->[0]; };
+    })");
+  auto inst = m.instantiate({scalar(3)});
+  EXPECT_EQ(inst.link_bytes().size(), 2u);
+  EXPECT_DOUBLE_EQ(inst.link_bytes().at({1, 0}), 64.0);
+  EXPECT_DOUBLE_EQ(inst.link_bytes().at({2, 0}), 64.0);
+}
+
+TEST(Robustness, OmittedParentDefaultsToOrigin) {
+  Model m = Model::from_source("algorithm A(int m) { coord I=m, J=m; }");
+  EXPECT_EQ(m.instantiate({scalar(3)}).parent_index(), 0);
+}
+
+TEST(Robustness, ThreeDimensionalCoordinates) {
+  Model m = Model::from_source(R"(
+    algorithm A(int a, int b, int c) {
+      coord I=a, J=b, K=c;
+      node { I+J+K >= 0: bench*(I*100 + J*10 + K); };
+      parent[1, 0, 1];
+    })");
+  auto inst = m.instantiate({scalar(2), scalar(3), scalar(2)});
+  EXPECT_EQ(inst.size(), 12);
+  EXPECT_EQ(inst.parent_index(), 7);  // ((1*3)+0)*2 + 1
+  const long long coords[3] = {1, 2, 1};
+  EXPECT_DOUBLE_EQ(inst.node_volume(static_cast<int>(inst.flatten(coords))), 121.0);
+}
+
+TEST(Robustness, SelfLinkClausesAreDropped) {
+  // A clause that evaluates to src == dst defines no link (self transfers
+  // are free in the model).
+  Model m = Model::from_source(R"(
+    algorithm A(int p) {
+      coord I=p;
+      link (J=p) { I >= 0: length*(8) [I]->[J]; };
+    })");
+  auto inst = m.instantiate({scalar(2)});
+  EXPECT_EQ(inst.link_bytes().count({0, 0}), 0u);
+  EXPECT_EQ(inst.link_bytes().count({1, 1}), 0u);
+  EXPECT_EQ(inst.link_bytes().size(), 2u);
+}
+
+TEST(Robustness, MalformedProgramsSecondTier) {
+  // Each throws a PmdlError rather than crashing or hanging.
+  const char* broken[] = {
+      "",                                              // empty
+      "algorithm",                                     // truncated
+      "algorithm A(int p) { coord I=p;",               // unclosed brace
+      "algorithm A(int p) { coord I=p; node { 1: bench(3); }; }",  // no '*'
+      "algorithm A(int p) { coord I=p; link { 1: length*(8) [0]; }; }",  // no dst
+      "algorithm A(int p) { coord I=p; scheme { 100%%; }; }",  // no coords
+      "algorithm A(int p) { coord I=p; scheme { par (;;) 100%%[0]; }; }",
+      "algorithm A(int p, int p2, ) { coord I=p; }",   // trailing comma
+      "typedef struct {int I;} ; algorithm A(int p) { coord I=p; }",  // no name
+  };
+  for (const char* source : broken) {
+    EXPECT_THROW(Model::from_source(source), PmdlError) << source;
+  }
+}
+
+TEST(Robustness, HugeButBoundedInstantiation) {
+  // 64 abstract processors with a dense link matrix: instantiation stays
+  // well-behaved (this is beyond any sensible HNOC, not beyond the code).
+  Model m = Model::from_source(R"(
+    algorithm A(int p) {
+      coord I=p;
+      node { I>=0: bench*(I+1); };
+      link (J=p) { I != J: length*(8) [I]->[J]; };
+    })");
+  auto inst = m.instantiate({scalar(64)});
+  EXPECT_EQ(inst.size(), 64);
+  EXPECT_EQ(inst.link_bytes().size(), 64u * 63u);
+}
+
+}  // namespace
+}  // namespace hmpi::pmdl

@@ -1,0 +1,84 @@
+#include "support/apportion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::support {
+namespace {
+
+TEST(Apportion, ZeroTotal) {
+  const double shares[] = {1.0, 2.0};
+  EXPECT_EQ(apportion(0, shares), (std::vector<int>{0, 0}));
+}
+
+TEST(Apportion, SingleShareTakesEverything) {
+  const double shares[] = {0.37};
+  EXPECT_EQ(apportion(17, shares), (std::vector<int>{17}));
+}
+
+TEST(Apportion, ProportionalAtScale) {
+  const double shares[] = {1.0, 3.0};
+  EXPECT_EQ(apportion(4000, shares), (std::vector<int>{1000, 3000}));
+}
+
+TEST(Apportion, NeverNegativeAndAlwaysExact) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.next_in(1, 10));
+    std::vector<double> shares;
+    for (int i = 0; i < n; ++i) shares.push_back(rng.next_double_in(0.0, 10.0));
+    shares[0] += 0.001;  // keep the sum positive
+    const int total = static_cast<int>(rng.next_in(0, 500));
+    const auto result = apportion(total, shares);
+    EXPECT_EQ(std::accumulate(result.begin(), result.end(), 0), total);
+    for (int v : result) EXPECT_GE(v, 0);
+  }
+}
+
+TEST(Apportion, ErrorWithinOneUnitOfExact) {
+  // Largest-remainder guarantees |result_i - exact_i| < 1.
+  const double shares[] = {2.5, 7.5, 90.0};
+  const auto result = apportion(97, shares);
+  const double sum = 100.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double exact = 97.0 * shares[i] / sum;
+    EXPECT_LT(std::abs(result[i] - exact), 1.0);
+  }
+}
+
+TEST(Apportion, NegativeTotalRejected) {
+  const double shares[] = {1.0};
+  EXPECT_THROW(apportion(-1, shares), InvalidArgument);
+}
+
+TEST(RequireHelper, ThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "specific message");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(ErrorHierarchy, CatchableAsBase) {
+  // Every library error is an hmpi::Error and a std::exception.
+  auto throws_mp = [] { throw MpError("x"); };
+  auto throws_pmdl = [] { throw PmdlError("y", 3, 4); };
+  EXPECT_THROW(throws_mp(), Error);
+  EXPECT_THROW(throws_pmdl(), Error);
+  try {
+    throws_pmdl();
+  } catch (const PmdlError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 4);
+    EXPECT_STREQ(e.what(), "pmdl:3:4: y");
+  }
+}
+
+}  // namespace
+}  // namespace hmpi::support

@@ -1,0 +1,83 @@
+#include "support/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hmpi::support {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructsWithInitValue) {
+  Matrix<double> m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, AtReadsAndWrites) {
+  Matrix<int> m(2, 2);
+  m.at(0, 1) = 7;
+  m.at(1, 0) = -3;
+  EXPECT_EQ(m.at(0, 1), 7);
+  EXPECT_EQ(m.at(1, 0), -3);
+  EXPECT_EQ(m.at(0, 0), 0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix<int> m(2, 3);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 3), InvalidArgument);
+  const Matrix<int>& cm = m;
+  EXPECT_THROW(cm.at(5, 5), InvalidArgument);
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingStorage) {
+  Matrix<int> m(3, 3);
+  std::iota(m.flat().begin(), m.flat().end(), 0);
+  auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 3u);
+  EXPECT_EQ(row1[0], 3);
+  EXPECT_EQ(row1[2], 5);
+  row1[1] = 99;
+  EXPECT_EQ(m.at(1, 1), 99);
+}
+
+TEST(Matrix, RowThrowsOutOfRange) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.row(2), InvalidArgument);
+}
+
+TEST(Matrix, FillOverwritesEverything) {
+  Matrix<int> m(2, 2, 1);
+  m.fill(9);
+  for (int v : m.flat()) EXPECT_EQ(v, 9);
+}
+
+TEST(Matrix, EqualityComparesShapeAndContents) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  Matrix<int> c(2, 2, 2);
+  Matrix<int> d(4, 1, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, UncheckedAccessMatchesChecked) {
+  Matrix<int> m(2, 3);
+  m(1, 2) = 42;
+  EXPECT_EQ(m.at(1, 2), 42);
+}
+
+}  // namespace
+}  // namespace hmpi::support

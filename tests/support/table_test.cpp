@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+namespace {
+
+TEST(Table, RejectsEmptyColumnList) {
+  EXPECT_THROW(Table("t", {}), InvalidArgument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t("demo", {"n", "time"});
+  t.add_row({"1", "0.5"});
+  t.add_row({"100", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo"), std::string::npos);
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("demo", {"x", "y"});
+  t.add_row({"1", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  // Header cell "y" must be padded to the widest cell in its column.
+  EXPECT_NE(os.str().find("    y"), std::string::npos);
+}
+
+TEST(Table, CsvEmitsOneLinePerRow) {
+  Table t("demo", {"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "csv:a,b\ncsv:1,2\ncsv:3,4\n");
+}
+
+TEST(Table, NumFormatsDoublesWithPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 3), "2.000");
+  EXPECT_EQ(Table::num(7ll), "7");
+}
+
+TEST(Table, RowCount) {
+  Table t("demo", {"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hmpi::support
