@@ -57,6 +57,16 @@ void HMPI_Recon(const std::function<void(hmpi::mp::Proc&)>& benchmark) {
   hmpi::capi::detail::require_runtime().recon(benchmark);
 }
 
+void HMPI_Recon_with_timeout(const std::function<void(hmpi::mp::Proc&)>& benchmark,
+                             double timeout_s, int max_attempts,
+                             double backoff) {
+  hmpi::RetryPolicy policy;
+  policy.timeout_s = timeout_s;
+  policy.max_attempts = max_attempts;
+  policy.backoff = backoff;
+  hmpi::capi::detail::require_runtime().recon(benchmark, policy);
+}
+
 double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
                    std::span<const hmpi::pmdl::ParamValue> model_parameters) {
   return hmpi::capi::detail::require_runtime().timeof(perf_model,
@@ -75,6 +85,33 @@ void HMPI_Group_free(HMPI_Group* gid) {
                          "HMPI_Group_free: not a live group");
   hmpi::capi::detail::require_runtime().group_free(**gid);
   gid->reset();
+}
+
+int HMPI_Group_is_degraded(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(),
+                         "HMPI_Group_is_degraded: not a live group");
+  return gid->degraded() ? 1 : 0;
+}
+
+double HMPI_Group_degraded_delta(const HMPI_Group& gid) {
+  hmpi::support::require(gid.has_value(),
+                         "HMPI_Group_degraded_delta: not a live group");
+  return gid->degraded_delta();
+}
+
+void HMPI_Group_fail(HMPI_Group* gid) {
+  hmpi::support::require(gid != nullptr && gid->has_value(),
+                         "HMPI_Group_fail: not a live group");
+  hmpi::capi::detail::require_runtime().group_fail(**gid);
+  gid->reset();
+}
+
+void HMPI_Group_respawn(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                        std::span<const hmpi::pmdl::ParamValue> model_parameters) {
+  hmpi::support::require(gid != nullptr && gid->has_value(),
+                         "HMPI_Group_respawn: not a live group");
+  *gid = hmpi::capi::detail::require_runtime().group_respawn(
+      **gid, perf_model, model_parameters);
 }
 
 int HMPI_Group_rank(const HMPI_Group& gid) {

@@ -44,6 +44,15 @@ hmpi::mp::Comm HMPI_Comm_world();
 /// HMPI_Recon: refreshes processor speed estimates with a benchmark.
 void HMPI_Recon(const std::function<void(hmpi::mp::Proc&)>& benchmark);
 
+/// HMPI_Recon with a failure-detection policy: each benchmark attempt gets a
+/// virtual-time budget of `timeout_s` (growing by `backoff` per retry, up to
+/// `max_attempts` attempts); a processor that exhausts every attempt is
+/// marked suspect and skipped by group-member selection until a later
+/// successful recon (docs/faults.md).
+void HMPI_Recon_with_timeout(const std::function<void(hmpi::mp::Proc&)>& benchmark,
+                             double timeout_s, int max_attempts = 1,
+                             double backoff = 2.0);
+
 /// HMPI_Timeof: predicted execution time without running the algorithm.
 double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
                    std::span<const hmpi::pmdl::ParamValue> model_parameters);
@@ -54,6 +63,25 @@ void HMPI_Group_create(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
 
 /// HMPI_Group_free: collective over the group's members.
 void HMPI_Group_free(HMPI_Group* gid);
+
+/// HMPI_Group_is_degraded: 1 when the group was created in degraded mode
+/// (dead ranks excluded or suspect processors present), 0 otherwise.
+int HMPI_Group_is_degraded(const HMPI_Group& gid);
+
+/// HMPI_Group_degraded_delta: predicted extra execution time (seconds) of
+/// the degraded group over the one a healthy network would have produced;
+/// 0 for a non-degraded group.
+double HMPI_Group_degraded_delta(const HMPI_Group& gid);
+
+/// HMPI_Group_fail: abandons a group whose member died, without the
+/// group_free barrier; revokes its communicator so blocked survivors unwind.
+void HMPI_Group_fail(HMPI_Group* gid);
+
+/// HMPI_Group_respawn: rebuilds the group after member death (collective
+/// over the survivors and all free processes). On return `*gid` is the new
+/// group for selected processes and empty for the rest.
+void HMPI_Group_respawn(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                        std::span<const hmpi::pmdl::ParamValue> model_parameters);
 
 /// HMPI_Group_rank / HMPI_Group_size.
 int HMPI_Group_rank(const HMPI_Group& gid);

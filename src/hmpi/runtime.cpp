@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 
+#include "mpsim/trace.hpp"
 #include "support/error.hpp"
 
 namespace hmpi {
@@ -24,9 +25,15 @@ struct Runtime::Shared {
   /// several groups when it parents a nested one).
   std::map<int, int> busy_count;
 
+  /// Processors marked suspect by a recon timeout (their last known speed
+  /// stays in `network`; suspicion only removes them from member selection).
+  std::set<int> suspect_processors;
+
   struct Creation {
     std::vector<int> participants;  // sorted world ranks
     int parent_rank = -1;
+    bool degraded = false;     // dead ranks excluded or suspects present
+    std::vector<int> excluded;  // dead world ranks left out of the rendezvous
   };
   long long creation_seq = 0;
   std::map<long long, Creation> creations;
@@ -75,6 +82,13 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
     auto s = std::make_shared<Shared>();
     s->network = std::make_unique<hnoc::NetworkModel>(proc.cluster());
     s->next_creation.assign(static_cast<std::size_t>(proc.nprocs()), 0);
+    // Wake rendezvous waiters on any death so they can fail fast instead of
+    // sitting out the deadlock timeout. (The Shared outlives every process
+    // thread: the World holds it until the run ends.)
+    proc.world().on_death([raw = s.get()](int, double) {
+      { std::lock_guard<std::mutex> lock(raw->mutex); }
+      raw->cv.notify_all();
+    });
     return s;
   });
   shared_ = std::static_pointer_cast<Shared>(shared);
@@ -85,7 +99,9 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
 void Runtime::finalize(int exit_code) {
   support::require(exit_code == 0, "HMPI application finalised with an error code");
   if (finalized_) return;
-  proc_->world_comm().barrier();
+  // The shutdown barrier is world-collective; with injected deaths it would
+  // block on the dead ranks forever, so survivors simply leave.
+  if (!proc_->world().any_failed()) proc_->world_comm().barrier();
   finalized_ = true;
 }
 
@@ -103,25 +119,65 @@ bool Runtime::is_free() const {
 }
 
 void Runtime::recon(const std::function<void(mp::Proc&)>& bench) {
+  recon_impl(proc_->world_comm(), bench, config_.recon_retry);
+}
+
+void Runtime::recon(const std::function<void(mp::Proc&)>& bench,
+                    const RetryPolicy& policy) {
+  recon_impl(proc_->world_comm(), bench, policy);
+}
+
+void Runtime::recon_on(const mp::Comm& comm,
+                       const std::function<void(mp::Proc&)>& bench,
+                       const RetryPolicy& policy) {
+  support::require(comm.valid(), "recon_on needs a valid communicator");
+  recon_impl(comm, bench, policy);
+}
+
+void Runtime::recon_impl(const mp::Comm& comm,
+                         const std::function<void(mp::Proc&)>& bench,
+                         const RetryPolicy& policy) {
   support::require(static_cast<bool>(bench), "recon requires a benchmark function");
-  const double start = proc_->clock();
-  bench(*proc_);
-  const double elapsed = proc_->clock() - start;
-  support::require(elapsed > 0.0,
-                   "the recon benchmark consumed no virtual time; it must call "
-                   "Proc::compute");
+  support::require(policy.max_attempts >= 1, "recon retry needs max_attempts >= 1");
+  support::require(policy.timeout_s > 0.0, "recon timeout must be positive");
+  support::require(policy.backoff >= 1.0, "recon backoff must be >= 1");
+
+  // Run the benchmark under the per-attempt virtual-time budget. A processor
+  // that blows the budget on every attempt (each retry re-runs the benchmark
+  // with `backoff` times more headroom) is reported with the speed-0
+  // sentinel, which the update below turns into a suspect mark.
+  double budget = policy.timeout_s;
+  double elapsed = 0.0;
+  bool responsive = false;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) budget *= policy.backoff;
+    const double start = proc_->clock();
+    bench(*proc_);
+    elapsed = proc_->clock() - start;
+    support::require(elapsed > 0.0,
+                     "the recon benchmark consumed no virtual time; it must call "
+                     "Proc::compute");
+    // Guard against a degenerate benchmark producing an (almost) infinite
+    // speed estimate that would dominate every later mapping decision.
+    elapsed = std::max(elapsed, kMinBenchTime);
+    if (elapsed <= budget) {
+      responsive = true;
+      break;
+    }
+  }
 
   struct Entry {
     int processor;
-    double speed;  // benchmark executions per second
+    double speed;  // benchmark executions per second; 0 flags a timeout
   };
-  Entry mine{proc_->processor(), 1.0 / elapsed};
-  std::vector<Entry> all(static_cast<std::size_t>(proc_->nprocs()));
-  mp::Comm world = proc_->world_comm();
-  world.allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+  Entry mine{proc_->processor(), responsive ? 1.0 / elapsed : 0.0};
+  std::vector<Entry> all(static_cast<std::size_t>(comm.size()));
+  comm.allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
 
   // Every process applies the identical update (idempotent): per processor,
-  // the best speed any of its processes demonstrated.
+  // the best speed any of its processes demonstrated. A processor whose
+  // every process timed out keeps its previous estimate but becomes suspect;
+  // any demonstrated speed clears the mark.
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
     std::map<int, double> best;
@@ -130,26 +186,53 @@ void Runtime::recon(const std::function<void(mp::Proc&)>& bench) {
       slot = std::max(slot, e.speed);
     }
     for (const auto& [processor, speed] : best) {
-      shared_->network->set_speed(processor, speed);
+      if (speed > 0.0) {
+        shared_->network->set_speed(processor, speed);
+        if (shared_->suspect_processors.erase(processor) > 0) {
+          if (mp::Tracer* tracer = proc_->world().options().tracer) {
+            mp::TraceEvent event;
+            event.kind = mp::TraceEvent::Kind::kRecover;
+            event.world_rank = proc_->rank();
+            event.processor = processor;
+            event.start_time = proc_->clock();
+            event.end_time = proc_->clock();
+            tracer->record(event);
+          }
+        }
+      } else if (shared_->suspect_processors.insert(processor).second) {
+        if (mp::Tracer* tracer = proc_->world().options().tracer) {
+          mp::TraceEvent event;
+          event.kind = mp::TraceEvent::Kind::kSuspect;
+          event.world_rank = proc_->rank();
+          event.processor = processor;
+          event.start_time = proc_->clock();
+          event.end_time = proc_->clock();
+          tracer->record(event);
+        }
+      }
     }
   }
-  world.barrier();
+  comm.barrier();
 }
 
 std::vector<map::Candidate> Runtime::candidates_with(
     int parent_rank, std::vector<int>* ranks) const {
+  mp::World& world = proc_->world();
   std::vector<int> participants{parent_rank};
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
     for (int r = 0; r < proc_->nprocs(); ++r) {
-      if (r != parent_rank && shared_->is_free_locked(r)) participants.push_back(r);
+      if (r != parent_rank && shared_->is_free_locked(r) && world.alive(r) &&
+          shared_->suspect_processors.count(world.processor_of(r)) == 0) {
+        participants.push_back(r);
+      }
     }
   }
   std::sort(participants.begin(), participants.end());
   std::vector<map::Candidate> candidates;
   candidates.reserve(participants.size());
   for (int r : participants) {
-    candidates.push_back({r, proc_->world().processor_of(r)});
+    candidates.push_back({r, world.processor_of(r)});
   }
   if (ranks != nullptr) *ranks = std::move(participants);
   return candidates;
@@ -175,6 +258,12 @@ double Runtime::timeof(const pmdl::Model& model,
 
 std::optional<Group> Runtime::group_create(
     const pmdl::Model& model, std::span<const pmdl::ParamValue> params) {
+  return group_create_impl(model, params, CreateRole::kAuto);
+}
+
+std::optional<Group> Runtime::group_create_impl(
+    const pmdl::Model& model, std::span<const pmdl::ParamValue> params,
+    CreateRole role) {
   support::require(!finalized_, "group_create after finalize");
   const int me = proc_->rank();
   mp::World& world = proc_->world();
@@ -186,8 +275,12 @@ std::optional<Group> Runtime::group_create(
   // busy before it even entered group_create — its role is decided by the
   // queue, not by its current busy state). Only a non-free caller with no
   // pending creation addressed to it becomes the parent of a new creation.
+  // Dead ranks are excluded from the announcement; doing so flags the
+  // creation degraded, as does the presence of any suspect processor.
   std::vector<int> participants;
   int parent_world = -1;
+  bool degraded = false;
+  std::vector<int> excluded;
   {
     std::unique_lock<std::mutex> lock(shared_->mutex);
     const auto deadline =
@@ -207,28 +300,58 @@ std::optional<Group> Runtime::group_create(
         }
         participants = c.participants;
         parent_world = c.parent_rank;
+        degraded = c.degraded;
+        excluded = c.excluded;
         shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
         break;
       }
-      if (me == 0 || live_groups_ > 0) {
+      if (role == CreateRole::kParent ||
+          (role == CreateRole::kAuto && (me == 0 || live_groups_ > 0))) {
         // Non-free caller with no pending creation addressed to it: it is
         // the parent; announce the creation. (Freeness here is the caller's
         // local view — see is_free().)
         parent_world = me;
         participants.push_back(me);
         for (int r = 0; r < world.nprocs(); ++r) {
-          if (r != me && shared_->is_free_locked(r)) participants.push_back(r);
+          if (r == me) continue;
+          if (!world.alive(r)) {
+            // Dead ranks count as excluded whatever their (possibly stale)
+            // busy state says: a crashed group member never releases its
+            // membership, yet its loss is exactly what degrades this
+            // creation.
+            excluded.push_back(r);
+          } else if (shared_->is_free_locked(r)) {
+            participants.push_back(r);
+          }
         }
         std::sort(participants.begin(), participants.end());
-        shared_->creations[id] = {participants, me};
+        for (int r : participants) {
+          if (shared_->suspect_processors.count(world.processor_of(r)) > 0) {
+            degraded = true;
+          }
+        }
+        if (!excluded.empty()) degraded = true;
+        shared_->creations[id] = {participants, me, degraded, excluded};
         shared_->creation_seq = id + 1;
         shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
         shared_->cv.notify_all();
         break;
       }
-      // Free process with nothing announced yet: wait.
+      // Free process (or forced follower) with nothing announced yet: wait.
       if (world.aborted()) {
         throw MpError("world aborted while waiting for a group creation");
+      }
+      if (world.any_failed()) {
+        // Fail fast when nobody left alive can ever announce a creation.
+        bool parent_possible = world.alive(0);
+        for (const auto& [r, count] : shared_->busy_count) {
+          if (count > 0 && world.alive(r)) parent_possible = true;
+        }
+        if (!parent_possible) {
+          throw PeerFailedError(
+              "every process that could parent a group creation has crashed",
+              mp::kAnySource, std::numeric_limits<double>::infinity());
+        }
       }
       if (shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
           shared_->creations.find(id) == shared_->creations.end()) {
@@ -250,28 +373,77 @@ std::optional<Group> Runtime::group_create(
   std::vector<int> members;  // world rank per abstract processor
   std::vector<long long> shape;
   double estimated = 0.0;
+  double ideal = 0.0;  // degraded mode: prediction with everyone healthy
   long long group_id = -1;
   if (me == parent_world) {
     const pmdl::ModelInstance instance = model.instantiate(params);
     shape = instance.shape();
-    std::vector<map::Candidate> candidates;
-    candidates.reserve(participants.size());
-    for (int r : participants) {
-      candidates.push_back({r, world.processor_of(r)});
-    }
     hnoc::NetworkModel snapshot = [&] {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       return *shared_->network;
     }();
-    const map::MappingResult result = config_.mapper->select(
-        instance, candidates, parent_coord, snapshot, config_.estimate);
+
+    const auto run_mapper = [&](const std::vector<int>& candidate_ranks) {
+      std::vector<map::Candidate> candidates;
+      candidates.reserve(candidate_ranks.size());
+      for (int r : candidate_ranks) {
+        candidates.push_back({r, world.processor_of(r)});
+      }
+      const int pidx = static_cast<int>(
+          std::find(candidate_ranks.begin(), candidate_ranks.end(),
+                    parent_world) -
+          candidate_ranks.begin());
+      return config_.mapper->select(instance, candidates, pidx, snapshot,
+                                    config_.estimate);
+    };
+
+    // Suspect processors stay in the rendezvous (they are alive and must
+    // join the collective) but are not drafted as members — unless that
+    // leaves the model infeasible, in which case they are re-admitted (a
+    // slow group beats no group). The parent itself is always a candidate.
+    std::vector<int> preferred;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      for (int r : participants) {
+        if (r == parent_world ||
+            shared_->suspect_processors.count(world.processor_of(r)) == 0) {
+          preferred.push_back(r);
+        }
+      }
+    }
+    std::vector<int> chosen_from = preferred;
+    map::MappingResult result;
+    if (preferred.size() == participants.size()) {
+      result = run_mapper(participants);
+      chosen_from = participants;
+    } else {
+      try {
+        result = run_mapper(preferred);
+      } catch (const InvalidArgument&) {
+        result = run_mapper(participants);
+        chosen_from = participants;
+      }
+    }
     members.resize(static_cast<std::size_t>(instance.size()));
     for (int a = 0; a < instance.size(); ++a) {
       members[static_cast<std::size_t>(a)] =
-          participants[static_cast<std::size_t>(
+          chosen_from[static_cast<std::size_t>(
               result.candidate_for_abstract[static_cast<std::size_t>(a)])];
     }
     estimated = result.estimated_time;
+    if (degraded) {
+      // What would this creation have looked like with the excluded dead
+      // ranks healthy and the suspects trusted? Their last known speeds are
+      // still in the snapshot, so the same mapper answers the hypothetical.
+      std::vector<int> healthy = participants;
+      healthy.insert(healthy.end(), excluded.begin(), excluded.end());
+      std::sort(healthy.begin(), healthy.end());
+      try {
+        ideal = run_mapper(healthy).estimated_time;
+      } catch (const Error&) {
+        ideal = estimated;  // hypothetical infeasible: report no delta
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       group_id = shared_->group_counter++;
@@ -285,6 +457,10 @@ std::optional<Group> Runtime::group_create(
   coord.bcast_vector(shape, parent_coord);
   coord.bcast_value(estimated, parent_coord);
   coord.bcast_value(group_id, parent_coord);
+  // Only degraded creations pay for the extra round: every participant knows
+  // the flag from the blackboard entry, so the healthy path stays
+  // byte-identical to a run without the fault layer.
+  if (degraded) coord.bcast_value(ideal, parent_coord);
 
   // --- selected members form the group (ordered by abstract processor) ------
   const bool selected =
@@ -300,6 +476,8 @@ std::optional<Group> Runtime::group_create(
   group.estimated_time_ = estimated;
   group.id_ = group_id;
   group.shape_ = std::move(shape);
+  group.degraded_ = degraded;
+  group.degraded_delta_ = degraded ? std::max(0.0, estimated - ideal) : 0.0;
   return group;
 }
 
@@ -315,7 +493,8 @@ std::optional<Group> Runtime::group_auto_create(
   support::require(static_cast<bool>(params_for),
                    "group_auto_create requires a parameter builder");
 
-  // Parent: search the p that minimises the prediction.
+  // Parent: search the p that minimises the prediction. Only live free
+  // processes (plus the parent) can become members.
   const int available = static_cast<int>(free_ranks().size()) + 1;
   double best_time = 0.0;
   int best_p = -1;
@@ -395,9 +574,93 @@ std::vector<int> Runtime::free_ranks() const {
   std::lock_guard<std::mutex> lock(shared_->mutex);
   std::vector<int> out;
   for (int r = 0; r < proc_->nprocs(); ++r) {
-    if (shared_->is_free_locked(r)) out.push_back(r);
+    if (shared_->is_free_locked(r) && proc_->world().alive(r)) out.push_back(r);
   }
   return out;
+}
+
+Health Runtime::rank_health(int world_rank) const {
+  if (!proc_->world().alive(world_rank)) return Health::kDead;
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  const int processor = proc_->world().processor_of(world_rank);
+  return shared_->suspect_processors.count(processor) > 0 ? Health::kSuspect
+                                                          : Health::kAlive;
+}
+
+bool Runtime::processor_suspect(int processor) const {
+  support::require(processor >= 0 && processor < proc_->cluster().size(),
+                   "processor index out of range");
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->suspect_processors.count(processor) > 0;
+}
+
+std::vector<int> Runtime::suspect_processors() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return {shared_->suspect_processors.begin(),
+          shared_->suspect_processors.end()};
+}
+
+void Runtime::group_fail(Group& group) {
+  support::require(group.valid(), "group_fail on an invalid group");
+  support::require(live_groups_ > 0,
+                   "group_fail by a process with no group membership");
+  mp::World& world = proc_->world();
+  // Propagate: members of this group still blocked on alive peers unwind
+  // with RevokedError instead of waiting out the deadlock timeout.
+  world.revoke_context(group.comm().context());
+  live_groups_ -= 1;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    const int me = proc_->rank();
+    auto it = shared_->busy_count.find(me);
+    support::require(it != shared_->busy_count.end() && it->second > 0,
+                     "group_fail by a process with no group membership");
+    it->second -= 1;
+    // Rejoin the creation queue at the current head.
+    shared_->next_creation[static_cast<std::size_t>(proc_->rank())] =
+        shared_->creation_seq;
+  }
+  group = Group();
+}
+
+std::optional<Group> Runtime::group_respawn(
+    Group& group, const pmdl::Model& model,
+    std::span<const pmdl::ParamValue> params) {
+  support::require(group.valid(), "group_respawn on an invalid group");
+  mp::World& world = proc_->world();
+
+  // Survivors (in group-rank order) and the elected parent: the original
+  // parent if it lives, else the surviving member with the lowest group
+  // rank. Every survivor computes this identically from the old member list
+  // and the liveness map; liveness cannot regress, and survivors that
+  // observe a death *later* still agree because the member they see dead
+  // here is dead for everyone by the time any respawn communication happens.
+  std::vector<int> survivors;
+  for (int member : group.members()) {
+    if (world.alive(member)) survivors.push_back(member);
+  }
+  support::require(static_cast<int>(survivors.size()) < group.size(),
+                   "group_respawn needs at least one dead member (use "
+                   "group_free on a healthy group)");
+  support::require(!survivors.empty(), "group_respawn with no survivors");
+  const int old_parent = group.members()[static_cast<std::size_t>(
+      group.parent_rank())];
+  const int new_parent = world.alive(old_parent) ? old_parent : survivors.front();
+
+  // Release this process's membership (revoking first so survivors blocked
+  // inside the dead group unwind and reach their own group_respawn call).
+  group_fail(group);
+
+  // All survivors must have released membership before the parent announces
+  // the replacement creation, or the announcement would miss the laggards
+  // (they would look busy). A barrier over the survivor subgroup enforces
+  // exactly that ordering.
+  mp::Comm survivors_comm = mp::Comm::create_subcomm(*proc_, survivors);
+  survivors_comm.barrier();
+
+  const CreateRole role = proc_->rank() == new_parent ? CreateRole::kParent
+                                                      : CreateRole::kFollower;
+  return group_create_impl(model, params, role);
 }
 
 }  // namespace hmpi

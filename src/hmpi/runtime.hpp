@@ -34,6 +34,7 @@
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -48,6 +49,40 @@
 
 namespace hmpi {
 
+/// Benchmark times below this are clamped before inverting into a speed so a
+/// degenerate (or mis-written) benchmark cannot produce an infinite estimate
+/// (docs/faults.md).
+inline constexpr double kMinBenchTime = 1e-9;
+
+/// Retry/timeout policy for Recon benchmarks (docs/faults.md). A benchmark
+/// attempt whose *virtual* elapsed time exceeds the current budget is
+/// considered hung; the budget grows by `backoff` per retry (a slow-but-alive
+/// machine gets progressively more headroom). A processor that exhausts every
+/// attempt is marked *suspect*: it keeps participating in collectives but is
+/// excluded from group-member selection until a later recon succeeds on it.
+struct RetryPolicy {
+  /// Benchmark attempts before declaring the processor suspect (>= 1).
+  int max_attempts = 1;
+  /// Virtual-time budget of the first attempt; infinity disables the check
+  /// (the default policy is zero-cost: identical traffic to no policy).
+  double timeout_s = std::numeric_limits<double>::infinity();
+  /// Budget multiplier applied on each retry (exponential backoff).
+  double backoff = 2.0;
+
+  /// True when a timeout can actually fire.
+  bool enabled() const noexcept {
+    return timeout_s != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Health of a world rank as the runtime sees it.
+enum class Health {
+  kAlive,    ///< Participates normally.
+  kSuspect,  ///< On a processor that timed out in recon; excluded from
+             ///< member selection but still part of every collective.
+  kDead,     ///< Killed by an injected fault; excluded from everything.
+};
+
 /// Tunables of the runtime (identical at every process).
 struct RuntimeConfig {
   /// Process-selection algorithm; null selects the library default
@@ -56,6 +91,9 @@ struct RuntimeConfig {
   /// Cost-model overheads used by Timeof / Group_create (defaults match the
   /// execution engine).
   est::EstimateOptions estimate;
+  /// Default retry/timeout policy applied by recon() (the default never
+  /// times out, matching pre-fault-layer behaviour exactly).
+  RetryPolicy recon_retry;
 };
 
 class Runtime;
@@ -83,6 +121,16 @@ class Group {
   /// The execution time the runtime predicted when selecting this group.
   double estimated_time() const noexcept { return estimated_time_; }
 
+  /// True when the group was formed in degraded mode: dead ranks were
+  /// excluded from the rendezvous or suspect processors were present, so the
+  /// selection drew from fewer candidates than a healthy run would have.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// Predicted slowdown of degraded mode: estimated_time() minus the time
+  /// the runtime predicts for the group it would have built had every
+  /// excluded process been healthy (clamped at 0; 0 when not degraded).
+  double degraded_delta() const noexcept { return degraded_delta_; }
+
   /// World ranks of the members, by group rank.
   const std::vector<int>& members() const { return comm_.group(); }
 
@@ -105,6 +153,8 @@ class Group {
   double estimated_time_ = 0.0;
   long long id_ = -1;
   std::vector<long long> shape_;
+  bool degraded_ = false;
+  double degraded_delta_ = 0.0;
 };
 
 /// Per-process handle to the HMPI runtime system (see file comment).
@@ -136,8 +186,23 @@ class Runtime {
 
   /// HMPI_Recon: collective over all world processes. Runs `bench` (which
   /// should execute one benchmark unit of the application's core
-  /// computation) and refreshes the speed estimate of this processor.
+  /// computation) and refreshes the speed estimate of this processor, under
+  /// the config's default RetryPolicy.
   void recon(const std::function<void(mp::Proc&)>& bench);
+
+  /// HMPI_Recon with an explicit retry/timeout policy: a processor whose
+  /// benchmark exceeds the per-attempt budget on every attempt is marked
+  /// suspect (excluded from member selection; a later successful recon
+  /// recovers it). Collective over all world processes.
+  void recon(const std::function<void(mp::Proc&)>& bench,
+             const RetryPolicy& policy);
+
+  /// Recon restricted to the members of `comm` (all of them must call it).
+  /// This is the failure-aware variant: after a crash, survivors refresh
+  /// their estimates over a communicator that excludes the dead, where the
+  /// world-collective recon would raise PeerFailedError.
+  void recon_on(const mp::Comm& comm, const std::function<void(mp::Proc&)>& bench,
+                const RetryPolicy& policy = RetryPolicy());
 
   /// HMPI_Timeof: local. Predicted execution time (seconds) of the group
   /// that would be created for `model(params)` right now, with this process
@@ -174,6 +239,43 @@ class Runtime {
   /// HMPI_Group_free: collective over the group's members.
   void group_free(Group& group);
 
+  /// Declares a group failed and abandons it without the group_free barrier
+  /// (which would hang on dead members). Revokes the group's communicator
+  /// context — members still blocked on alive peers of the group unwind with
+  /// RevokedError — and releases this process's membership. Call from the
+  /// handler of PeerFailedError / RevokedError; every survivor must call
+  /// either this or group_respawn.
+  void group_fail(Group& group);
+
+  /// Rebuilds a group after member death. Collective over the survivors of
+  /// `group` (every one must call it, typically from a PeerFailedError /
+  /// RevokedError handler) and all currently free processes. Internally:
+  /// revokes the old context, releases the survivors' membership, elects the
+  /// parent (the original parent if alive, else the surviving member with
+  /// the lowest group rank), and runs a fresh degraded-mode group_create —
+  /// so replacement members can be drafted from the free pool. Returns the
+  /// new group for selected processes, std::nullopt for the rest (they
+  /// become free). `model`/`params` are read at the elected parent. Not
+  /// concurrency-safe against unrelated simultaneous group_create calls.
+  std::optional<Group> group_respawn(Group& group, const pmdl::Model& model,
+                                     std::span<const pmdl::ParamValue> params);
+  std::optional<Group> group_respawn(Group& group, const pmdl::Model& model,
+                                     std::initializer_list<pmdl::ParamValue> params) {
+    return group_respawn(group, model,
+                         std::span<const pmdl::ParamValue>(params.begin(),
+                                                           params.size()));
+  }
+
+  /// Health of a world rank: dead (injected crash), suspect (recon timeout
+  /// on its processor), or alive.
+  Health rank_health(int world_rank) const;
+
+  /// True when `processor` is currently marked suspect.
+  bool processor_suspect(int processor) const;
+
+  /// Processors currently marked suspect (diagnostics / tests).
+  std::vector<int> suspect_processors() const;
+
   /// Current speed estimates (diagnostics; the paper's
   /// HMPI_Get_processors_info).
   std::vector<double> processor_speeds() const;
@@ -198,6 +300,20 @@ class Runtime {
 
  private:
   struct Shared;  // world-level blackboard
+
+  /// How a caller enters the group-creation rendezvous: kAuto derives the
+  /// role from host/freeness (the normal paper semantics); group_respawn
+  /// forces the elected parent to kParent and the other survivors to
+  /// kFollower (they may be the host or locally non-free, yet must wait for
+  /// the respawn announcement instead of starting their own creation).
+  enum class CreateRole { kAuto, kParent, kFollower };
+
+  std::optional<Group> group_create_impl(const pmdl::Model& model,
+                                         std::span<const pmdl::ParamValue> params,
+                                         CreateRole role);
+
+  void recon_impl(const mp::Comm& comm, const std::function<void(mp::Proc&)>& bench,
+                  const RetryPolicy& policy);
 
   std::vector<map::Candidate> candidates_with(int parent_rank,
                                               std::vector<int>* ranks) const;

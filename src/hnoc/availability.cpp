@@ -1,0 +1,61 @@
+#include "hnoc/availability.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hmpi::hnoc {
+
+Availability::Availability(std::vector<Outage> outages)
+    : outages_(std::move(outages)) {
+  for (const Outage& o : outages_) {
+    support::require(o.from >= 0.0, "availability outage must start at t >= 0");
+    support::require(o.to > o.from, "availability outage must end after it starts");
+  }
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.from < b.from; });
+}
+
+Availability Availability::down(double from, double to) const {
+  std::vector<Outage> outages = outages_;
+  outages.push_back({from, to});
+  return Availability(std::move(outages));
+}
+
+Availability Availability::down_from(double from) const {
+  return down(from, std::numeric_limits<double>::infinity());
+}
+
+bool Availability::available_at(double t) const noexcept {
+  for (const Outage& o : outages_) {
+    if (t >= o.from && t < o.to) return false;
+  }
+  return true;
+}
+
+double Availability::next_up_after(double t) const noexcept {
+  // Intervals may overlap; iterate until none covers t.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Outage& o : outages_) {
+      if (t >= o.from && t < o.to) {
+        t = o.to;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+double Availability::permanent_failure_time() const noexcept {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Outage& o : outages_) {
+    if (o.to == std::numeric_limits<double>::infinity()) {
+      earliest = std::min(earliest, o.from);
+    }
+  }
+  return earliest;
+}
+
+}  // namespace hmpi::hnoc

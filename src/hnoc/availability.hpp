@@ -1,0 +1,58 @@
+// Machine availability over virtual time.
+//
+// The LoadProfile models a machine that slows down under external load; the
+// Availability calendar models the harder reality of multi-user HNOCs (paper
+// §1): machines drop off the network and come back, or die outright. It is a
+// declarative companion to mp::FaultPlan — FaultPlan::from_cluster translates
+// a cluster's calendars into concrete injected faults (finite down intervals
+// become link outages of every link touching the machine; a permanent
+// failure crashes every process placed on it).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace hmpi::hnoc {
+
+/// Piecewise description of when a machine is reachable. Empty == always up.
+class Availability {
+ public:
+  /// One down interval [from, to); `to` == infinity means the machine never
+  /// comes back (permanent failure).
+  struct Outage {
+    double from = 0.0;
+    double to = 0.0;
+  };
+
+  /// Always-up calendar.
+  Availability() = default;
+
+  /// Builds a calendar from down intervals; they are sorted and validated
+  /// (from < to, non-negative times). Overlapping intervals are permitted
+  /// and treated as their union.
+  explicit Availability(std::vector<Outage> outages);
+
+  /// Fluent helpers: returns a copy with one more down interval.
+  Availability down(double from, double to) const;
+  /// Permanent failure from `from` on.
+  Availability down_from(double from) const;
+
+  /// True when the machine is reachable at virtual time `t`.
+  bool available_at(double t) const noexcept;
+
+  /// First time >= `t` at which the machine is reachable, or infinity when
+  /// it has permanently failed by then.
+  double next_up_after(double t) const noexcept;
+
+  /// Start of the permanent failure, if the calendar has one.
+  /// Returns infinity otherwise.
+  double permanent_failure_time() const noexcept;
+
+  bool always_up() const noexcept { return outages_.empty(); }
+  const std::vector<Outage>& outages() const noexcept { return outages_; }
+
+ private:
+  std::vector<Outage> outages_;  // sorted by `from`
+};
+
+}  // namespace hmpi::hnoc

@@ -63,7 +63,14 @@ double Cluster::total_base_speed() const noexcept {
 
 ClusterBuilder& ClusterBuilder::add(std::string name, double speed,
                                     LoadProfile load) {
-  processors_.push_back({std::move(name), speed, std::move(load)});
+  processors_.push_back({std::move(name), speed, std::move(load), {}});
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::availability(Availability avail) {
+  support::require(!processors_.empty(),
+                   "availability() must follow the add() of a processor");
+  processors_.back().availability = std::move(avail);
   return *this;
 }
 

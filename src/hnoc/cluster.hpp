@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "hnoc/availability.hpp"
 #include "hnoc/load_profile.hpp"
 
 namespace hmpi::hnoc {
@@ -42,6 +43,9 @@ struct Processor {
   double speed = 1.0;
   /// External (multi-user) load; effective speed is speed * multiplier(t).
   LoadProfile load;
+  /// When the machine is reachable at all (multi-user networks lose machines
+  /// outright, not just cycles). Consumed by mp::FaultPlan::from_cluster.
+  Availability availability;
 };
 
 /// Immutable description of a heterogeneous network of computers.
@@ -89,6 +93,9 @@ class ClusterBuilder {
  public:
   /// Adds one processor; returns *this.
   ClusterBuilder& add(std::string name, double speed, LoadProfile load = {});
+
+  /// Sets the availability calendar of the most recently added processor.
+  ClusterBuilder& availability(Availability avail);
 
   /// Sets the default inter-machine link (switched network).
   ClusterBuilder& network(double latency_s, double bandwidth_bps);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "mpsim/trace.hpp"
@@ -59,12 +60,26 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
   support::require(tag >= 0, "send tag must be non-negative");
   const int dst_world = world_rank_of(dst);
   World& world = proc_->world();
+  const FaultPlan& faults = world.options().faults;
+
+  proc_->check_crash();  // a process whose crash time has passed cannot send
 
   const int src_proc = proc_->processor();
   const int dst_proc = world.processor_of(dst_world);
-  const auto [start, finish] =
+  const World::LinkReservation link =
       world.reserve_link(src_proc, dst_proc, proc_->clock(), logical_bytes);
-  (void)start;
+  double finish = link.finish;
+
+  // Per-message faults apply to application traffic only (user tags), so the
+  // decision stream is insensitive to library-internal collective rounds.
+  bool dropped = false;
+  bool delayed = false;
+  if (faults.message_faults() && tag <= kMaxUserTag) {
+    const std::uint64_t seq = proc_->next_fault_sequence(dst_world);
+    dropped = faults.drops_message(proc_->rank(), dst_world, seq);
+    delayed = !dropped && faults.delays_message(proc_->rank(), dst_world, seq);
+    if (delayed) finish += faults.delay_s;
+  }
 
   Envelope e;
   e.src_world = proc_->rank();
@@ -76,7 +91,9 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
 
   if (Tracer* tracer = world.options().tracer) {
     TraceEvent event;
-    event.kind = TraceEvent::Kind::kSend;
+    event.kind = dropped ? TraceEvent::Kind::kDrop
+                         : (delayed ? TraceEvent::Kind::kDelay
+                                    : TraceEvent::Kind::kSend);
     event.world_rank = proc_->rank();
     event.processor = src_proc;
     event.peer = dst_world;
@@ -86,42 +103,99 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
     event.start_time = proc_->clock();
     event.end_time = finish;
     tracer->record(event);
+    if (link.outage_deferred) {
+      TraceEvent blocked = event;
+      blocked.kind = TraceEvent::Kind::kLinkBlocked;
+      blocked.end_time = link.start;
+      tracer->record(blocked);
+    }
   }
 
   proc_->set_clock(proc_->clock() + world.options().send_overhead_s);
   proc_->stats().msgs_sent += 1;
   proc_->stats().bytes_sent += logical_bytes;
 
-  world.mailbox(dst_world).deliver(std::move(e));
+  if (!dropped) world.mailbox(dst_world).deliver(std::move(e));
 }
 
-Status Comm::recv_bytes(std::span<std::byte> buffer, int src, int tag) const {
-  return recv_impl(&buffer, src, tag);
+Status Comm::recv_bytes(std::span<std::byte> buffer, int src, int tag,
+                        double timeout_s) const {
+  return recv_impl(&buffer, src, tag, timeout_s);
 }
 
-Status Comm::recv_placeholder(int src, int tag) const {
-  return recv_impl(nullptr, src, tag);
+Status Comm::recv_placeholder(int src, int tag, double timeout_s) const {
+  return recv_impl(nullptr, src, tag, timeout_s);
 }
 
-Status Comm::recv_impl(std::span<std::byte>* buffer, int src, int tag) const {
+Status Comm::recv_impl(std::span<std::byte>* buffer, int src, int tag,
+                       double timeout_s) const {
   support::require(valid(), "receive on an invalid communicator");
   support::require(src == kAnySource || (src >= 0 && src < size()),
                    "receive source rank out of range");
   support::require(tag == kAnyTag || tag >= 0, "receive tag must be >= 0 or kAnyTag");
   World& world = proc_->world();
   const int src_world = src == kAnySource ? kAnySource : world_rank_of(src);
+  if (timeout_s == kUseWorldTimeout) {
+    timeout_s = world.options().deadlock_timeout_s;
+  }
+  support::require(timeout_s > 0.0, "receive timeout must be positive");
 
+  proc_->check_crash();  // a process whose crash time has passed cannot receive
+
+  // A blocked receive is hopeless (no message can ever match) when the
+  // communicator's context was revoked, when the named source is dead, or —
+  // for kAnySource — when every other member is dead.
+  const auto hopeless = [&]() -> bool {
+    if (world.context_revoked(context_)) return true;
+    if (src_world != kAnySource) return !world.alive(src_world);
+    for (int member : *members_) {
+      if (member != proc_->rank() && world.alive(member)) return false;
+    }
+    return true;
+  };
+
+  world.note_recv_begin(proc_->rank(), src_world, tag, context_, proc_->clock());
   auto envelope = world.mailbox(proc_->rank())
-                      .take_matching(src_world, tag, context_,
-                                     world.options().deadlock_timeout_s);
+                      .take_matching(src_world, tag, context_, timeout_s,
+                                     hopeless);
   if (!envelope) {
     if (world.aborted()) {
+      world.note_recv_end(proc_->rank());
       throw MpError("world aborted while " +
                     describe_recv(*proc_, src, tag, context_));
     }
+    if (src_world != kAnySource && !world.alive(src_world)) {
+      world.note_recv_end(proc_->rank());
+      throw PeerFailedError(
+          "peer failed: world rank " + std::to_string(src_world) +
+              " crashed at virtual t=" +
+              std::to_string(world.death_time(src_world)) + "s while " +
+              describe_recv(*proc_, src, tag, context_),
+          src_world, world.death_time(src_world));
+    }
+    if (src_world == kAnySource && hopeless() &&
+        !world.context_revoked(context_)) {
+      world.note_recv_end(proc_->rank());
+      throw PeerFailedError("all potential senders have crashed while " +
+                                describe_recv(*proc_, src, tag, context_),
+                            kAnySource,
+                            std::numeric_limits<double>::infinity());
+    }
+    if (world.context_revoked(context_)) {
+      world.note_recv_end(proc_->rank());
+      throw RevokedError("communicator context " + std::to_string(context_) +
+                         " revoked while " +
+                         describe_recv(*proc_, src, tag, context_));
+    }
+    // Capture the state dump before clearing this rank's own pending entry
+    // so the diagnosis includes the receive that timed out.
+    const std::string stuck = world.describe_stuck_state();
+    world.note_recv_end(proc_->rank());
     throw DeadlockError("no matching message within the deadlock timeout; " +
-                        describe_recv(*proc_, src, tag, context_));
+                        describe_recv(*proc_, src, tag, context_) + "\n" +
+                        stuck);
   }
+  world.note_recv_end(proc_->rank());
   if (buffer != nullptr) {
     support::require(buffer->size() >= envelope->payload.size(),
                      "receive buffer smaller than the incoming message");
@@ -147,6 +221,7 @@ Status Comm::recv_impl(std::span<std::byte>* buffer, int src, int tag) const {
     tracer->record(event);
   }
   proc_->set_clock(matched);
+  proc_->check_crash();  // waiting may have carried the clock past a crash
   proc_->stats().msgs_received += 1;
   proc_->stats().bytes_received += envelope->logical_bytes;
 

@@ -26,6 +26,10 @@ namespace hmpi::mp {
 /// Color value excluding a process from the communicator made by split().
 inline constexpr int kUndefinedColor = -1;
 
+/// Sentinel for per-receive timeout parameters: use the world-wide
+/// WorldOptions::deadlock_timeout_s.
+inline constexpr double kUseWorldTimeout = -1.0;
+
 namespace internal_tag {
 // Reserved tag space for library-internal traffic (all above kMaxUserTag).
 inline constexpr int kBarrierBase = kMaxUserTag + 0x0100;  // + round
@@ -75,7 +79,12 @@ class Comm {
 
   /// Blocking receive into `buffer` (must be at least the message size) from
   /// communicator rank `src` (or kAnySource), tag `tag` (or kAnyTag).
-  Status recv_bytes(std::span<std::byte> buffer, int src, int tag) const;
+  /// `timeout_s` overrides the world-wide deadlock timeout for this receive
+  /// only (kUseWorldTimeout selects the world default). Raises
+  /// PeerFailedError fast when `src` has crashed, RevokedError when the
+  /// communicator's context was revoked, DeadlockError on timeout.
+  Status recv_bytes(std::span<std::byte> buffer, int src, int tag,
+                    double timeout_s = kUseWorldTimeout) const;
 
   /// Sends a zero-payload message costed as `bytes` on the wire. Used by
   /// workload drivers in virtual-only mode: the timing (and the receiver's
@@ -87,7 +96,8 @@ class Comm {
   /// Receives a message without reading its payload (the Status reports the
   /// logical size). Pairs with send_placeholder; also accepts ordinary
   /// messages (their payload is discarded).
-  Status recv_placeholder(int src, int tag) const;
+  Status recv_placeholder(int src, int tag,
+                          double timeout_s = kUseWorldTimeout) const;
 
   /// Non-destructive test for an available matching message.
   bool iprobe(int src, int tag) const;
@@ -108,9 +118,10 @@ class Comm {
   }
 
   template <typename T>
-  Status recv(std::span<T> buffer, int src, int tag) const {
+  Status recv(std::span<T> buffer, int src, int tag,
+              double timeout_s = kUseWorldTimeout) const {
     static_assert(std::is_trivially_copyable_v<T>);
-    return recv_bytes(std::as_writable_bytes(buffer), src, tag);
+    return recv_bytes(std::as_writable_bytes(buffer), src, tag, timeout_s);
   }
 
   template <typename T>
@@ -119,9 +130,10 @@ class Comm {
   }
 
   template <typename T>
-  T recv_value(int src, int tag, Status* status = nullptr) const {
+  T recv_value(int src, int tag, Status* status = nullptr,
+               double timeout_s = kUseWorldTimeout) const {
     T value{};
-    Status s = recv(std::span<T>(&value, 1), src, tag);
+    Status s = recv(std::span<T>(&value, 1), src, tag, timeout_s);
     if (status != nullptr) *status = s;
     return value;
   }
@@ -255,7 +267,8 @@ class Comm {
   void check_member_rank(int r, const char* what) const;
   void send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
                  int dst, int tag) const;
-  Status recv_impl(std::span<std::byte>* buffer, int src, int tag) const;
+  Status recv_impl(std::span<std::byte>* buffer, int src, int tag,
+                   double timeout_s) const;
 
   Proc* proc_ = nullptr;
   int context_ = -1;

@@ -1,0 +1,101 @@
+#include "mpsim/fault.hpp"
+
+#include <algorithm>
+
+#include "hnoc/cluster.hpp"
+
+namespace hmpi::mp {
+
+namespace {
+
+/// SplitMix64 finaliser: one round is enough to decorrelate the packed
+/// (seed, src, dst, sequence) key into a uniform 64-bit value.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t message_hash(std::uint64_t seed, int src, int dst,
+                           std::uint64_t sequence, std::uint64_t salt) {
+  std::uint64_t key = seed + 0x9e3779b97f4a7c15ULL * (sequence + 1);
+  key ^= mix64(static_cast<std::uint64_t>(src) * 0xd1b54a32d192ed03ULL +
+               static_cast<std::uint64_t>(dst) + salt);
+  return mix64(key);
+}
+
+bool coin(double probability, std::uint64_t hash) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  const double unit = static_cast<double>(hash >> 11) * 0x1.0p-53;
+  return unit < probability;
+}
+
+}  // namespace
+
+std::optional<double> FaultPlan::crash_time(int world_rank) const {
+  std::optional<double> earliest;
+  for (const Crash& c : crashes) {
+    if (c.world_rank != world_rank) continue;
+    if (!earliest || c.time < *earliest) earliest = c.time;
+  }
+  return earliest;
+}
+
+double FaultPlan::link_ready_after(int src_proc, int dst_proc,
+                                   double start) const {
+  // Windows may abut or overlap; iterate until no window covers `start`.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const LinkOutage& o : outages) {
+      if (o.src_proc != src_proc || o.dst_proc != dst_proc) continue;
+      if (start >= o.start && start < o.end) {
+        start = o.end;
+        moved = true;
+      }
+    }
+  }
+  return start;
+}
+
+bool FaultPlan::drops_message(int src_world, int dst_world,
+                              std::uint64_t sequence) const {
+  return coin(drop_probability,
+              message_hash(seed, src_world, dst_world, sequence, 0x44524f50));
+}
+
+bool FaultPlan::delays_message(int src_world, int dst_world,
+                               std::uint64_t sequence) const {
+  return coin(delay_probability,
+              message_hash(seed, src_world, dst_world, sequence, 0x44454c59));
+}
+
+FaultPlan FaultPlan::from_cluster(const hnoc::Cluster& cluster,
+                                  const std::vector<int>& placement) {
+  FaultPlan plan;
+  for (int p = 0; p < cluster.size(); ++p) {
+    const hnoc::Availability& avail = cluster.processor(p).availability;
+    for (const hnoc::Availability::Outage& o : avail.outages()) {
+      if (o.to == std::numeric_limits<double>::infinity()) {
+        // Permanent failure: every process placed on p crashes at o.from.
+        for (std::size_t r = 0; r < placement.size(); ++r) {
+          if (placement[r] == p) {
+            plan.crashes.push_back({static_cast<int>(r), o.from});
+          }
+        }
+      } else {
+        // Transient outage: the machine is unreachable — every directed
+        // link touching it is down for the window.
+        for (int q = 0; q < cluster.size(); ++q) {
+          if (q == p) continue;
+          plan.outages.push_back({p, q, o.from, o.to});
+          plan.outages.push_back({q, p, o.from, o.to});
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace hmpi::mp

@@ -1,0 +1,97 @@
+// Fault injection for simulated runs (docs/faults.md).
+//
+// A FaultPlan attached to WorldOptions turns failure into a first-class,
+// deterministic event of the virtual-time model:
+//   * a process crashes when its virtual clock reaches the scheduled time
+//     (checked at every fault point: compute, elapse, send, receive);
+//   * a directed processor link can be taken down for a virtual-time
+//     interval — transfers that would start inside the outage are deferred
+//     to its end, as if a lower transport layer retried until the partition
+//     healed;
+//   * individual application messages (user tags only; library-internal
+//     collective traffic is exempt) can be dropped or delayed, decided by a
+//     seeded counter-based hash of (seed, sender, receiver, message index),
+//     so the set of affected messages is independent of host scheduling.
+//
+// The plan is zero-cost when empty: every hook first checks active(), and no
+// virtual-time quantity is touched unless a fault actually fires.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace hmpi::hnoc {
+class Cluster;
+}
+
+namespace hmpi::mp {
+
+/// Declarative description of the faults to inject into one run.
+struct FaultPlan {
+  /// Kills a process when its virtual clock reaches `time`.
+  struct Crash {
+    int world_rank = -1;
+    double time = 0.0;  ///< Virtual seconds.
+  };
+
+  /// Directed processor link unusable during [start, end): transfers that
+  /// would start inside the window are deferred to `end`.
+  struct LinkOutage {
+    int src_proc = -1;
+    int dst_proc = -1;
+    double start = 0.0;
+    double end = 0.0;
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<LinkOutage> outages;
+
+  /// Per-message probability that an application message (tag <= kMaxUserTag)
+  /// is silently dropped after the sender pays its costs.
+  double drop_probability = 0.0;
+  /// Per-message probability that an application message is delayed by
+  /// `delay_s` on top of the modelled transfer time.
+  double delay_probability = 0.0;
+  /// Extra arrival delay applied to delayed messages (virtual seconds).
+  double delay_s = 0.0;
+  /// Seed of the drop/delay decisions (deterministic per message index).
+  std::uint64_t seed = 0;
+
+  /// True when any fault can fire; all hooks are skipped otherwise.
+  bool active() const noexcept {
+    return !crashes.empty() || !outages.empty() || drop_probability > 0.0 ||
+           delay_probability > 0.0;
+  }
+
+  /// True when per-message drop/delay decisions are in play.
+  bool message_faults() const noexcept {
+    return drop_probability > 0.0 || delay_probability > 0.0;
+  }
+
+  /// Earliest scheduled crash time of `world_rank`, if any.
+  std::optional<double> crash_time(int world_rank) const;
+
+  /// First virtual time >= `start` at which a transfer over the directed
+  /// processor link may begin (skips past any covering outage windows).
+  double link_ready_after(int src_proc, int dst_proc, double start) const;
+
+  /// Deterministic drop decision for the `sequence`-th faultable message
+  /// from `src_world` to `dst_world`.
+  bool drops_message(int src_world, int dst_world,
+                     std::uint64_t sequence) const;
+
+  /// Deterministic delay decision (independent of the drop stream).
+  bool delays_message(int src_world, int dst_world,
+                      std::uint64_t sequence) const;
+
+  /// Derives a plan from the cluster's per-processor Availability calendars:
+  /// a finite down interval becomes outages of every directed link touching
+  /// the processor; a permanent failure crashes every process placed on it.
+  /// `placement` maps world rank -> processor, as passed to World::run.
+  static FaultPlan from_cluster(const hnoc::Cluster& cluster,
+                                const std::vector<int>& placement);
+};
+
+}  // namespace hmpi::mp

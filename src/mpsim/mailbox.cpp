@@ -31,13 +31,18 @@ std::optional<Envelope> Mailbox::extract_locked(int src_world, int tag,
   return std::nullopt;
 }
 
-std::optional<Envelope> Mailbox::take_matching(int src_world, int tag,
-                                               int context, double timeout_s) {
+std::optional<Envelope> Mailbox::take_matching(
+    int src_world, int tag, int context, double timeout_s,
+    const std::function<bool()>& hopeless) {
   std::unique_lock<std::mutex> lock(mutex_);
   const auto timeout = std::chrono::duration<double>(timeout_s);
   for (;;) {
     if (auto e = extract_locked(src_world, tag, context)) return e;
     if (shutdown_.load()) return std::nullopt;
+    // Checked only after a failed match and under the lock: a sender always
+    // delivers before it can die, so a dead peer observed here really has
+    // nothing more in flight for us.
+    if (hopeless && hopeless()) return std::nullopt;
     // Wait for new deliveries; restart the timeout whenever anything arrives
     // (only total silence counts as a potential deadlock).
     if (cv_.wait_for(lock, timeout) == std::cv_status::timeout) {
@@ -70,5 +75,17 @@ std::size_t Mailbox::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
 }
+
+std::vector<Mailbox::EnvelopeInfo> Mailbox::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EnvelopeInfo> out;
+  out.reserve(queue_.size());
+  for (const Envelope& e : queue_) {
+    out.push_back({e.src_world, e.context, e.tag, e.logical_bytes, e.arrival_time});
+  }
+  return out;
+}
+
+void Mailbox::poke() { cv_.notify_all(); }
 
 }  // namespace hmpi::mp

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -43,8 +44,14 @@ class Mailbox {
   /// tag == kAnyTag. Returns std::nullopt on timeout (`timeout_s` of real
   /// time with no queue activity), which the caller turns into a deadlock
   /// diagnosis.
-  std::optional<Envelope> take_matching(int src_world, int tag, int context,
-                                        double timeout_s);
+  ///
+  /// `hopeless`, when provided, is evaluated under the mailbox lock after
+  /// every failed match: returning true unblocks the wait immediately with
+  /// std::nullopt (the caller re-derives *why* — dead peer, revoked context).
+  /// Wake-ups for it are driven by poke().
+  std::optional<Envelope> take_matching(
+      int src_world, int tag, int context, double timeout_s,
+      const std::function<bool()>& hopeless = nullptr);
 
   /// Non-blocking: removes and returns a matching envelope if present.
   std::optional<Envelope> try_take_matching(int src_world, int tag, int context);
@@ -54,6 +61,23 @@ class Mailbox {
 
   /// Number of queued envelopes (diagnostics only).
   std::size_t pending() const;
+
+  /// Metadata of one queued envelope (diagnostics only).
+  struct EnvelopeInfo {
+    int src_world = 0;
+    int context = 0;
+    int tag = 0;
+    std::size_t logical_bytes = 0;
+    double arrival_time = 0.0;
+  };
+
+  /// Metadata of every queued (delivered but unreceived) envelope, in
+  /// delivery order. Used by the deadlock diagnosis.
+  std::vector<EnvelopeInfo> snapshot() const;
+
+  /// Wakes any blocked receiver so it re-evaluates its `hopeless` predicate
+  /// (e.g. after a peer died or a context was revoked).
+  void poke();
 
   /// Unblocks any waiting receiver permanently (world abort). Subsequent
   /// take_matching calls return std::nullopt immediately when no matching

@@ -26,10 +26,18 @@ std::vector<TraceEvent> Tracer::events() const {
 void Tracer::write_csv(std::ostream& os) const {
   os << "kind,world_rank,processor,peer,tag,context,bytes,units,start,end\n";
   for (const TraceEvent& e : events()) {
-    const char* kind = e.kind == TraceEvent::Kind::kSend
-                           ? "send"
-                           : (e.kind == TraceEvent::Kind::kRecv ? "recv"
-                                                                : "compute");
+    const char* kind = "compute";
+    switch (e.kind) {
+      case TraceEvent::Kind::kSend: kind = "send"; break;
+      case TraceEvent::Kind::kRecv: kind = "recv"; break;
+      case TraceEvent::Kind::kCompute: kind = "compute"; break;
+      case TraceEvent::Kind::kCrash: kind = "crash"; break;
+      case TraceEvent::Kind::kDrop: kind = "drop"; break;
+      case TraceEvent::Kind::kDelay: kind = "delay"; break;
+      case TraceEvent::Kind::kLinkBlocked: kind = "link_blocked"; break;
+      case TraceEvent::Kind::kSuspect: kind = "suspect"; break;
+      case TraceEvent::Kind::kRecover: kind = "recover"; break;
+    }
     os << kind << ',' << e.world_rank << ',' << e.processor << ',' << e.peer
        << ',' << e.tag << ',' << e.context << ',' << e.bytes << ',' << e.units
        << ',' << e.start_time << ',' << e.end_time << '\n';

@@ -15,7 +15,17 @@ namespace hmpi::mp {
 
 /// One recorded event.
 struct TraceEvent {
-  enum class Kind { kSend, kRecv, kCompute };
+  enum class Kind {
+    kSend,
+    kRecv,
+    kCompute,
+    kCrash,        ///< Process killed by an injected fault (FaultPlan).
+    kDrop,         ///< Message silently dropped by the fault plan.
+    kDelay,        ///< Message delayed by the fault plan.
+    kLinkBlocked,  ///< Transfer deferred past a link outage window.
+    kSuspect,      ///< Runtime marked a processor suspect (recon timeout).
+    kRecover,      ///< Runtime cleared a processor's suspect mark.
+  };
 
   Kind kind = Kind::kCompute;
   int world_rank = -1;  ///< Acting process.

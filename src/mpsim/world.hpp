@@ -18,13 +18,17 @@
 #include <atomic>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "hnoc/cluster.hpp"
+#include "mpsim/fault.hpp"
 #include "mpsim/mailbox.hpp"
 #include "mpsim/types.hpp"
 #include "support/error.hpp"
@@ -76,10 +80,28 @@ class Proc {
 
   void set_clock(double t) noexcept { clock_ = t; }
 
+  /// Dies (marks this process dead and unwinds via ProcessKilledError) if the
+  /// fault plan scheduled a crash at or before the current virtual clock.
+  /// Called at every fault point: compute, elapse, send, receive.
+  void check_crash();
+
+  /// Terminates this process at virtual time `t` (never returns).
+  [[noreturn]] void die(double t);
+
+  /// Next per-destination message index for deterministic drop/delay
+  /// decisions (only the owning thread touches it).
+  std::uint64_t next_fault_sequence(int dst_world) {
+    return fault_seq_[dst_world]++;
+  }
+
   World* world_;
   int rank_;
   int processor_;
   double clock_ = 0.0;
+  /// Scheduled crash time from the fault plan (infinity when none); cached
+  /// here so fault points are one comparison in the common case.
+  double crash_time_ = std::numeric_limits<double>::infinity();
+  std::map<int, std::uint64_t> fault_seq_;
   Stats stats_;
 };
 
@@ -96,6 +118,11 @@ struct WorldOptions {
   double recv_overhead_s = 5e-6;
   /// Optional event recorder (not owned; must outlive the run).
   Tracer* tracer = nullptr;
+  /// Faults to inject (crashes, link outages, message drop/delay). The
+  /// default (empty) plan is zero-cost: no virtual time or traffic differs
+  /// from a run without the fault layer. Calendars from the cluster's
+  /// per-processor Availability are merged in at World construction.
+  FaultPlan faults;
 };
 
 /// Owns the processes, mailboxes, and link state of one simulated run.
@@ -107,6 +134,8 @@ class World {
     std::vector<double> clocks;  ///< Final virtual clock per process.
     std::vector<Stats> stats;    ///< Counters per process.
     double makespan = 0.0;       ///< max(clocks).
+    /// World ranks killed by injected faults (crash time == their clock).
+    std::vector<int> failed_ranks;
   };
 
   /// Runs `nprocs = placement.size()` processes; process i executes `body`
@@ -139,16 +168,73 @@ class World {
     return *mailboxes_[static_cast<std::size_t>(world_rank)];
   }
 
+  struct LinkReservation {
+    double start = 0.0;
+    double finish = 0.0;
+    bool outage_deferred = false;  ///< Start was pushed past a link outage.
+  };
+
   /// Reserves the directed link between two processors for a transfer of
-  /// `bytes` that is ready at `ready_time`; returns {start, finish}.
-  std::pair<double, double> reserve_link(int src_proc, int dst_proc,
-                                         double ready_time, std::size_t bytes);
+  /// `bytes` that is ready at `ready_time`. Honours fault-plan link outages:
+  /// a transfer may not start inside an outage window.
+  LinkReservation reserve_link(int src_proc, int dst_proc, double ready_time,
+                               std::size_t bytes);
 
   /// Allocates a fresh communicator context id (world-unique).
   int alloc_context() { return next_context_.fetch_add(1); }
 
-  /// True once any process has failed; blocked receives then unblock.
+  /// True once any process has failed with a real error (not an injected
+  /// crash); blocked receives then unblock.
   bool aborted() const noexcept { return aborted_.load(); }
+
+  // --- per-process liveness (injected faults) -------------------------------
+
+  /// False once `world_rank` was killed by the fault plan. (A process that
+  /// exits its body normally stays "alive" — liveness tracks failures, not
+  /// completion.)
+  bool alive(int world_rank) const {
+    support::require(world_rank >= 0 && world_rank < nprocs(),
+                     "world rank out of range");
+    return alive_[static_cast<std::size_t>(world_rank)].load();
+  }
+
+  /// Virtual time `world_rank` died, or infinity while it lives.
+  double death_time(int world_rank) const;
+
+  /// True once any process was killed by the fault plan.
+  bool any_failed() const noexcept { return failed_count_.load() > 0; }
+
+  /// Kills `world_rank` at virtual time `t`: flips liveness, records a crash
+  /// trace event, wakes every blocked receiver and death watcher. Called by
+  /// the dying process itself at a fault point; idempotent.
+  void mark_dead(int world_rank, double t);
+
+  /// Registers a callback invoked (once per death, from the dying thread)
+  /// after liveness flips — used by higher layers to wake their own waiters.
+  /// Callbacks must be registered before processes start communicating and
+  /// must not throw.
+  void on_death(std::function<void(int world_rank, double t)> callback);
+
+  // --- context revocation (failure propagation) -----------------------------
+
+  /// Revokes a communicator context: every receive blocked on it (and every
+  /// future receive posted on it with no matching message already queued)
+  /// raises RevokedError. The ULFM MPI_Comm_revoke analogue; idempotent.
+  void revoke_context(int context);
+
+  bool context_revoked(int context) const;
+
+  // --- deadlock diagnosis ---------------------------------------------------
+
+  /// Registers/clears the receive `world_rank` is currently blocked in so a
+  /// deadlock diagnosis can enumerate who waits for what.
+  void note_recv_begin(int world_rank, int src, int tag, int context,
+                       double clock);
+  void note_recv_end(int world_rank);
+
+  /// Human-readable dump of every rank's blocked receive and queued
+  /// (delivered but unreceived) envelopes. Appended to DeadlockError.
+  std::string describe_stuck_state() const;
 
   /// Type-erased shared slot for higher layers (the HMPI runtime state).
   /// The factory runs exactly once across all processes.
@@ -172,6 +258,24 @@ class World {
 
   std::atomic<int> next_context_{1};  // context 0 is the world communicator
   std::atomic<bool> aborted_{false};
+
+  // Per-process liveness; atomics so fault points and hopeless-predicates
+  // read it lock-free. Everything else fault-related sits behind fault_mutex_.
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+  std::atomic<int> failed_count_{0};
+  mutable std::mutex fault_mutex_;
+  std::map<int, double> death_times_;
+  std::set<int> revoked_contexts_;
+  std::vector<std::function<void(int, double)>> death_callbacks_;
+
+  struct PendingRecv {
+    int src = kAnySource;
+    int tag = kAnyTag;
+    int context = 0;
+    double clock = 0.0;
+  };
+  mutable std::mutex pending_mutex_;
+  std::map<int, PendingRecv> pending_recvs_;
 
   std::mutex shared_mutex_;
   std::shared_ptr<void> shared_;

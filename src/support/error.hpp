@@ -34,6 +34,44 @@ class DeadlockError : public MpError {
   explicit DeadlockError(const std::string& what) : MpError(what) {}
 };
 
+/// A receive was posted against a peer that has (injected-fault) crashed and
+/// can never satisfy it. Raised in O(ms) of wall time instead of waiting out
+/// the deadlock timeout.
+class PeerFailedError : public MpError {
+ public:
+  PeerFailedError(const std::string& what, int peer_world_rank,
+                  double failure_time)
+      : MpError(what),
+        peer_world_rank_(peer_world_rank),
+        failure_time_(failure_time) {}
+
+  /// World rank of the crashed peer.
+  int peer_world_rank() const noexcept { return peer_world_rank_; }
+  /// Virtual time at which the peer crashed.
+  double failure_time() const noexcept { return failure_time_; }
+
+ private:
+  int peer_world_rank_ = -1;
+  double failure_time_ = 0.0;
+};
+
+/// A blocked operation was interrupted because its communicator's context was
+/// revoked (a surviving group member declared the group failed). The ULFM
+/// MPI_Comm_revoke analogue: it propagates failure knowledge to members that
+/// were blocked on healthy-but-escaped peers.
+class RevokedError : public MpError {
+ public:
+  explicit RevokedError(const std::string& what) : MpError(what) {}
+};
+
+/// Internal control-flow exception that unwinds the body of a process killed
+/// by an injected FaultPlan crash. World::run treats it as an expected event
+/// (the run continues with the surviving processes), never as a failure.
+class ProcessKilledError : public MpError {
+ public:
+  explicit ProcessKilledError(const std::string& what) : MpError(what) {}
+};
+
 /// Error in the performance-model definition language (lex/parse/sema/eval).
 class PmdlError : public Error {
  public:

@@ -96,6 +96,41 @@ TEST(CApi, FinalizeWithErrorCodeThrows) {
                hmpi::InvalidArgument);
 }
 
+TEST(CApi, ReconWithTimeoutAndDegradedQueriesOnHealthyRun) {
+  // Fault-tolerance entry points on a healthy network: no timeout fires, no
+  // group is degraded, respawn-related accessors stay callable.
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(4, 50.0);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    HMPI_Init(p);
+    HMPI_Recon_with_timeout([](Proc& q) { q.compute(1.0); },
+                            /*timeout_s=*/100.0, /*max_attempts=*/2);
+
+    Model model = tiny_model();
+    const std::vector<ParamValue> params{hmpi::pmdl::scalar(3)};
+    HMPI_Group gid;
+    HMPI_Group_create(&gid, model, params);
+    if (HMPI_Is_member(gid)) {
+      EXPECT_EQ(HMPI_Group_is_degraded(gid), 0);
+      EXPECT_DOUBLE_EQ(HMPI_Group_degraded_delta(gid), 0.0);
+      HMPI_Group_free(&gid);
+    }
+    HMPI_Finalize(0);
+  });
+}
+
+TEST(CApi, DegradedQueriesRequireLiveGroup) {
+  hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
+  World::run_one_per_processor(cluster, [](Proc& p) {
+    HMPI_Init(p);
+    HMPI_Group gid;
+    EXPECT_THROW(HMPI_Group_is_degraded(gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Group_degraded_delta(gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Group_fail(&gid), hmpi::InvalidArgument);
+    EXPECT_THROW(HMPI_Group_respawn(&gid, tiny_model(), {}), hmpi::InvalidArgument);
+    HMPI_Finalize(0);
+  });
+}
+
 TEST(CApi, GroupAccessorsRequireLiveGroup) {
   hmpi::hnoc::Cluster cluster = hmpi::hnoc::testbeds::homogeneous(1);
   World::run_one_per_processor(cluster, [](Proc& p) {
