@@ -2,14 +2,25 @@
 // algorithms. For the paper's two performance models, each mapper's
 // predicted makespan is compared with the exhaustive optimum, along with
 // the wall-clock cost of running the mapper itself.
+// The second table (A1b) measures the parallel exhaustive search: wall-clock
+// speedup over the serial enumeration at 1/2/4/8 threads, with and without
+// the estimate cache, asserting the bit-identical-selection guarantee from
+// docs/mapper.md along the way. The third (A1c) replays the paper's
+// Timeof-then-Group_create pattern through a shared cache and reports the
+// hit rate.
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "apps/em3d/app.hpp"
 #include "apps/matmul/app.hpp"
 #include "bench_util.hpp"
+#include "estimator/estimate_cache.hpp"
 #include "hnoc/cluster.hpp"
 #include "mapper/mapper.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -71,6 +82,7 @@ int main() {
     mappers.push_back(std::make_unique<map::GreedyMapper>());
     mappers.push_back(std::make_unique<map::SwapRefineMapper>());
     mappers.push_back(std::make_unique<map::AnnealingMapper>());
+    mappers.push_back(std::make_unique<map::PortfolioMapper>());
 
     double optimal = 0.0;
     for (const auto& mapper : mappers) {
@@ -88,5 +100,102 @@ int main() {
   }
 
   bench::emit(table);
+
+  // --- A1b: parallel exhaustive search on the 9-machine paper cluster ----
+  // 8! = 40320 arrangements with the parent pinned; the chunked search must
+  // return the serial selection bit-for-bit at every thread count.
+  {
+    hnoc::NetworkModel net(em3d_net);
+    std::vector<map::Candidate> candidates;
+    for (int i = 0; i < em3d_net.size(); ++i) candidates.push_back({i, i});
+    const map::ExhaustiveMapper exhaustive(100'000'000);
+    const pmdl::ModelInstance& instance = cases[0].instance;
+
+    map::MappingResult serial;
+    const double serial_ms = wall_ms([&] {
+      serial = exhaustive.select(instance, candidates, 0, net,
+                                 est::EstimateOptions{});
+    });
+
+    // Wall-clock speedup is bounded by the cores actually available; the
+    // bit-identity column is hardware-independent.
+    std::printf("hardware_concurrency: %u\n\n",
+                std::thread::hardware_concurrency());
+    support::Table scaling(
+        "Ablation A1b: parallel exhaustive search (em3d, 9 machines)",
+        {"threads", "cache", "wall_ms", "speedup", "hit_rate", "identical"});
+    scaling.add_row({"1", "off", support::Table::num(serial_ms, 2), "1.00",
+                     "0.00", "yes"});
+    for (bool cached : {false, true}) {
+      for (int threads : {2, 4, 8}) {
+        support::ThreadPool pool(threads);
+        est::EstimateCache cache;
+        map::SearchContext context;
+        context.pool = &pool;
+        if (cached) context.cache = &cache;
+        map::MappingResult result;
+        const double ms = wall_ms([&] {
+          result = exhaustive.select(instance, candidates, 0, net,
+                                     est::EstimateOptions{}, context);
+        });
+        const bool identical =
+            result.candidate_for_abstract == serial.candidate_for_abstract &&
+            result.estimated_time == serial.estimated_time;
+        if (!identical) {
+          std::fprintf(stderr,
+                       "FATAL: parallel exhaustive selection diverged at "
+                       "%d threads (cache %s)\n",
+                       threads, cached ? "on" : "off");
+          return 1;
+        }
+        scaling.add_row({support::Table::num(threads, 0), cached ? "on" : "off",
+                         support::Table::num(ms, 2),
+                         support::Table::num(serial_ms / ms, 2),
+                         support::Table::num(result.stats.hit_rate(), 2),
+                         "yes"});
+      }
+    }
+    bench::emit(scaling);
+  }
+
+  // --- A1c: estimate-cache hit rate on the swap-refine workload ----------
+  // The canonical runtime sequence: HMPI_Timeof to decide whether a group is
+  // worth creating, HMPI_Group_create to build it, and a group_respawn-style
+  // re-selection (docs/faults.md) later on — three identical searches over
+  // an unchanged network sharing the runtime's cache. Everything after the
+  // first search is answered from memory.
+  {
+    hnoc::NetworkModel net(em3d_net);
+    std::vector<map::Candidate> candidates;
+    for (int i = 0; i < em3d_net.size(); ++i) candidates.push_back({i, i});
+    const map::SwapRefineMapper refine;
+    est::EstimateCache cache;
+    map::SearchContext context;
+    context.cache = &cache;
+
+    support::Table workload(
+        "Ablation A1c: estimate-cache hit rate (swap-refine, timeof + create "
+        "+ respawn)",
+        {"search", "evaluations", "hits", "misses", "hit_rate"});
+    map::SearchStats combined;
+    for (const char* label : {"timeof", "group_create", "group_respawn"}) {
+      const map::MappingResult result =
+          refine.select(cases[0].instance, candidates, 0, net,
+                        est::EstimateOptions{}, context);
+      combined.evaluations += result.stats.evaluations;
+      combined.cache_hits += result.stats.cache_hits;
+      combined.cache_misses += result.stats.cache_misses;
+      workload.add_row({label, support::Table::num(result.stats.evaluations, 0),
+                        support::Table::num(result.stats.cache_hits, 0),
+                        support::Table::num(result.stats.cache_misses, 0),
+                        support::Table::num(result.stats.hit_rate(), 2)});
+    }
+    workload.add_row({"combined", support::Table::num(combined.evaluations, 0),
+                      support::Table::num(combined.cache_hits, 0),
+                      support::Table::num(combined.cache_misses, 0),
+                      support::Table::num(combined.hit_rate(), 2)});
+    bench::emit(workload);
+  }
+
   return 0;
 }

@@ -1,0 +1,89 @@
+// Memoisation of estimate_time for the group-selection search.
+//
+// The mappers (mapper/mapper.hpp) score thousands of candidate arrangements
+// per selection, and many distinct *selections* collapse to the same
+// *physical mapping*: several candidate processes live on the same machine,
+// hill-climbing re-scores the neighbours it rejected last round, and the
+// paper's canonical HMPI_Timeof-then-HMPI_Group_create pair replays the
+// whole search twice. The estimator is a pure function of
+//   (model instance, physical mapping, network speeds, overhead options),
+// so its results can be memoised: this cache keys on a fingerprint of the
+// instance and options, the NetworkModel *version counter* (bumped by every
+// set_speed, i.e. by every recon — stale speeds can never leak back), and
+// the canonical per-abstract-processor physical mapping.
+//
+// Thread safety: the table is sharded by key hash, each shard behind its own
+// mutex, so the parallel mappers can share one cache. Two threads that miss
+// the same key concurrently both compute it; estimate_time is deterministic,
+// so whichever insert lands is the same bit pattern — cached and uncached
+// searches return bit-identical results.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "estimator/estimator.hpp"
+#include "hnoc/network_model.hpp"
+#include "pmdl/model.hpp"
+
+namespace hmpi::est {
+
+class EstimateCache {
+ public:
+  EstimateCache() = default;
+  EstimateCache(const EstimateCache&) = delete;
+  EstimateCache& operator=(const EstimateCache&) = delete;
+
+  /// estimate_time(instance, mapping, network, options), memoised. Sets
+  /// *hit (when non-null) to whether the value came from the table.
+  double estimate(const pmdl::ModelInstance& instance,
+                  std::span<const int> mapping,
+                  const hnoc::NetworkModel& network, EstimateOptions options,
+                  bool* hit = nullptr);
+
+  /// Drops every entry (cumulative hit/miss counters are kept). Version
+  /// keying already prevents stale reads; clearing just releases memory,
+  /// e.g. after a recon made every existing entry unreachable.
+  void clear();
+
+  /// Entries currently stored.
+  std::size_t size() const;
+
+  /// Cumulative lookup counters (diagnostics; hits + misses = lookups).
+  long long hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  long long misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint = 0;  // instance + options
+    std::uint64_t version = 0;      // NetworkModel::version()
+    std::vector<int> mapping;       // physical processor per abstract proc
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> table;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(const Key& key);
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+};
+
+}  // namespace hmpi::est

@@ -148,3 +148,7 @@ std::vector<double> HMPI_Group_performances(const HMPI_Group& gid) {
 std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info() {
   return hmpi::capi::detail::require_runtime().processors_info();
 }
+
+hmpi::map::SearchStats HMPI_Get_mapper_stats() {
+  return hmpi::capi::detail::require_runtime().last_search_stats();
+}

@@ -101,3 +101,9 @@ std::vector<double> HMPI_Group_performances(const HMPI_Group& gid);
 
 /// HMPI_Get_processors_info: per-machine name/speed/hosted-ranks view.
 std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info();
+
+/// HMPI_Get_mapper_stats: cost of the most recent HMPI_Timeof /
+/// HMPI_Group_create selection on this process (estimator evaluations,
+/// cache hits/misses, wall seconds, worker threads). Zeroes before the
+/// first search. Local operation.
+hmpi::map::SearchStats HMPI_Get_mapper_stats();

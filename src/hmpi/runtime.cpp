@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 
+#include "estimator/estimate_cache.hpp"
 #include "mpsim/trace.hpp"
 #include "support/error.hpp"
 
@@ -20,6 +21,12 @@ struct Runtime::Shared {
   std::condition_variable cv;
 
   std::unique_ptr<hnoc::NetworkModel> network;
+
+  /// Memoised estimator results, shared by every process's searches (the
+  /// cache is internally thread-safe). Entries are keyed by the network
+  /// model's version counter, so recon speed updates invalidate them
+  /// implicitly; recon also clears the table to release the dead entries.
+  est::EstimateCache estimate_cache;
 
   /// Live-group membership count per world rank (a process can be in
   /// several groups when it parents a nested one).
@@ -75,6 +82,8 @@ int Group::rank_at(std::span<const long long> coordinates) const {
 
 Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
     : proc_(&proc), config_(std::move(config)) {
+  support::require(config_.search_threads >= 1,
+                   "search_threads must be at least 1");
   if (!config_.mapper) {
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
@@ -178,6 +187,7 @@ void Runtime::recon_impl(const mp::Comm& comm,
   // the best speed any of its processes demonstrated. A processor whose
   // every process timed out keeps its previous estimate but becomes suspect;
   // any demonstrated speed clears the mark.
+  bool speeds_changed = false;
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
     std::map<int, double> best;
@@ -188,6 +198,7 @@ void Runtime::recon_impl(const mp::Comm& comm,
     for (const auto& [processor, speed] : best) {
       if (speed > 0.0) {
         shared_->network->set_speed(processor, speed);
+        speeds_changed = true;
         if (shared_->suspect_processors.erase(processor) > 0) {
           if (mp::Tracer* tracer = proc_->world().options().tracer) {
             mp::TraceEvent event;
@@ -212,6 +223,10 @@ void Runtime::recon_impl(const mp::Comm& comm,
       }
     }
   }
+  // Version keying already makes the old entries unreachable; drop them so
+  // repeated recons do not accumulate dead memory. (Collective call: every
+  // process clears, which is an idempotent no-op after the first.)
+  if (speeds_changed) shared_->estimate_cache.clear();
   comm.barrier();
 }
 
@@ -238,6 +253,34 @@ std::vector<map::Candidate> Runtime::candidates_with(
   return candidates;
 }
 
+map::SearchContext Runtime::search_context() const {
+  map::SearchContext context;
+  if (config_.search_threads > 1 && !search_pool_) {
+    search_pool_ =
+        std::make_unique<support::ThreadPool>(config_.search_threads);
+  }
+  context.pool = search_pool_.get();
+  context.cache = config_.estimate_cache ? &shared_->estimate_cache : nullptr;
+  return context;
+}
+
+void Runtime::note_search(const map::SearchStats& stats) const {
+  last_search_stats_ = stats;
+  if (mp::Tracer* tracer = proc_->world().options().tracer) {
+    mp::TraceEvent event;
+    event.kind = mp::TraceEvent::Kind::kMapperSearch;
+    event.world_rank = proc_->rank();
+    event.processor = proc_->processor();
+    event.peer = stats.threads;
+    event.tag = static_cast<int>(stats.hit_rate() * 100.0);
+    event.bytes = static_cast<std::size_t>(stats.evaluations);
+    event.units = stats.wall_seconds;
+    event.start_time = proc_->clock();
+    event.end_time = proc_->clock();
+    tracer->record(event);
+  }
+}
+
 double Runtime::timeof(const pmdl::Model& model,
                        std::span<const pmdl::ParamValue> params) const {
   const pmdl::ModelInstance instance = model.instantiate(params);
@@ -250,10 +293,11 @@ double Runtime::timeof(const pmdl::Model& model,
     std::lock_guard<std::mutex> lock(shared_->mutex);
     return *shared_->network;
   }();
-  return config_.mapper
-      ->select(instance, candidates, parent_candidate, snapshot,
-               config_.estimate)
-      .estimated_time;
+  const map::MappingResult result =
+      config_.mapper->select(instance, candidates, parent_candidate, snapshot,
+                             config_.estimate, search_context());
+  note_search(result.stats);
+  return result.estimated_time;
 }
 
 std::optional<Group> Runtime::group_create(
@@ -383,6 +427,12 @@ std::optional<Group> Runtime::group_create_impl(
       return *shared_->network;
     }();
 
+    // All mapper runs of this creation (preferred set, fallback, degraded
+    // hypothetical) share the search machinery and aggregate into one stats
+    // record — what this group_create actually cost.
+    const map::SearchContext search = search_context();
+    map::SearchStats search_stats;
+    search_stats.threads = search.pool != nullptr ? search.pool->size() : 1;
     const auto run_mapper = [&](const std::vector<int>& candidate_ranks) {
       std::vector<map::Candidate> candidates;
       candidates.reserve(candidate_ranks.size());
@@ -393,8 +443,13 @@ std::optional<Group> Runtime::group_create_impl(
           std::find(candidate_ranks.begin(), candidate_ranks.end(),
                     parent_world) -
           candidate_ranks.begin());
-      return config_.mapper->select(instance, candidates, pidx, snapshot,
-                                    config_.estimate);
+      map::MappingResult mapped = config_.mapper->select(
+          instance, candidates, pidx, snapshot, config_.estimate, search);
+      search_stats.evaluations += mapped.stats.evaluations;
+      search_stats.cache_hits += mapped.stats.cache_hits;
+      search_stats.cache_misses += mapped.stats.cache_misses;
+      search_stats.wall_seconds += mapped.stats.wall_seconds;
+      return mapped;
     };
 
     // Suspect processors stay in the rendezvous (they are alive and must
@@ -451,6 +506,7 @@ std::optional<Group> Runtime::group_create_impl(
         shared_->busy_count[r] += 1;
       }
     }
+    note_search(search_stats);
   }
 
   coord.bcast_vector(members, parent_coord);

@@ -94,6 +94,16 @@ struct RuntimeConfig {
   /// Default retry/timeout policy applied by recon() (the default never
   /// times out, matching pre-fault-layer behaviour exactly).
   RetryPolicy recon_retry;
+  /// Worker threads driving the group-selection search (>= 1). The parallel
+  /// mappers return bit-identical selections for every value
+  /// (docs/mapper.md); raising this only buys wall-clock time. 1 runs the
+  /// search inline with no pool.
+  int search_threads = 1;
+  /// Memoise estimator calls across Timeof / Group_create through a shared
+  /// est::EstimateCache. Entries are keyed by the NetworkModel version
+  /// counter, which every recon speed update bumps, so a stale makespan can
+  /// never be served (docs/mapper.md).
+  bool estimate_cache = true;
 };
 
 class Runtime;
@@ -293,6 +303,14 @@ class Runtime {
   /// HMPI_Group_performances). Local operation.
   std::vector<double> group_performances(const Group& group) const;
 
+  /// Cost of the most recent selection search this process drove (timeof or
+  /// the parent side of group_create): estimator evaluations, cache
+  /// hits/misses, wall time, worker threads. Local diagnostics; zeros
+  /// before the first search.
+  const map::SearchStats& last_search_stats() const noexcept {
+    return last_search_stats_;
+  }
+
   /// World ranks currently free (diagnostics / tests).
   std::vector<int> free_ranks() const;
 
@@ -318,9 +336,23 @@ class Runtime {
   std::vector<map::Candidate> candidates_with(int parent_rank,
                                               std::vector<int>* ranks) const;
 
+  /// Search machinery for this process's mapper runs: the lazily created
+  /// pool (when search_threads > 1) and the world-shared estimate cache
+  /// (when enabled). Const because timeof() is.
+  map::SearchContext search_context() const;
+
+  /// Records `stats` as the latest search and emits the kMapperSearch trace
+  /// event (bytes = evaluations, units = wall seconds, tag = cache hit rate
+  /// in percent, peer = worker threads).
+  void note_search(const map::SearchStats& stats) const;
+
   mp::Proc* proc_;
   RuntimeConfig config_;
   std::shared_ptr<Shared> shared_;
+  /// Lazily constructed on the first search so the common case (a process
+  /// that never parents a selection) spawns no threads.
+  mutable std::unique_ptr<support::ThreadPool> search_pool_;
+  mutable map::SearchStats last_search_stats_;
   /// Number of live groups THIS process belongs to (local view; see
   /// is_free() for why this is not read off the shared blackboard).
   int live_groups_ = 0;

@@ -12,6 +12,8 @@
 // through from the topology; processor speeds are the mutable estimates.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "hnoc/cluster.hpp"
@@ -27,7 +29,8 @@ class NetworkModel {
   /// The referenced cluster must outlive the model.
   explicit NetworkModel(const Cluster& topology)
       : topology_(&topology),
-        speeds_(topology.size()) {
+        speeds_(topology.size()),
+        version_(next_version()) {
     for (int p = 0; p < topology.size(); ++p) {
       speeds_[static_cast<std::size_t>(p)] = topology.processor(p).speed;
     }
@@ -42,7 +45,16 @@ class NetworkModel {
   void set_speed(int p, double units_per_second) {
     support::require(units_per_second > 0.0, "speed estimate must be positive");
     speeds_.at(static_cast<std::size_t>(p)) = units_per_second;
+    version_ = next_version();
   }
+
+  /// Identity of this model's speed estimates, for memoisation
+  /// (est::EstimateCache): every mutation re-stamps the model from a
+  /// process-wide counter, so two models share a version only when one is an
+  /// unmutated copy of the other — equal versions imply equal speeds. A
+  /// recon therefore invalidates every cached makespan simply by bumping
+  /// this, and snapshot copies taken for a selection keep hitting the cache.
+  std::uint64_t version() const noexcept { return version_; }
 
   /// All estimates, indexed by processor.
   const std::vector<double>& speeds() const noexcept { return speeds_; }
@@ -55,8 +67,14 @@ class NetworkModel {
   const Cluster& topology() const noexcept { return *topology_; }
 
  private:
+  static std::uint64_t next_version() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   const Cluster* topology_;
   std::vector<double> speeds_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace hmpi::hnoc

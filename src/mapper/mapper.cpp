@@ -1,6 +1,7 @@
 #include "mapper/mapper.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -9,6 +10,29 @@
 #include "support/rng.hpp"
 
 namespace hmpi::map {
+
+namespace {
+
+/// Host wall-clock timer for SearchStats (virtual time never advances while
+/// the parent runs a search, so this is real elapsed time).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+int context_threads(const SearchContext& context) {
+  return context.pool != nullptr ? context.pool->size() : 1;
+}
+
+}  // namespace
 
 int Mapper::check(const pmdl::ModelInstance& instance,
                   std::span<const Candidate> candidates, int parent_candidate,
@@ -32,10 +56,19 @@ double Mapper::score(const pmdl::ModelInstance& instance,
                      std::span<const Candidate> candidates,
                      std::span<const int> selection,
                      const hnoc::NetworkModel& network,
-                     est::EstimateOptions options) {
+                     est::EstimateOptions options, const SearchContext& context,
+                     SearchStats* stats) {
   std::vector<int> processors(selection.size());
   for (std::size_t a = 0; a < selection.size(); ++a) {
     processors[a] = candidates[static_cast<std::size_t>(selection[a])].processor;
+  }
+  stats->evaluations += 1;
+  if (context.cache != nullptr) {
+    bool hit = false;
+    const double t =
+        context.cache->estimate(instance, processors, network, options, &hit);
+    (hit ? stats->cache_hits : stats->cache_misses) += 1;
+    return t;
   }
   return est::estimate_time(instance, processors, network, options);
 }
@@ -46,7 +79,9 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
                                        std::span<const Candidate> candidates,
                                        int parent_candidate,
                                        const hnoc::NetworkModel& network,
-                                       est::EstimateOptions options) const {
+                                       est::EstimateOptions options,
+                                       const SearchContext& context) const {
+  const WallTimer timer;
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
@@ -62,38 +97,111 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
     }
   }
 
-  std::vector<int> selection(static_cast<std::size_t>(p), -1);
-  std::vector<bool> used(static_cast<std::size_t>(n), false);
-  selection[static_cast<std::size_t>(parent_abstract)] = parent_candidate;
-  used[static_cast<std::size_t>(parent_candidate)] = true;
+  // Free abstract slots, in increasing index order (= lexicographic
+  // enumeration order of the full selection vector).
+  std::vector<int> slots;
+  for (int a = 0; a < p; ++a) {
+    if (a != parent_abstract) slots.push_back(a);
+  }
 
+  if (slots.empty()) {
+    // Only the pinned parent: a single arrangement.
+    MappingResult result;
+    result.candidate_for_abstract.assign(static_cast<std::size_t>(p),
+                                         parent_candidate);
+    result.estimated_time = score(instance, candidates,
+                                  result.candidate_for_abstract, network,
+                                  options, context, &result.stats);
+    result.stats.threads = context_threads(context);
+    result.stats.wall_seconds = timer.seconds();
+    return result;
+  }
+
+  // Partition by the first free slot's candidate: one independent chunk per
+  // non-parent candidate. Each chunk enumerates the remaining slots serially
+  // in lexicographic order, so its first-found minimum is the lexicographic
+  // smallest of its ties.
+  std::vector<int> chunk_first;
+  for (int c = 0; c < n; ++c) {
+    if (c != parent_candidate) chunk_first.push_back(c);
+  }
+
+  struct ChunkResult {
+    MappingResult best;
+    bool feasible = false;
+  };
+  std::vector<ChunkResult> chunks(chunk_first.size());
+
+  const auto run_chunk = [&](int chunk_index) {
+    ChunkResult& out = chunks[static_cast<std::size_t>(chunk_index)];
+    std::vector<int> selection(static_cast<std::size_t>(p), -1);
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    selection[static_cast<std::size_t>(parent_abstract)] = parent_candidate;
+    used[static_cast<std::size_t>(parent_candidate)] = true;
+    const int first = chunk_first[static_cast<std::size_t>(chunk_index)];
+    selection[static_cast<std::size_t>(slots.front())] = first;
+    used[static_cast<std::size_t>(first)] = true;
+
+    out.best.estimated_time = std::numeric_limits<double>::infinity();
+
+    // Depth-first over the remaining free slots, candidates ascending.
+    auto recurse = [&](auto&& self, std::size_t slot_index) -> void {
+      if (slot_index == slots.size()) {
+        const double t = score(instance, candidates, selection, network,
+                               options, context, &out.best.stats);
+        if (t < out.best.estimated_time) {
+          out.best.estimated_time = t;
+          out.best.candidate_for_abstract = selection;
+          out.feasible = true;
+        }
+        return;
+      }
+      const auto a = static_cast<std::size_t>(slots[slot_index]);
+      for (int c = 0; c < n; ++c) {
+        if (used[static_cast<std::size_t>(c)]) continue;
+        used[static_cast<std::size_t>(c)] = true;
+        selection[a] = c;
+        self(self, slot_index + 1);
+        selection[a] = -1;
+        used[static_cast<std::size_t>(c)] = false;
+      }
+    };
+    recurse(recurse, 1);
+  };
+
+  const int threads = context_threads(context);
+  if (context.pool != nullptr && threads > 1 && chunks.size() > 1) {
+    context.pool->parallel_for(static_cast<int>(chunks.size()), run_chunk);
+  } else {
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      run_chunk(static_cast<int>(i));
+    }
+  }
+
+  // Argmin reduction in chunk order; exact ties go to the lexicographically
+  // smaller selection. Chunk order is ascending first-slot candidate, so the
+  // reduction reproduces exactly what a serial lexicographic enumeration
+  // would have kept first — bit-identical for 1, 2, or N threads.
   MappingResult best;
   best.estimated_time = std::numeric_limits<double>::infinity();
-
-  // Depth-first over abstract processors, skipping the pinned parent slot.
-  auto recurse = [&](auto&& self, int a) -> void {
-    if (a == p) {
-      const double t = score(instance, candidates, selection, network, options);
-      if (t < best.estimated_time) {
-        best.estimated_time = t;
-        best.candidate_for_abstract = selection;
-      }
-      return;
+  bool feasible = false;
+  for (const ChunkResult& chunk : chunks) {
+    best.stats.evaluations += chunk.best.stats.evaluations;
+    best.stats.cache_hits += chunk.best.stats.cache_hits;
+    best.stats.cache_misses += chunk.best.stats.cache_misses;
+    if (!chunk.feasible) continue;
+    const bool wins =
+        chunk.best.estimated_time < best.estimated_time ||
+        (feasible && chunk.best.estimated_time == best.estimated_time &&
+         chunk.best.candidate_for_abstract < best.candidate_for_abstract);
+    if (!feasible || wins) {
+      best.estimated_time = chunk.best.estimated_time;
+      best.candidate_for_abstract = chunk.best.candidate_for_abstract;
+      feasible = true;
     }
-    if (a == parent_abstract) {
-      self(self, a + 1);
-      return;
-    }
-    for (int c = 0; c < n; ++c) {
-      if (used[static_cast<std::size_t>(c)]) continue;
-      used[static_cast<std::size_t>(c)] = true;
-      selection[static_cast<std::size_t>(a)] = c;
-      self(self, a + 1);
-      selection[static_cast<std::size_t>(a)] = -1;
-      used[static_cast<std::size_t>(c)] = false;
-    }
-  };
-  recurse(recurse, 0);
+  }
+  best.stats.threads = threads;
+  best.stats.wall_seconds = timer.seconds();
   return best;
 }
 
@@ -141,13 +249,18 @@ MappingResult GreedyMapper::select(const pmdl::ModelInstance& instance,
                                    std::span<const Candidate> candidates,
                                    int parent_candidate,
                                    const hnoc::NetworkModel& network,
-                                   est::EstimateOptions options) const {
+                                   est::EstimateOptions options,
+                                   const SearchContext& context) const {
+  const WallTimer timer;
   check(instance, candidates, parent_candidate, network);
   MappingResult result;
   result.candidate_for_abstract =
       greedy_selection(instance, candidates, parent_candidate, network);
-  result.estimated_time = score(instance, candidates,
-                                result.candidate_for_abstract, network, options);
+  result.estimated_time =
+      score(instance, candidates, result.candidate_for_abstract, network,
+            options, context, &result.stats);
+  result.stats.threads = context_threads(context);
+  result.stats.wall_seconds = timer.seconds();
   return result;
 }
 
@@ -157,15 +270,19 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
                                        std::span<const Candidate> candidates,
                                        int parent_candidate,
                                        const hnoc::NetworkModel& network,
-                                       est::EstimateOptions options) const {
+                                       est::EstimateOptions options,
+                                       const SearchContext& context) const {
+  const WallTimer timer;
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
 
+  SearchStats stats;
   std::vector<int> selection =
       GreedyMapper::greedy_selection(instance, candidates, parent_candidate,
                                      network);
-  double best = score(instance, candidates, selection, network, options);
+  double best = score(instance, candidates, selection, network, options,
+                      context, &stats);
 
   std::vector<bool> used(static_cast<std::size_t>(n), false);
   for (int c : selection) used[static_cast<std::size_t>(c)] = true;
@@ -180,7 +297,8 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
         if (b == parent_abstract) continue;
         std::swap(selection[static_cast<std::size_t>(a)],
                   selection[static_cast<std::size_t>(b)]);
-        const double t = score(instance, candidates, selection, network, options);
+        const double t = score(instance, candidates, selection, network,
+                               options, context, &stats);
         if (t + 1e-15 < best) {
           best = t;
           improved = true;
@@ -198,7 +316,8 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
         if (used[static_cast<std::size_t>(c)]) continue;
         const int old = selection[static_cast<std::size_t>(a)];
         selection[static_cast<std::size_t>(a)] = c;
-        const double t = score(instance, candidates, selection, network, options);
+        const double t = score(instance, candidates, selection, network,
+                               options, context, &stats);
         if (t + 1e-15 < best) {
           best = t;
           improved = true;
@@ -216,6 +335,9 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
   MappingResult result;
   result.candidate_for_abstract = std::move(selection);
   result.estimated_time = best;
+  result.stats = stats;
+  result.stats.threads = context_threads(context);
+  result.stats.wall_seconds = timer.seconds();
   return result;
 }
 
@@ -225,14 +347,18 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
                                       std::span<const Candidate> candidates,
                                       int parent_candidate,
                                       const hnoc::NetworkModel& network,
-                                      est::EstimateOptions options) const {
+                                      est::EstimateOptions options,
+                                      const SearchContext& context) const {
+  const WallTimer timer;
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
 
+  SearchStats stats;
   std::vector<int> current = GreedyMapper::greedy_selection(
       instance, candidates, parent_candidate, network);
-  double current_score = score(instance, candidates, current, network, options);
+  double current_score =
+      score(instance, candidates, current, network, options, context, &stats);
   std::vector<int> best = current;
   double best_score = current_score;
 
@@ -248,8 +374,19 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
   for (int a = 0; a < p; ++a) {
     if (a != parent_abstract) slots.push_back(a);
   }
+
+  const auto finish = [&](std::vector<int> selection, double t) {
+    MappingResult result;
+    result.candidate_for_abstract = std::move(selection);
+    result.estimated_time = t;
+    result.stats = stats;
+    result.stats.threads = context_threads(context);
+    result.stats.wall_seconds = timer.seconds();
+    return result;
+  };
+
   if (slots.empty()) {
-    return {std::move(best), best_score};
+    return finish(std::move(best), best_score);
   }
 
   for (int iter = 0; iter < options_.iterations; ++iter, temperature *= options_.cooling) {
@@ -286,7 +423,8 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
                 current[static_cast<std::size_t>(slot_b)]);
     }
 
-    const double proposed = score(instance, candidates, current, network, options);
+    const double proposed =
+        score(instance, candidates, current, network, options, context, &stats);
     const double delta = proposed - current_score;
     const bool accept =
         delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
@@ -310,7 +448,78 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
     }
   }
 
-  return {std::move(best), best_score};
+  return finish(std::move(best), best_score);
+}
+
+// --- PortfolioMapper -------------------------------------------------------------
+
+PortfolioMapper::PortfolioMapper(Options options) : options_(options) {
+  support::require(options_.annealing_restarts >= 0,
+                   "portfolio annealing restarts must be >= 0");
+  support::require(options_.swap_refine_rounds >= 1,
+                   "portfolio swap-refine rounds must be >= 1");
+}
+
+MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
+                                      std::span<const Candidate> candidates,
+                                      int parent_candidate,
+                                      const hnoc::NetworkModel& network,
+                                      est::EstimateOptions options,
+                                      const SearchContext& context) const {
+  const WallTimer timer;
+  check(instance, candidates, parent_candidate, network);
+
+  // Fixed member order: the reduction prefers earlier members on exact ties,
+  // so this order is part of the determinism contract.
+  std::vector<std::unique_ptr<Mapper>> members;
+  members.push_back(std::make_unique<GreedyMapper>());
+  members.push_back(
+      std::make_unique<SwapRefineMapper>(options_.swap_refine_rounds));
+  for (int r = 0; r < options_.annealing_restarts; ++r) {
+    AnnealingOptions restart = options_.annealing;
+    restart.seed = restart_seed(options_.annealing.seed, r);
+    members.push_back(std::make_unique<AnnealingMapper>(restart));
+  }
+
+  // Each member is a serial algorithm; the pool races the members against
+  // each other, and they share the context's estimate cache (greedy's start
+  // is swap-refine's start is every restart's start — instant hits).
+  const SearchContext member_context{nullptr, context.cache};
+  std::vector<MappingResult> results(members.size());
+  const auto run_member = [&](int m) {
+    results[static_cast<std::size_t>(m)] =
+        members[static_cast<std::size_t>(m)]->select(
+            instance, candidates, parent_candidate, network, options,
+            member_context);
+  };
+
+  const int threads = context_threads(context);
+  if (context.pool != nullptr && threads > 1 && members.size() > 1) {
+    context.pool->parallel_for(static_cast<int>(members.size()), run_member);
+  } else {
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      run_member(static_cast<int>(m));
+    }
+  }
+
+  // Every member ran to completion: reduce in member order, strict
+  // improvement only, so the winner is thread-count independent.
+  MappingResult best;
+  std::size_t winner = 0;
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    best.stats.evaluations += results[m].stats.evaluations;
+    best.stats.cache_hits += results[m].stats.cache_hits;
+    best.stats.cache_misses += results[m].stats.cache_misses;
+    if (m == 0 || results[m].estimated_time < results[winner].estimated_time) {
+      winner = m;
+    }
+  }
+  best.candidate_for_abstract =
+      std::move(results[winner].candidate_for_abstract);
+  best.estimated_time = results[winner].estimated_time;
+  best.stats.threads = threads;
+  best.stats.wall_seconds = timer.seconds();
+  return best;
 }
 
 std::unique_ptr<Mapper> make_default_mapper() {

@@ -12,6 +12,17 @@
 //   * SwapRefineMapper — greedy start, then hill-climbing over pairwise
 //                        swaps and substitutions of unused candidates,
 //                        scored by the estimator.
+//   * AnnealingMapper  — simulated annealing over the same move set.
+//   * PortfolioMapper  — greedy + swap-refine + multi-seed annealing
+//                        restarts raced concurrently; best result wins.
+//
+// Every mapper accepts a SearchContext carrying a thread pool and an
+// estimate cache. Determinism guarantee (docs/mapper.md): for a fixed input,
+// select() returns a bit-identical MappingResult (selection and
+// estimated_time) for any thread count and regardless of whether a cache is
+// supplied. Parallel searches partition their work into chunks whose results
+// are reduced in a fixed order with a lexicographic tie-break, so thread
+// scheduling can never change the winner.
 //
 // The model's parent abstract processor is pinned to the parent process
 // (HMPI semantics: every group shares exactly one process with its creator).
@@ -23,9 +34,11 @@
 #include <string>
 #include <vector>
 
+#include "estimator/estimate_cache.hpp"
 #include "estimator/estimator.hpp"
 #include "hnoc/network_model.hpp"
 #include "pmdl/model.hpp"
+#include "support/thread_pool.hpp"
 
 namespace hmpi::map {
 
@@ -35,12 +48,39 @@ struct Candidate {
   int processor = -1;   ///< Physical processor the process runs on.
 };
 
+/// Cost accounting of one select() run.
+struct SearchStats {
+  long long evaluations = 0;   ///< Arrangements scored (cache hits included).
+  long long cache_hits = 0;    ///< Evaluations answered from the cache.
+  long long cache_misses = 0;  ///< Evaluations the estimator had to replay.
+  double wall_seconds = 0.0;   ///< Host wall-clock time of the search.
+  int threads = 1;             ///< Workers the search ran with.
+
+  /// cache_hits / (cache_hits + cache_misses); 0 when uncached.
+  double hit_rate() const noexcept {
+    const long long lookups = cache_hits + cache_misses;
+    return lookups > 0 ? static_cast<double>(cache_hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
+/// Shared machinery a caller may hand to a search. Both members are
+/// borrowed, optional, and independent: a null pool runs serially, a null
+/// cache scores every arrangement through the estimator directly.
+struct SearchContext {
+  support::ThreadPool* pool = nullptr;
+  est::EstimateCache* cache = nullptr;
+};
+
 /// A selection: which candidate plays each abstract processor.
 struct MappingResult {
   /// candidate_for_abstract[a] indexes the `candidates` span.
   std::vector<int> candidate_for_abstract;
   /// Estimated execution time of this arrangement.
   double estimated_time = 0.0;
+  /// What the search cost (populated by every mapper).
+  SearchStats stats;
 };
 
 /// Common interface of the selection algorithms.
@@ -51,11 +91,22 @@ class Mapper {
   /// Selects |instance| candidates (injectively). `parent_candidate` indexes
   /// `candidates` and is pinned to the model's parent abstract processor.
   /// Throws InvalidArgument when fewer candidates than abstract processors.
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options) const {
+    return select(instance, candidates, parent_candidate, network, options,
+                  SearchContext{});
+  }
+
+  /// As above, with explicit search machinery (thread pool, estimate cache).
+  /// The result is bit-identical for every SearchContext (see file comment).
   virtual MappingResult select(const pmdl::ModelInstance& instance,
                                std::span<const Candidate> candidates,
                                int parent_candidate,
                                const hnoc::NetworkModel& network,
-                               est::EstimateOptions options) const = 0;
+                               est::EstimateOptions options,
+                               const SearchContext& context) const = 0;
 
   virtual std::string name() const = 0;
 
@@ -65,26 +116,47 @@ class Mapper {
                    std::span<const Candidate> candidates, int parent_candidate,
                    const hnoc::NetworkModel& network);
 
-  /// Estimated time of `selection` (candidate indices per abstract proc).
+  /// Estimated time of `selection` (candidate indices per abstract proc),
+  /// through the context's cache when present; bumps `stats`.
   static double score(const pmdl::ModelInstance& instance,
                       std::span<const Candidate> candidates,
                       std::span<const int> selection,
                       const hnoc::NetworkModel& network,
-                      est::EstimateOptions options);
+                      est::EstimateOptions options, const SearchContext& context,
+                      SearchStats* stats);
+
+  /// Uncached, unaccounted variant (compatibility helper).
+  static double score(const pmdl::ModelInstance& instance,
+                      std::span<const Candidate> candidates,
+                      std::span<const int> selection,
+                      const hnoc::NetworkModel& network,
+                      est::EstimateOptions options) {
+    SearchStats stats;
+    return score(instance, candidates, selection, network, options,
+                 SearchContext{}, &stats);
+  }
 };
 
 /// Optimal by enumeration of all injective assignments with the parent
 /// pinned. Throws InvalidArgument when the search space exceeds
 /// `max_combinations` (guard against accidental blow-up).
+///
+/// Parallel: the assignment tree is partitioned by the first free abstract
+/// slot's candidate into independent chunks; each chunk enumerates serially
+/// in lexicographic order, and the per-chunk minima are reduced in chunk
+/// order with ties broken towards the lexicographically smallest selection —
+/// the same winner the serial enumeration finds first.
 class ExhaustiveMapper : public Mapper {
  public:
   explicit ExhaustiveMapper(long long max_combinations = 2'000'000)
       : max_combinations_(max_combinations) {}
 
+  using Mapper::select;
   MappingResult select(const pmdl::ModelInstance& instance,
                        std::span<const Candidate> candidates,
                        int parent_candidate, const hnoc::NetworkModel& network,
-                       est::EstimateOptions options) const override;
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
   std::string name() const override { return "exhaustive"; }
 
  private:
@@ -94,10 +166,12 @@ class ExhaustiveMapper : public Mapper {
 /// Largest node volume onto the fastest estimated processor.
 class GreedyMapper : public Mapper {
  public:
+  using Mapper::select;
   MappingResult select(const pmdl::ModelInstance& instance,
                        std::span<const Candidate> candidates,
                        int parent_candidate, const hnoc::NetworkModel& network,
-                       est::EstimateOptions options) const override;
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
   std::string name() const override { return "greedy"; }
 
   /// The raw greedy selection without the final scoring (shared with
@@ -126,10 +200,12 @@ class AnnealingMapper : public Mapper {
   explicit AnnealingMapper(Options options = AnnealingOptions())
       : options_(options) {}
 
+  using Mapper::select;
   MappingResult select(const pmdl::ModelInstance& instance,
                        std::span<const Candidate> candidates,
                        int parent_candidate, const hnoc::NetworkModel& network,
-                       est::EstimateOptions options) const override;
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
   std::string name() const override { return "annealing"; }
 
  private:
@@ -141,14 +217,59 @@ class SwapRefineMapper : public Mapper {
  public:
   explicit SwapRefineMapper(int max_rounds = 64) : max_rounds_(max_rounds) {}
 
+  using Mapper::select;
   MappingResult select(const pmdl::ModelInstance& instance,
                        std::span<const Candidate> candidates,
                        int parent_candidate, const hnoc::NetworkModel& network,
-                       est::EstimateOptions options) const override;
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
   std::string name() const override { return "swap-refine"; }
 
  private:
   int max_rounds_;
+};
+
+/// Tunables of PortfolioMapper.
+struct PortfolioOptions {
+  /// Concurrent annealing members; each runs with a seed derived by
+  /// PortfolioMapper::restart_seed so no two retrace the same trajectory.
+  int annealing_restarts = 4;
+  /// Base annealing tunables (the seed field is the derivation base).
+  AnnealingOptions annealing;
+  /// Hill-climbing rounds of the swap-refine member.
+  int swap_refine_rounds = 64;
+};
+
+/// Races greedy, swap-refine, and `annealing_restarts` differently-seeded
+/// annealing runs — concurrently when the context has a pool — and returns
+/// the best result. Every member runs to completion and the reduction walks
+/// members in a fixed order (ties keep the earliest member), so the outcome
+/// is identical for 1 or N threads.
+class PortfolioMapper : public Mapper {
+ public:
+  using Options = PortfolioOptions;
+
+  explicit PortfolioMapper(Options options = PortfolioOptions());
+
+  using Mapper::select;
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
+  std::string name() const override { return "portfolio"; }
+
+  /// Deterministic per-restart RNG seed: base xor the restart index, so
+  /// restart 0 reproduces a plain AnnealingMapper with the base seed and
+  /// every restart diverges immediately (SplitMix64 decorrelates adjacent
+  /// seeds from the first draw). Pinned by tests — changing this derivation
+  /// changes every portfolio selection.
+  static std::uint64_t restart_seed(std::uint64_t base_seed, int restart) noexcept {
+    return base_seed ^ static_cast<std::uint64_t>(restart);
+  }
+
+ private:
+  Options options_;
 };
 
 /// The library default (what HMPI_Group_create uses).

@@ -37,6 +37,7 @@ void Tracer::write_csv(std::ostream& os) const {
       case TraceEvent::Kind::kLinkBlocked: kind = "link_blocked"; break;
       case TraceEvent::Kind::kSuspect: kind = "suspect"; break;
       case TraceEvent::Kind::kRecover: kind = "recover"; break;
+      case TraceEvent::Kind::kMapperSearch: kind = "mapper_search"; break;
     }
     os << kind << ',' << e.world_rank << ',' << e.processor << ',' << e.peer
        << ',' << e.tag << ',' << e.context << ',' << e.bytes << ',' << e.units

@@ -25,6 +25,10 @@ struct TraceEvent {
     kLinkBlocked,  ///< Transfer deferred past a link outage window.
     kSuspect,      ///< Runtime marked a processor suspect (recon timeout).
     kRecover,      ///< Runtime cleared a processor's suspect mark.
+    kMapperSearch, ///< A group-selection search finished (timeof or the
+                   ///< parent side of group_create). bytes = estimator
+                   ///< evaluations, units = search wall seconds, tag = cache
+                   ///< hit rate in percent, peer = worker threads.
   };
 
   Kind kind = Kind::kCompute;

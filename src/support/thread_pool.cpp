@@ -1,0 +1,97 @@
+#include "support/thread_pool.hpp"
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  require(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::drain_job() {
+  for (;;) {
+    int index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_.next >= job_.count) return;
+      index = job_.next++;
+    }
+    try {
+      (*job_.task)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_.error_index < 0 || index < job_.error_index) {
+        job_.error = std::current_exception();
+        job_.error_index = index;
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (generation_ != seen && job_.next < job_.count);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      ++job_.active;
+    }
+    drain_job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job_.active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(int count, const std::function<void(int)>& task) {
+  require(count >= 0, "parallel_for needs a non-negative count");
+  require(static_cast<bool>(task), "parallel_for needs a task");
+  if (count == 0) return;
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.task = &task;
+    job_.count = count;
+    job_.next = 0;
+    job_.active = 0;
+    job_.error = nullptr;
+    job_.error_index = -1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a worker too: a pool of size 1 runs everything inline.
+  drain_job();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job_.active == 0; });
+    error = job_.error;
+    job_.task = nullptr;
+    job_.count = 0;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace hmpi::support

@@ -1,0 +1,76 @@
+// A small chunked thread pool for the group-selection search.
+//
+// The parallel mappers (mapper/mapper.hpp) partition their search space into
+// independent chunks and reduce the per-chunk results in a fixed order, so
+// the *scheduling* of chunks onto workers is free to be nondeterministic —
+// all determinism lives in the reduction. This pool provides exactly that
+// contract: parallel_for(count, task) runs task(0..count-1) across the
+// workers, blocks until every index completed, and rethrows the
+// lowest-index exception if any task threw.
+//
+// ThreadPool(n) keeps n-1 background workers; the calling thread acts as the
+// n-th worker inside parallel_for, so a pool of size 1 runs everything
+// inline on the caller (no threads, no synchronisation overhead) — which is
+// what makes "search_threads = 1" byte-identical to the pre-parallel code.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmpi::support {
+
+class ThreadPool {
+ public:
+  /// Starts `threads - 1` background workers (`threads` >= 1).
+  explicit ThreadPool(int threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins the workers. Must not race an in-flight parallel_for.
+  ~ThreadPool();
+
+  /// Total workers, including the calling thread (>= 1).
+  int size() const noexcept { return threads_; }
+
+  /// Runs task(i) for every i in [0, count), distributed over the workers,
+  /// and blocks until all complete. Indices are claimed dynamically (a slow
+  /// chunk does not hold up idle workers). If tasks throw, the exception of
+  /// the lowest index is rethrown after every task finished. Safe to call
+  /// from several threads; concurrent calls are serialised. Must not be
+  /// called from inside one of its own tasks (no nesting).
+  void parallel_for(int count, const std::function<void(int)>& task);
+
+ private:
+  struct Job {
+    const std::function<void(int)>* task = nullptr;
+    int count = 0;
+    int next = 0;       // next index to claim (under mutex_)
+    int active = 0;     // workers currently inside the job
+    std::exception_ptr error;
+    int error_index = -1;
+  };
+
+  void worker_loop();
+  /// Claims and runs indices of the current job until none remain.
+  void drain_job();
+
+  std::mutex submit_mutex_;  // serialises parallel_for callers
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a job arrived / shutdown
+  std::condition_variable done_cv_;  // caller: the job finished
+  Job job_;
+  std::uint64_t generation_ = 0;  // bumped per job so workers never re-enter
+  bool shutdown_ = false;
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hmpi::support

@@ -1,0 +1,199 @@
+#include "estimator/estimate_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::est {
+namespace {
+
+using pmdl::InstanceBuilder;
+using pmdl::ModelInstance;
+using pmdl::ScheduleSink;
+
+/// Model with computation and a communication ring, so estimates depend on
+/// both speeds and links.
+ModelInstance ring_model(int p) {
+  InstanceBuilder b("ring");
+  b.shape({p});
+  for (int a = 0; a < p; ++a) {
+    b.node_volume(a, 10.0 * (a + 1));
+    b.link(a, (a + 1) % p, 1e5 * (a + 1));
+  }
+  b.scheme([p](ScheduleSink& s) {
+    s.par_begin();
+    for (long long a = 0; a < p; ++a) {
+      s.par_iter_begin();
+      const long long c[1] = {a};
+      s.compute(c, 100.0);
+    }
+    s.par_end();
+    for (long long a = 0; a < p; ++a) {
+      const long long src[1] = {a}, dst[1] = {(a + 1) % p};
+      s.transfer(src, dst, 100.0);
+    }
+  });
+  return b.build();
+}
+
+TEST(EstimateCache, AgreesBitForBitWithUncachedOnRandomMappings) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(5);
+  EstimateCache cache;
+  support::Rng rng(0xcafe);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> mapping(5);
+    for (int& p : mapping) {
+      p = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(net.size())));
+    }
+    const double plain = estimate_time(inst, mapping, net, EstimateOptions{});
+    const double cached = cache.estimate(inst, mapping, net, EstimateOptions{});
+    EXPECT_EQ(plain, cached);  // exact, not approximate
+    // A second lookup must hit and return the identical bits.
+    bool hit = false;
+    EXPECT_EQ(cache.estimate(inst, mapping, net, EstimateOptions{}, &hit), plain);
+    EXPECT_TRUE(hit);
+  }
+  EXPECT_GT(cache.hits(), 0);
+  EXPECT_GT(cache.misses(), 0);
+}
+
+TEST(EstimateCache, RepeatLookupsHit) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4);
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(3);
+  EstimateCache cache;
+  const std::vector<int> mapping{0, 1, 2};
+  bool hit = true;
+  cache.estimate(inst, mapping, net, EstimateOptions{}, &hit);
+  EXPECT_FALSE(hit);
+  cache.estimate(inst, mapping, net, EstimateOptions{}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(EstimateCache, SetSpeedInvalidatesThroughTheVersionCounter) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4, 50.0);
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(3);
+  EstimateCache cache;
+  const std::vector<int> mapping{0, 1, 2};
+  const double before = cache.estimate(inst, mapping, net, EstimateOptions{});
+
+  net.set_speed(1, 5.0);  // recon: processor 1 is 10x slower than believed
+  bool hit = true;
+  const double after = cache.estimate(inst, mapping, net, EstimateOptions{}, &hit);
+  EXPECT_FALSE(hit);  // the old entry is unreachable, not served stale
+  EXPECT_EQ(after, estimate_time(inst, mapping, net, EstimateOptions{}));
+  EXPECT_NE(before, after);
+}
+
+TEST(EstimateCache, SnapshotCopiesShareTheVersion) {
+  // The runtime estimates against snapshot copies of the shared model; the
+  // copy must keep hitting entries produced by (copies of) the same state.
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4);
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(3);
+  EstimateCache cache;
+  const std::vector<int> mapping{0, 1, 2};
+  cache.estimate(inst, mapping, net, EstimateOptions{});
+
+  hnoc::NetworkModel snapshot = net;
+  EXPECT_EQ(snapshot.version(), net.version());
+  bool hit = false;
+  cache.estimate(inst, mapping, snapshot, EstimateOptions{}, &hit);
+  EXPECT_TRUE(hit);
+
+  // Mutating the snapshot diverges it from every other model.
+  snapshot.set_speed(0, 123.0);
+  EXPECT_NE(snapshot.version(), net.version());
+  cache.estimate(inst, mapping, snapshot, EstimateOptions{}, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(EstimateCache, DistinguishesInstancesAndOptions) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4);
+  hnoc::NetworkModel net(cluster);
+  ModelInstance a = ring_model(3);
+  ModelInstance b = ring_model(4);
+  EstimateCache cache;
+  const std::vector<int> map3{0, 1, 2};
+  const std::vector<int> map4{0, 1, 2, 3};
+
+  EXPECT_EQ(cache.estimate(a, map3, net, EstimateOptions{}),
+            estimate_time(a, map3, net, EstimateOptions{}));
+  EXPECT_EQ(cache.estimate(b, map4, net, EstimateOptions{}),
+            estimate_time(b, map4, net, EstimateOptions{}));
+
+  EstimateOptions heavy;
+  heavy.send_overhead_s = 1.0;
+  heavy.recv_overhead_s = 2.0;
+  bool hit = true;
+  EXPECT_EQ(cache.estimate(a, map3, net, heavy, &hit),
+            estimate_time(a, map3, net, heavy));
+  EXPECT_FALSE(hit);  // different options, different entry
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EstimateCache, ClearDropsEntriesButKeepsCounters) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(3);
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(3);
+  EstimateCache cache;
+  const std::vector<int> mapping{0, 1, 2};
+  cache.estimate(inst, mapping, net, EstimateOptions{});
+  cache.estimate(inst, mapping, net, EstimateOptions{});
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  bool hit = true;
+  cache.estimate(inst, mapping, net, EstimateOptions{}, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(EstimateCache, ConcurrentLookupsAreConsistent) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  ModelInstance inst = ring_model(6);
+  EstimateCache cache;
+
+  // Precompute the ground truth serially.
+  std::vector<std::vector<int>> mappings;
+  std::vector<double> expected;
+  support::Rng rng(0xbeef);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<int> mapping(6);
+    for (int& p : mapping) {
+      p = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(net.size())));
+    }
+    expected.push_back(estimate_time(inst, mapping, net, EstimateOptions{}));
+    mappings.push_back(std::move(mapping));
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        for (std::size_t i = 0; i < mappings.size(); ++i) {
+          const double got =
+              cache.estimate(inst, mappings[i], net, EstimateOptions{});
+          EXPECT_EQ(got, expected[i]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.hits(), 0);
+}
+
+}  // namespace
+}  // namespace hmpi::est

@@ -55,6 +55,7 @@ class MapperContract : public ::testing::TestWithParam<const char*> {
     if (which == "exhaustive") return std::make_unique<ExhaustiveMapper>();
     if (which == "greedy") return std::make_unique<GreedyMapper>();
     if (which == "annealing") return std::make_unique<AnnealingMapper>();
+    if (which == "portfolio") return std::make_unique<PortfolioMapper>();
     return std::make_unique<SwapRefineMapper>();
   }
 };
@@ -124,7 +125,8 @@ TEST_P(MapperContract, ReportedTimeMatchesEstimator) {
 
 INSTANTIATE_TEST_SUITE_P(All, MapperContract,
                          ::testing::Values("exhaustive", "greedy",
-                                           "swap-refine", "annealing"));
+                                           "swap-refine", "annealing",
+                                           "portfolio"));
 
 TEST(AnnealingMapper, DeterministicForFixedSeed) {
   hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();

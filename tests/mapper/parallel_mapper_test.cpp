@@ -1,0 +1,311 @@
+// Determinism harness for the parallel, memoized mapper stack
+// (docs/mapper.md): whatever SearchContext a caller supplies — no pool, a
+// pool of any size, a cache or none — select() must return a bit-identical
+// MappingResult. The property tests drive randomly generated models over
+// randomly generated clusters so the guarantee is exercised across many
+// landscapes, not just the hand-built ones in mapper_test.cpp.
+#include "mapper/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "estimator/estimate_cache.hpp"
+#include "hnoc/cluster.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace hmpi::map {
+namespace {
+
+using pmdl::InstanceBuilder;
+using pmdl::ModelInstance;
+using pmdl::ScheduleSink;
+
+/// One randomly generated scenario: cluster, network, model instance and
+/// estimate options, all derived deterministically from `rng`.
+struct Scenario {
+  hnoc::Cluster cluster;
+  hnoc::NetworkModel network;
+  ModelInstance instance;
+  est::EstimateOptions options;
+
+  explicit Scenario(support::Rng& rng)
+      : cluster(random_cluster(rng)),
+        network(cluster),
+        instance(random_instance(rng)),
+        options(random_options(rng)) {}
+
+  std::vector<Candidate> candidates() const {
+    std::vector<Candidate> cs;
+    for (int i = 0; i < cluster.size(); ++i) cs.push_back({i, i});
+    return cs;
+  }
+
+  static hnoc::Cluster random_cluster(support::Rng& rng) {
+    const int machines = static_cast<int>(rng.next_in(6, 8));
+    hnoc::ClusterBuilder b;
+    for (int i = 0; i < machines; ++i) {
+      b.add("m" + std::to_string(i), rng.next_double_in(1.0, 200.0));
+    }
+    b.network(rng.next_double_in(1e-5, 1e-3), rng.next_double_in(1e6, 1e8));
+    // A couple of degraded links so communication shapes the landscape.
+    for (int k = 0; k < 2; ++k) {
+      const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(machines)));
+      const int c = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(machines)));
+      if (a != c) b.symmetric_link_override(a, c, rng.next_double_in(1e-4, 1e-2),
+                                            rng.next_double_in(1e5, 1e6));
+    }
+    return b.build();
+  }
+
+  /// 4-5 abstract processors, random volumes, ring transfers plus one random
+  /// extra edge; parent is abstract 0.
+  static ModelInstance random_instance(support::Rng& rng) {
+    const long long p = rng.next_in(4, 5);
+    InstanceBuilder b("random-model");
+    b.shape({p});
+    for (long long a = 0; a < p; ++a) {
+      b.node_volume(static_cast<int>(a), rng.next_double_in(1.0, 100.0));
+    }
+    std::vector<std::pair<long long, long long>> edges;
+    for (long long a = 0; a < p; ++a) edges.push_back({a, (a + 1) % p});
+    edges.push_back({rng.next_in(0, p - 1), rng.next_in(0, p - 1)});
+    std::vector<double> bytes;
+    for (const auto& e : edges) {
+      const double volume =
+          e.first == e.second ? 0.0 : rng.next_double_in(1e3, 1e6);
+      bytes.push_back(volume);
+      if (volume > 0.0) {
+        b.link(static_cast<int>(e.first), static_cast<int>(e.second), volume);
+      }
+    }
+    b.scheme([p, edges, bytes](ScheduleSink& s) {
+      s.par_begin();
+      for (long long a = 0; a < p; ++a) {
+        s.par_iter_begin();
+        const long long c[1] = {a};
+        s.compute(c, 100.0);
+      }
+      s.par_end();
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        if (bytes[i] <= 0.0) continue;
+        const long long from[1] = {edges[i].first};
+        const long long to[1] = {edges[i].second};
+        s.transfer(from, to, 100.0);
+      }
+    });
+    return b.build();
+  }
+
+  static est::EstimateOptions random_options(support::Rng& rng) {
+    est::EstimateOptions o;
+    o.send_overhead_s = rng.next_double_in(0.0, 1e-4);
+    o.recv_overhead_s = rng.next_double_in(0.0, 1e-4);
+    return o;
+  }
+};
+
+void expect_bit_identical(const MappingResult& expected,
+                          const MappingResult& actual, const char* what) {
+  EXPECT_EQ(expected.candidate_for_abstract, actual.candidate_for_abstract)
+      << what;
+  // EXPECT_EQ, not EXPECT_NEAR: the guarantee is bit-identity.
+  EXPECT_EQ(expected.estimated_time, actual.estimated_time) << what;
+}
+
+TEST(ParallelExhaustive, BitIdenticalAcrossThreadCountsOnRandomScenarios) {
+  support::Rng rng(2026'08'06);
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    ExhaustiveMapper mapper;
+    const MappingResult serial =
+        mapper.select(s.instance, candidates, 0, s.network, s.options);
+    for (int threads : {1, 2, 8}) {
+      support::ThreadPool pool(threads);
+      SearchContext context;
+      context.pool = &pool;
+      const MappingResult parallel = mapper.select(
+          s.instance, candidates, 0, s.network, s.options, context);
+      expect_bit_identical(serial, parallel, "exhaustive, pooled");
+      EXPECT_EQ(parallel.stats.evaluations, serial.stats.evaluations);
+    }
+  }
+}
+
+TEST(ParallelExhaustive, CachedSelectionsMatchUncachedBitForBit) {
+  support::Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    ExhaustiveMapper mapper;
+    const MappingResult uncached =
+        mapper.select(s.instance, candidates, 0, s.network, s.options);
+    est::EstimateCache cache;
+    support::ThreadPool pool(4);
+    SearchContext context;
+    context.pool = &pool;
+    context.cache = &cache;
+    const MappingResult first =
+        mapper.select(s.instance, candidates, 0, s.network, s.options, context);
+    const MappingResult second =
+        mapper.select(s.instance, candidates, 0, s.network, s.options, context);
+    expect_bit_identical(uncached, first, "exhaustive, cold cache");
+    expect_bit_identical(uncached, second, "exhaustive, warm cache");
+    // Every evaluation is a cache lookup; the second run re-reads the
+    // arrangements the first one already scored.
+    EXPECT_EQ(first.stats.cache_hits + first.stats.cache_misses,
+              first.stats.evaluations);
+    EXPECT_EQ(second.stats.cache_misses, 0);
+    EXPECT_EQ(second.stats.cache_hits, second.stats.evaluations);
+  }
+}
+
+TEST(ParallelExhaustive, PinnedSingleSlotArrangementStillWorksInParallel) {
+  // One abstract processor: the parent is the whole arrangement; the chunked
+  // search must degenerate gracefully.
+  support::Rng rng(11);
+  Scenario s(rng);
+  InstanceBuilder b("solo");
+  b.shape({1});
+  b.node_volume(0, 10.0);
+  b.scheme([](ScheduleSink& sink) {
+    const long long c[1] = {0};
+    sink.compute(c, 100.0);
+  });
+  auto inst = b.build();
+  auto candidates = s.candidates();
+  support::ThreadPool pool(8);
+  SearchContext context;
+  context.pool = &pool;
+  auto result =
+      ExhaustiveMapper().select(inst, candidates, 3, s.network, s.options, context);
+  EXPECT_EQ(result.candidate_for_abstract, (std::vector<int>{3}));
+}
+
+TEST(ParallelPortfolio, BitIdenticalAcrossThreadCountsOnRandomScenarios) {
+  support::Rng rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    PortfolioMapper mapper;
+    const MappingResult serial =
+        mapper.select(s.instance, candidates, 0, s.network, s.options);
+    for (int threads : {2, 8}) {
+      support::ThreadPool pool(threads);
+      est::EstimateCache cache;
+      SearchContext context;
+      context.pool = &pool;
+      context.cache = &cache;
+      const MappingResult raced = mapper.select(
+          s.instance, candidates, 0, s.network, s.options, context);
+      expect_bit_identical(serial, raced, "portfolio, pooled+cached");
+    }
+  }
+}
+
+TEST(ParallelPortfolio, NeverWorseThanAnyMember) {
+  support::Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    const auto portfolio =
+        PortfolioMapper().select(s.instance, candidates, 0, s.network, s.options);
+    const auto greedy =
+        GreedyMapper().select(s.instance, candidates, 0, s.network, s.options);
+    const auto refined = SwapRefineMapper().select(s.instance, candidates, 0,
+                                                   s.network, s.options);
+    const auto annealed = AnnealingMapper().select(s.instance, candidates, 0,
+                                                   s.network, s.options);
+    EXPECT_LE(portfolio.estimated_time, greedy.estimated_time);
+    EXPECT_LE(portfolio.estimated_time, refined.estimated_time);
+    EXPECT_LE(portfolio.estimated_time, annealed.estimated_time);
+  }
+}
+
+TEST(ParallelPortfolio, RestartSeedDerivationIsPinned) {
+  // base xor index — changing this derivation silently changes every
+  // portfolio selection, so the exact values are pinned here.
+  EXPECT_EQ(PortfolioMapper::restart_seed(0x48'4d'50'49, 0), 0x48'4d'50'49u);
+  EXPECT_EQ(PortfolioMapper::restart_seed(0x48'4d'50'49, 1), 0x48'4d'50'48u);
+  EXPECT_EQ(PortfolioMapper::restart_seed(0x48'4d'50'49, 3), 0x48'4d'50'4au);
+  EXPECT_EQ(PortfolioMapper::restart_seed(0, 7), 7u);
+  // Distinct restarts must never share a trajectory.
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      EXPECT_NE(PortfolioMapper::restart_seed(123, i),
+                PortfolioMapper::restart_seed(123, j));
+    }
+  }
+}
+
+TEST(ParallelPortfolio, RestartZeroReproducesThePlainAnnealingMapper) {
+  support::Rng rng(13);
+  Scenario s(rng);
+  auto candidates = s.candidates();
+  PortfolioOptions only_annealing;
+  only_annealing.annealing_restarts = 1;  // seed derived as base ^ 0 == base
+  only_annealing.swap_refine_rounds = 1;
+  const auto annealed = AnnealingMapper(only_annealing.annealing)
+                            .select(s.instance, candidates, 0, s.network, s.options);
+  const auto raced = PortfolioMapper(only_annealing)
+                         .select(s.instance, candidates, 0, s.network, s.options);
+  EXPECT_LE(raced.estimated_time, annealed.estimated_time);
+}
+
+TEST(ParallelPortfolio, RejectsInvalidOptions) {
+  PortfolioOptions bad;
+  bad.annealing_restarts = -1;
+  EXPECT_THROW(PortfolioMapper{bad}, hmpi::InvalidArgument);
+  PortfolioOptions bad_rounds;
+  bad_rounds.swap_refine_rounds = 0;
+  EXPECT_THROW(PortfolioMapper{bad_rounds}, hmpi::InvalidArgument);
+}
+
+TEST(ParallelMapper, HillClimbersMatchSerialUnderCacheAndPool) {
+  // Swap-refine and annealing never split work across threads, but they must
+  // still accept a full context and stay bit-identical under it.
+  support::Rng rng(21);
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    for (const Mapper* mapper :
+         std::initializer_list<const Mapper*>{new SwapRefineMapper(),
+                                              new AnnealingMapper()}) {
+      std::unique_ptr<const Mapper> owned(mapper);
+      const auto plain =
+          owned->select(s.instance, candidates, 0, s.network, s.options);
+      support::ThreadPool pool(8);
+      est::EstimateCache cache;
+      SearchContext context;
+      context.pool = &pool;
+      context.cache = &cache;
+      const auto ctxed = owned->select(s.instance, candidates, 0, s.network,
+                                       s.options, context);
+      expect_bit_identical(plain, ctxed, owned->name().c_str());
+    }
+  }
+}
+
+TEST(ParallelMapper, StatsRecordThreadsAndWallTime) {
+  support::Rng rng(3);
+  Scenario s(rng);
+  auto candidates = s.candidates();
+  support::ThreadPool pool(4);
+  SearchContext context;
+  context.pool = &pool;
+  auto result = ExhaustiveMapper().select(s.instance, candidates, 0, s.network,
+                                          s.options, context);
+  EXPECT_EQ(result.stats.threads, 4);
+  EXPECT_GT(result.stats.evaluations, 0);
+  EXPECT_GE(result.stats.wall_seconds, 0.0);
+  EXPECT_EQ(result.stats.cache_hits, 0);  // no cache supplied
+  EXPECT_DOUBLE_EQ(result.stats.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace hmpi::map

@@ -1,0 +1,93 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::support {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for(100, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SizeCountsTheCallingThread) {
+  EXPECT_EQ(ThreadPool(1).size(), 1);
+  EXPECT_EQ(ThreadPool(4).size(), 4);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  // With one worker the calling thread executes every task itself, in index
+  // order — the property that makes search_threads=1 match serial code.
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.parallel_for(8, [&](int i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, [&](int i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](int) { FAIL() << "task must not run"; });
+}
+
+TEST(ThreadPool, RethrowsTheLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.parallel_for(16, [&](int i) {
+      if (i % 2 == 1) throw InvalidArgument("boom " + std::to_string(i));
+      completed++;
+    });
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+  // Every non-throwing task still ran to completion before the rethrow.
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, ManyMoreChunksThanWorkers) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::set<int> seen;
+  pool.parallel_for(1000, [&](int i) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(i);
+  });
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(ThreadPool, RejectsInvalidConfiguration) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(-1, [](int) {}), InvalidArgument);
+  EXPECT_THROW(pool.parallel_for(1, std::function<void(int)>()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hmpi::support
