@@ -101,6 +101,10 @@ int main() {
 
   bench::emit(table);
 
+  // Scoped tables are copied out so one BENCH_ file carries all three.
+  std::vector<support::Table> exported;
+  exported.push_back(table);
+
   // --- A1b: parallel exhaustive search on the 9-machine paper cluster ----
   // 8! = 40320 arrangements with the parent pinned; the chunked search must
   // return the serial selection bit-for-bit at every thread count.
@@ -156,6 +160,7 @@ int main() {
       }
     }
     bench::emit(scaling);
+    exported.push_back(scaling);
   }
 
   // --- A1c: estimate-cache hit rate on the swap-refine workload ----------
@@ -195,7 +200,9 @@ int main() {
                       support::Table::num(combined.cache_misses, 0),
                       support::Table::num(combined.hit_rate(), 2)});
     bench::emit(workload);
+    exported.push_back(workload);
   }
 
+  bench::write_bench_json("ablation_mapper", exported);
   return 0;
 }

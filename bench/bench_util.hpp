@@ -1,9 +1,15 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "support/table.hpp"
+#include "telemetry/json.hpp"
 
 namespace hmpi::bench {
 
@@ -12,6 +18,59 @@ inline void emit(support::Table& table) {
   std::cout << "\n";
   table.print_csv(std::cout);
   std::cout << "\n";
+}
+
+/// Writes `BENCH_<name>.json` — the machine-readable counterpart of the
+/// printed tables, consumed by the perf-trajectory tooling and validated by
+/// tools/telemetry_check (docs/observability.md). Cells that parse fully as
+/// numbers are emitted as JSON numbers, everything else as strings. Shape:
+/// `{"benchmark": name, "tables": [{"title", "columns", "rows"}]}`.
+inline void write_bench_json(const std::string& name,
+                             std::span<const support::Table> tables) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  const auto cell_json = [](const std::string& cell) -> std::string {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (!cell.empty() && end != nullptr && *end == '\0') {
+      return telemetry::json_number(v);
+    }
+    return telemetry::json_quote(cell);
+  };
+  os << "{\n  \"benchmark\": " << telemetry::json_quote(name)
+     << ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const support::Table& table = tables[t];
+    os << (t == 0 ? "\n" : ",\n") << "    {\"title\": "
+       << telemetry::json_quote(table.title()) << ", \"columns\": [";
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      if (c > 0) os << ", ";
+      os << telemetry::json_quote(table.columns()[c]);
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      os << (r == 0 ? "\n" : ",\n") << "      [";
+      const auto& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) os << ", ";
+        os << cell_json(row[c]);
+      }
+      os << "]";
+    }
+    os << (table.rows().empty() ? "" : "\n    ") << "]}";
+  }
+  os << (tables.empty() ? "" : "\n  ") << "]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+inline void write_bench_json(const std::string& name,
+                             std::initializer_list<support::Table> tables) {
+  write_bench_json(name, std::span<const support::Table>(tables.begin(),
+                                                         tables.size()));
 }
 
 }  // namespace hmpi::bench

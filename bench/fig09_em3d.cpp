@@ -65,5 +65,6 @@ int main() {
 
   bench::emit(times);
   bench::emit(speedup);
+  bench::write_bench_json("fig09_em3d", {times, speedup});
   return 0;
 }

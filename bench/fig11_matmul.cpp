@@ -46,5 +46,6 @@ int main() {
 
   bench::emit(times);
   bench::emit(speedup);
+  bench::write_bench_json("fig11_matmul", {times, speedup});
   return 0;
 }

@@ -1,17 +1,33 @@
-// Post-mortem of a simulated run: per-machine utilisation from the tracer.
+// Post-mortem of a simulated run, built on the telemetry layer.
 //
 // Runs the EM3D algorithm under both placements (rank-order MPI and the
-// HMPI selection) with the event tracer attached, then reports where each
-// machine spent its virtual time — the "why" behind the speedup numbers.
+// HMPI selection) and reports where each machine spent its virtual time —
+// the "why" behind the speedup numbers. Unlike the tracer-walking original,
+// the per-machine numbers come from the telemetry metrics registry
+// (machine.<p>.compute_seconds / sent_bytes / messages_sent), diffing a
+// snapshot taken around each run; the runtime's span log and prediction
+// ledger supply the search timeline and the Timeof-accuracy summary
+// (docs/observability.md).
+//
+// Exports: trace_report_metrics.json and trace_report_trace.json (Chrome
+// trace_event format — load in Perfetto or chrome://tracing). Override the
+// paths with HMPI_METRICS_JSON / HMPI_TRACE_JSON.
 //
 // Build & run:  ./build/examples/trace_report
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <string>
 
 #include "apps/em3d/app.hpp"
 #include "apps/em3d/parallel.hpp"
 #include "hnoc/cluster.hpp"
 #include "mpsim/trace.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prediction.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/span.hpp"
 
 using namespace hmpi;
 using apps::em3d::GeneratorConfig;
@@ -20,18 +36,19 @@ using apps::em3d::WorkMode;
 
 namespace {
 
-struct MachineUse {
-  double compute = 0.0;
-  double bytes = 0.0;
-  int messages = 0;
-};
+double machine_metric(const telemetry::MetricsRegistry::Snapshot& snap,
+                      int machine, const char* what) {
+  return snap.counter_value("machine." + std::to_string(machine) + "." + what);
+}
 
 void report(const char* title, const hnoc::Cluster& cluster,
-            const System& system, const std::vector<int>& placement) {
-  mp::Tracer tracer;
+            const System& system, const std::vector<int>& placement,
+            mp::Tracer& tracer) {
+  const telemetry::MetricsRegistry::Snapshot before =
+      telemetry::metrics().snapshot();
+
   mp::WorldOptions options;
   options.tracer = &tracer;
-
   double makespan = 0.0;
   mp::World::run(
       cluster, placement,
@@ -42,25 +59,24 @@ void report(const char* title, const hnoc::Cluster& cluster,
       },
       options);
 
-  std::map<int, MachineUse> use;
-  for (const mp::TraceEvent& e : tracer.events()) {
-    MachineUse& m = use[e.processor];
-    if (e.kind == mp::TraceEvent::Kind::kCompute) {
-      m.compute += e.end_time - e.start_time;
-    } else if (e.kind == mp::TraceEvent::Kind::kSend) {
-      m.bytes += static_cast<double>(e.bytes);
-      m.messages += 1;
-    }
-  }
+  const telemetry::MetricsRegistry::Snapshot after =
+      telemetry::metrics().snapshot();
 
   std::printf("%s: algorithm time %.3f s\n", title, makespan);
-  std::printf("  %-8s %-7s %12s %10s %9s\n", "machine", "speed", "compute_s",
-              "busy_pct", "sent_kB");
-  for (const auto& [machine, stats] : use) {
+  std::printf("  %-8s %-7s %12s %10s %9s %6s\n", "machine", "speed",
+              "compute_s", "busy_pct", "sent_kB", "msgs");
+  for (int machine = 0; machine < cluster.size(); ++machine) {
+    const double compute = machine_metric(after, machine, "compute_seconds") -
+                           machine_metric(before, machine, "compute_seconds");
+    const double bytes = machine_metric(after, machine, "sent_bytes") -
+                         machine_metric(before, machine, "sent_bytes");
+    const double msgs = machine_metric(after, machine, "messages_sent") -
+                        machine_metric(before, machine, "messages_sent");
+    if (compute == 0.0 && msgs == 0.0) continue;
     const auto& proc = cluster.processor(machine);
-    std::printf("  %-8s %-7.0f %12.3f %9.1f%% %9.1f\n", proc.name.c_str(),
-                proc.speed, stats.compute, 100.0 * stats.compute / makespan,
-                stats.bytes / 1000.0);
+    std::printf("  %-8s %-7.0f %12.3f %9.1f%% %9.1f %6.0f\n",
+                proc.name.c_str(), proc.speed, compute,
+                100.0 * compute / makespan, bytes / 1000.0, msgs);
   }
   std::printf("\n");
 }
@@ -76,14 +92,64 @@ int main() {
   config.seed = 77;
   const System system = apps::em3d::generate(config);
 
+  mp::Tracer tracer;
+
   // Rank order (the MPI baseline)...
   std::vector<int> rank_order{0, 1, 2, 3, 4, 5, 6, 7, 8};
-  report("MPI placement (rank order)", cluster, system, rank_order);
+  report("MPI placement (rank order)", cluster, system, rank_order, tracer);
 
   // ...versus the placement HMPI picks (biggest subbodies on the fast
-  // machines, the tiny one on the slow box).
+  // machines, the tiny one on the slow box). run_hmpi drives the full
+  // runtime, so it populates the span log and the prediction ledger.
   auto hmpi = apps::em3d::run_hmpi(cluster, config, 1, WorkMode::kVirtualOnly, 100);
-  report("HMPI placement (runtime-selected)", cluster, system, hmpi.placement);
+  report("HMPI placement (runtime-selected)", cluster, system, hmpi.placement,
+         tracer);
+
+  // --- runtime span summary (wall timeline) --------------------------------
+  struct SpanUse {
+    int count = 0;
+    double total_ms = 0.0;
+  };
+  std::map<std::string, SpanUse> span_use;
+  for (const telemetry::SpanRecord& s : telemetry::spans().records()) {
+    SpanUse& u = span_use[s.name];
+    u.count += 1;
+    u.total_ms += s.wall_dur_us / 1000.0;
+  }
+  std::printf("Runtime spans (wall time):\n");
+  std::printf("  %-16s %6s %12s\n", "span", "count", "total_ms");
+  for (const auto& [name, u] : span_use) {
+    std::printf("  %-16s %6d %12.3f\n", name.c_str(), u.count, u.total_ms);
+  }
+  std::printf("\n");
+
+  // --- Timeof prediction accuracy ------------------------------------------
+  std::printf("Prediction ledger (Timeof-predicted vs measured makespan):\n");
+  for (const auto& e : telemetry::predictions().summary()) {
+    std::printf("  model %-12s samples %2d  mean rel error %5.1f%%  max %5.1f%%\n",
+                e.model.c_str(), e.samples, 100.0 * e.mean_rel_error,
+                100.0 * e.max_rel_error);
+  }
+  std::printf("\n");
+
+  // --- export ---------------------------------------------------------------
+  telemetry::Sinks sinks;
+  sinks.metrics_json = "trace_report_metrics.json";
+  sinks.trace_json = "trace_report_trace.json";
+  sinks = sinks.with_env_overrides();
+  {
+    std::ofstream os(sinks.metrics_json);
+    telemetry::metrics().write_json(os);
+  }
+  {
+    std::ofstream os(sinks.trace_json);
+    auto events = telemetry::spans_to_chrome(telemetry::spans().records());
+    auto virt = mp::to_chrome_events(tracer.events());
+    events.insert(events.end(), virt.begin(), virt.end());
+    telemetry::write_chrome_trace(os, std::move(events));
+  }
+  std::printf("wrote %s and %s (open the trace in Perfetto)\n\n",
+              sinks.metrics_json.c_str(), sinks.trace_json.c_str());
 
   std::printf(
       "Reading: under rank order the slow machine computes for most of the\n"

@@ -96,6 +96,9 @@ DriverResult run_hmpi(const hnoc::Cluster& cluster, const GeneratorConfig& confi
       ParallelResult parallel =
           run_parallel(group->comm(), system, iterations, mode);
       if (rt.is_host()) {
+        // Close the prediction-ledger entry: the model describes one
+        // iteration, so the measured time is split over the iterations.
+        rt.group_observed(*group, parallel.algorithm_time, iterations);
         std::lock_guard<std::mutex> lock(result_mutex);
         result.algorithm_time = parallel.algorithm_time;
         result.checksum = parallel.checksum;

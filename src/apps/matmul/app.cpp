@@ -251,6 +251,7 @@ MmDriverResult run_hmpi(const hnoc::Cluster& cluster, const MmDriverConfig& conf
       MmResult mm_result = run_distributed(group->comm(), mm);
 
       if (rt.is_host()) {
+        rt.group_observed(*group, mm_result.algorithm_time);
         std::lock_guard<std::mutex> lock(result_mutex);
         result.algorithm_time = mm_result.algorithm_time;
         result.checksum = mm_result.checksum;

@@ -1,6 +1,8 @@
 #include "hmpi/hmpi_c.hpp"
 
 #include "support/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prediction.hpp"
 
 namespace hmpi::capi {
 namespace {
@@ -151,4 +153,22 @@ std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info() {
 
 hmpi::map::SearchStats HMPI_Get_mapper_stats() {
   return hmpi::capi::detail::require_runtime().last_search_stats();
+}
+
+void HMPI_Group_observed(const HMPI_Group& gid, double measured_s, int runs) {
+  hmpi::support::require(gid.has_value(),
+                         "HMPI_Group_observed: not a live group");
+  hmpi::capi::detail::require_runtime().group_observed(*gid, measured_s, runs);
+}
+
+void HMPI_Metrics_dump(std::ostream& os) {
+  hmpi::telemetry::metrics().write_json(os);
+}
+
+void HMPI_Trace_export_json(std::ostream& os) {
+  hmpi::capi::detail::require_runtime().trace_export_json(os);
+}
+
+double HMPI_Prediction_error(std::string_view model_name) {
+  return hmpi::telemetry::predictions().mean_relative_error(model_name);
 }

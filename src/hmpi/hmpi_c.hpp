@@ -12,8 +12,10 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "hmpi/runtime.hpp"
 
@@ -107,3 +109,23 @@ std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info();
 /// cache hits/misses, wall seconds, worker threads). Zeroes before the
 /// first search. Local operation.
 hmpi::map::SearchStats HMPI_Get_mapper_stats();
+
+// --- telemetry (docs/observability.md) --------------------------------------
+
+/// HMPI_Group_observed: reports the measured execution time of the algorithm
+/// `gid` was created for (over `runs` repetitions), closing the group's
+/// prediction-ledger entry. Call before HMPI_Group_free. Local operation.
+void HMPI_Group_observed(const HMPI_Group& gid, double measured_s, int runs = 1);
+
+/// HMPI_Metrics_dump: writes the process-wide metrics registry as JSON.
+void HMPI_Metrics_dump(std::ostream& os);
+
+/// HMPI_Trace_export_json: writes the combined Chrome `trace_event` JSON
+/// (telemetry spans + the world tracer's virtual-time events, when a tracer
+/// is attached). Loads directly in Perfetto / chrome://tracing.
+void HMPI_Trace_export_json(std::ostream& os);
+
+/// HMPI_Prediction_error: mean relative error |predicted - measured| /
+/// measured over the prediction ledger's closed samples for `model_name`
+/// (all models when empty). NaN when no sample matches.
+double HMPI_Prediction_error(std::string_view model_name = {});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <set>
@@ -10,8 +12,22 @@
 #include "estimator/estimate_cache.hpp"
 #include "mpsim/trace.hpp"
 #include "support/error.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prediction.hpp"
+#include "telemetry/span.hpp"
 
 namespace hmpi {
+
+namespace {
+
+/// telemetry::VirtualClockScope sampler: spans opened inside runtime entry
+/// points stamp the owning simulated process's virtual clock.
+double sample_proc_clock(const void* ctx) {
+  return static_cast<const mp::Proc*>(ctx)->clock();
+}
+
+}  // namespace
 
 /// World-level blackboard shared by all Runtime instances of a run — the
 /// moral equivalent of the HMPI daemon: speed estimates, the free set, and
@@ -84,6 +100,7 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
     : proc_(&proc), config_(std::move(config)) {
   support::require(config_.search_threads >= 1,
                    "search_threads must be at least 1");
+  config_.telemetry = config_.telemetry.with_env_overrides();
   if (!config_.mapper) {
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
@@ -112,6 +129,18 @@ void Runtime::finalize(int exit_code) {
   // block on the dead ranks forever, so survivors simply leave.
   if (!proc_->world().any_failed()) proc_->world_comm().barrier();
   finalized_ = true;
+  // The host dumps the configured telemetry sinks after the barrier, when
+  // every process's records are in (docs/observability.md).
+  if (is_host() && config_.telemetry.any()) {
+    if (!config_.telemetry.metrics_json.empty()) {
+      std::ofstream os(config_.telemetry.metrics_json);
+      if (os) telemetry::metrics().write_json(os);
+    }
+    if (!config_.telemetry.trace_json.empty()) {
+      std::ofstream os(config_.telemetry.trace_json);
+      if (os) trace_export_json(os);
+    }
+  }
 }
 
 Runtime::~Runtime() = default;
@@ -151,6 +180,10 @@ void Runtime::recon_impl(const mp::Comm& comm,
   support::require(policy.timeout_s > 0.0, "recon timeout must be positive");
   support::require(policy.backoff >= 1.0, "recon backoff must be >= 1");
 
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("recon", proc_->rank());
+  telemetry::metrics().counter("recons").add();
+
   // Run the benchmark under the per-attempt virtual-time budget. A processor
   // that blows the budget on every attempt (each retry re-runs the benchmark
   // with `backoff` times more headroom) is reported with the speed-0
@@ -174,6 +207,7 @@ void Runtime::recon_impl(const mp::Comm& comm,
       break;
     }
   }
+  telemetry::metrics().histogram("recon_seconds").observe(elapsed);
 
   struct Entry {
     int processor;
@@ -200,6 +234,7 @@ void Runtime::recon_impl(const mp::Comm& comm,
         shared_->network->set_speed(processor, speed);
         speeds_changed = true;
         if (shared_->suspect_processors.erase(processor) > 0) {
+          telemetry::metrics().counter("processors_recovered").add();
           if (mp::Tracer* tracer = proc_->world().options().tracer) {
             mp::TraceEvent event;
             event.kind = mp::TraceEvent::Kind::kRecover;
@@ -211,6 +246,7 @@ void Runtime::recon_impl(const mp::Comm& comm,
           }
         }
       } else if (shared_->suspect_processors.insert(processor).second) {
+        telemetry::metrics().counter("processors_suspected").add();
         if (mp::Tracer* tracer = proc_->world().options().tracer) {
           mp::TraceEvent event;
           event.kind = mp::TraceEvent::Kind::kSuspect;
@@ -266,15 +302,22 @@ map::SearchContext Runtime::search_context() const {
 
 void Runtime::note_search(const map::SearchStats& stats) const {
   last_search_stats_ = stats;
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  reg.counter("mapper_searches").add();
+  reg.counter("estimator_evaluations").add(static_cast<double>(stats.evaluations));
+  reg.counter("estimate_cache_hits").add(static_cast<double>(stats.cache_hits));
+  reg.counter("estimate_cache_misses").add(static_cast<double>(stats.cache_misses));
+  reg.gauge("cache_hit_rate").set(stats.hit_rate());
+  reg.histogram("search_wall_seconds").observe(stats.wall_seconds);
   if (mp::Tracer* tracer = proc_->world().options().tracer) {
     mp::TraceEvent event;
     event.kind = mp::TraceEvent::Kind::kMapperSearch;
     event.world_rank = proc_->rank();
     event.processor = proc_->processor();
-    event.peer = stats.threads;
-    event.tag = static_cast<int>(stats.hit_rate() * 100.0);
-    event.bytes = static_cast<std::size_t>(stats.evaluations);
-    event.units = stats.wall_seconds;
+    event.search.evaluations = stats.evaluations;
+    event.search.hit_rate = stats.hit_rate();
+    event.search.threads = stats.threads;
+    event.search.wall_seconds = stats.wall_seconds;
     event.start_time = proc_->clock();
     event.end_time = proc_->clock();
     tracer->record(event);
@@ -283,6 +326,10 @@ void Runtime::note_search(const map::SearchStats& stats) const {
 
 double Runtime::timeof(const pmdl::Model& model,
                        std::span<const pmdl::ParamValue> params) const {
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("timeof", proc_->rank());
+  span.arg("model", model.name());
+  telemetry::metrics().counter("timeof_calls").add();
   const pmdl::ModelInstance instance = model.instantiate(params);
   std::vector<int> ranks;
   const auto candidates = candidates_with(proc_->rank(), &ranks);
@@ -311,6 +358,10 @@ std::optional<Group> Runtime::group_create_impl(
   support::require(!finalized_, "group_create after finalize");
   const int me = proc_->rank();
   mp::World& world = proc_->world();
+
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("group_create", me);
+  const auto wall_begin = std::chrono::steady_clock::now();
 
   // --- rendezvous: agree on the participant set ----------------------------
   // A caller first drains the creation queue from its consumption pointer:
@@ -507,6 +558,17 @@ std::optional<Group> Runtime::group_create_impl(
       }
     }
     note_search(search_stats);
+    telemetry::metrics().counter("groups_created").add();
+    telemetry::metrics().histogram("group_create_seconds")
+        .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               wall_begin)
+                     .count());
+    telemetry::predictions().record_predicted(model.name(),
+                                              static_cast<int>(group_id),
+                                              estimated);
+    span.arg("model", model.name());
+    span.arg("group_id", static_cast<double>(group_id));
+    span.arg("estimated_s", estimated);
   }
 
   coord.bcast_vector(members, parent_coord);
@@ -685,6 +747,10 @@ std::optional<Group> Runtime::group_respawn(
   support::require(group.valid(), "group_respawn on an invalid group");
   mp::World& world = proc_->world();
 
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("group_respawn", proc_->rank());
+  telemetry::metrics().counter("group_respawns").add();
+
   // Survivors (in group-rank order) and the elected parent: the original
   // parent if it lives, else the surviving member with the lowest group
   // rank. Every survivor computes this identically from the old member list
@@ -717,6 +783,26 @@ std::optional<Group> Runtime::group_respawn(
   const CreateRole role = proc_->rank() == new_parent ? CreateRole::kParent
                                                       : CreateRole::kFollower;
   return group_create_impl(model, params, role);
+}
+
+void Runtime::group_observed(const Group& group, double measured_s,
+                             int runs) const {
+  support::require(group.valid(), "group_observed on an invalid group");
+  support::require(runs >= 1, "group_observed needs runs >= 1");
+  telemetry::predictions().record_measured(static_cast<int>(group.id()),
+                                           measured_s, runs);
+}
+
+void Runtime::trace_export_json(std::ostream& os) const {
+  std::vector<telemetry::ChromeEvent> events =
+      telemetry::spans_to_chrome(telemetry::spans().records());
+  if (const mp::Tracer* tracer = proc_->world().options().tracer) {
+    std::vector<telemetry::ChromeEvent> virt =
+        mp::to_chrome_events(tracer->events());
+    events.insert(events.end(), std::make_move_iterator(virt.begin()),
+                  std::make_move_iterator(virt.end()));
+  }
+  telemetry::write_chrome_trace(os, std::move(events));
 }
 
 }  // namespace hmpi

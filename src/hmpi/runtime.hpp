@@ -46,6 +46,7 @@
 #include "mapper/mapper.hpp"
 #include "mpsim/comm.hpp"
 #include "pmdl/model.hpp"
+#include "telemetry/sinks.hpp"
 
 namespace hmpi {
 
@@ -104,6 +105,10 @@ struct RuntimeConfig {
   /// counter, which every recon speed update bumps, so a stale makespan can
   /// never be served (docs/mapper.md).
   bool estimate_cache = true;
+  /// Telemetry output files written by the host's finalize()
+  /// (docs/observability.md). Environment variables HMPI_METRICS_JSON /
+  /// HMPI_TRACE_JSON override these paths; empty = sink disabled.
+  telemetry::Sinks telemetry;
 };
 
 class Runtime;
@@ -140,6 +145,9 @@ class Group {
   /// the runtime predicts for the group it would have built had every
   /// excluded process been healthy (clamped at 0; 0 when not degraded).
   double degraded_delta() const noexcept { return degraded_delta_; }
+
+  /// World-unique identifier of this group (keys the prediction ledger).
+  long long id() const noexcept { return id_; }
 
   /// World ranks of the members, by group rank.
   const std::vector<int>& members() const { return comm_.group(); }
@@ -311,6 +319,18 @@ class Runtime {
     return last_search_stats_;
   }
 
+  /// Reports the measured execution time of the algorithm a group was
+  /// created for, closing that group's entry in the telemetry prediction
+  /// ledger (telemetry::predictions()). `measured_s` covers `runs`
+  /// repetitions of the modelled computation. Local; call before
+  /// group_free, typically from the parent.
+  void group_observed(const Group& group, double measured_s, int runs = 1) const;
+
+  /// Writes the combined Chrome `trace_event` JSON: telemetry spans (wall
+  /// timeline) merged with the world tracer's virtual-time events when a
+  /// tracer is attached (docs/observability.md).
+  void trace_export_json(std::ostream& os) const;
+
   /// World ranks currently free (diagnostics / tests).
   std::vector<int> free_ranks() const;
 
@@ -341,9 +361,9 @@ class Runtime {
   /// (when enabled). Const because timeof() is.
   map::SearchContext search_context() const;
 
-  /// Records `stats` as the latest search and emits the kMapperSearch trace
-  /// event (bytes = evaluations, units = wall seconds, tag = cache hit rate
-  /// in percent, peer = worker threads).
+  /// Records `stats` as the latest search, updates the search metrics
+  /// (estimator_evaluations, estimate_cache_hits/misses, cache_hit_rate),
+  /// and emits a kMapperSearch trace event with the named search payload.
   void note_search(const map::SearchStats& stats) const;
 
   mp::Proc* proc_;

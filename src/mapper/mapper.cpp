@@ -8,6 +8,7 @@
 
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "telemetry/span.hpp"
 
 namespace hmpi::map {
 
@@ -82,6 +83,7 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
                                        est::EstimateOptions options,
                                        const SearchContext& context) const {
   const WallTimer timer;
+  HMPI_SPAN("mapper:exhaustive");
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
@@ -252,6 +254,7 @@ MappingResult GreedyMapper::select(const pmdl::ModelInstance& instance,
                                    est::EstimateOptions options,
                                    const SearchContext& context) const {
   const WallTimer timer;
+  HMPI_SPAN("mapper:greedy");
   check(instance, candidates, parent_candidate, network);
   MappingResult result;
   result.candidate_for_abstract =
@@ -273,6 +276,7 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
                                        est::EstimateOptions options,
                                        const SearchContext& context) const {
   const WallTimer timer;
+  HMPI_SPAN("mapper:swap-refine");
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
@@ -350,6 +354,7 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
                                       est::EstimateOptions options,
                                       const SearchContext& context) const {
   const WallTimer timer;
+  HMPI_SPAN("mapper:annealing");
   const int p = check(instance, candidates, parent_candidate, network);
   const int parent_abstract = instance.parent_index();
   const int n = static_cast<int>(candidates.size());
@@ -467,6 +472,7 @@ MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
                                       est::EstimateOptions options,
                                       const SearchContext& context) const {
   const WallTimer timer;
+  HMPI_SPAN("mapper:portfolio");
   check(instance, candidates, parent_candidate, network);
 
   // Fixed member order: the reduction prefers earlier members on exact ties,

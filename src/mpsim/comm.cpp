@@ -6,8 +6,23 @@
 #include <sstream>
 
 #include "mpsim/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hmpi::mp {
+
+namespace {
+
+telemetry::Counter& dropped_counter() {
+  static telemetry::Counter& c = telemetry::metrics().counter("messages_dropped");
+  return c;
+}
+
+telemetry::Counter& delayed_counter() {
+  static telemetry::Counter& c = telemetry::metrics().counter("messages_delayed");
+  return c;
+}
+
+}  // namespace
 
 namespace {
 
@@ -79,6 +94,8 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
     dropped = faults.drops_message(proc_->rank(), dst_world, seq);
     delayed = !dropped && faults.delays_message(proc_->rank(), dst_world, seq);
     if (delayed) finish += faults.delay_s;
+    if (dropped) dropped_counter().add();
+    if (delayed) delayed_counter().add();
   }
 
   Envelope e;
@@ -114,6 +131,7 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
   proc_->set_clock(proc_->clock() + world.options().send_overhead_s);
   proc_->stats().msgs_sent += 1;
   proc_->stats().bytes_sent += logical_bytes;
+  proc_->note_message_sent(logical_bytes);
 
   if (!dropped) world.mailbox(dst_world).deliver(std::move(e));
 }

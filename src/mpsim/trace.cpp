@@ -3,7 +3,86 @@
 #include <algorithm>
 #include <ostream>
 
+#include "telemetry/chrome_trace.hpp"
+
 namespace hmpi::mp {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kRecv: return "recv";
+    case TraceEvent::Kind::kCompute: return "compute";
+    case TraceEvent::Kind::kCrash: return "crash";
+    case TraceEvent::Kind::kDrop: return "drop";
+    case TraceEvent::Kind::kDelay: return "delay";
+    case TraceEvent::Kind::kLinkBlocked: return "link_blocked";
+    case TraceEvent::Kind::kSuspect: return "suspect";
+    case TraceEvent::Kind::kRecover: return "recover";
+    case TraceEvent::Kind::kMapperSearch: return "mapper_search";
+  }
+  return "compute";
+}
+
+namespace {
+
+bool is_instant(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kCrash:
+    case TraceEvent::Kind::kDrop:
+    case TraceEvent::Kind::kSuspect:
+    case TraceEvent::Kind::kRecover:
+    case TraceEvent::Kind::kMapperSearch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<telemetry::ChromeEvent> to_chrome_events(
+    std::span<const TraceEvent> events) {
+  std::vector<telemetry::ChromeEvent> out;
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    telemetry::ChromeEvent c;
+    c.name = kind_name(e.kind);
+    c.pid = telemetry::kVirtualPid;
+    c.tid = e.world_rank;
+    c.ts_us = e.start_time * 1e6;
+    if (is_instant(e.kind)) {
+      c.ph = 'i';
+    } else {
+      c.ph = 'X';
+      c.dur_us = (e.end_time - e.start_time) * 1e6;
+    }
+    c.arg("processor", static_cast<double>(e.processor));
+    switch (e.kind) {
+      case TraceEvent::Kind::kSend:
+      case TraceEvent::Kind::kRecv:
+      case TraceEvent::Kind::kDrop:
+      case TraceEvent::Kind::kDelay:
+      case TraceEvent::Kind::kLinkBlocked:
+        c.arg("peer", static_cast<double>(e.peer));
+        c.arg("tag", static_cast<double>(e.tag));
+        c.arg("bytes", static_cast<double>(e.bytes));
+        break;
+      case TraceEvent::Kind::kCompute:
+        c.arg("units", e.units);
+        break;
+      case TraceEvent::Kind::kMapperSearch:
+        c.arg("evaluations", static_cast<double>(e.search.evaluations));
+        c.arg("hit_rate", e.search.hit_rate);
+        c.arg("threads", static_cast<double>(e.search.threads));
+        c.arg("wall_seconds", e.search.wall_seconds);
+        break;
+      default:
+        break;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
 
 void Tracer::record(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -26,23 +105,29 @@ std::vector<TraceEvent> Tracer::events() const {
 void Tracer::write_csv(std::ostream& os) const {
   os << "kind,world_rank,processor,peer,tag,context,bytes,units,start,end\n";
   for (const TraceEvent& e : events()) {
-    const char* kind = "compute";
-    switch (e.kind) {
-      case TraceEvent::Kind::kSend: kind = "send"; break;
-      case TraceEvent::Kind::kRecv: kind = "recv"; break;
-      case TraceEvent::Kind::kCompute: kind = "compute"; break;
-      case TraceEvent::Kind::kCrash: kind = "crash"; break;
-      case TraceEvent::Kind::kDrop: kind = "drop"; break;
-      case TraceEvent::Kind::kDelay: kind = "delay"; break;
-      case TraceEvent::Kind::kLinkBlocked: kind = "link_blocked"; break;
-      case TraceEvent::Kind::kSuspect: kind = "suspect"; break;
-      case TraceEvent::Kind::kRecover: kind = "recover"; break;
-      case TraceEvent::Kind::kMapperSearch: kind = "mapper_search"; break;
+    // kMapperSearch keeps its historical column encoding (threads in peer,
+    // hit rate percent in tag, evaluations in bytes, wall seconds in units)
+    // so downstream CSV consumers keep working; the honest representation is
+    // TraceEvent::search and the Chrome-trace args.
+    int peer = e.peer;
+    int tag = e.tag;
+    std::size_t bytes = e.bytes;
+    double units = e.units;
+    if (e.kind == TraceEvent::Kind::kMapperSearch) {
+      peer = e.search.threads;
+      tag = static_cast<int>(e.search.hit_rate * 100.0);
+      bytes = static_cast<std::size_t>(e.search.evaluations);
+      units = e.search.wall_seconds;
     }
-    os << kind << ',' << e.world_rank << ',' << e.processor << ',' << e.peer
-       << ',' << e.tag << ',' << e.context << ',' << e.bytes << ',' << e.units
-       << ',' << e.start_time << ',' << e.end_time << '\n';
+    os << kind_name(e.kind) << ',' << e.world_rank << ',' << e.processor
+       << ',' << peer << ',' << tag << ',' << e.context << ',' << bytes << ','
+       << units << ',' << e.start_time << ',' << e.end_time << '\n';
   }
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> all = events();
+  telemetry::write_chrome_trace(os, to_chrome_events(all));
 }
 
 std::size_t Tracer::size() const {

@@ -2,14 +2,21 @@
 //
 // Attach a Tracer through WorldOptions::tracer to record every message and
 // computation with its virtual start/end times. Useful for debugging
-// schedules, for the protocol ablation bench, and for post-hoc analysis
-// (write_csv emits one line per event).
+// schedules, for the protocol ablation bench, and for post-hoc analysis:
+// write_csv emits one line per event, and to_chrome_events /
+// write_chrome_json export the same timeline in Chrome `trace_event` format
+// for Perfetto (docs/observability.md).
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <mutex>
+#include <span>
 #include <vector>
+
+namespace hmpi::telemetry {
+struct ChromeEvent;
+}  // namespace hmpi::telemetry
 
 namespace hmpi::mp {
 
@@ -26,9 +33,16 @@ struct TraceEvent {
     kSuspect,      ///< Runtime marked a processor suspect (recon timeout).
     kRecover,      ///< Runtime cleared a processor's suspect mark.
     kMapperSearch, ///< A group-selection search finished (timeof or the
-                   ///< parent side of group_create). bytes = estimator
-                   ///< evaluations, units = search wall seconds, tag = cache
-                   ///< hit rate in percent, peer = worker threads.
+                   ///< parent side of group_create); details in `search`.
+  };
+
+  /// Named payload for kMapperSearch (peer/tag/bytes/units are unused —
+  /// search cost lives here and in the telemetry metrics registry).
+  struct MapperSearch {
+    long long evaluations = 0;  ///< Estimator evaluations performed.
+    double hit_rate = 0.0;      ///< Estimate-cache hit rate in [0, 1].
+    int threads = 1;            ///< Worker threads used by the search.
+    double wall_seconds = 0.0;  ///< Real (not virtual) search duration.
   };
 
   Kind kind = Kind::kCompute;
@@ -41,7 +55,18 @@ struct TraceEvent {
   double units = 0.0;      ///< Computation volume (kCompute only).
   double start_time = 0.0; ///< Virtual time the event began.
   double end_time = 0.0;   ///< Virtual completion (message arrival for sends).
+  MapperSearch search;     ///< kMapperSearch only.
 };
+
+/// Stable lower-case name for an event kind ("send", "mapper_search", ...).
+const char* kind_name(TraceEvent::Kind kind);
+
+/// Converts events to Chrome-trace form on the virtual timeline
+/// (pid = telemetry::kVirtualPid, tid = world_rank, ts = virtual seconds
+/// scaled to microseconds). Instantaneous kinds (crash, drop, suspect,
+/// recover, mapper_search) become 'i' events; the rest are 'X'.
+std::vector<telemetry::ChromeEvent> to_chrome_events(
+    std::span<const TraceEvent> events);
 
 /// Thread-safe collector of TraceEvents for one run.
 class Tracer {
@@ -54,6 +79,10 @@ class Tracer {
   /// `kind,world_rank,processor,peer,tag,context,bytes,units,start,end`
   /// lines, header included.
   void write_csv(std::ostream& os) const;
+
+  /// Chrome `trace_event` JSON of events() (virtual timeline only; the
+  /// runtime's combined exporter also merges wall-clock spans).
+  void write_chrome_json(std::ostream& os) const;
 
   std::size_t size() const;
   void clear();

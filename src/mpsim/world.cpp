@@ -6,10 +6,30 @@
 #include <thread>
 
 #include "mpsim/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hmpi::mp {
 
 int Proc::nprocs() const noexcept { return world_->nprocs(); }
+
+void Proc::note_compute_seconds(double seconds) {
+  if (compute_seconds_counter_ == nullptr) {
+    compute_seconds_counter_ = &telemetry::metrics().counter(
+        "machine." + std::to_string(processor_) + ".compute_seconds");
+  }
+  compute_seconds_counter_->add(seconds);
+}
+
+void Proc::note_message_sent(std::size_t bytes) {
+  if (messages_sent_counter_ == nullptr) {
+    const std::string prefix = "machine." + std::to_string(processor_) + ".";
+    messages_sent_counter_ =
+        &telemetry::metrics().counter(prefix + "messages_sent");
+    sent_bytes_counter_ = &telemetry::metrics().counter(prefix + "sent_bytes");
+  }
+  messages_sent_counter_->add(1.0);
+  sent_bytes_counter_->add(static_cast<double>(bytes));
+}
 
 const hnoc::Cluster& Proc::cluster() const noexcept { return world_->cluster(); }
 
@@ -32,6 +52,7 @@ void Proc::compute(double units) {
   if (crash_time_ <= finish) die(crash_time_);  // dies mid-computation
   stats_.compute_units += units;
   stats_.compute_time += finish - clock_;
+  note_compute_seconds(finish - clock_);
   if (Tracer* tracer = world_->options().tracer) {
     TraceEvent event;
     event.kind = TraceEvent::Kind::kCompute;

@@ -33,6 +33,10 @@
 #include "mpsim/types.hpp"
 #include "support/error.hpp"
 
+namespace hmpi::telemetry {
+class Counter;
+}  // namespace hmpi::telemetry
+
 namespace hmpi::mp {
 
 class World;
@@ -94,6 +98,11 @@ class Proc {
     return fault_seq_[dst_world]++;
   }
 
+  // Per-machine telemetry (machine.<processor>.*) with the Counter pointers
+  // cached so the simulation hot paths skip the registry lookup.
+  void note_compute_seconds(double seconds);
+  void note_message_sent(std::size_t bytes);
+
   World* world_;
   int rank_;
   int processor_;
@@ -103,6 +112,9 @@ class Proc {
   double crash_time_ = std::numeric_limits<double>::infinity();
   std::map<int, std::uint64_t> fault_seq_;
   Stats stats_;
+  telemetry::Counter* compute_seconds_counter_ = nullptr;
+  telemetry::Counter* sent_bytes_counter_ = nullptr;
+  telemetry::Counter* messages_sent_counter_ = nullptr;
 };
 
 class Tracer;

@@ -32,6 +32,12 @@ class Table {
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> columns_;

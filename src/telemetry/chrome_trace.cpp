@@ -1,0 +1,110 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+
+ChromeEvent& ChromeEvent::arg(std::string_view key, double value) {
+  return arg_raw(key, json_number(value));
+}
+
+ChromeEvent& ChromeEvent::arg(std::string_view key, std::string_view value) {
+  return arg_raw(key, json_quote(value));
+}
+
+ChromeEvent& ChromeEvent::arg_raw(std::string_view key, std::string value) {
+  args.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+std::vector<ChromeEvent> spans_to_chrome(std::span<const SpanRecord> records) {
+  std::vector<ChromeEvent> events;
+  events.reserve(records.size());
+  for (const SpanRecord& r : records) {
+    ChromeEvent e;
+    e.name = r.name;
+    e.ph = 'X';
+    e.ts_us = r.wall_start_us;
+    e.dur_us = r.wall_dur_us;
+    e.pid = kRuntimePid;
+    e.tid = r.track;
+    e.arg("id", static_cast<double>(r.id));
+    if (r.parent_id != 0) e.arg("parent", static_cast<double>(r.parent_id));
+    if (std::isfinite(r.virt_start_s)) {
+      e.arg("virt_start_s", r.virt_start_s);
+      e.arg("virt_end_s", r.virt_end_s);
+    }
+    for (const auto& [key, value] : r.args) e.arg_raw(key, value);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+namespace {
+
+void write_event(std::ostream& os, const ChromeEvent& e) {
+  os << "{\"name\": " << json_quote(e.name) << ", \"cat\": "
+     << json_quote(e.cat) << ", \"ph\": \"" << e.ph
+     << "\", \"ts\": " << json_number(e.ts_us);
+  if (e.ph == 'X') os << ", \"dur\": " << json_number(e.dur_us);
+  os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+  if (!e.args.empty()) {
+    os << ", \"args\": {";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << json_quote(e.args[i].first) << ": " << e.args[i].second;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::vector<ChromeEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChromeEvent& a, const ChromeEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::vector<ChromeEvent> meta;
+  int last_pid = -1;
+  for (const ChromeEvent& e : events) {
+    if (e.pid != last_pid) {
+      last_pid = e.pid;
+      ChromeEvent m;
+      m.name = "process_name";
+      m.ph = 'M';
+      m.pid = e.pid;
+      m.tid = 0;
+      m.arg("name", e.pid == kVirtualPid
+                        ? std::string_view("hmpi simulator (virtual time)")
+                        : std::string_view("hmpi runtime (wall time)"));
+      meta.push_back(std::move(m));
+    }
+  }
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const ChromeEvent& m : meta) {
+    if (!first) os << ",";
+    os << "\n  ";
+    write_event(os, m);
+    first = false;
+  }
+  for (const ChromeEvent& e : events) {
+    if (!first) os << ",";
+    os << "\n  ";
+    write_event(os, e);
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hmpi::telemetry

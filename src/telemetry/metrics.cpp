@@ -1,0 +1,158 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double v) {
+  std::lock_guard lock(mutex_);
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - upper_bounds_.begin())] += 1;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::span<const double> default_seconds_buckets() {
+  static constexpr std::array<double, 17> kBuckets = {
+      1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+      3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0, 30.0, 100.0};
+  return kBuckets;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = default_seconds_buckets();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+double MetricsRegistry::Snapshot::counter_value(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const Snapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << json_quote(snap.counters[i].first) << ": "
+       << json_number(snap.counters[i].second);
+  }
+  os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << json_quote(snap.gauges[i].first) << ": "
+       << json_number(snap.gauges[i].second);
+  }
+  os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(name) << ": {"
+       << "\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+       << ", \"min\": " << json_number(h.min)
+       << ", \"max\": " << json_number(h.max) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) os << ", ";
+      os << "{\"le\": "
+         << (b < h.upper_bounds.size() ? json_number(h.upper_bounds[b])
+                                       : std::string("null"))
+         << ", \"count\": " << h.counts[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace hmpi::telemetry

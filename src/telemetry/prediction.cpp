@@ -1,0 +1,126 @@
+#include "telemetry/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+
+namespace {
+
+double relative_error(const PredictionSample& s) {
+  if (s.measured_s == 0.0) return 0.0;
+  return std::abs(s.predicted_s - s.measured_s) / s.measured_s;
+}
+
+}  // namespace
+
+void PredictionLedger::record_predicted(std::string_view model, int group_id,
+                                        double predicted_s) {
+  std::lock_guard lock(mutex_);
+  PredictionSample s;
+  s.model.assign(model);
+  s.group_id = group_id;
+  s.predicted_s = predicted_s;
+  samples_.push_back(std::move(s));
+}
+
+void PredictionLedger::record_measured(int group_id, double measured_total_s,
+                                       int runs) {
+  std::lock_guard lock(mutex_);
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+    if (it->group_id == group_id && !it->has_measured) {
+      it->measured_s = measured_total_s / std::max(runs, 1);
+      it->has_measured = true;
+      return;
+    }
+  }
+}
+
+std::vector<PredictionLedger::ModelError> PredictionLedger::summary() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::string, ModelError> by_model;
+  for (const PredictionSample& s : samples_) {
+    if (!s.has_measured) continue;
+    ModelError& e = by_model[s.model];
+    e.model = s.model;
+    const double err = relative_error(s);
+    e.mean_rel_error += err;  // Sum for now; divided below.
+    e.max_rel_error = std::max(e.max_rel_error, err);
+    ++e.samples;
+  }
+  std::vector<ModelError> out;
+  out.reserve(by_model.size());
+  for (auto& [name, e] : by_model) {
+    e.mean_rel_error /= e.samples;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+double PredictionLedger::mean_relative_error(std::string_view model) const {
+  std::lock_guard lock(mutex_);
+  double sum = 0.0;
+  int n = 0;
+  for (const PredictionSample& s : samples_) {
+    if (!s.has_measured) continue;
+    if (!model.empty() && s.model != model) continue;
+    sum += relative_error(s);
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / n;
+}
+
+std::vector<PredictionSample> PredictionLedger::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+void PredictionLedger::write_json(std::ostream& os) const {
+  const std::vector<PredictionSample> all = samples();
+  const std::vector<ModelError> models = summary();
+  os << "{\n  \"samples\": [";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const PredictionSample& s = all[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"model\": " << json_quote(s.model)
+       << ", \"group_id\": " << s.group_id
+       << ", \"predicted_s\": " << json_number(s.predicted_s)
+       << ", \"measured_s\": "
+       << (s.has_measured ? json_number(s.measured_s) : std::string("null"));
+    if (s.has_measured) {
+      os << ", \"rel_error\": " << json_number(relative_error(s));
+    }
+    os << "}";
+  }
+  os << (all.empty() ? "" : "\n  ") << "],\n  \"models\": [";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelError& e = models[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"model\": " << json_quote(e.model)
+       << ", \"samples\": " << e.samples
+       << ", \"mean_rel_error\": " << json_number(e.mean_rel_error)
+       << ", \"max_rel_error\": " << json_number(e.max_rel_error) << "}";
+  }
+  os << (models.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+std::size_t PredictionLedger::size() const {
+  std::lock_guard lock(mutex_);
+  return samples_.size();
+}
+
+void PredictionLedger::clear() {
+  std::lock_guard lock(mutex_);
+  samples_.clear();
+}
+
+PredictionLedger& predictions() {
+  static PredictionLedger ledger;
+  return ledger;
+}
+
+}  // namespace hmpi::telemetry

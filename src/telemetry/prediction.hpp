@@ -1,0 +1,68 @@
+// Timeof prediction-accuracy ledger (the paper's core claim, measured).
+//
+// HMPI's whole pitch is that Timeof-derived makespan estimates are accurate
+// enough to pick the fastest group. The ledger records, per created group,
+// the predicted makespan (at group_create time) and the measured simulated
+// execution time (reported by the application after it runs), then
+// summarises mean/max relative error per performance model. Exposed to C as
+// HMPI_Prediction_error and asserted < 25% in the regression tests.
+#pragma once
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmpi::telemetry {
+
+struct PredictionSample {
+  std::string model;   ///< Performance-model name (e.g. "Em3d").
+  int group_id = 0;
+  double predicted_s = 0.0;
+  double measured_s = 0.0;
+  bool has_measured = false;
+};
+
+class PredictionLedger {
+ public:
+  /// Called by the runtime when a group is created.
+  void record_predicted(std::string_view model, int group_id,
+                        double predicted_s);
+
+  /// Called when the algorithm has actually run. `measured_total_s` covers
+  /// `runs` repetitions of the modelled computation; the stored value is the
+  /// per-run mean. Group ids restart per simulated world, so the sample
+  /// matched is the LATEST unmeasured one with this id (latest-wins).
+  void record_measured(int group_id, double measured_total_s, int runs = 1);
+
+  struct ModelError {
+    std::string model;
+    int samples = 0;  ///< Samples with both prediction and measurement.
+    double mean_rel_error = 0.0;
+    double max_rel_error = 0.0;
+  };
+  /// Per-model error summary, sorted by model name.
+  std::vector<ModelError> summary() const;
+
+  /// Mean relative error over measured samples of `model` (all models when
+  /// empty). NaN when no sample matches.
+  double mean_relative_error(std::string_view model = {}) const;
+
+  std::vector<PredictionSample> samples() const;
+
+  /// `{"samples": [...], "models": [...]}`.
+  void write_json(std::ostream& os) const;
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PredictionSample> samples_;
+};
+
+/// The process-wide ledger the runtime records into.
+PredictionLedger& predictions();
+
+}  // namespace hmpi::telemetry

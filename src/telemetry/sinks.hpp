@@ -1,0 +1,28 @@
+// Telemetry output sinks: where the JSON dumps land.
+//
+// Configured on RuntimeConfig (programmatic) and overridable with
+// environment variables so examples, benches, and CI opt in without code
+// changes: HMPI_METRICS_JSON / HMPI_TRACE_JSON name the destination files.
+// Empty path = sink disabled.
+#pragma once
+
+#include <string>
+
+namespace hmpi::telemetry {
+
+struct Sinks {
+  std::string metrics_json;  ///< MetricsRegistry::write_json destination.
+  std::string trace_json;    ///< Chrome trace_event JSON destination.
+
+  /// Sinks built purely from the environment variables.
+  static Sinks from_env();
+
+  /// This config with any set environment variable taking precedence.
+  Sinks with_env_overrides() const;
+
+  bool any() const noexcept {
+    return !metrics_json.empty() || !trace_json.empty();
+  }
+};
+
+}  // namespace hmpi::telemetry

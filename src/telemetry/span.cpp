@@ -1,0 +1,136 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+double wall_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   process_epoch())
+      .count();
+}
+
+struct VirtualClockHook {
+  VirtualClockScope::ClockFn fn = nullptr;
+  const void* ctx = nullptr;
+};
+thread_local VirtualClockHook tls_vclock;
+
+double virt_now_s() {
+  if (tls_vclock.fn == nullptr) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return tls_vclock.fn(tls_vclock.ctx);
+}
+
+struct OpenSpan {
+  std::uint64_t id = 0;
+  int track = 0;
+};
+thread_local std::vector<OpenSpan> tls_span_stack;
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void TraceLog::record(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceLog::records() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(mutex_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.wall_start_us != b.wall_start_us) return a.wall_start_us < b.wall_start_us;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard lock(mutex_);
+  records_.clear();
+}
+
+TraceLog& spans() {
+  static TraceLog log;
+  return log;
+}
+
+VirtualClockScope::VirtualClockScope(ClockFn fn, const void* ctx)
+    : saved_fn_(tls_vclock.fn), saved_ctx_(tls_vclock.ctx) {
+  tls_vclock = {fn, ctx};
+}
+
+VirtualClockScope::~VirtualClockScope() { tls_vclock = {saved_fn_, saved_ctx_}; }
+
+Span::Span(std::string_view name) { open(name, 0, /*explicit_track=*/false); }
+
+Span::Span(std::string_view name, int track) {
+  open(name, track, /*explicit_track=*/true);
+}
+
+void Span::open(std::string_view name, int track, bool explicit_track) {
+  record_.id = next_span_id();
+  record_.name.assign(name);
+  if (!tls_span_stack.empty()) {
+    record_.parent_id = tls_span_stack.back().id;
+    // Children stay on their parent's track so the flame nests in one row.
+    record_.track = tls_span_stack.back().track;
+  } else {
+    record_.track = explicit_track ? track : 0;
+  }
+  record_.wall_start_us = wall_now_us();
+  record_.virt_start_s = virt_now_s();
+  tls_span_stack.push_back({record_.id, record_.track});
+}
+
+Span::~Span() {
+  record_.wall_dur_us = wall_now_us() - record_.wall_start_us;
+  record_.virt_end_s = virt_now_s();
+  if (!tls_span_stack.empty() && tls_span_stack.back().id == record_.id) {
+    tls_span_stack.pop_back();
+  }
+  spans().record(std::move(record_));
+}
+
+void Span::arg(std::string_view key, double value) {
+  arg_raw(key, json_number(value));
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  arg_raw(key, json_quote(value));
+}
+
+void Span::arg_raw(std::string_view key, std::string value) {
+  record_.args.emplace_back(std::string(key), std::move(value));
+}
+
+}  // namespace hmpi::telemetry

@@ -272,8 +272,11 @@ TEST(SearchCache, MapperSearchTraceEventAndCApiStats) {
     if (e.kind == mp::TraceEvent::Kind::kMapperSearch) {
       saw_search = true;
       EXPECT_EQ(e.world_rank, 0);
-      EXPECT_GT(e.bytes, 0u);    // evaluations
-      EXPECT_EQ(e.peer, 1);      // threads
+      EXPECT_GT(e.search.evaluations, 0);
+      EXPECT_EQ(e.search.threads, 1);
+      EXPECT_GE(e.search.wall_seconds, 0.0);
+      EXPECT_GE(e.search.hit_rate, 0.0);
+      EXPECT_LE(e.search.hit_rate, 1.0);
     }
   }
   EXPECT_TRUE(saw_search);

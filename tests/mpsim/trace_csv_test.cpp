@@ -1,0 +1,170 @@
+// Tracer export formats: the stable CSV contract (header, field order, kind
+// names, the kMapperSearch legacy column mapping) and the Chrome trace_event
+// JSON view of the same events (docs/observability.md).
+#include "mpsim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json.hpp"
+
+namespace hmpi::mp {
+namespace {
+
+constexpr char kHeader[] =
+    "kind,world_rank,processor,peer,tag,context,bytes,units,start,end";
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceCsv, EmptyTracerWritesHeaderOnly) {
+  Tracer tracer;
+  std::ostringstream os;
+  tracer.write_csv(os);
+  EXPECT_EQ(os.str(), std::string(kHeader) + "\n");
+}
+
+TEST(TraceCsv, FieldOrderMatchesHeader) {
+  Tracer tracer;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSend;
+  e.world_rank = 2;
+  e.processor = 3;
+  e.peer = 1;
+  e.tag = 7;
+  e.context = 4;
+  e.bytes = 1024;
+  e.units = 0.0;
+  e.start_time = 1.5;
+  e.end_time = 2.5;
+  tracer.record(e);
+  const auto lines = lines_of([&] {
+    std::ostringstream os;
+    tracer.write_csv(os);
+    return os.str();
+  }());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], kHeader);
+  EXPECT_EQ(lines[1], "send,2,3,1,7,4,1024,0,1.5,2.5");
+}
+
+TEST(TraceCsv, EventsAreSortedByStartTime) {
+  Tracer tracer;
+  TraceEvent late;
+  late.kind = TraceEvent::Kind::kCompute;
+  late.world_rank = 0;
+  late.start_time = 9.0;
+  TraceEvent early;
+  early.kind = TraceEvent::Kind::kRecv;
+  early.world_rank = 1;
+  early.start_time = 1.0;
+  tracer.record(late);
+  tracer.record(early);
+  std::ostringstream os;
+  tracer.write_csv(os);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].substr(0, 5), "recv,");
+  EXPECT_EQ(lines[2].substr(0, 8), "compute,");
+}
+
+TEST(TraceCsv, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kSend), "send");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kRecv), "recv");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kCompute), "compute");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kCrash), "crash");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kDrop), "drop");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kDelay), "delay");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kLinkBlocked), "link_blocked");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kSuspect), "suspect");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kRecover), "recover");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kMapperSearch), "mapper_search");
+}
+
+TEST(TraceCsv, MapperSearchKeepsLegacyColumnEncoding) {
+  // The honest payload lives in TraceEvent::search; the CSV keeps the
+  // historical packing (threads in peer, hit-rate percent in tag,
+  // evaluations in bytes, wall seconds in units) for existing consumers.
+  Tracer tracer;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kMapperSearch;
+  e.world_rank = 0;
+  e.processor = 0;
+  e.search.evaluations = 250;
+  e.search.hit_rate = 0.75;
+  e.search.threads = 4;
+  e.search.wall_seconds = 0.5;
+  e.start_time = 3.0;
+  e.end_time = 3.0;
+  tracer.record(e);
+  std::ostringstream os;
+  tracer.write_csv(os);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "mapper_search,0,0,4,75,0,250,0.5,3,3");
+}
+
+TEST(TraceCsv, ChromeJsonIsValidAndCarriesSearchArgs) {
+  Tracer tracer;
+  TraceEvent compute;
+  compute.kind = TraceEvent::Kind::kCompute;
+  compute.world_rank = 1;
+  compute.processor = 1;
+  compute.units = 50.0;
+  compute.start_time = 0.5;
+  compute.end_time = 1.0;
+  tracer.record(compute);
+  TraceEvent search;
+  search.kind = TraceEvent::Kind::kMapperSearch;
+  search.world_rank = 0;
+  search.processor = 0;
+  search.search.evaluations = 9;
+  search.search.hit_rate = 1.0;
+  search.start_time = 2.0;
+  search.end_time = 2.0;
+  tracer.record(search);
+
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  std::string error;
+  const auto doc = telemetry::parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const telemetry::JsonValue* trace = doc->find("traceEvents");
+  ASSERT_NE(trace, nullptr);
+  ASSERT_TRUE(trace->is_array());
+
+  bool saw_compute = false;
+  bool saw_search = false;
+  for (const telemetry::JsonValue& ev : trace->array) {
+    const std::string& name = ev.find("name")->string;
+    if (name == "compute") {
+      saw_compute = true;
+      EXPECT_EQ(ev.find("ph")->string, "X");
+      EXPECT_DOUBLE_EQ(ev.find("pid")->number, telemetry::kVirtualPid);
+      EXPECT_DOUBLE_EQ(ev.find("tid")->number, 1.0);
+      EXPECT_DOUBLE_EQ(ev.find("ts")->number, 0.5e6);
+      EXPECT_DOUBLE_EQ(ev.find("dur")->number, 0.5e6);
+      EXPECT_DOUBLE_EQ(ev.find("args")->find("units")->number, 50.0);
+    }
+    if (name == "mapper_search") {
+      saw_search = true;
+      EXPECT_EQ(ev.find("ph")->string, "i");  // instant: zero virtual time
+      EXPECT_DOUBLE_EQ(ev.find("args")->find("evaluations")->number, 9.0);
+      EXPECT_DOUBLE_EQ(ev.find("args")->find("hit_rate")->number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_search);
+}
+
+}  // namespace
+}  // namespace hmpi::mp

@@ -1,0 +1,74 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace hmpi::telemetry {
+namespace {
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(JsonNumber, IntegralPrintsWithoutPoint) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+}
+
+TEST(JsonNumber, NonFiniteIsNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, FractionRoundTrips) {
+  const std::string s = json_number(0.1);
+  EXPECT_DOUBLE_EQ(std::stod(s), 0.1);
+}
+
+TEST(ParseJson, Document) {
+  const auto doc = parse_json(
+      R"({"a": 1, "b": [true, false, null], "c": {"nested": "x\n"}, "d": -2.5e3})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_DOUBLE_EQ(doc->find("a")->number, 1.0);
+  ASSERT_TRUE(doc->find("b")->is_array());
+  EXPECT_EQ(doc->find("b")->array.size(), 3u);
+  EXPECT_TRUE(doc->find("b")->array[0].boolean);
+  EXPECT_TRUE(doc->find("b")->array[2].is_null());
+  EXPECT_EQ(doc->find("c")->find("nested")->string, "x\n");
+  EXPECT_DOUBLE_EQ(doc->find("d")->number, -2500.0);
+}
+
+TEST(ParseJson, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("[1,]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing").has_value());
+  EXPECT_FALSE(parse_json("'single'").has_value());
+  EXPECT_FALSE(parse_json("01a").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+}
+
+TEST(ParseJson, QuoteRoundTrips) {
+  const std::string encoded = json_quote("line1\nline2\t\"quoted\"");
+  const auto doc = parse_json(encoded);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "line1\nline2\t\"quoted\"");
+}
+
+TEST(ParseJson, UnicodeEscape) {
+  const auto doc = parse_json("\"A\\u00e9\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string, "A\xC3\xA9");  // U+00E9 as UTF-8
+}
+
+}  // namespace
+}  // namespace hmpi::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same name returns the same instance.
+  EXPECT_EQ(&reg.counter("events"), &c);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("level");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{1.0, 10.0};
+  Histogram& h = reg.histogram("latency", bounds);
+  h.observe(0.5);   // bucket le=1
+  h.observe(1.0);   // le=1 (inclusive ceiling)
+  h.observe(5.0);   // le=10
+  h.observe(100.0); // overflow
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 106.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+}
+
+TEST(Metrics, ResetZeroesButPreservesInstances) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  Histogram& h = reg.histogram("h");
+  c.add(7.0);
+  h.observe(0.01);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  EXPECT_EQ(h.snapshot().count, 0);
+  // Cached references stay valid and usable after reset.
+  c.add(1.0);
+  EXPECT_DOUBLE_EQ(reg.counter("x").value(), 1.0);
+  EXPECT_EQ(&reg.counter("x"), &c);
+}
+
+TEST(Metrics, SnapshotSortedAndQueryable) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(1.0);
+  reg.counter("alpha").add(2.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "zeta");
+  EXPECT_DOUBLE_EQ(snap.counter_value("zeta"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.counter_value("missing"), 0.0);
+}
+
+TEST(Metrics, WriteJsonIsValidAndCarriesValues) {
+  MetricsRegistry reg;
+  reg.counter("sends").add(3.0);
+  reg.gauge("rate").set(0.5);
+  reg.histogram("t", std::vector<double>{1.0}).observe(2.0);
+  std::ostringstream os;
+  reg.write_json(os);
+  std::string error;
+  const auto doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_DOUBLE_EQ(doc->find("counters")->find("sends")->number, 3.0);
+  EXPECT_DOUBLE_EQ(doc->find("gauges")->find("rate")->number, 0.5);
+  const JsonValue* hist = doc->find("histograms")->find("t");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->number, 1.0);
+  const JsonValue* buckets = hist->find("buckets");
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array.size(), 2u);
+  // The overflow bucket has le null and holds the observation.
+  EXPECT_TRUE(buckets->array[1].find("le")->is_null());
+  EXPECT_DOUBLE_EQ(buckets->array[1].find("count")->number, 1.0);
+}
+
+TEST(Metrics, EmptyRegistryJsonParses) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(parse_json(os.str()).has_value());
+}
+
+TEST(Metrics, ConcurrentCountersAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(Metrics, GlobalRegistryIsProcessWide) {
+  Counter& a = metrics().counter("test.global_registry_counter");
+  Counter& b = metrics().counter("test.global_registry_counter");
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace hmpi::telemetry

@@ -1,0 +1,115 @@
+#include "telemetry/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace hmpi::telemetry {
+namespace {
+
+TEST(Prediction, RecordAndMatch) {
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.record_measured(1, 1.2);
+  const auto samples = ledger.samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_TRUE(samples[0].has_measured);
+  EXPECT_DOUBLE_EQ(samples[0].predicted_s, 1.0);
+  EXPECT_DOUBLE_EQ(samples[0].measured_s, 1.2);
+  // |1.0 - 1.2| / 1.2
+  EXPECT_NEAR(ledger.mean_relative_error(), 0.2 / 1.2, 1e-12);
+}
+
+TEST(Prediction, MeasuredTotalIsSplitOverRuns) {
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 2.0);
+  ledger.record_measured(1, 8.0, /*runs=*/4);  // per-run mean is 2.0
+  EXPECT_DOUBLE_EQ(ledger.samples()[0].measured_s, 2.0);
+  EXPECT_DOUBLE_EQ(ledger.mean_relative_error(), 0.0);
+}
+
+TEST(Prediction, LatestUnmeasuredSampleWins) {
+  // Group ids restart per simulated world: a measurement for id 1 must land
+  // on the most recent world's prediction, not the first.
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.record_measured(1, 1.0);
+  ledger.record_predicted("Em3d", 1, 5.0);
+  ledger.record_measured(1, 10.0);
+  const auto samples = ledger.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].measured_s, 1.0);
+  EXPECT_DOUBLE_EQ(samples[1].measured_s, 10.0);
+}
+
+TEST(Prediction, UnmatchedMeasurementIsIgnored) {
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.record_measured(99, 1.0);  // no such group
+  EXPECT_FALSE(ledger.samples()[0].has_measured);
+  EXPECT_TRUE(std::isnan(ledger.mean_relative_error()));
+}
+
+TEST(Prediction, SummaryPerModelSorted) {
+  PredictionLedger ledger;
+  ledger.record_predicted("ParallelAxB", 1, 1.0);
+  ledger.record_measured(1, 2.0);  // rel error 0.5
+  ledger.record_predicted("Em3d", 2, 1.0);
+  ledger.record_measured(2, 1.0);  // rel error 0
+  ledger.record_predicted("Em3d", 3, 0.9);
+  ledger.record_measured(3, 1.0);  // rel error 0.1
+  const auto summary = ledger.summary();
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].model, "Em3d");
+  EXPECT_EQ(summary[0].samples, 2);
+  EXPECT_NEAR(summary[0].mean_rel_error, 0.05, 1e-12);
+  EXPECT_NEAR(summary[0].max_rel_error, 0.1, 1e-12);
+  EXPECT_EQ(summary[1].model, "ParallelAxB");
+  EXPECT_NEAR(summary[1].mean_rel_error, 0.5, 1e-12);
+  // Per-model filtering matches the summary.
+  EXPECT_NEAR(ledger.mean_relative_error("Em3d"), 0.05, 1e-12);
+  EXPECT_NEAR(ledger.mean_relative_error("ParallelAxB"), 0.5, 1e-12);
+  EXPECT_TRUE(std::isnan(ledger.mean_relative_error("NoSuchModel")));
+}
+
+TEST(Prediction, EmptyLedgerIsNaN) {
+  PredictionLedger ledger;
+  EXPECT_TRUE(std::isnan(ledger.mean_relative_error()));
+  EXPECT_TRUE(ledger.summary().empty());
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(Prediction, WriteJsonParses) {
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 1.5);
+  ledger.record_measured(1, 2.0);
+  ledger.record_predicted("Em3d", 2, 1.0);  // still unmeasured
+  std::ostringstream os;
+  ledger.write_json(os);
+  std::string error;
+  const auto doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* samples = doc->find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+  EXPECT_EQ(samples->array.size(), 2u);
+  EXPECT_EQ(samples->array[0].find("model")->string, "Em3d");
+  const JsonValue* models = doc->find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(models->array[0].find("samples")->number, 1.0);
+}
+
+TEST(Prediction, ClearEmpties) {
+  PredictionLedger ledger;
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_TRUE(ledger.samples().empty());
+}
+
+}  // namespace
+}  // namespace hmpi::telemetry

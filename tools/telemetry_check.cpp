@@ -1,0 +1,158 @@
+// Validates telemetry JSON artifacts (CI smoke job; docs/observability.md).
+//
+// For each file argument the checker parses the document with the telemetry
+// JSON parser and then applies shape checks by sniffing the document type:
+//   * Chrome traces ({"traceEvents": [...]}): every event needs name/ph/ts,
+//     ts must be non-decreasing per (pid, tid) track (metadata events
+//     excluded), and at least one non-metadata event must be present.
+//   * Metrics dumps ({"counters": ..., "histograms": ...}): sections must be
+//     objects, histogram entries need count/sum/buckets.
+//   * Bench exports ({"benchmark": ..., "tables": [...]}): every table needs
+//     title/columns/rows with rows matching the column count.
+// Exit status 0 when every file passes, 1 otherwise.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "telemetry/json.hpp"
+
+namespace {
+
+using hmpi::telemetry::JsonValue;
+
+int errors = 0;
+
+void fail(const std::string& file, const std::string& message) {
+  std::fprintf(stderr, "%s: FAIL: %s\n", file.c_str(), message.c_str());
+  ++errors;
+}
+
+void check_chrome_trace(const std::string& file, const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    fail(file, "traceEvents is not an array");
+    return;
+  }
+  std::map<std::pair<double, double>, double> last_ts;  // (pid, tid) -> ts
+  int real_events = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      fail(file, at + " is not an object");
+      continue;
+    }
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    if (name == nullptr || !name->is_string()) fail(file, at + " missing name");
+    if (ph == nullptr || !ph->is_string()) fail(file, at + " missing ph");
+    if (ts == nullptr || !ts->is_number()) fail(file, at + " missing ts");
+    if (ph == nullptr || ts == nullptr || !ph->is_string() || !ts->is_number()) {
+      continue;
+    }
+    if (ph->string == "M") continue;  // metadata carries no timeline position
+    ++real_events;
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    const std::pair<double, double> track{pid != nullptr ? pid->number : 0.0,
+                                          tid != nullptr ? tid->number : 0.0};
+    auto it = last_ts.find(track);
+    if (it != last_ts.end() && ts->number < it->second) {
+      fail(file, at + ": ts regressed on its (pid, tid) track");
+    }
+    last_ts[track] = std::max(ts->number,
+                              it != last_ts.end() ? it->second : ts->number);
+  }
+  if (real_events == 0) fail(file, "trace contains no non-metadata events");
+}
+
+void check_metrics(const std::string& file, const JsonValue& doc) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* s = doc.find(section);
+    if (s == nullptr || !s->is_object()) {
+      fail(file, std::string(section) + " is not an object");
+    }
+  }
+  const JsonValue* hists = doc.find("histograms");
+  if (hists == nullptr || !hists->is_object()) return;
+  for (const auto& [name, h] : hists->object) {
+    if (!h.is_object() || h.find("count") == nullptr ||
+        h.find("sum") == nullptr || h.find("buckets") == nullptr ||
+        !h.find("buckets")->is_array()) {
+      fail(file, "histogram " + name + " missing count/sum/buckets");
+    }
+  }
+}
+
+void check_bench(const std::string& file, const JsonValue& doc) {
+  const JsonValue* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    fail(file, "tables is not an array");
+    return;
+  }
+  for (const JsonValue& t : tables->array) {
+    const JsonValue* title = t.find("title");
+    const JsonValue* columns = t.find("columns");
+    const JsonValue* rows = t.find("rows");
+    if (title == nullptr || !title->is_string() || columns == nullptr ||
+        !columns->is_array() || rows == nullptr || !rows->is_array()) {
+      fail(file, "table missing title/columns/rows");
+      continue;
+    }
+    for (const JsonValue& row : rows->array) {
+      if (!row.is_array() || row.array.size() != columns->array.size()) {
+        fail(file, "table '" + title->string + "' row width != column count");
+        break;
+      }
+    }
+  }
+}
+
+void check_file(const std::string& file) {
+  const int errors_before = errors;
+  std::ifstream is(file);
+  if (!is) {
+    fail(file, "cannot open");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::string error;
+  const auto doc = hmpi::telemetry::parse_json(buffer.str(), &error);
+  if (!doc) {
+    fail(file, "invalid JSON: " + error);
+    return;
+  }
+  if (!doc->is_object()) {
+    fail(file, "top-level value is not an object");
+    return;
+  }
+  if (doc->find("traceEvents") != nullptr) {
+    check_chrome_trace(file, *doc);
+  } else if (doc->find("counters") != nullptr) {
+    check_metrics(file, *doc);
+  } else if (doc->find("benchmark") != nullptr) {
+    check_bench(file, *doc);
+  } else if (doc->find("samples") != nullptr && doc->find("models") != nullptr) {
+    // Prediction-ledger dump: well-formed JSON with both sections suffices.
+  } else {
+    fail(file, "unrecognised telemetry document shape");
+    return;
+  }
+  if (errors == errors_before) std::printf("%s: OK\n", file.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: telemetry_check FILE.json...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) check_file(argv[i]);
+  return errors == 0 ? 0 : 1;
+}
