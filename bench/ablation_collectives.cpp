@@ -1,0 +1,196 @@
+// Ablation A8: cost-model-driven collective algorithm selection (src/coll/).
+//
+// For every (operation, message size, topology) cell this bench compares the
+// algorithm the library hard-coded before the coll subsystem existed
+// (coll::legacy_default) against the CollTuner's predicted-fastest pick, both
+// as the analytical cost and as the simulated virtual makespan of a fresh
+// world running exactly that collective. Sizes are powers of two, so the
+// tuner's bucket representative coincides with the measured size and its
+// argmin guarantee applies exactly.
+//
+// The bench exits non-zero when the tuner's pick is measurably slower than
+// the legacy choice in any cell, or when no cell on the paper's 9-machine
+// heterogeneous cluster (Table 1) reaches a 1.3x speedup — the acceptance
+// bar for the subsystem.
+#include <cstddef>
+#include <cstdio>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "coll/cost.hpp"
+#include "coll/tuner.hpp"
+#include "hnoc/cluster.hpp"
+#include "mpsim/comm.hpp"
+
+namespace {
+
+using namespace hmpi;
+using coll::CollOp;
+
+const CollOp kOps[] = {CollOp::kBcast,         CollOp::kReduce,
+                       CollOp::kAllreduce,     CollOp::kReduceScatter,
+                       CollOp::kAllgather,     CollOp::kBarrier};
+
+// Runs one collective as the first action of a fresh world with the
+// algorithm pinned and returns the virtual makespan (same harness as
+// tests/coll/cost_fidelity_test.cpp, which proves makespan == cost).
+double simulate(const hnoc::Cluster& cluster, CollOp op, int algo,
+                std::size_t bytes) {
+  coll::CollPolicy policy;
+  policy.set_choice(op, algo);
+  const auto result = mp::World::run_one_per_processor(
+      cluster, [&](mp::Proc& p) {
+        mp::Comm comm = p.world_comm();
+        comm.set_coll_policy(policy);
+        const int n = comm.size();
+        const auto sum = [](double a, double b) { return a + b; };
+        // Payloads are doubles; block operations split `bytes` across the
+        // members the same way coll::collective_cost does.
+        const std::size_t elems = bytes / sizeof(double);
+        const std::size_t block =
+            bytes / sizeof(double) / static_cast<std::size_t>(n);
+        switch (op) {
+          case CollOp::kBcast: {
+            std::vector<double> data(elems, 1.0);
+            comm.bcast(std::span<double>(data), 0);
+            break;
+          }
+          case CollOp::kReduce: {
+            std::vector<double> in(elems, 1.0);
+            std::vector<double> out(elems, 0.0);
+            comm.reduce(std::span<const double>(in), std::span<double>(out),
+                        sum, 0);
+            break;
+          }
+          case CollOp::kAllreduce: {
+            std::vector<double> in(elems, 1.0);
+            std::vector<double> out(elems, 0.0);
+            comm.allreduce(std::span<const double>(in), std::span<double>(out),
+                           sum);
+            break;
+          }
+          case CollOp::kReduceScatter: {
+            std::vector<double> in(block * static_cast<std::size_t>(n), 1.0);
+            std::vector<double> out(block, 0.0);
+            comm.reduce_scatter(std::span<const double>(in),
+                                std::span<double>(out), sum);
+            break;
+          }
+          case CollOp::kAllgather: {
+            std::vector<double> mine(block, 1.0);
+            std::vector<double> all(block * static_cast<std::size_t>(n), 0.0);
+            comm.allgather(std::span<const double>(mine),
+                           std::span<double>(all));
+            break;
+          }
+          case CollOp::kBarrier:
+            comm.barrier();
+            break;
+        }
+      });
+  return result.makespan;
+}
+
+struct Topology {
+  const char* name;
+  hnoc::Cluster cluster;
+  bool is_paper9;  // the acceptance 1.3x bar applies to this one
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Topology> topologies;
+  topologies.push_back({"paper9", hnoc::testbeds::paper_em3d_network(), true});
+  topologies.push_back({"homogeneous8", hnoc::testbeds::homogeneous(8, 100.0),
+                        false});
+
+  support::Table cells(
+      "Ablation A8: legacy hard-coded algorithm vs CollTuner pick",
+      {"topology", "op", "bytes", "legacy", "legacy_s", "tuner", "tuner_s",
+       "speedup"});
+  support::Table sweep(
+      "Ablation A8b: per-algorithm predicted cost at 1 MiB (paper9)",
+      {"op", "algo", "predicted_s", "vs_best"});
+
+  bool never_slower = true;
+  double best_paper9_speedup = 0.0;
+
+  for (const Topology& topo : topologies) {
+    hnoc::NetworkModel network(topo.cluster);
+    coll::CollTuner tuner(topo.cluster, coll::CollTuner::Options{});
+    std::vector<int> procs(static_cast<std::size_t>(topo.cluster.size()));
+    std::iota(procs.begin(), procs.end(), 0);
+
+    for (CollOp op : kOps) {
+      const bool barrier = op == CollOp::kBarrier;
+      const std::vector<std::size_t> sizes =
+          barrier ? std::vector<std::size_t>{0}
+                  : std::vector<std::size_t>{8, 4096, std::size_t{1} << 20};
+      for (std::size_t bytes : sizes) {
+        const int legacy = coll::legacy_default(op);
+        double predicted = -1.0;
+        const int chosen = tuner.select(op, procs, bytes, &predicted);
+        const double legacy_s = simulate(topo.cluster, op, legacy, bytes);
+        const double tuner_s = chosen == legacy
+                                   ? legacy_s
+                                   : simulate(topo.cluster, op, chosen, bytes);
+        const double speedup = tuner_s > 0.0 ? legacy_s / tuner_s : 1.0;
+        if (tuner_s > legacy_s * (1.0 + 1e-9)) {
+          never_slower = false;
+          std::fprintf(stderr, "FAIL: %s %s %zuB: tuner %s (%.9f s) slower "
+                       "than legacy %s (%.9f s)\n",
+                       topo.name, coll::op_name(op), bytes,
+                       coll::algo_name(op, chosen), tuner_s,
+                       coll::algo_name(op, legacy), legacy_s);
+        }
+        if (topo.is_paper9) {
+          best_paper9_speedup = std::max(best_paper9_speedup, speedup);
+        }
+        cells.add_row({topo.name, coll::op_name(op), std::to_string(bytes),
+                       coll::algo_name(op, legacy),
+                       support::Table::num(legacy_s),
+                       coll::algo_name(op, chosen),
+                       support::Table::num(tuner_s),
+                       support::Table::num(speedup, 3)});
+      }
+
+      if (topo.is_paper9 && !barrier) {
+        const std::size_t bytes = std::size_t{1} << 20;
+        double best = -1.0;
+        for (int algo = 1; algo <= coll::algo_count(op); ++algo) {
+          const double c = coll::collective_cost(op, algo, procs, bytes,
+                                                 network);
+          if (best < 0.0 || c < best) best = c;
+        }
+        for (int algo = 1; algo <= coll::algo_count(op); ++algo) {
+          const double c = coll::collective_cost(op, algo, procs, bytes,
+                                                 network);
+          sweep.add_row({coll::op_name(op), coll::algo_name(op, algo),
+                         support::Table::num(c),
+                         support::Table::num(c / best, 3)});
+        }
+      }
+    }
+  }
+
+  hmpi::bench::emit(cells);
+  hmpi::bench::emit(sweep);
+  hmpi::bench::write_bench_json("coll", {cells, sweep});
+
+  if (!never_slower) {
+    std::fprintf(stderr, "FAIL: tuner pick slower than legacy choice\n");
+    return 1;
+  }
+  if (best_paper9_speedup < 1.3) {
+    std::fprintf(stderr,
+                 "FAIL: best paper9 speedup %.3f below the 1.3x bar\n",
+                 best_paper9_speedup);
+    return 1;
+  }
+  std::printf("OK: tuner never slower; best paper9 speedup %.3fx\n",
+              best_paper9_speedup);
+  return 0;
+}

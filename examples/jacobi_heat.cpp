@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "apps/jacobi/jacobi.hpp"
+#include "coll/policy.hpp"
 #include "hnoc/cluster.hpp"
 
 using namespace hmpi;
@@ -44,6 +45,15 @@ int main() {
     const auto& machine = cluster.processor(hmpi.placement[w]);
     std::printf("  band %zu: %3d rows on %s (speed %.0f)\n", w,
                 hmpi.row_counts[w], machine.name.c_str(), machine.speed);
+  }
+
+  // The checksum runs as a native reduce_scatter + allreduce; the runtime's
+  // cost model picks each algorithm per payload size (docs/collectives.md).
+  std::printf("\ncollective algorithms chosen by the tuner:\n");
+  for (const auto& sel : hmpi.coll_selections) {
+    std::printf("  %-14s %6zu B -> %-12s (predicted %.6f s)\n",
+                coll::op_name(sel.op), sel.bytes,
+                coll::algo_name(sel.op, sel.algo), sel.predicted_s);
   }
 
   const bool ok = std::abs(mpi.checksum - expected) < 1e-8 &&

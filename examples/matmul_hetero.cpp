@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "apps/matmul/app.hpp"
+#include "coll/policy.hpp"
 #include "hnoc/cluster.hpp"
 
 using namespace hmpi;
@@ -54,6 +55,15 @@ int main() {
       std::printf("  P(%d,%d)=%s", i, j, cluster.processor(machine).name.c_str());
     }
     std::printf("\n");
+  }
+
+  // Pivot rows/columns travel as native collectives; the runtime's cost
+  // model picks each algorithm per payload size (docs/collectives.md).
+  std::printf("\ncollective algorithms chosen by the tuner:\n");
+  for (const auto& sel : hmpi.coll_selections) {
+    std::printf("  %-14s %6zu B -> %-12s (predicted %.6f s)\n",
+                coll::op_name(sel.op), sel.bytes,
+                coll::algo_name(sel.op, sel.algo), sel.predicted_s);
   }
 
   const bool ok = std::abs(mpi.checksum - serial_checksum) < 1e-8 &&

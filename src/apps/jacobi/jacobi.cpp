@@ -194,18 +194,31 @@ ParallelResult run_parallel(const mp::Comm& comm, const JacobiConfig& config,
   ParallelResult result;
   result.algorithm_time = makespan;
   if (real) {
-    // Checksum over my own rows; the host adds the fixed border afterwards.
-    double local = 0.0;
+    // Checksum as a distributed reduction (docs/collectives.md): every rank
+    // holds a full column-sum profile of its own rows (side border cells
+    // included; rank 0 also contributes the ownerless top and bottom border
+    // rows), reduce_scatter leaves each rank owning the globally reduced
+    // profile for a contiguous column slice, and a scalar allreduce of the
+    // slice totals yields the plate sum.
+    const std::size_t chunk =
+        (cols + static_cast<std::size_t>(p) - 1) / static_cast<std::size_t>(p);
+    std::vector<double> profile(chunk * static_cast<std::size_t>(p), 0.0);
     for (int r = 1; r <= mine; ++r) {
-      for (double cell : block.row(static_cast<std::size_t>(r))) local += cell;
+      const auto row = block.row(static_cast<std::size_t>(r));
+      for (std::size_t c = 0; c < cols; ++c) profile[c] += row[c];
     }
-    // Owners sum their full rows (side border cells included); the top and
-    // bottom border rows belong to nobody — rank 0 contributes them once.
     if (me == 0) {
       const support::Matrix<double> grid = make_grid(config);
-      for (double cell : grid.row(0)) local += cell;
-      for (double cell : grid.row(grid.rows() - 1)) local += cell;
+      for (std::size_t c = 0; c < cols; ++c) {
+        profile[c] += grid(0, c) + grid(grid.rows() - 1, c);
+      }
     }
+    std::vector<double> slice(chunk, 0.0);
+    comm.reduce_scatter(std::span<const double>(profile),
+                        std::span<double>(slice),
+                        [](double a, double b) { return a + b; });
+    double local = 0.0;
+    for (double v : slice) local += v;
     double total = 0.0;
     comm.allreduce(std::span<const double>(&local, 1),
                    std::span<double>(&total, 1),
@@ -279,7 +292,21 @@ DriverResult run_hmpi(const hnoc::Cluster& cluster, const JacobiConfig& config,
 
       ParallelResult parallel = run_parallel(group->comm(), config, rows, mode);
       if (rt.is_host()) {
+        // Record which algorithm the tuner picks for the collectives this
+        // application issues, at their actual payload sizes.
+        const std::pair<coll::CollOp, std::size_t> queries[] = {
+            {coll::CollOp::kBcast, rows.size() * sizeof(long long)},
+            {coll::CollOp::kAllreduce, sizeof(double)},
+            {coll::CollOp::kReduceScatter,
+             static_cast<std::size_t>(config.cols) * sizeof(double)},
+        };
+        std::vector<CollSelection> picks;
+        for (const auto& [op, bytes] : queries) {
+          const Runtime::CollSelection sel = rt.coll_selection(op, bytes);
+          picks.push_back({op, bytes, sel.algo, sel.predicted_s});
+        }
         std::lock_guard<std::mutex> lock(mutex);
+        result.coll_selections = std::move(picks);
         result.algorithm_time = parallel.algorithm_time;
         result.checksum = parallel.checksum;
         result.predicted_time = group->estimated_time() * config.iterations;

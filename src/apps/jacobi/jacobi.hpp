@@ -65,6 +65,15 @@ struct ParallelResult {
 ParallelResult run_parallel(const mp::Comm& comm, const JacobiConfig& config,
                             std::span<const int> row_counts, WorkMode mode);
 
+/// One collective-algorithm pick of the runtime's tuner, recorded by the
+/// HMPI driver for its report (docs/collectives.md).
+struct CollSelection {
+  coll::CollOp op = coll::CollOp::kBcast;
+  std::size_t bytes = 0;     ///< Payload size the query priced.
+  int algo = 0;              ///< Per-op algorithm enum value (coll::algo_name).
+  double predicted_s = -1.0; ///< Cost-model prediction; negative when off.
+};
+
 struct DriverResult {
   double algorithm_time = 0.0;
   double total_time = 0.0;
@@ -72,6 +81,7 @@ struct DriverResult {
   double checksum = 0.0;             ///< Real mode only.
   std::vector<int> row_counts;       ///< Interior rows per worker.
   std::vector<int> placement;        ///< Machine of each worker.
+  std::vector<CollSelection> coll_selections;  ///< HMPI only: tuner picks.
 };
 
 /// Homogeneous baseline: equal row bands, worker i on machine i.

@@ -252,7 +252,22 @@ MmDriverResult run_hmpi(const hnoc::Cluster& cluster, const MmDriverConfig& conf
 
       if (rt.is_host()) {
         rt.group_observed(*group, mm_result.algorithm_time);
+        // Record the tuner's picks for the collectives this application
+        // issues, at their actual payload sizes.
+        const std::size_t block_bytes = static_cast<std::size_t>(config.r) *
+                                        static_cast<std::size_t>(config.r) *
+                                        sizeof(double);
+        const std::pair<coll::CollOp, std::size_t> queries[] = {
+            {coll::CollOp::kBcast, block_bytes},
+            {coll::CollOp::kAllreduce, sizeof(double)},
+        };
+        std::vector<MmCollSelection> picks;
+        for (const auto& [op, bytes] : queries) {
+          const Runtime::CollSelection sel = rt.coll_selection(op, bytes);
+          picks.push_back({op, bytes, sel.algo, sel.predicted_s});
+        }
         std::lock_guard<std::mutex> lock(result_mutex);
+        result.coll_selections = std::move(picks);
         result.algorithm_time = mm_result.algorithm_time;
         result.checksum = mm_result.checksum;
         result.predicted_time = group->estimated_time();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/matmul/algorithm.hpp"
+#include "coll/policy.hpp"
 #include "hnoc/cluster.hpp"
 #include "pmdl/model.hpp"
 
@@ -23,6 +24,15 @@ pmdl::Model performance_model();
 std::vector<pmdl::ParamValue> model_parameters(int m, int r, int n,
                                                const Partition& partition);
 
+/// One collective-algorithm pick of the runtime's tuner, recorded by the
+/// HMPI driver for its report (docs/collectives.md).
+struct MmCollSelection {
+  coll::CollOp op = coll::CollOp::kBcast;
+  std::size_t bytes = 0;     ///< Payload size the query priced.
+  int algo = 0;              ///< Per-op algorithm enum value (coll::algo_name).
+  double predicted_s = -1.0; ///< Cost-model prediction; negative when off.
+};
+
 struct MmDriverResult {
   double algorithm_time = 0.0;  ///< Virtual seconds of the n-step loop.
   double total_time = 0.0;      ///< Host's total virtual time (incl. setup).
@@ -30,6 +40,7 @@ struct MmDriverResult {
   double checksum = 0.0;        ///< Real mode only.
   int chosen_l = 0;             ///< Generalised block size actually used.
   std::vector<int> grid_placement;  ///< Processor of grid position I*m+J.
+  std::vector<MmCollSelection> coll_selections;  ///< HMPI only: tuner picks.
 };
 
 struct MmDriverConfig {

@@ -1,0 +1,75 @@
+#include "coll/cost.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace hmpi::coll {
+
+double schedule_cost(std::span<const Step> steps,
+                     std::span<const int> member_procs, std::size_t elem_bytes,
+                     const hnoc::NetworkModel& network,
+                     const CostOptions& opts) {
+  const int n = static_cast<int>(member_procs.size());
+  std::vector<double> clock(static_cast<std::size_t>(n), 0.0);
+  std::map<std::pair<int, int>, double> link_busy;
+  std::vector<double> arrival(steps.size(), 0.0);
+
+  // Replay round by round with the executor's two-pass discipline: every
+  // member issues all of its round sends before blocking on receives, so a
+  // send's ready time never includes the same round's receive updates.
+  std::size_t i = 0;
+  while (i < steps.size()) {
+    std::size_t j = i;
+    while (j < steps.size() && steps[j].round == steps[i].round) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      const Step& s = steps[k];
+      support::require(s.src >= 0 && s.src < n && s.dst >= 0 && s.dst < n,
+                       "schedule step member out of roster range");
+      const double bytes =
+          s.action == Step::Action::kToken
+              ? 1.0
+              : static_cast<double>(s.count) * static_cast<double>(elem_bytes);
+      const int src_proc = member_procs[static_cast<std::size_t>(s.src)];
+      const int dst_proc = member_procs[static_cast<std::size_t>(s.dst)];
+      double& busy = link_busy[{src_proc, dst_proc}];
+      const double start = std::max(clock[static_cast<std::size_t>(s.src)], busy);
+      const double finish =
+          start + network.link(src_proc, dst_proc).transfer_time(bytes);
+      busy = finish;
+      arrival[k] = finish;
+      clock[static_cast<std::size_t>(s.src)] += opts.send_overhead_s;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      const Step& s = steps[k];
+      double& c = clock[static_cast<std::size_t>(s.dst)];
+      c = std::max(c, arrival[k]) + opts.recv_overhead_s;
+    }
+    i = j;
+  }
+  double makespan = 0.0;
+  for (double c : clock) makespan = std::max(makespan, c);
+  return makespan;
+}
+
+double collective_cost(CollOp op, int algo, std::span<const int> member_procs,
+                       std::size_t bytes, const hnoc::NetworkModel& network,
+                       const CostOptions& opts, int root) {
+  const int n = static_cast<int>(member_procs.size());
+  if (n <= 1) return 0.0;
+  // Schedules are priced at byte granularity (elem_bytes = 1); block-based
+  // ops divide the payload into the n per-member blocks.
+  std::size_t count = bytes;
+  if (op == CollOp::kAllgather || op == CollOp::kReduceScatter) {
+    count = bytes / static_cast<std::size_t>(n);
+  }
+  if (op == CollOp::kBarrier) count = 0;
+  const std::vector<Step> steps =
+      schedule_for(op, algo, n, root, count, member_procs);
+  return schedule_cost(steps, member_procs, 1, network, opts);
+}
+
+}  // namespace hmpi::coll

@@ -1,0 +1,43 @@
+// Analytical cost of a collective schedule: the schedule is replayed on a
+// synthetic timeline with per-member clocks and per-directed-link busy
+// times, using the identical formulas the simulator charges for real
+// traffic (World::reserve_link + send/recv overheads). Because every
+// algorithm is generated and executed from the same schedule
+// (coll/schedule.hpp), the predicted duration of an idle-network collective
+// matches its simulated duration exactly — which is what lets the tuner's
+// predicted-fastest pick be the measured-fastest pick.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "coll/schedule.hpp"
+#include "hnoc/network_model.hpp"
+
+namespace hmpi::coll {
+
+/// Per-message bookkeeping constants; mirror mp::WorldOptions.
+struct CostOptions {
+  double send_overhead_s = 5e-6;
+  double recv_overhead_s = 5e-6;
+};
+
+/// Virtual makespan of `steps` over members placed on `member_procs`
+/// (machine id per member rank), starting from idle clocks and idle links.
+/// `elem_bytes` scales Step counts to wire bytes (token steps cost one
+/// byte, like the executor sends).
+double schedule_cost(std::span<const Step> steps,
+                     std::span<const int> member_procs, std::size_t elem_bytes,
+                     const hnoc::NetworkModel& network,
+                     const CostOptions& opts = {});
+
+/// Cost of one collective: generates the schedule for (op, algo) and
+/// replays it. `bytes` is the operation's total payload in bytes — the
+/// vector for bcast/reduce/allreduce, the full n-block logical vector for
+/// reduce_scatter/allgather — and is ignored for barrier. `root` follows
+/// the per-op convention (member rank for bcast/reduce, ignored otherwise).
+double collective_cost(CollOp op, int algo, std::span<const int> member_procs,
+                       std::size_t bytes, const hnoc::NetworkModel& network,
+                       const CostOptions& opts = {}, int root = 0);
+
+}  // namespace hmpi::coll

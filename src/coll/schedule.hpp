@@ -1,0 +1,87 @@
+// Collective schedules: each algorithm is a deterministic, round-structured
+// message plan generated once and consumed twice —
+//   * executed over mp::Comm point-to-point sends (coll/algorithms.hpp), and
+//   * replayed over hnoc::NetworkModel link parameters to predict its
+//     virtual duration (coll/cost.hpp) with the simulator's exact formulas.
+// Keeping one generator per algorithm guarantees the cost model prices the
+// byte-for-byte schedule the executor runs.
+//
+// Offsets and counts are in *elements* of the operation's logical vector:
+// the data buffer for bcast, the accumulator for reduce/allreduce, the
+// n-block receive buffer for allgather/reduce_scatter. Rounds express the
+// data dependences: a member never sends a range before the round that
+// delivered it, and within a round every member performs all of its sends
+// before any of its receives (so exchange rounds send pre-round values).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "coll/policy.hpp"
+
+namespace hmpi::coll {
+
+/// One message of a collective schedule.
+struct Step {
+  enum class Action {
+    kCopy,     ///< Receiver overwrites vector[offset, offset+count).
+    kCombine,  ///< Receiver folds in: v[i] = op(v[i], incoming[i]).
+    kToken,    ///< One-byte synchronisation message; offset/count unused.
+  };
+  int round = 0;  ///< Rounds execute in non-decreasing order.
+  int src = 0;    ///< Sending member (communicator rank).
+  int dst = 0;    ///< Receiving member.
+  std::size_t offset = 0;
+  std::size_t count = 0;
+  Action action = Action::kCopy;
+
+  /// Tag offset above the operation's tag base. Rounds wrap modulo the tag
+  /// block width; FIFO per (sender, context) ordering keeps wrapped rounds
+  /// matching correctly.
+  int tag() const noexcept { return round & 0xff; }
+};
+
+/// Segment size used by the chain-pipelined bcast when the caller does not
+/// specify one, in elements (the dispatchers divide by sizeof(T)).
+inline constexpr std::size_t kChainSegmentBytes = 64 * 1024;
+
+/// Broadcast of `count` elements from `root` over `n` members.
+/// `member_procs` (machine id per member, possibly empty) is only used by
+/// kTwoLevel; without placement it degenerates to the binomial tree.
+std::vector<Step> bcast_schedule(BcastAlgo algo, int n, int root,
+                                 std::size_t count,
+                                 std::span<const int> member_procs = {},
+                                 std::size_t segment_elems = kChainSegmentBytes);
+
+/// Reduction of `count` elements to `root`.
+std::vector<Step> reduce_schedule(ReduceAlgo algo, int n, int root,
+                                  std::size_t count);
+
+/// Allreduce of `count` elements.
+std::vector<Step> allreduce_schedule(AllreduceAlgo algo, int n,
+                                     std::size_t count);
+
+/// Reduce-scatter over a logical vector of n blocks of `block` elements;
+/// member r ends up owning block r (at offset r*block).
+std::vector<Step> reduce_scatter_schedule(ReduceScatterAlgo algo, int n,
+                                          std::size_t block);
+
+/// Allgather into a logical vector of n blocks of `block` elements; every
+/// member starts with its own block in place.
+std::vector<Step> allgather_schedule(AllgatherAlgo algo, int n,
+                                     std::size_t block);
+
+/// Barrier (token messages only).
+std::vector<Step> barrier_schedule(BarrierAlgo algo, int n);
+
+/// Generic entry point: `algo` is the per-op enum value (never 0/kAuto).
+/// `count` follows the per-op convention above (total elements for
+/// bcast/reduce/allreduce, per-member block for reduce_scatter/allgather,
+/// ignored for barrier).
+std::vector<Step> schedule_for(CollOp op, int algo, int n, int root,
+                               std::size_t count,
+                               std::span<const int> member_procs = {},
+                               std::size_t segment_elems = kChainSegmentBytes);
+
+}  // namespace hmpi::coll

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coll/cost.hpp"
 #include "support/error.hpp"
 
 namespace hmpi::est {
@@ -126,6 +127,17 @@ double estimate_time(const pmdl::ModelInstance& instance,
     cost[static_cast<std::size_t>(pair.second)] += t;
   }
   return cost.empty() ? 0.0 : *std::max_element(cost.begin(), cost.end());
+}
+
+double collective_time(coll::CollOp op, int algo,
+                       std::span<const int> member_procs, std::size_t bytes,
+                       const hnoc::NetworkModel& network,
+                       EstimateOptions options) {
+  if (algo == 0) algo = coll::legacy_default(op);
+  coll::CostOptions cost;
+  cost.send_overhead_s = options.send_overhead_s;
+  cost.recv_overhead_s = options.recv_overhead_s;
+  return coll::collective_cost(op, algo, member_procs, bytes, network, cost);
 }
 
 }  // namespace hmpi::est

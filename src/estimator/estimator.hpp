@@ -16,10 +16,12 @@
 // simulated execution (ablation A3 quantifies the gap).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <span>
 #include <vector>
 
+#include "coll/policy.hpp"
 #include "hnoc/network_model.hpp"
 #include "pmdl/model.hpp"
 
@@ -79,5 +81,17 @@ double estimate_time(const pmdl::ModelInstance& instance,
                      std::span<const int> mapping,
                      const hnoc::NetworkModel& network,
                      EstimateOptions options = EstimateOptions());
+
+/// Predicted virtual duration of one collective operation over members
+/// placed on `member_procs` (machine id per communicator rank), using the
+/// same schedule replay the runtime's CollTuner ranks algorithms with
+/// (coll::collective_cost). `algo` is the per-op algorithm value; 0 (kAuto)
+/// prices the legacy default. `bytes` is the operation's total payload
+/// (ignored for barrier). This is what lets HMPI_Timeof price collective
+/// phases consistently with the tuner's selections.
+double collective_time(coll::CollOp op, int algo,
+                       std::span<const int> member_procs, std::size_t bytes,
+                       const hnoc::NetworkModel& network,
+                       EstimateOptions options = EstimateOptions());
 
 }  // namespace hmpi::est

@@ -155,6 +155,25 @@ hmpi::map::SearchStats HMPI_Get_mapper_stats() {
   return hmpi::capi::detail::require_runtime().last_search_stats();
 }
 
+int HMPI_Coll_set_policy(hmpi::coll::CollOp op, std::string_view algorithm) {
+  const int algo = hmpi::coll::algo_from_name(op, std::string(algorithm));
+  if (algo < 0) return -1;
+  hmpi::Runtime& rt = hmpi::capi::detail::require_runtime();
+  hmpi::coll::CollPolicy policy = rt.coll_policy();
+  policy.set_choice(op, algo);
+  rt.coll_set_policy(policy);
+  return 0;
+}
+
+std::string_view HMPI_Coll_get_selection(hmpi::coll::CollOp op,
+                                         std::size_t bytes,
+                                         double* predicted_s) {
+  const hmpi::Runtime::CollSelection selection =
+      hmpi::capi::detail::require_runtime().coll_selection(op, bytes);
+  if (predicted_s != nullptr) *predicted_s = selection.predicted_s;
+  return hmpi::coll::algo_name(op, selection.algo);
+}
+
 void HMPI_Group_observed(const HMPI_Group& gid, double measured_s, int runs) {
   hmpi::support::require(gid.has_value(),
                          "HMPI_Group_observed: not a live group");

@@ -110,6 +110,23 @@ std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info();
 /// first search. Local operation.
 hmpi::map::SearchStats HMPI_Get_mapper_stats();
 
+// --- collective algorithm selection (docs/collectives.md) -------------------
+
+/// HMPI_Coll_set_policy: overrides the algorithm of one collective
+/// operation for the whole world ("binomial", "ring", ...; "auto" returns
+/// the op to cost-model selection). Returns 0 on success, -1 when the
+/// algorithm name is unknown for the op. Takes effect for subsequent
+/// collectives on every process; call at a quiescent point.
+int HMPI_Coll_set_policy(hmpi::coll::CollOp op, std::string_view algorithm);
+
+/// HMPI_Coll_get_selection: the algorithm the runtime would run for `op`
+/// over the whole world with `bytes` of payload, as a stable name, and —
+/// when `predicted_s` is non-null — the cost model's predicted virtual
+/// duration (negative when the tuner does not predict). Local operation.
+std::string_view HMPI_Coll_get_selection(hmpi::coll::CollOp op,
+                                         std::size_t bytes,
+                                         double* predicted_s = nullptr);
+
 // --- telemetry (docs/observability.md) --------------------------------------
 
 /// HMPI_Group_observed: reports the measured execution time of the algorithm

@@ -1,14 +1,17 @@
 #include "hmpi/runtime.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <map>
 #include <mutex>
 #include <set>
 
+#include "coll/tuner.hpp"
 #include "estimator/estimate_cache.hpp"
 #include "mpsim/trace.hpp"
 #include "support/error.hpp"
@@ -25,6 +28,31 @@ namespace {
 /// points stamp the owning simulated process's virtual clock.
 double sample_proc_clock(const void* ctx) {
   return static_cast<const mp::Proc*>(ctx)->clock();
+}
+
+/// HMPI_COLL_* environment overrides (docs/collectives.md): one variable
+/// per op naming the algorithm, plus HMPI_COLL_TUNER / HMPI_COLL_FEEDBACK
+/// switches. Unknown algorithm names are ignored (the config value stands).
+CollConfig coll_config_with_env(CollConfig config) {
+  for (int o = 0; o < coll::kNumCollOps; ++o) {
+    const auto op = static_cast<coll::CollOp>(o);
+    std::string var = "HMPI_COLL_";
+    for (const char* p = coll::op_name(op); *p != '\0'; ++p) {
+      var.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(*p))));
+    }
+    if (const char* value = std::getenv(var.c_str())) {
+      const int algo = coll::algo_from_name(op, value);
+      if (algo >= 0) config.policy.set_choice(op, algo);
+    }
+  }
+  if (const char* value = std::getenv("HMPI_COLL_TUNER")) {
+    config.tuner = std::string(value) != "0";
+  }
+  if (const char* value = std::getenv("HMPI_COLL_FEEDBACK")) {
+    config.feedback = std::string(value) == "1";
+  }
+  return config;
 }
 
 }  // namespace
@@ -51,6 +79,13 @@ struct Runtime::Shared {
   /// Processors marked suspect by a recon timeout (their last known speed
   /// stays in `network`; suspicion only removes them from member selection).
   std::set<int> suspect_processors;
+
+  /// The world's collective-algorithm selector (installed into the World by
+  /// the factory; also kept here for policy updates and diagnostics).
+  /// Lock-ordering contract: CollTuner::select locks its own mutex and then
+  /// the version callback locks `mutex` above — so the runtime must NEVER
+  /// call a tuner method while holding `mutex`, or two threads deadlock.
+  std::shared_ptr<coll::CollTuner> coll_tuner;
 
   struct Creation {
     std::vector<int> participants;  // sorted world ranks
@@ -101,6 +136,7 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
   support::require(config_.search_threads >= 1,
                    "search_threads must be at least 1");
   config_.telemetry = config_.telemetry.with_env_overrides();
+  config_.coll = coll_config_with_env(config_.coll);
   if (!config_.mapper) {
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
@@ -108,6 +144,22 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
     auto s = std::make_shared<Shared>();
     s->network = std::make_unique<hnoc::NetworkModel>(proc.cluster());
     s->next_creation.assign(static_cast<std::size_t>(proc.nprocs()), 0);
+    // The collective tuner: one per world, installed before the init
+    // barrier below, so every process's first collective already resolves
+    // through it. The config is required to be identical on every process,
+    // so whichever process runs the factory builds the same tuner.
+    coll::CollTuner::Options topts;
+    topts.cost.send_overhead_s = config_.estimate.send_overhead_s;
+    topts.cost.recv_overhead_s = config_.estimate.recv_overhead_s;
+    topts.predict = config_.coll.tuner;
+    topts.feedback = config_.coll.feedback;
+    s->coll_tuner = std::make_shared<coll::CollTuner>(proc.cluster(), topts);
+    s->coll_tuner->set_policy(config_.coll.policy);
+    s->coll_tuner->set_version_source([raw = s.get()]() -> std::uint64_t {
+      std::lock_guard<std::mutex> lock(raw->mutex);
+      return raw->network->version();
+    });
+    proc.world().set_coll_selector(s->coll_tuner);
     // Wake rendezvous waiters on any death so they can fail fast instead of
     // sitting out the deadlock timeout. (The Shared outlives every process
     // thread: the World holds it until the run ends.)
@@ -129,6 +181,14 @@ void Runtime::finalize(int exit_code) {
   // block on the dead ranks forever, so survivors simply leave.
   if (!proc_->world().any_failed()) proc_->world_comm().barrier();
   finalized_ = true;
+  // Tuner cache statistics become metrics at shutdown (host only, once, so
+  // the counters are not multiplied by the process count).
+  if (is_host() && shared_->coll_tuner) {
+    telemetry::metrics().counter("coll.tuner.hits").add(
+        static_cast<double>(shared_->coll_tuner->cache_hits()));
+    telemetry::metrics().counter("coll.tuner.misses").add(
+        static_cast<double>(shared_->coll_tuner->cache_misses()));
+  }
   // The host dumps the configured telemetry sinks after the barrier, when
   // every process's records are in (docs/observability.md).
   if (is_host() && config_.telemetry.any()) {
@@ -263,7 +323,53 @@ void Runtime::recon_impl(const mp::Comm& comm,
   // repeated recons do not accumulate dead memory. (Collective call: every
   // process clears, which is an idempotent no-op after the first.)
   if (speeds_changed) shared_->estimate_cache.clear();
+
+  // Feedback mode: promote the staged measured/predicted ratios into the
+  // tuner's active ranking, bracketed by two pinned-algorithm barriers.
+  // The first barrier quiesces (no member is inside a tuner-selected
+  // collective once any member is past it), the second holds every member
+  // back until all promotions of this round are done — so tuner-driven
+  // selections before and after the bracket each see one consistent
+  // ranking on every member. Pinning the bracket's own barrier algorithm
+  // keeps it independent of the very ranking being swapped. Note the
+  // promotion runs with no Shared lock held (see Shared::coll_tuner).
+  if (config_.coll.feedback && shared_->coll_tuner) {
+    mp::Comm sync = comm;
+    coll::CollPolicy pinned;
+    pinned.barrier = coll::BarrierAlgo::kDissemination;
+    sync.set_coll_policy(pinned);
+    sync.barrier();
+    shared_->coll_tuner->promote_feedback();
+    sync.barrier();
+  }
   comm.barrier();
+}
+
+void Runtime::coll_set_policy(const coll::CollPolicy& policy) {
+  support::require(static_cast<bool>(shared_->coll_tuner),
+                   "coll_set_policy requires the runtime's tuner");
+  shared_->coll_tuner->set_policy(policy);
+}
+
+coll::CollPolicy Runtime::coll_policy() const {
+  return shared_->coll_tuner ? shared_->coll_tuner->policy()
+                             : coll::CollPolicy();
+}
+
+Runtime::CollSelection Runtime::coll_selection(coll::CollOp op,
+                                               std::size_t bytes) const {
+  CollSelection out;
+  coll::Selector* selector = proc_->world().coll_selector();
+  if (selector != nullptr) {
+    std::vector<int> procs;
+    procs.reserve(static_cast<std::size_t>(proc_->nprocs()));
+    for (int r = 0; r < proc_->nprocs(); ++r) {
+      procs.push_back(proc_->world().processor_of(r));
+    }
+    out.algo = selector->select(op, procs, bytes, &out.predicted_s);
+  }
+  if (out.algo == 0) out.algo = coll::legacy_default(op);
+  return out;
 }
 
 std::vector<map::Candidate> Runtime::candidates_with(

@@ -84,6 +84,22 @@ enum class Health {
   kDead,     ///< Killed by an injected fault; excluded from everything.
 };
 
+/// Collective-algorithm selection settings (docs/collectives.md).
+struct CollConfig {
+  /// Fixed per-op algorithm overrides; kAuto entries are resolved by the
+  /// tuner's cost search. Each op is overridable via an environment
+  /// variable HMPI_COLL_<OP>=<algo-name> (e.g. HMPI_COLL_BCAST=chain,
+  /// HMPI_COLL_ALLGATHER=ring).
+  coll::CollPolicy policy;
+  /// Price every candidate algorithm per (op, roster, size bucket) with the
+  /// schedule cost model and run the predicted-fastest. false pins the
+  /// legacy defaults (the pre-subsystem behaviour). Env: HMPI_COLL_TUNER.
+  bool tuner = true;
+  /// Re-rank candidates by the EWMA of measured/predicted durations,
+  /// promoted at Recon's quiescent point. Env: HMPI_COLL_FEEDBACK.
+  bool feedback = false;
+};
+
 /// Tunables of the runtime (identical at every process).
 struct RuntimeConfig {
   /// Process-selection algorithm; null selects the library default
@@ -109,6 +125,10 @@ struct RuntimeConfig {
   /// (docs/observability.md). Environment variables HMPI_METRICS_JSON /
   /// HMPI_TRACE_JSON override these paths; empty = sink disabled.
   telemetry::Sinks telemetry;
+  /// Collective algorithm selection (docs/collectives.md). The runtime
+  /// installs a coll::CollTuner as the world's selector; these settings
+  /// configure it.
+  CollConfig coll;
 };
 
 class Runtime;
@@ -310,6 +330,26 @@ class Runtime {
   /// Speed estimates of the group's members, by group rank (HeteroMPI's
   /// HMPI_Group_performances). Local operation.
   std::vector<double> group_performances(const Group& group) const;
+
+  /// Replaces the per-op collective overrides of the world's tuner
+  /// (docs/collectives.md). Takes effect for subsequent collectives on
+  /// every process (the tuner is world-shared); call it at a quiescent
+  /// point — between collectives, e.g. right after recon — or members of an
+  /// in-flight collective may disagree on the algorithm.
+  void coll_set_policy(const coll::CollPolicy& policy);
+
+  /// The tuner's current per-op overrides (all kAuto unless set).
+  coll::CollPolicy coll_policy() const;
+
+  /// What the world's selector would run for `op` over the whole world with
+  /// `bytes` of payload right now (HMPI_Coll_get_selection). Local
+  /// diagnostics; does not perturb tuner statistics-driven state beyond the
+  /// memo.
+  struct CollSelection {
+    int algo = 0;               ///< Per-op algorithm value (never kAuto).
+    double predicted_s = -1.0;  ///< Cost-model prediction; < 0 if not priced.
+  };
+  CollSelection coll_selection(coll::CollOp op, std::size_t bytes) const;
 
   /// Cost of the most recent selection search this process drove (timeof or
   /// the parent side of group_create): estimator evaluations, cache

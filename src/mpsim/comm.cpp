@@ -316,42 +316,107 @@ int Request::wait_any(std::span<Request> requests, Status* status) {
   }
 }
 
+Comm::CollChoice Comm::coll_select(coll::CollOp op, std::size_t bytes) const {
+  World& world = proc_->world();
+  CollChoice choice;
+  choice.algo = coll_policy_.choice(op);
+  if (choice.algo == 0) choice.algo = world.options().coll.choice(op);
+  if (choice.algo == 0) {
+    if (coll::Selector* selector = world.coll_selector()) {
+      const std::vector<int> procs = member_procs();
+      choice.algo = selector->select(op, procs, bytes, &choice.predicted_s);
+    }
+  }
+  if (choice.algo == 0) choice.algo = coll::legacy_default(op);
+
+  telemetry::metrics()
+      .counter(std::string("coll.") + coll::op_name(op) + "." +
+               coll::algo_name(op, choice.algo))
+      .add();
+
+  // One selection event per collective call, recorded by the communicator's
+  // rank 0 (every member resolves the same algorithm by construction).
+  Tracer* tracer = world.options().tracer;
+  if (tracer != nullptr && rank_ == 0) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::kCollSelect;
+    event.world_rank = proc_->rank();
+    event.processor = proc_->processor();
+    event.context = context_;
+    event.bytes = bytes;
+    event.start_time = proc_->clock();
+    event.end_time = proc_->clock();
+    event.coll.op = static_cast<int>(op);
+    event.coll.algo = choice.algo;
+    event.coll.predicted_s = choice.predicted_s;
+    tracer->record(event);
+  }
+  return choice;
+}
+
+std::vector<coll::Step> Comm::coll_schedule(coll::CollOp op, int algo,
+                                            int root, std::size_t count,
+                                            std::size_t elem_size) const {
+  // Only the two-level bcast reads placement; skip the lookup otherwise.
+  std::vector<int> procs;
+  std::span<const int> procs_span;
+  if (op == coll::CollOp::kBcast &&
+      static_cast<coll::BcastAlgo>(algo) == coll::BcastAlgo::kTwoLevel) {
+    procs = member_procs();
+    procs_span = procs;
+  }
+  const std::size_t segment_elems = std::max<std::size_t>(
+      1, coll::kChainSegmentBytes / std::max<std::size_t>(1, elem_size));
+  return coll::schedule_for(op, algo, size(), root, count, procs_span,
+                            segment_elems);
+}
+
+void Comm::coll_finish(coll::CollOp op, int algo, std::size_t bytes,
+                       double start_clock, double predicted_s) const {
+  const double elapsed = proc_->clock() - start_clock;
+  telemetry::metrics()
+      .histogram(std::string("coll.") + coll::op_name(op) + ".seconds")
+      .observe(elapsed);
+  if (coll::Selector* selector = proc_->world().coll_selector()) {
+    selector->observe(op, algo, bytes, elapsed, predicted_s);
+  }
+}
+
+std::vector<int> Comm::member_procs() const {
+  World& world = proc_->world();
+  std::vector<int> procs;
+  procs.reserve(members_->size());
+  for (int wr : *members_) procs.push_back(world.processor_of(wr));
+  return procs;
+}
+
 void Comm::barrier() const {
   support::require(valid(), "barrier on an invalid communicator");
-  const int n = size();
-  std::byte token{0};
-  // Dissemination barrier: round s exchanges with ranks +/- 2^s.
-  int round = 0;
-  for (int offset = 1; offset < n; offset <<= 1, ++round) {
-    const int dst = (rank() + offset) % n;
-    const int src = (rank() - offset + n) % n;
-    send_bytes(std::span<const std::byte>(&token, 1), dst,
-               internal_tag::kBarrierBase + round);
-    recv_bytes(std::span<std::byte>(&token, 1), src,
-               internal_tag::kBarrierBase + round);
-  }
+  if (size() <= 1) return;
+  const CollChoice choice = coll_select(coll::CollOp::kBarrier, 0);
+  const double start = proc_->clock();
+  const std::vector<coll::Step> steps =
+      coll_schedule(coll::CollOp::kBarrier, choice.algo, 0, 0, 1);
+  coll::run_schedule(*this, std::span<const coll::Step>(steps),
+                     std::span<std::byte>(),
+                     [](std::byte a, std::byte) { return a; },
+                     internal_tag::kBarrierBase);
+  coll_finish(coll::CollOp::kBarrier, choice.algo, 0, start,
+              choice.predicted_s);
 }
 
 void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
   check_member_rank(root, "bcast root");
-  const int n = size();
-  const int vr = (rank() - root + n) % n;
-
-  // Binomial tree: find the bit at which this process receives, then forward
-  // to processes at all lower bits.
-  int mask = 1;
-  while (mask < n && (vr & mask) == 0) mask <<= 1;
-  if (vr != 0) {
-    const int parent = ((vr - mask) + root) % n;
-    recv_bytes(data, parent, internal_tag::kBcastBase);
-  }
-  mask >>= 1;
-  for (; mask > 0; mask >>= 1) {
-    if (vr + mask < n) {
-      const int child = (vr + mask + root) % n;
-      send_bytes(data, child, internal_tag::kBcastBase);
-    }
-  }
+  if (size() <= 1) return;
+  const CollChoice choice = coll_select(coll::CollOp::kBcast, data.size());
+  const double start = proc_->clock();
+  const std::vector<coll::Step> steps =
+      coll_schedule(coll::CollOp::kBcast, choice.algo, root, data.size(), 1);
+  coll::run_schedule(*this, std::span<const coll::Step>(steps), data,
+                     [](std::byte a, std::byte) { return a; },
+                     internal_tag::kBcastBase);
+  coll_finish(coll::CollOp::kBcast, choice.algo, data.size(), start,
+              choice.predicted_s);
 }
 
 Comm Comm::dup() const {

@@ -4,8 +4,16 @@
 // A Comm is a per-process handle: (process, context id, ordered member list).
 // Context 0 is the world communicator. All collectives are built from the
 // point-to-point primitives, so their virtual cost emerges from the same link
-// model the estimator uses (binomial trees for bcast/reduce, dissemination
-// for barrier, ring for allgather, pairwise rounds for alltoall).
+// model the estimator uses. Each collective runs one of a family of pluggable
+// algorithms (src/coll/, docs/collectives.md): bcast may be flat, binomial,
+// chain-pipelined, or two-level cluster-aware; reduce flat, binomial, or
+// Rabenseifner; allgather composes gather+bcast (the historical default) or
+// runs ring / recursive-doubling; barrier is dissemination or tournament;
+// alltoall is pairwise rounds. The algorithm is resolved per call — per-comm
+// policy, then WorldOptions::coll, then the installed coll::Selector (the
+// runtime's cost-model tuner), then the legacy default, whose message
+// schedule and virtual timing match the old hard-coded implementations
+// exactly.
 //
 // Internal collective traffic uses tags above kMaxUserTag; correctness across
 // back-to-back collectives relies on the substrate's per-(sender, context)
@@ -19,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "coll/algorithms.hpp"
 #include "mpsim/world.hpp"
 
 namespace hmpi::mp {
@@ -38,13 +47,15 @@ inline constexpr int kReduceBase = kMaxUserTag + 0x0300;
 inline constexpr int kGather = kMaxUserTag + 0x0400;
 inline constexpr int kScatter = kMaxUserTag + 0x0500;
 inline constexpr int kAllgatherBase = kMaxUserTag + 0x0600;  // + round
-inline constexpr int kAlltoallBase = kMaxUserTag + 0x0700;   // + round
+inline constexpr int kAlltoallBase = kMaxUserTag + 0x0700;   // + (round & 0xff)
 inline constexpr int kSplit = kMaxUserTag + 0x0800;
 inline constexpr int kSubcommCtx = kMaxUserTag + 0x0900;
 inline constexpr int kDup = kMaxUserTag + 0x0a00;
 inline constexpr int kGatherv = kMaxUserTag + 0x0b00;
 inline constexpr int kScatterv = kMaxUserTag + 0x0c00;
 inline constexpr int kScan = kMaxUserTag + 0x0d00;
+inline constexpr int kAllreduceBase = kMaxUserTag + 0x0e00;      // + round
+inline constexpr int kReduceScatterBase = kMaxUserTag + 0x0f00;  // + round
 }  // namespace internal_tag
 
 class Request;
@@ -156,10 +167,19 @@ class Comm {
 
   // --- collectives (must be called by every member, in the same order) -----
 
-  /// Dissemination barrier; synchronises virtual clocks to a common point.
+  /// Per-communicator algorithm overrides. Every member must install the
+  /// same policy (it is local state of this handle, like an MPI info key);
+  /// kAuto entries fall through to WorldOptions::coll, then the installed
+  /// coll::Selector, then the legacy defaults.
+  void set_coll_policy(const coll::CollPolicy& policy) { coll_policy_ = policy; }
+  const coll::CollPolicy& coll_policy() const noexcept { return coll_policy_; }
+
+  /// Barrier; synchronises virtual clocks to a common point (dissemination
+  /// by default, tournament selectable).
   void barrier() const;
 
-  /// Binomial-tree broadcast of `data` from `root` to all members.
+  /// Broadcast of `data` from `root` to all members (binomial tree by
+  /// default; flat, chain-pipelined and two-level selectable).
   template <typename T>
   void bcast(std::span<T> data, int root) const {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -181,29 +201,37 @@ class Comm {
     if (n > 0) bcast(std::span<T>(data), root);
   }
 
-  /// Binomial-tree reduction; `out` is significant at root only. `op` must be
-  /// associative; evaluation order is deterministic for a given member count.
+  /// Reduction (binomial tree by default; flat and Rabenseifner
+  /// selectable); `out` is significant at root only. `op` must be
+  /// associative — and commutative under the non-binomial algorithms, which
+  /// combine in rank-dependent order; evaluation order is deterministic for
+  /// a given (member count, algorithm).
   template <typename T, typename Op>
   void reduce(std::span<const T> in, std::span<T> out, Op op, int root) const;
 
-  /// reduce followed by bcast.
+  /// Native allreduce (reduce+bcast composition by default; recursive
+  /// doubling and Rabenseifner selectable). `out` significant on every
+  /// member; same `op` requirements as reduce.
   template <typename T, typename Op>
-  void allreduce(std::span<const T> in, std::span<T> out, Op op) const {
-    reduce(in, out, op, 0);
-    bcast(out, 0);
-  }
+  void allreduce(std::span<const T> in, std::span<T> out, Op op) const;
+
+  /// Reduce-scatter of size() equal blocks: `in` holds size() * block
+  /// elements, rank r gets the element-wise reduction of every member's
+  /// block r in `out` (first block elements). Pairwise exchange by default;
+  /// recursive halving selectable. Same `op` requirements as reduce.
+  template <typename T, typename Op>
+  void reduce_scatter(std::span<const T> in, std::span<T> out, Op op) const;
 
   /// Linear gather of equal-sized contributions. `recv` (root only) must hold
   /// size() * send.size() elements, grouped by rank.
   template <typename T>
   void gather(std::span<const T> send, std::span<T> recv, int root) const;
 
-  /// gather to rank 0 + bcast (cost model: tree would be similar order).
+  /// Allgather of equal-sized contributions into `recv` (size() * send.size()
+  /// elements on every member). Gather-to-0 + bcast by default (the
+  /// historical composition); ring and recursive doubling selectable.
   template <typename T>
-  void allgather(std::span<const T> send, std::span<T> recv) const {
-    gather(send, recv, 0);
-    bcast(recv, 0);
-  }
+  void allgather(std::span<const T> send, std::span<T> recv) const;
 
   /// Linear scatter of equal-sized pieces from root. `send` (root only) must
   /// hold size() * recv.size() elements.
@@ -270,10 +298,40 @@ class Comm {
   Status recv_impl(std::span<std::byte>* buffer, int src, int tag,
                    double timeout_s) const;
 
+  // --- collective dispatch (shared by the templates and comm.cpp) ----------
+
+  struct CollChoice {
+    int algo = 0;               ///< Resolved per-op algorithm (never kAuto).
+    double predicted_s = -1.0;  ///< Selector prediction; < 0 when none.
+  };
+
+  /// Resolves the algorithm for one collective call (per-comm policy ->
+  /// world policy -> selector -> legacy default), bumps the
+  /// coll.<op>.<algo> counter, and records a kCollSelect trace event at
+  /// communicator rank 0. Must be called identically by every member.
+  CollChoice coll_select(coll::CollOp op, std::size_t bytes) const;
+
+  /// Builds the message schedule for the resolved algorithm (count follows
+  /// the coll::schedule_for convention: elements for bcast/reduce/allreduce,
+  /// block elements for reduce_scatter/allgather, ignored for barrier).
+  std::vector<coll::Step> coll_schedule(coll::CollOp op, int algo, int root,
+                                        std::size_t count,
+                                        std::size_t elem_size) const;
+
+  /// Closes the books on a finished collective: observes the
+  /// coll.<op>.seconds histogram and feeds measured-vs-predicted back to the
+  /// selector.
+  void coll_finish(coll::CollOp op, int algo, std::size_t bytes,
+                   double start_clock, double predicted_s) const;
+
+  /// Physical processor of each member, in communicator-rank order.
+  std::vector<int> member_procs() const;
+
   Proc* proc_ = nullptr;
   int context_ = -1;
   std::shared_ptr<const std::vector<int>> members_;
   int rank_ = -1;
+  coll::CollPolicy coll_policy_;
 };
 
 /// Handle for a nonblocking operation.
@@ -346,32 +404,101 @@ void Comm::reduce(std::span<const T> in, std::span<T> out, Op op,
   check_member_rank(root, "reduce root");
   support::require(rank() != root || out.size() >= in.size(),
                    "reduce: output buffer too small at root");
-  const int n = size();
-  const int vr = (rank() - root + n) % n;
-
-  std::vector<T> acc(in.begin(), in.end());
-  std::vector<T> incoming(in.size());
-  // Binomial tree, leaves first: a process receives from children
-  // vr + 2^k while that bit is addressable, then sends to its parent.
-  int mask = 1;
-  while (mask < n) {
-    if ((vr & mask) != 0) {
-      const int parent = ((vr - mask) + root) % n;
-      send(std::span<const T>(acc), parent, internal_tag::kReduceBase);
-      break;
-    }
-    if (vr + mask < n) {
-      const int child = (vr + mask + root) % n;
-      recv(std::span<T>(incoming), child, internal_tag::kReduceBase);
-      for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] = op(acc[i], incoming[i]);
-      }
-    }
-    mask <<= 1;
+  if (size() == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
   }
+  const std::size_t bytes = in.size() * sizeof(T);
+  const CollChoice choice = coll_select(coll::CollOp::kReduce, bytes);
+  const double start = proc_->clock();
+  std::vector<T> acc(in.begin(), in.end());
+  const std::vector<coll::Step> steps =
+      coll_schedule(coll::CollOp::kReduce, choice.algo, root, in.size(),
+                    sizeof(T));
+  coll::run_schedule(*this, std::span<const coll::Step>(steps),
+                     std::span<T>(acc), op, internal_tag::kReduceBase);
   if (rank() == root) {
     std::copy(acc.begin(), acc.end(), out.begin());
   }
+  coll_finish(coll::CollOp::kReduce, choice.algo, bytes, start,
+              choice.predicted_s);
+}
+
+template <typename T, typename Op>
+void Comm::allreduce(std::span<const T> in, std::span<T> out, Op op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  support::require(out.size() >= in.size(),
+                   "allreduce: output buffer too small");
+  if (size() == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const std::size_t bytes = in.size() * sizeof(T);
+  const CollChoice choice = coll_select(coll::CollOp::kAllreduce, bytes);
+  const double start = proc_->clock();
+  std::vector<T> acc(in.begin(), in.end());
+  const std::vector<coll::Step> steps =
+      coll_schedule(coll::CollOp::kAllreduce, choice.algo, 0, in.size(),
+                    sizeof(T));
+  coll::run_schedule(*this, std::span<const coll::Step>(steps),
+                     std::span<T>(acc), op, internal_tag::kAllreduceBase);
+  std::copy(acc.begin(), acc.end(), out.begin());
+  coll_finish(coll::CollOp::kAllreduce, choice.algo, bytes, start,
+              choice.predicted_s);
+}
+
+template <typename T, typename Op>
+void Comm::reduce_scatter(std::span<const T> in, std::span<T> out,
+                          Op op) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = size();
+  support::require(in.size() % static_cast<std::size_t>(n) == 0,
+                   "reduce_scatter: input size not divisible by size()");
+  const std::size_t block = in.size() / static_cast<std::size_t>(n);
+  support::require(out.size() >= block,
+                   "reduce_scatter: output buffer too small");
+  if (n == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  const std::size_t bytes = in.size() * sizeof(T);
+  const CollChoice choice = coll_select(coll::CollOp::kReduceScatter, bytes);
+  const double start = proc_->clock();
+  std::vector<T> acc(in.begin(), in.end());
+  const std::vector<coll::Step> steps =
+      coll_schedule(coll::CollOp::kReduceScatter, choice.algo, 0, block,
+                    sizeof(T));
+  coll::run_schedule(*this, std::span<const coll::Step>(steps),
+                     std::span<T>(acc), op, internal_tag::kReduceScatterBase);
+  const auto mine = std::span<const T>(acc).subspan(
+      block * static_cast<std::size_t>(rank()), block);
+  std::copy(mine.begin(), mine.end(), out.begin());
+  coll_finish(coll::CollOp::kReduceScatter, choice.algo, bytes, start,
+              choice.predicted_s);
+}
+
+template <typename T>
+void Comm::allgather(std::span<const T> send_data, std::span<T> recv_data) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = size();
+  const std::size_t block = send_data.size();
+  support::require(recv_data.size() >= block * static_cast<std::size_t>(n),
+                   "allgather: receive buffer too small");
+  std::copy(send_data.begin(), send_data.end(),
+            recv_data.begin() + static_cast<std::ptrdiff_t>(
+                                    block * static_cast<std::size_t>(rank())));
+  if (n == 1) return;
+  const std::size_t bytes = block * static_cast<std::size_t>(n) * sizeof(T);
+  const CollChoice choice = coll_select(coll::CollOp::kAllgather, bytes);
+  const double start = proc_->clock();
+  const std::vector<coll::Step> steps = coll_schedule(
+      coll::CollOp::kAllgather, choice.algo, 0, block, sizeof(T));
+  // Allgather schedules only copy blocks around; the combiner is never used.
+  coll::run_schedule(*this, std::span<const coll::Step>(steps), recv_data,
+                     [](const T& a, const T&) { return a; },
+                     internal_tag::kAllgatherBase);
+  coll_finish(coll::CollOp::kAllgather, choice.algo, bytes, start,
+              choice.predicted_s);
 }
 
 template <typename T>
@@ -433,14 +560,19 @@ void Comm::alltoall(std::span<const T> send_data, std::span<T> recv_data) const 
               recv_data.begin() +
                   static_cast<std::ptrdiff_t>(count * static_cast<std::size_t>(rank())));
   }
-  // Pairwise rounds: in round s, send to rank+s, receive from rank-s.
+  // Pairwise rounds: in round s, send to rank+s, receive from rank-s. Each
+  // round is a cyclic-shift permutation, so every ordered pair is covered
+  // exactly once for any n — including odd n and the even-n round s == n/2
+  // where dst == src (send-then-recv with the buffered substrate). The tag
+  // wraps at 256 to stay inside the reserved block; per-sender FIFO keeps
+  // reused tags matched in order.
   for (int s = 1; s < n; ++s) {
     const int dst = (rank() + s) % n;
     const int src = (rank() - s + n) % n;
     send(send_data.subspan(count * static_cast<std::size_t>(dst), count), dst,
-         internal_tag::kAlltoallBase + s);
+         internal_tag::kAlltoallBase + (s & 0xff));
     recv(recv_data.subspan(count * static_cast<std::size_t>(src), count), src,
-         internal_tag::kAlltoallBase + s);
+         internal_tag::kAlltoallBase + (s & 0xff));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "coll/policy.hpp"
 #include "telemetry/chrome_trace.hpp"
 
 namespace hmpi::mp {
@@ -19,6 +20,7 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kSuspect: return "suspect";
     case TraceEvent::Kind::kRecover: return "recover";
     case TraceEvent::Kind::kMapperSearch: return "mapper_search";
+    case TraceEvent::Kind::kCollSelect: return "coll_select";
   }
   return "compute";
 }
@@ -32,6 +34,7 @@ bool is_instant(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kSuspect:
     case TraceEvent::Kind::kRecover:
     case TraceEvent::Kind::kMapperSearch:
+    case TraceEvent::Kind::kCollSelect:
       return true;
     default:
       return false;
@@ -76,6 +79,13 @@ std::vector<telemetry::ChromeEvent> to_chrome_events(
         c.arg("threads", static_cast<double>(e.search.threads));
         c.arg("wall_seconds", e.search.wall_seconds);
         break;
+      case TraceEvent::Kind::kCollSelect:
+        c.arg("op", coll::op_name(static_cast<coll::CollOp>(e.coll.op)));
+        c.arg("algo",
+              coll::algo_name(static_cast<coll::CollOp>(e.coll.op), e.coll.algo));
+        c.arg("bytes", static_cast<double>(e.bytes));
+        c.arg("predicted_s", e.coll.predicted_s);
+        break;
       default:
         break;
     }
@@ -118,6 +128,14 @@ void Tracer::write_csv(std::ostream& os) const {
       tag = static_cast<int>(e.search.hit_rate * 100.0);
       bytes = static_cast<std::size_t>(e.search.evaluations);
       units = e.search.wall_seconds;
+    }
+    // kCollSelect packs the same way: algorithm in peer, op in tag,
+    // prediction in units; the honest form is TraceEvent::coll / the
+    // Chrome-trace args.
+    if (e.kind == TraceEvent::Kind::kCollSelect) {
+      peer = e.coll.algo;
+      tag = e.coll.op;
+      units = e.coll.predicted_s;
     }
     os << kind_name(e.kind) << ',' << e.world_rank << ',' << e.processor
        << ',' << peer << ',' << tag << ',' << e.context << ',' << bytes << ','

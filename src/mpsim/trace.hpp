@@ -34,6 +34,8 @@ struct TraceEvent {
     kRecover,      ///< Runtime cleared a processor's suspect mark.
     kMapperSearch, ///< A group-selection search finished (timeof or the
                    ///< parent side of group_create); details in `search`.
+    kCollSelect,   ///< A collective resolved its algorithm (recorded by the
+                   ///< communicator's rank 0 only); details in `coll`.
   };
 
   /// Named payload for kMapperSearch (peer/tag/bytes/units are unused —
@@ -43,6 +45,15 @@ struct TraceEvent {
     double hit_rate = 0.0;      ///< Estimate-cache hit rate in [0, 1].
     int threads = 1;            ///< Worker threads used by the search.
     double wall_seconds = 0.0;  ///< Real (not virtual) search duration.
+  };
+
+  /// Named payload for kCollSelect (`bytes` carries the payload size; the
+  /// op/algo integers are hmpi::coll::CollOp and its per-op algorithm enum,
+  /// exported by name in the Chrome-trace args).
+  struct CollSelect {
+    int op = -1;                ///< coll::CollOp of the collective.
+    int algo = 0;               ///< Selected per-op algorithm value.
+    double predicted_s = -1.0;  ///< Tuner-predicted duration; < 0 if none.
   };
 
   Kind kind = Kind::kCompute;
@@ -56,6 +67,7 @@ struct TraceEvent {
   double start_time = 0.0; ///< Virtual time the event began.
   double end_time = 0.0;   ///< Virtual completion (message arrival for sends).
   MapperSearch search;     ///< kMapperSearch only.
+  CollSelect coll;         ///< kCollSelect only.
 };
 
 /// Stable lower-case name for an event kind ("send", "mapper_search", ...).

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "coll/policy.hpp"
 #include "hnoc/cluster.hpp"
 #include "mpsim/fault.hpp"
 #include "mpsim/mailbox.hpp"
@@ -135,6 +136,11 @@ struct WorldOptions {
   /// from a run without the fault layer. Calendars from the cluster's
   /// per-processor Availability are merged in at World construction.
   FaultPlan faults;
+  /// World-wide collective algorithm overrides (docs/collectives.md). The
+  /// default (all kAuto) defers to the installed selector, or — when none is
+  /// installed — to the legacy hard-coded algorithms, reproducing their
+  /// virtual timing exactly.
+  coll::CollPolicy coll;
 };
 
 /// Owns the processes, mailboxes, and link state of one simulated run.
@@ -253,6 +259,22 @@ class World {
   std::shared_ptr<void> get_or_create_shared(
       const std::function<std::shared_ptr<void>()>& factory);
 
+  // --- collective algorithm selection (docs/collectives.md) ----------------
+
+  /// Installs the selector consulted by every collective whose per-comm and
+  /// world policies are kAuto (the runtime installs its CollTuner here from
+  /// the get_or_create_shared factory). Install before processes start
+  /// communicating: the factory runs once under the shared-slot mutex and
+  /// every process synchronises on the runtime barrier before its first
+  /// collective, so later reads need no lock.
+  void set_coll_selector(std::shared_ptr<coll::Selector> selector) {
+    coll_selector_ = std::move(selector);
+  }
+
+  coll::Selector* coll_selector() const noexcept {
+    return coll_selector_.get();
+  }
+
  private:
   World(const hnoc::Cluster& cluster, std::vector<int> placement,
         Options options);
@@ -291,6 +313,7 @@ class World {
 
   std::mutex shared_mutex_;
   std::shared_ptr<void> shared_;
+  std::shared_ptr<coll::Selector> coll_selector_;
 
   friend class Comm;
   friend class Proc;

@@ -112,6 +112,29 @@ TEST_P(CollectivesP, AlltoallTransposes) {
   });
 }
 
+TEST_P(CollectivesP, ReduceScatterSumsOwnBlock) {
+  const int n = GetParam();
+  World::run_one_per_processor(uniform(n), [n](Proc& p) {
+    Comm comm = p.world_comm();
+    // Block b element e of rank r contributes r*1000 + b*10 + e; rank b ends
+    // up with the sum over r for its own block.
+    std::vector<long> in(static_cast<std::size_t>(2 * n));
+    for (int b = 0; b < n; ++b) {
+      for (int e = 0; e < 2; ++e) {
+        in[static_cast<std::size_t>(2 * b + e)] = p.rank() * 1000 + b * 10 + e;
+      }
+    }
+    std::vector<long> out(2, -1);
+    comm.reduce_scatter(std::span<const long>(in), std::span<long>(out),
+                        [](long a, long b) { return a + b; });
+    const long rank_sum = static_cast<long>(n) * (n - 1) / 2;
+    for (int e = 0; e < 2; ++e) {
+      EXPECT_EQ(out[static_cast<std::size_t>(e)],
+                rank_sum * 1000 + n * (p.rank() * 10 + e));
+    }
+  });
+}
+
 TEST_P(CollectivesP, BarrierSynchronisesClocks) {
   const int n = GetParam();
   auto result = World::run_one_per_processor(uniform(n), [](Proc& p) {
@@ -161,6 +184,37 @@ TEST(Collectives, BcastVectorEmpty) {
     if (p.rank() != 0) v = {1, 2};  // stale content must be cleared
     comm.bcast_vector(v, 0);
     EXPECT_TRUE(v.empty());
+  });
+}
+
+TEST(Collectives, AlltoallNonPowerOfTwoOnRotatedSplit) {
+  // Regression for the pairwise rounds with a non-power-of-two member count:
+  // an even size (6, exercising the self-partner round s == n/2) carved out
+  // of a larger world, with keys chosen so comm ranks differ from world
+  // ranks, and multi-element pieces.
+  World::run_one_per_processor(uniform(7), [](Proc& p) {
+    Comm world = p.world_comm();
+    const bool in_comm = p.rank() != 3;
+    Comm comm = world.split(in_comm ? 0 : kUndefinedColor,
+                            /*key=*/(p.rank() + 5) % 7);
+    if (!in_comm) return;
+    const int n = comm.size();
+    ASSERT_EQ(n, 6);
+    std::vector<int> send(static_cast<std::size_t>(3 * n));
+    for (int j = 0; j < n; ++j) {
+      for (int e = 0; e < 3; ++e) {
+        send[static_cast<std::size_t>(3 * j + e)] =
+            comm.rank() * 100 + j * 10 + e;
+      }
+    }
+    std::vector<int> recv(send.size(), -1);
+    comm.alltoall(std::span<const int>(send), std::span<int>(recv));
+    for (int j = 0; j < n; ++j) {
+      for (int e = 0; e < 3; ++e) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(3 * j + e)],
+                  j * 100 + comm.rank() * 10 + e);
+      }
+    }
   });
 }
 

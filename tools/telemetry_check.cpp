@@ -6,7 +6,11 @@
 //     ts must be non-decreasing per (pid, tid) track (metadata events
 //     excluded), and at least one non-metadata event must be present.
 //   * Metrics dumps ({"counters": ..., "histograms": ...}): sections must be
-//     objects, histogram entries need count/sum/buckets.
+//     objects, histogram entries need count/sum/buckets, and every metric in
+//     the reserved `coll.` namespace must follow the collective-subsystem
+//     grammar: counters `coll.tuner.hits|misses` or `coll.<op>.<algo>`,
+//     histograms `coll.<op>.seconds`, with <op>/<algo> names from the
+//     coll policy tables (docs/collectives.md).
 //   * Bench exports ({"benchmark": ..., "tables": [...]}): every table needs
 //     title/columns/rows with rows matching the column count.
 // Exit status 0 when every file passes, 1 otherwise.
@@ -17,6 +21,7 @@
 #include <string>
 #include <utility>
 
+#include "coll/policy.hpp"
 #include "telemetry/json.hpp"
 
 namespace {
@@ -70,11 +75,45 @@ void check_chrome_trace(const std::string& file, const JsonValue& doc) {
   if (real_events == 0) fail(file, "trace contains no non-metadata events");
 }
 
+// Splits "coll.<op>.<suffix>" and resolves <op> against the policy tables;
+// returns false when the name is outside the reserved grammar.
+bool valid_coll_metric(const std::string& name, bool histogram) {
+  const std::string rest = name.substr(5);  // past "coll."
+  const std::size_t dot = rest.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+    return false;
+  }
+  const std::string head = rest.substr(0, dot);
+  const std::string tail = rest.substr(dot + 1);
+  if (!histogram && head == "tuner") {
+    return tail == "hits" || tail == "misses";
+  }
+  for (int i = 0; i < hmpi::coll::kNumCollOps; ++i) {
+    const auto op = static_cast<hmpi::coll::CollOp>(i);
+    if (head != hmpi::coll::op_name(op)) continue;
+    if (histogram) return tail == "seconds";
+    return hmpi::coll::algo_from_name(op, tail) >= 1;
+  }
+  return false;
+}
+
 void check_metrics(const std::string& file, const JsonValue& doc) {
   for (const char* section : {"counters", "gauges", "histograms"}) {
     const JsonValue* s = doc.find(section);
     if (s == nullptr || !s->is_object()) {
       fail(file, std::string(section) + " is not an object");
+    }
+  }
+  const JsonValue* counters = doc.find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, c] : counters->object) {
+      (void)c;
+      if (name.rfind("coll.", 0) == 0 &&
+          !valid_coll_metric(name, /*histogram=*/false)) {
+        fail(file, "counter '" + name +
+                       "' violates the coll.* grammar (expected "
+                       "coll.tuner.hits|misses or coll.<op>.<algo>)");
+      }
     }
   }
   const JsonValue* hists = doc.find("histograms");
@@ -84,6 +123,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         h.find("sum") == nullptr || h.find("buckets") == nullptr ||
         !h.find("buckets")->is_array()) {
       fail(file, "histogram " + name + " missing count/sum/buckets");
+    }
+    if (name.rfind("coll.", 0) == 0 &&
+        !valid_coll_metric(name, /*histogram=*/true)) {
+      fail(file, "histogram '" + name +
+                     "' violates the coll.* grammar (expected "
+                     "coll.<op>.seconds)");
     }
   }
 }
