@@ -1,0 +1,286 @@
+// Ablation A9 (DESIGN.md): the compiled cost IR and delta re-estimation
+// (docs/estimator.md). Three tables on the paper's 9-machine EM3D testbed:
+//   * A9a — Timeof microbench: pricing the same mappings through the pmdl
+//     scheme interpreter vs Plan::evaluate. Enforces the >= 5x acceptance
+//     bar and bit-identical values per mapping.
+//   * A9b — end-to-end Group_create-shaped selection (portfolio mapper,
+//     estimate cache on, the runtime defaults) across
+//     {interpreter, compiled, compiled+delta} x {1, 2, 8} threads.
+//     Enforces bit-identical selections across every mode/thread pairing.
+//   * A9c — what the delta path saves: IR ops replayed vs the ops full
+//     evaluation would have run, on the hill climbers. EM3D's scheme
+//     touches every processor in its first phase (suffix ~ whole plan);
+//     a staggered pipeline model shows the savings when entries stagger.
+// Exit status 1 (FATAL on stderr) on any acceptance-bar violation.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/em3d/app.hpp"
+#include "bench_util.hpp"
+#include "estimator/estimate_cache.hpp"
+#include "estimator/estimator.hpp"
+#include "estimator/plan.hpp"
+#include "hnoc/cluster.hpp"
+#include "mapper/mapper.hpp"
+#include "pmdl/model.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace hmpi;
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The Figure-4 EM3D instance over the irregular 9-subbody object (the same
+/// workload ablation_mapper uses).
+pmdl::ModelInstance em3d_instance() {
+  apps::em3d::GeneratorConfig config;
+  config.nodes_per_subbody = {4000, 5000, 7000, 5500, 6500, 6000, 8000, 1000,
+                              2050};
+  config.degree = 5;
+  config.remote_fraction = 0.05;
+  config.seed = 17;
+  const apps::em3d::System system = apps::em3d::generate(config);
+  pmdl::Model model = apps::em3d::performance_model();
+  return model.instantiate(apps::em3d::model_parameters(system, /*k=*/1000));
+}
+
+/// Staggered pipeline: processor a enters the schedule only at phase a
+/// (20 computes, then a transfer to a+1), so a move on a late slot leaves a
+/// long untouched prefix — the shape the delta path exists for.
+pmdl::ModelInstance pipeline_instance(int p) {
+  pmdl::InstanceBuilder b("pipeline");
+  b.shape({p});
+  for (int a = 0; a < p; ++a) {
+    b.node_volume(a, 400.0 + 40.0 * a);
+    if (a + 1 < p) b.link(a, a + 1, 1e5);
+  }
+  b.scheme([p](pmdl::ScheduleSink& s) {
+    for (long long a = 0; a < p; ++a) {
+      const long long c[1] = {a};
+      for (int r = 0; r < 20; ++r) s.compute(c, 5.0);
+      if (a + 1 < p) {
+        const long long d[1] = {a + 1};
+        s.transfer(c, d, 100.0);
+      }
+    }
+  });
+  return b.build();
+}
+
+}  // namespace
+
+int main() {
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const pmdl::ModelInstance instance = em3d_instance();
+  const est::EstimateOptions options{};
+  std::vector<map::Candidate> candidates;
+  for (int i = 0; i < cluster.size(); ++i) candidates.push_back({i, i});
+
+  std::vector<support::Table> exported;
+
+  // --- A9a: Timeof microbench — interpreter vs compiled ------------------
+  // The same random mappings priced by both backends, repeated enough that
+  // wall times are meaningful. Values must match bit for bit (the plan
+  // contract), and compiled must clear the 5x acceptance bar.
+  {
+    est::Plan plan(instance);
+    std::vector<std::vector<int>> mappings;
+    support::Rng rng(0x4139);  // "A9"
+    for (int m = 0; m < 64; ++m) {
+      std::vector<int> mapping(static_cast<std::size_t>(instance.size()));
+      for (int& slot : mapping) {
+        slot = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(net.size())));
+      }
+      mappings.push_back(std::move(mapping));
+    }
+    for (const std::vector<int>& mapping : mappings) {
+      const double interpreted =
+          est::estimate_time(instance, mapping, net, options);
+      const double compiled = plan.evaluate(mapping, net, options);
+      if (interpreted != compiled) {
+        std::fprintf(stderr,
+                     "FATAL: compiled Timeof diverged from the interpreter "
+                     "(%.17g vs %.17g)\n",
+                     compiled, interpreted);
+        return 1;
+      }
+    }
+
+    const int reps = 40;
+    double sink = 0.0;
+    const double interp_ms = wall_ms([&] {
+      for (int r = 0; r < reps; ++r) {
+        for (const std::vector<int>& mapping : mappings) {
+          sink += est::estimate_time(instance, mapping, net, options);
+        }
+      }
+    });
+    const double compiled_ms = wall_ms([&] {
+      for (int r = 0; r < reps; ++r) {
+        for (const std::vector<int>& mapping : mappings) {
+          sink += plan.evaluate(mapping, net, options);
+        }
+      }
+    });
+    const double evals = static_cast<double>(reps) *
+                         static_cast<double>(mappings.size());
+    const double speedup = interp_ms / compiled_ms;
+
+    support::Table micro(
+        "Ablation A9a: Timeof microbench (em3d, 9 machines, identical values)",
+        {"backend", "evaluations", "wall_ms", "us_per_eval", "speedup"});
+    micro.add_row({"interpreter", support::Table::num(evals, 0),
+                   support::Table::num(interp_ms, 2),
+                   support::Table::num(interp_ms * 1e3 / evals, 2), "1.00"});
+    micro.add_row({"compiled", support::Table::num(evals, 0),
+                   support::Table::num(compiled_ms, 2),
+                   support::Table::num(compiled_ms * 1e3 / evals, 2),
+                   support::Table::num(speedup, 2)});
+    bench::emit(micro);
+    exported.push_back(micro);
+    std::printf("(checksum %.6g)\n\n", sink);
+
+    if (speedup < 5.0) {
+      std::fprintf(stderr,
+                   "FATAL: compiled Timeof speedup %.2fx is below the 5x "
+                   "acceptance bar\n",
+                   speedup);
+      return 1;
+    }
+  }
+
+  // --- A9b: end-to-end selection across estimator modes and threads ------
+  // The Group_create workload with runtime defaults (portfolio mapper,
+  // estimate cache on): every mode/thread pairing must reproduce the
+  // interpreter's serial selection bit for bit.
+  {
+    const map::PortfolioMapper portfolio;
+
+    struct Mode {
+      const char* name;
+      bool plans;
+      bool delta;
+    };
+    const Mode modes[] = {{"interpreter", false, false},
+                          {"compiled", true, false},
+                          {"compiled+delta", true, true}};
+
+    map::MappingResult baseline;
+    double baseline_ms = 0.0;
+    bool have_baseline = false;
+    support::Table endtoend(
+        "Ablation A9b: Group_create selection by estimator mode (em3d, "
+        "portfolio mapper, cache on)",
+        {"mode", "threads", "wall_ms", "speedup", "compiled_evals",
+         "delta_evals", "identical"});
+
+    for (const Mode& mode : modes) {
+      for (int threads : {1, 2, 8}) {
+        std::unique_ptr<support::ThreadPool> pool;
+        if (threads > 1) pool = std::make_unique<support::ThreadPool>(threads);
+        est::EstimateCache cache;
+        est::PlanCache plans;
+        map::SearchContext context;
+        context.pool = pool.get();
+        context.cache = &cache;
+        context.plans = mode.plans ? &plans : nullptr;
+        context.delta = mode.delta;
+
+        map::MappingResult result;
+        const double ms = wall_ms([&] {
+          result = portfolio.select(instance, candidates, 0, net, options,
+                                    context);
+        });
+        if (!have_baseline) {
+          baseline = result;
+          baseline_ms = ms;
+          have_baseline = true;
+        }
+        const bool identical =
+            result.candidate_for_abstract == baseline.candidate_for_abstract &&
+            result.estimated_time == baseline.estimated_time;
+        if (!identical) {
+          std::fprintf(stderr,
+                       "FATAL: %s selection at %d threads diverged from the "
+                       "interpreter baseline\n",
+                       mode.name, threads);
+          return 1;
+        }
+        endtoend.add_row(
+            {mode.name, support::Table::num(threads, 0),
+             support::Table::num(ms, 2), support::Table::num(baseline_ms / ms, 2),
+             support::Table::num(result.stats.compiled_evaluations, 0),
+             support::Table::num(result.stats.delta_evaluations, 0), "yes"});
+      }
+    }
+    bench::emit(endtoend);
+    exported.push_back(endtoend);
+  }
+
+  // --- A9c: delta suffix-replay savings on the hill climbers -------------
+  // savings = 1 - ops_replayed / ops_total. EM3D's first phase touches
+  // every processor, so its suffixes are nearly full-length; the staggered
+  // pipeline is the favourable shape. Replayed includes the amortised
+  // checkpoint rebuilds that follow accepted moves, so slightly negative
+  // savings are possible on unfavourable models.
+  {
+    const pmdl::ModelInstance pipeline = pipeline_instance(net.size() - 1);
+    const map::SwapRefineMapper refine;
+    const map::AnnealingMapper anneal;
+
+    support::Table savings(
+        "Ablation A9c: delta replay savings (1 - ops_replayed/ops_total)",
+        {"model", "mapper", "delta_evals", "ops_replayed", "ops_total",
+         "savings"});
+    struct Workload {
+      const char* model;
+      const pmdl::ModelInstance* instance;
+      const char* mapper;
+      const map::Mapper* algo;
+    };
+    const Workload workloads[] = {
+        {"em3d", &instance, "swap-refine", &refine},
+        {"em3d", &instance, "annealing", &anneal},
+        {"pipeline", &pipeline, "swap-refine", &refine},
+        {"pipeline", &pipeline, "annealing", &anneal},
+    };
+    for (const Workload& w : workloads) {
+      est::PlanCache plans;
+      map::SearchContext context;
+      context.plans = &plans;
+      context.delta = true;
+      const map::MappingResult result =
+          w.algo->select(*w.instance, candidates, 0, net, options, context);
+      const double ratio =
+          result.stats.delta_ops_total > 0
+              ? 1.0 - static_cast<double>(result.stats.delta_ops_replayed) /
+                          static_cast<double>(result.stats.delta_ops_total)
+              : 0.0;
+      savings.add_row(
+          {w.model, w.mapper,
+           support::Table::num(result.stats.delta_evaluations, 0),
+           support::Table::num(result.stats.delta_ops_replayed, 0),
+           support::Table::num(result.stats.delta_ops_total, 0),
+           support::Table::num(ratio, 3)});
+    }
+    bench::emit(savings);
+    exported.push_back(savings);
+  }
+
+  bench::write_bench_json("est", exported);
+  return 0;
+}

@@ -14,6 +14,11 @@ using Action = Step::Action;
 struct Builder {
   std::vector<Step> steps;
 
+  /// Every generator knows its step count to within a small factor, and the
+  /// tuner prices several candidate algorithms per selection — reserving up
+  /// front keeps that hot path from reallocating mid-build.
+  explicit Builder(std::size_t expected_steps) { steps.reserve(expected_steps); }
+
   void add(int round, int src, int dst, std::size_t offset, std::size_t count,
            Action action) {
     if (src == dst) return;
@@ -135,7 +140,7 @@ void add_halving_reduce_scatter(Builder& b, std::span<const int> members,
 }
 
 std::vector<Step> bcast_flat(int n, int root, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n));
   const std::vector<int> members = rotated(n, root);
   for (int vr = 1; vr < n; ++vr) {
     b.add(0, root, members[static_cast<std::size_t>(vr)], 0, count,
@@ -145,17 +150,17 @@ std::vector<Step> bcast_flat(int n, int root, std::size_t count) {
 }
 
 std::vector<Step> bcast_binomial(int n, int root, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n));
   add_binomial_bcast(b, rotated(n, root), 0, count, 0, Action::kCopy);
   return std::move(b).finish();
 }
 
 std::vector<Step> bcast_chain(int n, int root, std::size_t count,
                               std::size_t segment_elems) {
-  Builder b;
   const std::vector<int> members = rotated(n, root);
   const std::size_t seg = std::max<std::size_t>(1, segment_elems);
   const std::size_t nseg = count == 0 ? 1 : (count + seg - 1) / seg;
+  Builder b(static_cast<std::size_t>(n) * nseg);
   for (int i = 0; i + 1 < n; ++i) {
     for (std::size_t s = 0; s < nseg; ++s) {
       const std::size_t off = s * seg;
@@ -175,7 +180,7 @@ std::vector<Step> bcast_two_level(int n, int root, std::size_t count,
   // One leader per machine — the lowest member rank, except the root's
   // machine whose leader is the root itself. Leaders are ordered root
   // first, the rest by rank, so every member derives the same schedule.
-  Builder b;
+  Builder b(2 * static_cast<std::size_t>(n));
   std::vector<int> leaders;
   std::vector<int> leader_of(static_cast<std::size_t>(n), -1);
   for (int r = 0; r < n; ++r) {
@@ -208,7 +213,7 @@ std::vector<Step> bcast_two_level(int n, int root, std::size_t count,
 }
 
 std::vector<Step> reduce_flat(int n, int root, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n));
   const std::vector<int> members = rotated(n, root);
   for (int vr = 1; vr < n; ++vr) {
     b.add(0, members[static_cast<std::size_t>(vr)], root, 0, count,
@@ -218,7 +223,7 @@ std::vector<Step> reduce_flat(int n, int root, std::size_t count) {
 }
 
 std::vector<Step> reduce_binomial(int n, int root, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n));
   add_binomial_reduce(b, rotated(n, root), 0, count, 0, Action::kCombine);
   return std::move(b).finish();
 }
@@ -226,7 +231,8 @@ std::vector<Step> reduce_binomial(int n, int root, std::size_t count) {
 /// Rabenseifner: recursive-halving reduce-scatter, then a binomial gather
 /// of the owned ranges back up the halving tree to the root.
 std::vector<Step> reduce_rabenseifner(int n, int root, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 2));
   const std::vector<int> members = rotated(n, root);
   const int p2 = largest_pow2_leq(n);
   std::vector<std::size_t> lo;
@@ -254,7 +260,7 @@ std::vector<Step> reduce_rabenseifner(int n, int root, std::size_t count) {
 }
 
 std::vector<Step> allreduce_reduce_bcast(int n, std::size_t count) {
-  Builder b;
+  Builder b(2 * static_cast<std::size_t>(n));
   const std::vector<int> members = rotated(n, 0);
   const int after = add_binomial_reduce(b, members, 0, count, 0, Action::kCombine);
   add_binomial_bcast(b, members, 0, count, after, Action::kCopy);
@@ -262,7 +268,8 @@ std::vector<Step> allreduce_reduce_bcast(int n, std::size_t count) {
 }
 
 std::vector<Step> allreduce_recursive_doubling(int n, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 2));
   const int p2 = largest_pow2_leq(n);
   int round = 0;
   for (int r = p2; r < n; ++r) b.add(round, r, r - p2, 0, count, Action::kCombine);
@@ -282,7 +289,8 @@ std::vector<Step> allreduce_recursive_doubling(int n, std::size_t count) {
 }
 
 std::vector<Step> allreduce_rabenseifner(int n, std::size_t count) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 2));
   const std::vector<int> members = rotated(n, 0);
   const int p2 = largest_pow2_leq(n);
   std::vector<std::size_t> lo;
@@ -313,7 +321,7 @@ std::vector<Step> allreduce_rabenseifner(int n, std::size_t count) {
 }
 
 std::vector<Step> reduce_scatter_pairwise(int n, std::size_t block) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (int s = 1; s < n; ++s) {
     for (int r = 0; r < n; ++r) {
       const int owner = (r + s) % n;
@@ -325,7 +333,8 @@ std::vector<Step> reduce_scatter_pairwise(int n, std::size_t block) {
 }
 
 std::vector<Step> reduce_scatter_recursive_halving(int n, std::size_t block) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 2));
   const std::vector<int> members = rotated(n, 0);
   const int p2 = largest_pow2_leq(n);
   std::vector<std::size_t> lo;
@@ -348,7 +357,7 @@ std::vector<Step> reduce_scatter_recursive_halving(int n, std::size_t block) {
 }
 
 std::vector<Step> allgather_gather_bcast(int n, std::size_t block) {
-  Builder b;
+  Builder b(2 * static_cast<std::size_t>(n));
   for (int r = 1; r < n; ++r) {
     b.add(0, r, 0, static_cast<std::size_t>(r) * block, block, Action::kCopy);
   }
@@ -358,7 +367,7 @@ std::vector<Step> allgather_gather_bcast(int n, std::size_t block) {
 }
 
 std::vector<Step> allgather_ring(int n, std::size_t block) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (int t = 0; t < n - 1; ++t) {
     for (int r = 0; r < n; ++r) {
       const int blk = ((r - t) % n + n) % n;
@@ -375,7 +384,8 @@ std::vector<Step> allgather_ring(int n, std::size_t block) {
 /// ships min(2^k, n - 2^k) of them distance 2^k forward — ceil(log2 n)
 /// rounds for any n.
 std::vector<Step> allgather_recursive_doubling(int n, std::size_t block) {
-  Builder b;
+  Builder b(2 * static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 1));
   int round = 0;
   for (std::size_t d = 1; d < static_cast<std::size_t>(n); d *= 2, ++round) {
     const std::size_t m = std::min(d, static_cast<std::size_t>(n) - d);
@@ -398,7 +408,8 @@ std::vector<Step> allgather_recursive_doubling(int n, std::size_t block) {
 }
 
 std::vector<Step> barrier_dissemination(int n) {
-  Builder b;
+  Builder b(static_cast<std::size_t>(n) *
+            static_cast<std::size_t>(log2_rounds(n) + 1));
   int round = 0;
   for (int off = 1; off < n; off <<= 1, ++round) {
     for (int r = 0; r < n; ++r) {
@@ -409,7 +420,7 @@ std::vector<Step> barrier_dissemination(int n) {
 }
 
 std::vector<Step> barrier_tournament(int n) {
-  Builder b;
+  Builder b(2 * static_cast<std::size_t>(n));
   const std::vector<int> members = rotated(n, 0);
   const int after = add_binomial_reduce(b, members, 0, 0, 0, Action::kToken);
   add_binomial_bcast(b, members, 0, 0, after, Action::kToken);

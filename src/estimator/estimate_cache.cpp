@@ -1,57 +1,13 @@
 #include "estimator/estimate_cache.hpp"
 
-#include <bit>
-#include <cstring>
+#include "estimator/fingerprint.hpp"
+#include "estimator/plan.hpp"
 
 namespace hmpi::est {
 
-namespace {
-
-/// SplitMix64 finaliser: the mixing step of support::Rng, reused as a hash
-/// combiner so fingerprints are stable across platforms.
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + v;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t mix_double(std::uint64_t h, double v) {
-  return mix(h, std::bit_cast<std::uint64_t>(v));
-}
-
-/// Fingerprint of everything the estimate depends on besides the mapping
-/// and the network speeds: the instance's aggregates and the overhead
-/// options. Two instances of the same model and parameters fingerprint
-/// identically (their schemes replay the same activations); instances that
-/// differ in any aggregate cannot collide short of a 64-bit hash collision.
-std::uint64_t fingerprint(const pmdl::ModelInstance& instance,
-                          EstimateOptions options) {
-  std::uint64_t h = 0x484d5049ULL;  // "HMPI"
-  for (char c : instance.model_name()) {
-    h = mix(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
-  }
-  for (long long d : instance.shape()) {
-    h = mix(h, static_cast<std::uint64_t>(d));
-  }
-  h = mix(h, static_cast<std::uint64_t>(instance.parent_index()));
-  h = mix(h, instance.has_scheme() ? 1 : 0);
-  for (double v : instance.node_volumes()) h = mix_double(h, v);
-  for (const auto& [pair, bytes] : instance.link_bytes()) {
-    h = mix(h, static_cast<std::uint64_t>(pair.first));
-    h = mix(h, static_cast<std::uint64_t>(pair.second));
-    h = mix_double(h, bytes);
-  }
-  h = mix_double(h, options.send_overhead_s);
-  h = mix_double(h, options.recv_overhead_s);
-  return h;
-}
-
-}  // namespace
-
 std::size_t EstimateCache::KeyHash::operator()(const Key& k) const noexcept {
-  std::uint64_t h = mix(k.fingerprint, k.version);
-  for (int p : k.mapping) h = mix(h, static_cast<std::uint64_t>(p));
+  std::uint64_t h = fp_mix(k.fingerprint, k.version);
+  for (int p : k.mapping) h = fp_mix(h, static_cast<std::uint64_t>(p));
   return static_cast<std::size_t>(h);
 }
 
@@ -63,8 +19,20 @@ double EstimateCache::estimate(const pmdl::ModelInstance& instance,
                                std::span<const int> mapping,
                                const hnoc::NetworkModel& network,
                                EstimateOptions options, bool* hit) {
-  Key key;
-  key.fingerprint = fingerprint(instance, options);
+  return estimate(estimate_fingerprint(instance, options), instance, mapping,
+                  network, options, hit, nullptr);
+}
+
+double EstimateCache::estimate(std::uint64_t fingerprint,
+                               const pmdl::ModelInstance& instance,
+                               std::span<const int> mapping,
+                               const hnoc::NetworkModel& network,
+                               EstimateOptions options, bool* hit,
+                               const Plan* plan) {
+  // The probe key is thread-local so a table hit allocates nothing; a miss
+  // copies it into the table (the one allocation it always paid).
+  static thread_local Key key;
+  key.fingerprint = fingerprint;
   key.version = network.version();
   key.mapping.assign(mapping.begin(), mapping.end());
 
@@ -81,14 +49,50 @@ double EstimateCache::estimate(const pmdl::ModelInstance& instance,
   // Compute outside the shard lock: schemes can be expensive, and a parallel
   // search must not serialise on the table. A concurrent miss of the same
   // key recomputes the same deterministic value.
-  const double seconds = estimate_time(instance, mapping, network, options);
+  const double seconds = plan != nullptr
+                             ? plan->evaluate(mapping, network, options)
+                             : estimate_time(instance, mapping, network,
+                                             options);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.table.emplace(std::move(key), seconds);
+    shard.table.emplace(key, seconds);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (hit != nullptr) *hit = false;
   return seconds;
+}
+
+bool EstimateCache::lookup(std::uint64_t fingerprint,
+                           std::span<const int> mapping,
+                           const hnoc::NetworkModel& network, double* out) {
+  static thread_local Key key;
+  key.fingerprint = fingerprint;
+  key.version = network.version();
+  key.mapping.assign(mapping.begin(), mapping.end());
+
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.table.find(key);
+  if (it == shard.table.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+void EstimateCache::insert(std::uint64_t fingerprint,
+                           std::span<const int> mapping,
+                           const hnoc::NetworkModel& network, double seconds) {
+  static thread_local Key key;
+  key.fingerprint = fingerprint;
+  key.version = network.version();
+  key.mapping.assign(mapping.begin(), mapping.end());
+
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.table.emplace(key, seconds);
 }
 
 void EstimateCache::clear() {

@@ -33,6 +33,8 @@
 
 namespace hmpi::est {
 
+class Plan;
+
 class EstimateCache {
  public:
   EstimateCache() = default;
@@ -45,6 +47,30 @@ class EstimateCache {
                   std::span<const int> mapping,
                   const hnoc::NetworkModel& network, EstimateOptions options,
                   bool* hit = nullptr);
+
+  /// Hot-path overload: `fingerprint` is est::estimate_fingerprint(instance,
+  /// options), hoisted out by callers that price many mappings of one
+  /// instance (the fingerprint hashes every aggregate, which would otherwise
+  /// dominate a table hit). When `plan` is non-null a miss is computed via
+  /// Plan::evaluate instead of the interpreter — bit-identical by the plan's
+  /// contract, so both overloads fill the table interchangeably.
+  double estimate(std::uint64_t fingerprint,
+                  const pmdl::ModelInstance& instance,
+                  std::span<const int> mapping,
+                  const hnoc::NetworkModel& network, EstimateOptions options,
+                  bool* hit, const Plan* plan);
+
+  /// Probe without computing: true and *out filled on a hit. Counts toward
+  /// hits()/misses() exactly like estimate() — the delta search path pairs
+  /// a lookup() with an insert() of its suffix-replayed value, so cached and
+  /// uncached accounting stays interchangeable with the estimate() path.
+  bool lookup(std::uint64_t fingerprint, std::span<const int> mapping,
+              const hnoc::NetworkModel& network, double* out);
+
+  /// Stores a value the caller computed (bit-identical to what estimate()
+  /// would have computed, per the estimator determinism contract).
+  void insert(std::uint64_t fingerprint, std::span<const int> mapping,
+              const hnoc::NetworkModel& network, double seconds);
 
   /// Drops every entry (cumulative hit/miss counters are kept). Version
   /// keying already prevents stale reads; clearing just releases memory,

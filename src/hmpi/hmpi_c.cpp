@@ -75,6 +75,13 @@ double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
                                                       model_parameters);
 }
 
+std::vector<double> HMPI_Timeof_batch(
+    const hmpi::pmdl::Model& perf_model,
+    std::span<const std::vector<hmpi::pmdl::ParamValue>> parameter_sets) {
+  return hmpi::capi::detail::require_runtime().timeof_batch(perf_model,
+                                                            parameter_sets);
+}
+
 void HMPI_Group_create(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
                        std::span<const hmpi::pmdl::ParamValue> model_parameters) {
   hmpi::support::require(gid != nullptr, "HMPI_Group_create: gid must not be null");
@@ -153,6 +160,10 @@ std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info() {
 
 hmpi::map::SearchStats HMPI_Get_mapper_stats() {
   return hmpi::capi::detail::require_runtime().last_search_stats();
+}
+
+hmpi::Runtime::EstimatorStats HMPI_Get_estimator_stats() {
+  return hmpi::capi::detail::require_runtime().estimator_stats();
 }
 
 int HMPI_Coll_set_policy(hmpi::coll::CollOp op, std::string_view algorithm) {

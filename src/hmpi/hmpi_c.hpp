@@ -59,6 +59,15 @@ void HMPI_Recon_with_timeout(const std::function<void(hmpi::mp::Proc&)>& benchma
 double HMPI_Timeof(const hmpi::pmdl::Model& perf_model,
                    std::span<const hmpi::pmdl::ParamValue> model_parameters);
 
+/// HMPI_Timeof_batch: prices every parameter set against one model in a
+/// single call — the model is compiled once and the candidate/network
+/// snapshot is shared, so sweeping N problem sizes costs far less than N
+/// HMPI_Timeof calls. Entry i is bit-identical to HMPI_Timeof(perf_model,
+/// parameter_sets[i]) made at the same instant. Local operation.
+std::vector<double> HMPI_Timeof_batch(
+    const hmpi::pmdl::Model& perf_model,
+    std::span<const std::vector<hmpi::pmdl::ParamValue>> parameter_sets);
+
 /// HMPI_Group_create: fills `gid` for selected members (empty otherwise).
 void HMPI_Group_create(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
                        std::span<const hmpi::pmdl::ParamValue> model_parameters);
@@ -109,6 +118,12 @@ std::vector<hmpi::Runtime::ProcessorInfo> HMPI_Get_processors_info();
 /// cache hits/misses, wall seconds, worker threads). Zeroes before the
 /// first search. Local operation.
 hmpi::map::SearchStats HMPI_Get_mapper_stats();
+
+/// HMPI_Get_estimator_stats: cumulative estimator-backend accounting on this
+/// process — the effective EstimatorMode, world-shared plan-cache
+/// compiles/hits, and the compiled/delta evaluation counters summed over
+/// every search this process drove (docs/estimator.md). Local operation.
+hmpi::Runtime::EstimatorStats HMPI_Get_estimator_stats();
 
 // --- collective algorithm selection (docs/collectives.md) -------------------
 

@@ -13,6 +13,7 @@
 
 #include "coll/tuner.hpp"
 #include "estimator/estimate_cache.hpp"
+#include "estimator/plan.hpp"
 #include "mpsim/trace.hpp"
 #include "support/error.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -55,6 +56,23 @@ CollConfig coll_config_with_env(CollConfig config) {
   return config;
 }
 
+/// HMPI_EST_COMPILE override (docs/estimator.md): pick the estimator backend
+/// without rebuilding, for A/B runs. Unknown values are ignored (the config
+/// value stands) — every mode is bit-identical, so a typo is harmless.
+EstimatorMode estimator_mode_with_env(EstimatorMode mode) {
+  if (const char* value = std::getenv("HMPI_EST_COMPILE")) {
+    const std::string v(value);
+    if (v == "0" || v == "off" || v == "interpret") {
+      return EstimatorMode::kInterpret;
+    }
+    if (v == "1" || v == "full" || v == "compile" || v == "compiled") {
+      return EstimatorMode::kCompiled;
+    }
+    if (v == "2" || v == "delta") return EstimatorMode::kDelta;
+  }
+  return mode;
+}
+
 }  // namespace
 
 /// World-level blackboard shared by all Runtime instances of a run — the
@@ -71,6 +89,11 @@ struct Runtime::Shared {
   /// model's version counter, so recon speed updates invalidate them
   /// implicitly; recon also clears the table to release the dead entries.
   est::EstimateCache estimate_cache;
+
+  /// Compiled cost-IR plans, shared like the estimate cache. Plans depend
+  /// only on the model instance — not on speeds or mapping — so recon does
+  /// not invalidate them (estimator/plan.hpp).
+  est::PlanCache plan_cache;
 
   /// Live-group membership count per world rank (a process can be in
   /// several groups when it parents a nested one).
@@ -137,6 +160,7 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
                    "search_threads must be at least 1");
   config_.telemetry = config_.telemetry.with_env_overrides();
   config_.coll = coll_config_with_env(config_.coll);
+  config_.estimator = estimator_mode_with_env(config_.estimator);
   if (!config_.mapper) {
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
@@ -403,11 +427,43 @@ map::SearchContext Runtime::search_context() const {
   }
   context.pool = search_pool_.get();
   context.cache = config_.estimate_cache ? &shared_->estimate_cache : nullptr;
+  context.plans = config_.estimator != EstimatorMode::kInterpret
+                      ? &shared_->plan_cache
+                      : nullptr;
+  context.delta = config_.estimator == EstimatorMode::kDelta;
   return context;
+}
+
+void Runtime::prefetch_plan(const pmdl::ModelInstance& instance) const {
+  if (config_.estimator == EstimatorMode::kInterpret) return;
+  bool compiled = false;
+  double seconds = 0.0;
+  const std::shared_ptr<const est::Plan> plan =
+      shared_->plan_cache.get(instance, &compiled, &seconds);
+  telemetry::MetricsRegistry& reg = telemetry::metrics();
+  if (!compiled) {
+    reg.counter("est.compile.hits").add();
+    return;
+  }
+  reg.counter("est.compile.count").add();
+  reg.counter("est.compile.misses").add();
+  reg.histogram("est.compile.seconds").observe(seconds);
+  if (mp::Tracer* tracer = proc_->world().options().tracer) {
+    mp::TraceEvent event;
+    event.kind = mp::TraceEvent::Kind::kEstCompile;
+    event.world_rank = proc_->rank();
+    event.processor = proc_->processor();
+    event.compile.ops = static_cast<long long>(plan->op_count());
+    event.compile.seconds = seconds;
+    event.start_time = proc_->clock();
+    event.end_time = proc_->clock();
+    tracer->record(event);
+  }
 }
 
 void Runtime::note_search(const map::SearchStats& stats) const {
   last_search_stats_ = stats;
+  search_totals_.add_counters(stats);
   telemetry::MetricsRegistry& reg = telemetry::metrics();
   reg.counter("mapper_searches").add();
   reg.counter("estimator_evaluations").add(static_cast<double>(stats.evaluations));
@@ -415,6 +471,23 @@ void Runtime::note_search(const map::SearchStats& stats) const {
   reg.counter("estimate_cache_misses").add(static_cast<double>(stats.cache_misses));
   reg.gauge("cache_hit_rate").set(stats.hit_rate());
   reg.histogram("search_wall_seconds").observe(stats.wall_seconds);
+  if (stats.compiled_evaluations > 0) {
+    reg.counter("est.compile.evaluations")
+        .add(static_cast<double>(stats.compiled_evaluations));
+  }
+  if (stats.delta_evaluations > 0) {
+    reg.counter("est.delta.evaluations")
+        .add(static_cast<double>(stats.delta_evaluations));
+  }
+  if (stats.delta_ops_total > 0) {
+    reg.counter("est.delta.ops_replayed")
+        .add(static_cast<double>(stats.delta_ops_replayed));
+    reg.counter("est.delta.ops_total")
+        .add(static_cast<double>(stats.delta_ops_total));
+    reg.gauge("est.delta.savings")
+        .set(1.0 - static_cast<double>(stats.delta_ops_replayed) /
+                       static_cast<double>(stats.delta_ops_total));
+  }
   if (mp::Tracer* tracer = proc_->world().options().tracer) {
     mp::TraceEvent event;
     event.kind = mp::TraceEvent::Kind::kMapperSearch;
@@ -437,6 +510,7 @@ double Runtime::timeof(const pmdl::Model& model,
   span.arg("model", model.name());
   telemetry::metrics().counter("timeof_calls").add();
   const pmdl::ModelInstance instance = model.instantiate(params);
+  prefetch_plan(instance);
   std::vector<int> ranks;
   const auto candidates = candidates_with(proc_->rank(), &ranks);
   const auto parent_it = std::find(ranks.begin(), ranks.end(), proc_->rank());
@@ -451,6 +525,63 @@ double Runtime::timeof(const pmdl::Model& model,
                              config_.estimate, search_context());
   note_search(result.stats);
   return result.estimated_time;
+}
+
+std::vector<double> Runtime::timeof_batch(
+    const pmdl::Model& model,
+    std::span<const std::vector<pmdl::ParamValue>> param_sets) const {
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("timeof_batch", proc_->rank());
+  span.arg("model", model.name());
+  span.arg("sets", static_cast<double>(param_sets.size()));
+  telemetry::metrics().counter("timeof_batch_calls").add();
+  telemetry::metrics().counter("timeof_calls").add(
+      static_cast<double>(param_sets.size()));
+
+  // One snapshot of candidates and network for the whole batch: every set
+  // is priced against the same world, exactly as N timeof() calls made at
+  // this instant would be (and bit-identical to them). One aggregate stats
+  // record covers the batch.
+  std::vector<int> ranks;
+  const auto candidates = candidates_with(proc_->rank(), &ranks);
+  const auto parent_it = std::find(ranks.begin(), ranks.end(), proc_->rank());
+  const int parent_candidate = static_cast<int>(parent_it - ranks.begin());
+  hnoc::NetworkModel snapshot = [&] {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    return *shared_->network;
+  }();
+  const map::SearchContext search = search_context();
+
+  std::vector<double> times;
+  times.reserve(param_sets.size());
+  map::SearchStats batch_stats;
+  batch_stats.threads = search.pool != nullptr
+                            ? static_cast<int>(search.pool->size())
+                            : 1;
+  for (const std::vector<pmdl::ParamValue>& params : param_sets) {
+    const pmdl::ModelInstance instance = model.instantiate(params);
+    prefetch_plan(instance);
+    const map::MappingResult result =
+        config_.mapper->select(instance, candidates, parent_candidate,
+                               snapshot, config_.estimate, search);
+    batch_stats.add_counters(result.stats);
+    batch_stats.wall_seconds += result.stats.wall_seconds;
+    times.push_back(result.estimated_time);
+  }
+  note_search(batch_stats);
+  return times;
+}
+
+Runtime::EstimatorStats Runtime::estimator_stats() const {
+  EstimatorStats stats;
+  stats.mode = config_.estimator;
+  stats.plans_compiled = shared_->plan_cache.misses();
+  stats.plan_cache_hits = shared_->plan_cache.hits();
+  stats.compiled_evaluations = search_totals_.compiled_evaluations;
+  stats.delta_evaluations = search_totals_.delta_evaluations;
+  stats.delta_ops_replayed = search_totals_.delta_ops_replayed;
+  stats.delta_ops_total = search_totals_.delta_ops_total;
+  return stats;
 }
 
 std::optional<Group> Runtime::group_create(
@@ -579,6 +710,7 @@ std::optional<Group> Runtime::group_create_impl(
   if (me == parent_world) {
     const pmdl::ModelInstance instance = model.instantiate(params);
     shape = instance.shape();
+    prefetch_plan(instance);
     hnoc::NetworkModel snapshot = [&] {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       return *shared_->network;
@@ -602,9 +734,7 @@ std::optional<Group> Runtime::group_create_impl(
           candidate_ranks.begin());
       map::MappingResult mapped = config_.mapper->select(
           instance, candidates, pidx, snapshot, config_.estimate, search);
-      search_stats.evaluations += mapped.stats.evaluations;
-      search_stats.cache_hits += mapped.stats.cache_hits;
-      search_stats.cache_misses += mapped.stats.cache_misses;
+      search_stats.add_counters(mapped.stats);
       search_stats.wall_seconds += mapped.stats.wall_seconds;
       return mapped;
     };

@@ -100,6 +100,19 @@ struct CollConfig {
   bool feedback = false;
 };
 
+/// How Timeof / Group_create searches price candidate arrangements
+/// (docs/estimator.md). Every mode returns bit-identical selections and
+/// estimates — the estimator determinism contract — so the toggle is a pure
+/// CPU trade, safe to A/B via the HMPI_EST_COMPILE environment variable.
+enum class EstimatorMode {
+  kInterpret,  ///< Walk the pmdl scheme AST per evaluation (pre-IR path).
+  kCompiled,   ///< Compile each model once to the flat cost IR
+               ///< (estimator/plan.hpp) and evaluate that.
+  kDelta,      ///< Compiled, plus incremental suffix replay in the hill
+               ///< climbers: a swap/substitution move re-runs only the IR
+               ///< ops from the first op touching a changed processor.
+};
+
 /// Tunables of the runtime (identical at every process).
 struct RuntimeConfig {
   /// Process-selection algorithm; null selects the library default
@@ -121,6 +134,11 @@ struct RuntimeConfig {
   /// counter, which every recon speed update bumps, so a stale makespan can
   /// never be served (docs/mapper.md).
   bool estimate_cache = true;
+  /// Candidate-scoring backend of the selection searches (docs/estimator.md).
+  /// Env override HMPI_EST_COMPILE: "0"/"off"/"interpret" -> kInterpret,
+  /// "1"/"full"/"compile"/"compiled" -> kCompiled, "2"/"delta" -> kDelta.
+  /// Selections are bit-identical across modes; this trades CPU only.
+  EstimatorMode estimator = EstimatorMode::kDelta;
   /// Telemetry output files written by the host's finalize()
   /// (docs/observability.md). Environment variables HMPI_METRICS_JSON /
   /// HMPI_TRACE_JSON override these paths; empty = sink disabled.
@@ -253,6 +271,17 @@ class Runtime {
                                                            params.size()));
   }
 
+  /// HMPI_Timeof_batch: prices every parameter set in `param_sets` against
+  /// `model` in one call, returning the predicted times in order. The model
+  /// is compiled once per distinct instantiation and the network snapshot /
+  /// candidate set are taken once, so pricing N problem sizes (the
+  /// group_auto_create sweep, application-level autotuning) avoids N times
+  /// the per-call setup. Each entry is bit-identical to the corresponding
+  /// timeof() call made at the same instant. Local, like timeof.
+  std::vector<double> timeof_batch(
+      const pmdl::Model& model,
+      std::span<const std::vector<pmdl::ParamValue>> param_sets) const;
+
   /// HMPI_Group_create: collective over the parent (a non-free caller;
   /// exactly one) and all free processes. `model`/`params` are read at the
   /// parent; free callers may pass empty params. Returns the group handle
@@ -359,6 +388,22 @@ class Runtime {
     return last_search_stats_;
   }
 
+  /// Cumulative estimator-backend accounting for this process
+  /// (HMPI_Get_estimator_stats; docs/estimator.md). Search counters
+  /// accumulate over every search this process drove; the plan-cache
+  /// counters are world-shared (every process's compiles land in the same
+  /// cache). Local diagnostics.
+  struct EstimatorStats {
+    EstimatorMode mode = EstimatorMode::kDelta;  ///< Effective (post-env).
+    long long plans_compiled = 0;       ///< Plan-cache misses (= compiles).
+    long long plan_cache_hits = 0;      ///< Lookups served without compiling.
+    long long compiled_evaluations = 0; ///< Arrangements priced on the IR.
+    long long delta_evaluations = 0;    ///< ...answered by suffix replay.
+    long long delta_ops_replayed = 0;   ///< IR ops the delta path ran.
+    long long delta_ops_total = 0;      ///< Ops full evaluation would have run.
+  };
+  EstimatorStats estimator_stats() const;
+
   /// Reports the measured execution time of the algorithm a group was
   /// created for, closing that group's entry in the telemetry prediction
   /// ledger (telemetry::predictions()). `measured_s` covers `runs`
@@ -401,10 +446,18 @@ class Runtime {
   /// (when enabled). Const because timeof() is.
   map::SearchContext search_context() const;
 
-  /// Records `stats` as the latest search, updates the search metrics
-  /// (estimator_evaluations, estimate_cache_hits/misses, cache_hit_rate),
-  /// and emits a kMapperSearch trace event with the named search payload.
+  /// Records `stats` as the latest search, accumulates the cumulative
+  /// estimator totals, updates the search metrics (estimator_evaluations,
+  /// estimate_cache_hits/misses, cache_hit_rate, est.compile.evaluations,
+  /// est.delta.*), and emits a kMapperSearch trace event with the named
+  /// search payload.
   void note_search(const map::SearchStats& stats) const;
+
+  /// Compiles (or fetches) the plan for `instance` from the world-shared
+  /// plan cache ahead of a search, so the compile is attributed here — with
+  /// est.compile.* metrics and a kEstCompile trace instant — rather than
+  /// inside the first scorer that needs it. No-op under kInterpret.
+  void prefetch_plan(const pmdl::ModelInstance& instance) const;
 
   mp::Proc* proc_;
   RuntimeConfig config_;
@@ -413,6 +466,8 @@ class Runtime {
   /// that never parents a selection) spawns no threads.
   mutable std::unique_ptr<support::ThreadPool> search_pool_;
   mutable map::SearchStats last_search_stats_;
+  /// Additive counters of every search this process drove (estimator_stats).
+  mutable map::SearchStats search_totals_;
   /// Number of live groups THIS process belongs to (local view; see
   /// is_free() for why this is not read off the shared blackboard).
   int live_groups_ = 0;

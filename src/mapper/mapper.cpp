@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
+#include "estimator/fingerprint.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "telemetry/span.hpp"
@@ -33,6 +35,148 @@ int context_threads(const SearchContext& context) {
   return context.pool != nullptr ? context.pool->size() : 1;
 }
 
+/// Per-select() scorer: resolves the compiled plan and the instance
+/// fingerprint once (both are O(model aggregates) — far too expensive per
+/// candidate), owns the selection->processors scratch, and routes every
+/// evaluation through the cache / compiled IR / interpreter as the context
+/// dictates. All routes return bit-identical values (the plan's exact-match
+/// contract, estimator/plan.hpp), so the search trajectory — and therefore
+/// the selection — is independent of which machinery is plugged in.
+///
+/// Not thread-safe: one scorer per search thread (parallel mappers already
+/// give each chunk/member its own serial search).
+class CandidateScorer {
+ public:
+  CandidateScorer(const pmdl::ModelInstance& instance,
+                  std::span<const Candidate> candidates,
+                  const hnoc::NetworkModel& network,
+                  est::EstimateOptions options, const SearchContext& context)
+      : instance_(&instance),
+        candidates_(candidates),
+        network_(&network),
+        options_(options),
+        cache_(context.cache) {
+    if (context.plans != nullptr) {
+      plan_ = context.plans->get(instance);
+      if (context.delta) {
+        delta_.emplace(*plan_, network, options);
+      }
+    }
+    if (cache_ != nullptr) {
+      fingerprint_ = est::estimate_fingerprint(instance, options);
+    }
+    processors_.resize(static_cast<std::size_t>(instance.size()));
+  }
+
+  /// Full evaluation of `selection`. In delta mode this also (re)bases the
+  /// incremental state on it, so it doubles as the hill climbers' "accept
+  /// this as the current arrangement" entry point.
+  double full(std::span<const int> selection, SearchStats* stats) {
+    to_processors(selection);
+    stats->evaluations += 1;
+    if (delta_) {
+      // The reset is the evaluation (and the checkpointed base state).
+      const double t = delta_->reset(processors_);
+      stats->compiled_evaluations += 1;
+      const auto ops = static_cast<long long>(plan_->op_count());
+      stats->delta_ops_replayed += ops;
+      stats->delta_ops_total += ops;
+      synced_ops_ = delta_->ops_replayed();
+      if (cache_ != nullptr) {
+        double cached = 0.0;
+        if (cache_->lookup(fingerprint_, processors_, *network_, &cached)) {
+          stats->cache_hits += 1;
+          return cached;  // == t bit for bit, by the determinism contract
+        }
+        cache_->insert(fingerprint_, processors_, *network_, t);
+        stats->cache_misses += 1;
+      }
+      return t;
+    }
+    if (cache_ != nullptr) {
+      bool hit = false;
+      const double t = cache_->estimate(fingerprint_, *instance_, processors_,
+                                        *network_, options_, &hit, plan_.get());
+      (hit ? stats->cache_hits : stats->cache_misses) += 1;
+      if (!hit && plan_ != nullptr) stats->compiled_evaluations += 1;
+      return t;
+    }
+    if (plan_ != nullptr) {
+      stats->compiled_evaluations += 1;
+      return plan_->evaluate(processors_, *network_, options_);
+    }
+    return est::estimate_time(*instance_, processors_, *network_, options_);
+  }
+
+  /// Price `selection`, which differs from the last accepted arrangement in
+  /// exactly the `changed` slots. Delta mode answers by staged suffix replay
+  /// (one cache lookup per proposal, like every other route); the other
+  /// modes ignore the hint and evaluate fully.
+  double probe(std::span<const int> selection, std::span<const int> changed,
+               SearchStats* stats) {
+    if (!delta_) return full(selection, stats);
+    stats->evaluations += 1;
+    moves_.clear();
+    for (int a : changed) {
+      moves_.push_back(
+          {a, candidates_[static_cast<std::size_t>(
+                              selection[static_cast<std::size_t>(a)])]
+                  .processor});
+    }
+    const std::span<const int> staged = delta_->stage(moves_);
+    if (cache_ != nullptr) {
+      double cached = 0.0;
+      if (cache_->lookup(fingerprint_, staged, *network_, &cached)) {
+        stats->cache_hits += 1;
+        delta_->set_staged_value(cached);
+        return cached;
+      }
+    }
+    const double t = delta_->replay();
+    stats->compiled_evaluations += 1;
+    stats->delta_evaluations += 1;
+    stats->delta_ops_total += static_cast<long long>(plan_->op_count());
+    stats->delta_ops_replayed += delta_->ops_replayed() - synced_ops_;
+    synced_ops_ = delta_->ops_replayed();
+    if (cache_ != nullptr) {
+      cache_->insert(fingerprint_, staged, *network_, t);
+      stats->cache_misses += 1;
+    }
+    return t;
+  }
+
+  /// Adopt the last probed proposal as the accepted arrangement. No-op
+  /// outside delta mode (the selection vector is the only state there).
+  void accept(SearchStats* stats) {
+    if (!delta_) return;
+    delta_->commit();
+    // Commits are O(1), but an unpriced one rebuilds the suffix: keep the
+    // replay accounting synced either way.
+    stats->delta_ops_replayed += delta_->ops_replayed() - synced_ops_;
+    synced_ops_ = delta_->ops_replayed();
+  }
+
+ private:
+  void to_processors(std::span<const int> selection) {
+    for (std::size_t a = 0; a < selection.size(); ++a) {
+      processors_[a] =
+          candidates_[static_cast<std::size_t>(selection[a])].processor;
+    }
+  }
+
+  const pmdl::ModelInstance* instance_;
+  std::span<const Candidate> candidates_;
+  const hnoc::NetworkModel* network_;
+  est::EstimateOptions options_;
+  est::EstimateCache* cache_;
+  std::shared_ptr<const est::Plan> plan_;
+  std::optional<est::DeltaEvaluator> delta_;
+  std::uint64_t fingerprint_ = 0;
+  long long synced_ops_ = 0;
+  std::vector<int> processors_;
+  std::vector<est::DeltaEvaluator::Move> moves_;
+};
+
 }  // namespace
 
 int Mapper::check(const pmdl::ModelInstance& instance,
@@ -59,7 +203,10 @@ double Mapper::score(const pmdl::ModelInstance& instance,
                      const hnoc::NetworkModel& network,
                      est::EstimateOptions options, const SearchContext& context,
                      SearchStats* stats) {
-  std::vector<int> processors(selection.size());
+  // Thread-local scratch: this runs per candidate in the selection hot path
+  // and must not allocate (profile-guided; verified by the A9 ablation).
+  static thread_local std::vector<int> processors;
+  processors.resize(selection.size());
   for (std::size_t a = 0; a < selection.size(); ++a) {
     processors[a] = candidates[static_cast<std::size_t>(selection[a])].processor;
   }
@@ -136,6 +283,14 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
 
   const auto run_chunk = [&](int chunk_index) {
     ChunkResult& out = chunks[static_cast<std::size_t>(chunk_index)];
+    // Per-chunk scorer (one per worker thread). Delta replay is off here:
+    // DFS leaves share no accepted base arrangement to diff against, so the
+    // compiled full evaluation is the fast path.
+    SearchContext chunk_context = context;
+    chunk_context.pool = nullptr;
+    chunk_context.delta = false;
+    CandidateScorer scorer(instance, candidates, network, options,
+                           chunk_context);
     std::vector<int> selection(static_cast<std::size_t>(p), -1);
     std::vector<bool> used(static_cast<std::size_t>(n), false);
     selection[static_cast<std::size_t>(parent_abstract)] = parent_candidate;
@@ -149,8 +304,7 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
     // Depth-first over the remaining free slots, candidates ascending.
     auto recurse = [&](auto&& self, std::size_t slot_index) -> void {
       if (slot_index == slots.size()) {
-        const double t = score(instance, candidates, selection, network,
-                               options, context, &out.best.stats);
+        const double t = scorer.full(selection, &out.best.stats);
         if (t < out.best.estimated_time) {
           out.best.estimated_time = t;
           out.best.candidate_for_abstract = selection;
@@ -188,9 +342,7 @@ MappingResult ExhaustiveMapper::select(const pmdl::ModelInstance& instance,
   best.estimated_time = std::numeric_limits<double>::infinity();
   bool feasible = false;
   for (const ChunkResult& chunk : chunks) {
-    best.stats.evaluations += chunk.best.stats.evaluations;
-    best.stats.cache_hits += chunk.best.stats.cache_hits;
-    best.stats.cache_misses += chunk.best.stats.cache_misses;
+    best.stats.add_counters(chunk.best.stats);
     if (!chunk.feasible) continue;
     const bool wins =
         chunk.best.estimated_time < best.estimated_time ||
@@ -259,9 +411,13 @@ MappingResult GreedyMapper::select(const pmdl::ModelInstance& instance,
   MappingResult result;
   result.candidate_for_abstract =
       greedy_selection(instance, candidates, parent_candidate, network);
+  // One evaluation total: no base arrangement to delta against.
+  SearchContext single_context = context;
+  single_context.delta = false;
+  CandidateScorer scorer(instance, candidates, network, options,
+                         single_context);
   result.estimated_time =
-      score(instance, candidates, result.candidate_for_abstract, network,
-            options, context, &result.stats);
+      scorer.full(result.candidate_for_abstract, &result.stats);
   result.stats.threads = context_threads(context);
   result.stats.wall_seconds = timer.seconds();
   return result;
@@ -282,11 +438,11 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
   const int n = static_cast<int>(candidates.size());
 
   SearchStats stats;
+  CandidateScorer scorer(instance, candidates, network, options, context);
   std::vector<int> selection =
       GreedyMapper::greedy_selection(instance, candidates, parent_candidate,
                                      network);
-  double best = score(instance, candidates, selection, network, options,
-                      context, &stats);
+  double best = scorer.full(selection, &stats);
 
   std::vector<bool> used(static_cast<std::size_t>(n), false);
   for (int c : selection) used[static_cast<std::size_t>(c)] = true;
@@ -301,11 +457,12 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
         if (b == parent_abstract) continue;
         std::swap(selection[static_cast<std::size_t>(a)],
                   selection[static_cast<std::size_t>(b)]);
-        const double t = score(instance, candidates, selection, network,
-                               options, context, &stats);
+        const int changed[2] = {a, b};
+        const double t = scorer.probe(selection, changed, &stats);
         if (t + 1e-15 < best) {
           best = t;
           improved = true;
+          scorer.accept(&stats);
         } else {
           std::swap(selection[static_cast<std::size_t>(a)],
                     selection[static_cast<std::size_t>(b)]);
@@ -320,13 +477,14 @@ MappingResult SwapRefineMapper::select(const pmdl::ModelInstance& instance,
         if (used[static_cast<std::size_t>(c)]) continue;
         const int old = selection[static_cast<std::size_t>(a)];
         selection[static_cast<std::size_t>(a)] = c;
-        const double t = score(instance, candidates, selection, network,
-                               options, context, &stats);
+        const int changed[1] = {a};
+        const double t = scorer.probe(selection, changed, &stats);
         if (t + 1e-15 < best) {
           best = t;
           improved = true;
           used[static_cast<std::size_t>(old)] = false;
           used[static_cast<std::size_t>(c)] = true;
+          scorer.accept(&stats);
         } else {
           selection[static_cast<std::size_t>(a)] = old;
         }
@@ -360,10 +518,10 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
   const int n = static_cast<int>(candidates.size());
 
   SearchStats stats;
+  CandidateScorer scorer(instance, candidates, network, options, context);
   std::vector<int> current = GreedyMapper::greedy_selection(
       instance, candidates, parent_candidate, network);
-  double current_score =
-      score(instance, candidates, current, network, options, context, &stats);
+  double current_score = scorer.full(current, &stats);
   std::vector<int> best = current;
   double best_score = current_score;
 
@@ -428,12 +586,15 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
                 current[static_cast<std::size_t>(slot_b)]);
     }
 
-    const double proposed =
-        score(instance, candidates, current, network, options, context, &stats);
+    const int changed[2] = {slot_a, undo_slot_b >= 0 ? undo_slot_b : slot_a};
+    const double proposed = scorer.probe(
+        current, std::span<const int>(changed, undo_slot_b >= 0 ? 2u : 1u),
+        &stats);
     const double delta = proposed - current_score;
     const bool accept =
         delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
     if (accept) {
+      scorer.accept(&stats);
       current_score = proposed;
       if (proposed < best_score) {
         best_score = proposed;
@@ -489,8 +650,10 @@ MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
 
   // Each member is a serial algorithm; the pool races the members against
   // each other, and they share the context's estimate cache (greedy's start
-  // is swap-refine's start is every restart's start — instant hits).
-  const SearchContext member_context{nullptr, context.cache};
+  // is swap-refine's start is every restart's start — instant hits) and the
+  // plan cache (one compile serves every member).
+  const SearchContext member_context{nullptr, context.cache, context.plans,
+                                     context.delta};
   std::vector<MappingResult> results(members.size());
   const auto run_member = [&](int m) {
     results[static_cast<std::size_t>(m)] =
@@ -513,9 +676,7 @@ MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
   MappingResult best;
   std::size_t winner = 0;
   for (std::size_t m = 0; m < results.size(); ++m) {
-    best.stats.evaluations += results[m].stats.evaluations;
-    best.stats.cache_hits += results[m].stats.cache_hits;
-    best.stats.cache_misses += results[m].stats.cache_misses;
+    best.stats.add_counters(results[m].stats);
     if (m == 0 || results[m].estimated_time < results[winner].estimated_time) {
       winner = m;
     }

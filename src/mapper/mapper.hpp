@@ -36,6 +36,7 @@
 
 #include "estimator/estimate_cache.hpp"
 #include "estimator/estimator.hpp"
+#include "estimator/plan.hpp"
 #include "hnoc/network_model.hpp"
 #include "pmdl/model.hpp"
 #include "support/thread_pool.hpp"
@@ -53,6 +54,17 @@ struct SearchStats {
   long long evaluations = 0;   ///< Arrangements scored (cache hits included).
   long long cache_hits = 0;    ///< Evaluations answered from the cache.
   long long cache_misses = 0;  ///< Evaluations the estimator had to replay.
+  /// Evaluations priced on the compiled cost IR (full or suffix replay;
+  /// cache hits excluded — nothing was evaluated).
+  long long compiled_evaluations = 0;
+  /// Compiled evaluations answered by a delta suffix replay.
+  long long delta_evaluations = 0;
+  /// IR ops the delta path actually ran (replays, including the amortised
+  /// checkpoint-grid rebuilds commits defer to them)...
+  long long delta_ops_replayed = 0;
+  /// ...versus what the same evaluations would have cost done fully; the
+  /// ratio is the est.delta.savings gauge.
+  long long delta_ops_total = 0;
   double wall_seconds = 0.0;   ///< Host wall-clock time of the search.
   int threads = 1;             ///< Workers the search ran with.
 
@@ -63,14 +75,33 @@ struct SearchStats {
                              static_cast<double>(lookups)
                        : 0.0;
   }
+
+  /// Accumulates the additive counters of `other` (reductions over chunks,
+  /// portfolio members, and runtime searches; wall_seconds/threads are
+  /// owned by the aggregating search and left alone).
+  void add_counters(const SearchStats& other) noexcept {
+    evaluations += other.evaluations;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    compiled_evaluations += other.compiled_evaluations;
+    delta_evaluations += other.delta_evaluations;
+    delta_ops_replayed += other.delta_ops_replayed;
+    delta_ops_total += other.delta_ops_total;
+  }
 };
 
-/// Shared machinery a caller may hand to a search. Both members are
+/// Shared machinery a caller may hand to a search. The pointer members are
 /// borrowed, optional, and independent: a null pool runs serially, a null
-/// cache scores every arrangement through the estimator directly.
+/// cache scores every arrangement through the estimator directly, a null
+/// plan cache scores through the pmdl interpreter instead of the compiled
+/// cost IR. `delta` enables incremental suffix-replay re-estimation in the
+/// hill climbers (needs `plans`; estimator/plan.hpp). Every combination
+/// returns bit-identical selections — the toggles trade CPU only.
 struct SearchContext {
   support::ThreadPool* pool = nullptr;
   est::EstimateCache* cache = nullptr;
+  est::PlanCache* plans = nullptr;
+  bool delta = true;
 };
 
 /// A selection: which candidate plays each abstract processor.

@@ -21,6 +21,7 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kRecover: return "recover";
     case TraceEvent::Kind::kMapperSearch: return "mapper_search";
     case TraceEvent::Kind::kCollSelect: return "coll_select";
+    case TraceEvent::Kind::kEstCompile: return "est_compile";
   }
   return "compute";
 }
@@ -35,6 +36,7 @@ bool is_instant(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kRecover:
     case TraceEvent::Kind::kMapperSearch:
     case TraceEvent::Kind::kCollSelect:
+    case TraceEvent::Kind::kEstCompile:
       return true;
     default:
       return false;
@@ -78,6 +80,10 @@ std::vector<telemetry::ChromeEvent> to_chrome_events(
         c.arg("hit_rate", e.search.hit_rate);
         c.arg("threads", static_cast<double>(e.search.threads));
         c.arg("wall_seconds", e.search.wall_seconds);
+        break;
+      case TraceEvent::Kind::kEstCompile:
+        c.arg("ops", static_cast<double>(e.compile.ops));
+        c.arg("seconds", e.compile.seconds);
         break;
       case TraceEvent::Kind::kCollSelect:
         c.arg("op", coll::op_name(static_cast<coll::CollOp>(e.coll.op)));
@@ -136,6 +142,11 @@ void Tracer::write_csv(std::ostream& os) const {
       peer = e.coll.algo;
       tag = e.coll.op;
       units = e.coll.predicted_s;
+    }
+    // kEstCompile likewise: plan ops in bytes, compile seconds in units.
+    if (e.kind == TraceEvent::Kind::kEstCompile) {
+      bytes = static_cast<std::size_t>(e.compile.ops);
+      units = e.compile.seconds;
     }
     os << kind_name(e.kind) << ',' << e.world_rank << ',' << e.processor
        << ',' << peer << ',' << tag << ',' << e.context << ',' << bytes << ','

@@ -36,6 +36,8 @@ struct TraceEvent {
                    ///< parent side of group_create); details in `search`.
     kCollSelect,   ///< A collective resolved its algorithm (recorded by the
                    ///< communicator's rank 0 only); details in `coll`.
+    kEstCompile,   ///< A performance model was compiled to the cost IR
+                   ///< (estimator/plan.hpp); details in `compile`.
   };
 
   /// Named payload for kMapperSearch (peer/tag/bytes/units are unused —
@@ -45,6 +47,12 @@ struct TraceEvent {
     double hit_rate = 0.0;      ///< Estimate-cache hit rate in [0, 1].
     int threads = 1;            ///< Worker threads used by the search.
     double wall_seconds = 0.0;  ///< Real (not virtual) search duration.
+  };
+
+  /// Named payload for kEstCompile.
+  struct EstCompile {
+    long long ops = 0;      ///< Scheme ops in the compiled plan (op_count()).
+    double seconds = 0.0;   ///< Real (not virtual) compile duration.
   };
 
   /// Named payload for kCollSelect (`bytes` carries the payload size; the
@@ -67,6 +75,7 @@ struct TraceEvent {
   double start_time = 0.0; ///< Virtual time the event began.
   double end_time = 0.0;   ///< Virtual completion (message arrival for sends).
   MapperSearch search;     ///< kMapperSearch only.
+  EstCompile compile;      ///< kEstCompile only.
   CollSelect coll;         ///< kCollSelect only.
 };
 
@@ -76,7 +85,7 @@ const char* kind_name(TraceEvent::Kind kind);
 /// Converts events to Chrome-trace form on the virtual timeline
 /// (pid = telemetry::kVirtualPid, tid = world_rank, ts = virtual seconds
 /// scaled to microseconds). Instantaneous kinds (crash, drop, suspect,
-/// recover, mapper_search) become 'i' events; the rest are 'X'.
+/// recover, mapper_search, est_compile) become 'i' events; the rest are 'X'.
 std::vector<telemetry::ChromeEvent> to_chrome_events(
     std::span<const TraceEvent> events);
 

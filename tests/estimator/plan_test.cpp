@@ -1,0 +1,373 @@
+// Tests of the compiled cost IR (estimator/plan.hpp): the compiled
+// evaluator and the delta evaluator must be BIT-IDENTICAL to the
+// tree-walking interpreter — that invariant is what lets the runtime enable
+// the compiled path by default without perturbing group selection.
+#include "estimator/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "estimator/estimate_cache.hpp"
+#include "estimator/estimator.hpp"
+#include "estimator/fingerprint.hpp"
+#include "hnoc/cluster.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::est {
+namespace {
+
+using pmdl::InstanceBuilder;
+using pmdl::ModelInstance;
+using pmdl::ScheduleSink;
+
+#define EXPECT_BIT_EQ(a, b)                              \
+  EXPECT_EQ(std::bit_cast<std::uint64_t>((double)(a)),   \
+            std::bit_cast<std::uint64_t>((double)(b)))   \
+      << "values " << (a) << " vs " << (b)
+
+#define ASSERT_BIT_EQ(a, b)                              \
+  ASSERT_EQ(std::bit_cast<std::uint64_t>((double)(a)),   \
+            std::bit_cast<std::uint64_t>((double)(b)))   \
+      << "values " << (a) << " vs " << (b)
+
+/// An EM3D-like scheme instance on `p` abstract processors with a boundary
+/// exchange ring followed by a parallel compute phase.
+ModelInstance ring_instance(int p, support::Rng& rng) {
+  InstanceBuilder b("ring");
+  b.shape({p});
+  for (int i = 0; i < p; ++i) b.node_volume(i, 50.0 + rng.next_double() * 1e4);
+  for (int i = 0; i < p; ++i) {
+    b.link(i, (i + 1) % p, 100.0 + rng.next_double() * 1e6);
+  }
+  b.scheme([p](ScheduleSink& s) {
+    s.par_begin();
+    for (long long i = 0; i < p; ++i) {
+      s.par_iter_begin();
+      const long long src[1] = {i};
+      const long long dst[1] = {(i + 1) % p};
+      s.transfer(src, dst, 100.0);
+    }
+    s.par_end();
+    s.par_begin();
+    for (long long i = 0; i < p; ++i) {
+      s.par_iter_begin();
+      const long long c[1] = {i};
+      s.compute(c, 100.0);
+    }
+    s.par_end();
+  });
+  return b.build();
+}
+
+/// A randomly generated, valid-by-construction scheme: sequences of
+/// compute/transfer activations with nested par blocks. Exercises op
+/// orderings (and checkpoint placements) no hand-written model would.
+ModelInstance random_instance(int p, std::uint64_t seed) {
+  support::Rng rng(seed);
+  InstanceBuilder b("random");
+  b.shape({p});
+  for (int i = 0; i < p; ++i) b.node_volume(i, rng.next_double() * 1e4);
+  const int links = 2 * p;
+  for (int i = 0; i < links; ++i) {
+    const int src =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+    const int dst =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+    if (src == dst) continue;  // the builder rejects self links
+    b.link(src, dst, rng.next_double() * 1e6);
+  }
+  // The generator lambda gets its own deterministic stream so the builder's
+  // draws above do not shift the scheme shape.
+  b.scheme([p, seed](ScheduleSink& s) {
+    support::Rng r(seed ^ 0x5eedULL);
+    auto emit_leaf = [&] {
+      const long long a = static_cast<long long>(
+          r.next_below(static_cast<std::uint64_t>(p)));
+      if (r.next_below(2) == 0) {
+        const long long c[1] = {a};
+        s.compute(c, 25.0 + r.next_double() * 75.0);
+      } else {
+        const long long d = static_cast<long long>(
+            r.next_below(static_cast<std::uint64_t>(p)));
+        const long long src[1] = {a}, dst[1] = {d};  // s==d sometimes: must drop
+        s.transfer(src, dst, 25.0 + r.next_double() * 75.0);
+      }
+    };
+    auto emit_block = [&](auto&& self, int depth) -> void {
+      const int items = 2 + static_cast<int>(r.next_below(5));
+      for (int i = 0; i < items; ++i) {
+        if (depth < 2 && r.next_below(4) == 0) {
+          const int iters = 1 + static_cast<int>(r.next_below(3));
+          s.par_begin();
+          for (int it = 0; it < iters; ++it) {
+            s.par_iter_begin();
+            self(self, depth + 1);
+          }
+          s.par_end();
+        } else {
+          emit_leaf();
+        }
+      }
+    };
+    emit_block(emit_block, 0);
+  });
+  return b.build();
+}
+
+/// Scheme-less instance: the aggregate fallback bound.
+ModelInstance fallback_instance(int p, std::uint64_t seed) {
+  support::Rng rng(seed);
+  InstanceBuilder b("fallback");
+  b.shape({p});
+  for (int i = 0; i < p; ++i) b.node_volume(i, rng.next_double() * 1e4);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      if (i != j && rng.next_below(3) == 0) {
+        b.link(i, j, rng.next_double() * 1e6);
+      }
+    }
+  }
+  return b.build();
+}
+
+std::vector<int> random_mapping(int p, int machines, support::Rng& rng) {
+  std::vector<int> m(static_cast<std::size_t>(p));
+  for (int& x : m) {
+    x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(machines)));
+  }
+  return m;
+}
+
+TEST(Plan, CompiledMatchesInterpreterBitForBit) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  support::Rng rng(7);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ModelInstance inst =
+        seed % 3 == 0 ? ring_instance(9, rng) : random_instance(6, seed);
+    const Plan plan(inst);
+    EXPECT_TRUE(plan.from_scheme());
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto m = random_mapping(inst.size(), net.size(), rng);
+      ASSERT_BIT_EQ(plan.evaluate(m, net),
+                    estimate_time(inst, m, net, EstimateOptions()));
+    }
+  }
+}
+
+TEST(Plan, FallbackMatchesInterpreterBitForBit) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  support::Rng rng(11);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ModelInstance inst = fallback_instance(7, seed);
+    const Plan plan(inst);
+    EXPECT_FALSE(plan.from_scheme());
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto m = random_mapping(inst.size(), net.size(), rng);
+      ASSERT_BIT_EQ(plan.evaluate(m, net),
+                    estimate_time(inst, m, net, EstimateOptions()));
+    }
+  }
+}
+
+TEST(Plan, LoweringDropsSelfTransfersAndFoldsPercent) {
+  auto inst = InstanceBuilder("t")
+                  .shape({2})
+                  .node_volume(0, 100.0)
+                  .link(0, 1, 1e6)
+                  .scheme([](ScheduleSink& s) {
+                    const long long a[1] = {0}, b[1] = {1};
+                    s.compute(a, 50.0);
+                    s.transfer(a, a, 100.0);  // self: dropped at compile
+                    s.transfer(a, b, 25.0);
+                  })
+                  .build();
+  const Plan plan(inst);
+  ASSERT_EQ(plan.ops().size(), 2u);
+  EXPECT_EQ(plan.ops()[0].kind, PlanOp::Kind::kCompute);
+  EXPECT_BIT_EQ(plan.ops()[0].value, 100.0 * 50.0 / 100.0);
+  EXPECT_EQ(plan.ops()[1].kind, PlanOp::Kind::kTransfer);
+  EXPECT_BIT_EQ(plan.ops()[1].value, 1e6 * 25.0 / 100.0);
+  EXPECT_EQ(plan.first_touch(0), 0u);
+  EXPECT_EQ(plan.first_touch(1), 1u);
+}
+
+TEST(Plan, EvaluateValidatesMapping) {
+  auto inst = InstanceBuilder("t").shape({2}).build();
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const Plan plan(inst);
+  const int too_short[1] = {0};
+  EXPECT_THROW(plan.evaluate(too_short, net), hmpi::InvalidArgument);
+  const int bad_proc[2] = {0, 99};
+  EXPECT_THROW(plan.evaluate(bad_proc, net), hmpi::InvalidArgument);
+}
+
+/// The tentpole invariant: a staged-move replay is bit-identical to a full
+/// evaluation of the staged mapping, across random swap/substitution
+/// sequences with commits, rejections, and memoised values interleaved.
+void run_delta_invariant(const ModelInstance& inst, std::uint64_t seed) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  support::Rng rng(seed);
+  const Plan plan(inst);
+  DeltaEvaluator delta(plan, net, EstimateOptions());
+
+  std::vector<int> mapping = random_mapping(inst.size(), net.size(), rng);
+  ASSERT_BIT_EQ(delta.reset(mapping), plan.evaluate(mapping, net));
+
+  for (int step = 0; step < 200; ++step) {
+    std::vector<DeltaEvaluator::Move> moves;
+    if (rng.next_below(2) == 0) {
+      // Swap two slots' processors (the SwapRefine move).
+      const int i = static_cast<int>(rng.next_below(mapping.size()));
+      const int j = static_cast<int>(rng.next_below(mapping.size()));
+      moves.push_back({i, mapping[static_cast<std::size_t>(j)]});
+      moves.push_back({j, mapping[static_cast<std::size_t>(i)]});
+    } else {
+      // Substitute one slot's processor (the annealing move).
+      const int i = static_cast<int>(rng.next_below(mapping.size()));
+      const int p = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(net.size())));
+      moves.push_back({i, p});
+    }
+    const auto staged = delta.stage(moves);
+    const std::vector<int> staged_copy(staged.begin(), staged.end());
+    const double full = plan.evaluate(staged_copy, net);
+
+    const bool memoised = rng.next_below(4) == 0;
+    if (memoised) {
+      delta.set_staged_value(full);  // simulate an EstimateCache hit
+    } else {
+      ASSERT_BIT_EQ(delta.replay(), full);
+    }
+    if (rng.next_below(2) == 0) {
+      delta.commit();
+      mapping = staged_copy;
+      ASSERT_BIT_EQ(delta.committed_time(), full);
+    }
+    // A rejected proposal leaves the committed state untouched.
+    ASSERT_BIT_EQ(delta.committed_time(), plan.evaluate(mapping, net));
+  }
+}
+
+TEST(DeltaEvaluator, SchemeReplayMatchesFullEvaluationBitForBit) {
+  support::Rng rng(3);
+  run_delta_invariant(ring_instance(9, rng), 101);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    run_delta_invariant(random_instance(6, seed), 200 + seed);
+  }
+}
+
+TEST(DeltaEvaluator, FallbackReplayMatchesFullEvaluationBitForBit) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_delta_invariant(fallback_instance(7, seed), 300 + seed);
+  }
+}
+
+TEST(DeltaEvaluator, UntouchedSlotShortCircuits) {
+  // Processor 2 exists in the arrangement but no scheme op touches it:
+  // moving it must answer from the committed value without any replay.
+  auto inst = InstanceBuilder("t")
+                  .shape({3})
+                  .node_volume(0, 100.0)
+                  .link(0, 1, 1e6)
+                  .scheme([](ScheduleSink& s) {
+                    const long long a[1] = {0}, b[1] = {1};
+                    s.compute(a, 100.0);
+                    s.transfer(a, b, 100.0);
+                  })
+                  .build();
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const Plan plan(inst);
+  EXPECT_EQ(plan.first_touch(2), Plan::kNeverTouched);
+
+  DeltaEvaluator delta(plan, net, EstimateOptions());
+  const std::vector<int> m{0, 1, 2};
+  const double t0 = delta.reset(m);
+  const DeltaEvaluator::Move move[] = {{2, 5}};
+  delta.stage(move);
+  EXPECT_BIT_EQ(delta.replay(), t0);
+  EXPECT_EQ(delta.replays(), 0);
+  delta.commit();
+  EXPECT_EQ(delta.mapping()[2], 5);
+  EXPECT_BIT_EQ(delta.committed_time(), t0);
+  // And the committed mapping update must feed later diffs correctly.
+  const std::vector<int> expect{0, 1, 5};
+  EXPECT_BIT_EQ(plan.evaluate(expect, net), t0);
+}
+
+TEST(DeltaEvaluator, SuffixReplayIsShorterThanFullEvaluation) {
+  support::Rng rng(5);
+  const ModelInstance inst = ring_instance(9, rng);
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const Plan plan(inst);
+  DeltaEvaluator delta(plan, net, EstimateOptions());
+  const std::vector<int> m{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  delta.reset(m);
+  // Slot 8 first appears late in the op stream; a stream of slot-8 proposals
+  // must replay strictly fewer ops than full evaluations would.
+  ASSERT_GT(plan.first_touch(8), 0u);
+  const int proposals = 50;
+  for (int i = 0; i < proposals; ++i) {
+    // Never propose the committed processor (8): that would short-circuit.
+    const DeltaEvaluator::Move move[] = {{8, i % (net.size() - 1)}};
+    delta.stage(move);
+    delta.replay();
+  }
+  EXPECT_EQ(delta.replays(), proposals);
+  EXPECT_LT(delta.ops_replayed(),
+            static_cast<long long>(plan.op_count()) * proposals);
+}
+
+TEST(PlanCache, CompilesOnceAndCounts) {
+  support::Rng rng(9);
+  const ModelInstance inst = ring_instance(5, rng);
+  PlanCache cache;
+  bool compiled = false;
+  double seconds = -1.0;
+  const auto p1 = cache.get(inst, &compiled, &seconds);
+  EXPECT_TRUE(compiled);
+  EXPECT_GE(seconds, 0.0);
+  const auto p2 = cache.get(inst, &compiled, &seconds);
+  EXPECT_FALSE(compiled);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EstimateCache, PlanBackedMissesMatchInterpreterEntries) {
+  support::Rng rng(13);
+  const ModelInstance inst = ring_instance(6, rng);
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const Plan plan(inst);
+  const EstimateOptions options;
+  const std::uint64_t fp = estimate_fingerprint(inst, options);
+
+  EstimateCache via_plan;
+  EstimateCache via_interp;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto m = random_mapping(inst.size(), net.size(), rng);
+    bool hit = true;
+    const double a = via_plan.estimate(fp, inst, m, net, options, &hit, &plan);
+    const double b = via_interp.estimate(inst, m, net, options);
+    ASSERT_BIT_EQ(a, b);
+    // And a plan-backed hit returns the same stored bits.
+    ASSERT_BIT_EQ(via_plan.estimate(fp, inst, m, net, options, &hit, &plan), a);
+    EXPECT_TRUE(hit);
+  }
+}
+
+}  // namespace
+}  // namespace hmpi::est

@@ -1,0 +1,248 @@
+// The estimator-backend runtime surface: the EstimatorMode toggle (config +
+// HMPI_EST_COMPILE), Timeof_batch, and the estimator-stats accessors, at both
+// the C++ and the paper-style C layers (docs/estimator.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "hmpi/hmpi_c.hpp"
+#include "hmpi/runtime.hpp"
+#include "hnoc/cluster.hpp"
+#include "mpsim/trace.hpp"
+
+namespace hmpi {
+namespace {
+
+using mp::Proc;
+using mp::World;
+using pmdl::InstanceBuilder;
+using pmdl::Model;
+using pmdl::ParamValue;
+
+/// Ring pipeline parameterised on p: enough comm structure that the
+/// selection depends on links, so an estimator-backend bug that changes
+/// scores shows up as a different group.
+Model ring_model() {
+  return Model::from_factory("ring", 1, [](std::span<const ParamValue> ps) {
+    const long long p = std::get<long long>(ps[0]);
+    InstanceBuilder b("ring");
+    b.shape({p});
+    for (long long a = 0; a < p; ++a) {
+      b.node_volume(a, 50.0 + 10.0 * static_cast<double>(a));
+      if (p > 1) b.link(a, (a + 1) % p, 2e5);
+    }
+    b.scheme([p](pmdl::ScheduleSink& s) {
+      for (long long a = 0; a < p; ++a) {
+        const long long c[1] = {a};
+        s.compute(c, 100.0);
+        if (p > 1) {
+          const long long d[1] = {(a + 1) % p};
+          s.transfer(c, d, 100.0);
+        }
+      }
+    });
+    return b.build();
+  });
+}
+
+/// Heterogeneous speeds and one deliberately bad link, so arrangements are
+/// far from interchangeable.
+hnoc::Cluster lumpy_cluster() {
+  return hnoc::ClusterBuilder()
+      .add("parent", 10.0)
+      .add("fast", 20.0)
+      .add("faster", 25.0)
+      .add("slow", 5.0)
+      .add("medium", 12.0)
+      .network(1e-4, 1e7)
+      .symmetric_link_override(1, 2, 0.05, 1e5)
+      .build();
+}
+
+/// Runs `body` at the host of a fresh 5-machine world.
+template <typename Fn>
+void at_host(Fn&& body, RuntimeConfig config = RuntimeConfig()) {
+  hnoc::Cluster cluster = lumpy_cluster();
+  World::run_one_per_processor(cluster, [&](Proc& p) {
+    Runtime rt(p, config);
+    if (rt.is_host()) body(rt);
+    rt.finalize();
+  });
+}
+
+TEST(TimeofBatch, MatchesIndividualTimeofBitForBit) {
+  Model model = ring_model();
+  at_host([&](Runtime& rt) {
+    std::vector<std::vector<ParamValue>> sets;
+    std::vector<double> individual;
+    for (long long p = 2; p <= 4; ++p) {
+      sets.push_back({pmdl::scalar(p)});
+      individual.push_back(rt.timeof(model, {pmdl::scalar(p)}));
+    }
+    const std::vector<double> batch = rt.timeof_batch(model, sets);
+    ASSERT_EQ(batch.size(), individual.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i], individual[i]) << "set " << i;
+    }
+  });
+}
+
+TEST(TimeofBatch, AggregatesOneStatsRecordAcrossTheBatch) {
+  Model model = ring_model();
+  at_host([&](Runtime& rt) {
+    std::vector<std::vector<ParamValue>> sets;
+    for (long long p = 2; p <= 4; ++p) sets.push_back({pmdl::scalar(p)});
+    rt.timeof_batch(model, sets);
+    const map::SearchStats& stats = rt.last_search_stats();
+    EXPECT_GT(stats.evaluations, 0);
+    // Three distinct instances were priced in one search record; the default
+    // backend is compiled+delta, so the batch ran on the IR.
+    EXPECT_GT(stats.compiled_evaluations, 0);
+  });
+}
+
+TEST(EstimatorStats, CountsPlanCompilesAndDeltaWork) {
+  Model model = ring_model();
+  at_host([&](Runtime& rt) {
+    const Runtime::EstimatorStats before = rt.estimator_stats();
+    EXPECT_EQ(before.mode, EstimatorMode::kDelta);
+    EXPECT_EQ(before.compiled_evaluations, 0);
+
+    rt.timeof(model, {pmdl::scalar(3)});
+    rt.timeof(model, {pmdl::scalar(3)});  // same instance: plan-cache hit
+
+    const Runtime::EstimatorStats after = rt.estimator_stats();
+    EXPECT_GE(after.plans_compiled, 1);
+    EXPECT_GE(after.plan_cache_hits, 1);
+    EXPECT_GT(after.compiled_evaluations, 0);
+    EXPECT_GT(after.delta_evaluations, 0);
+    EXPECT_GT(after.delta_ops_total, 0);
+    // Replayed includes amortised checkpoint rebuilds and full-length
+    // replays on a model this small, so it is only pinned positive here;
+    // the savings ratio is the A9c ablation's business.
+    EXPECT_GT(after.delta_ops_replayed, 0);
+  });
+}
+
+TEST(EstimatorMode, SelectionsBitIdenticalAcrossModes) {
+  Model model = ring_model();
+  const std::vector<ParamValue> params{pmdl::scalar(4)};
+
+  struct Outcome {
+    std::vector<int> members;
+    double estimated = 0.0;
+  };
+  auto create_with = [&](EstimatorMode mode) {
+    Outcome out;
+    hnoc::Cluster cluster = lumpy_cluster();
+    World::run_one_per_processor(cluster, [&](Proc& p) {
+      RuntimeConfig config;
+      config.estimator = mode;
+      Runtime rt(p, config);
+      auto group = rt.group_create(model, params);
+      if (group && rt.is_host()) {
+        out.members = group->members();
+        out.estimated = group->estimated_time();
+      }
+      if (group) rt.group_free(*group);
+      rt.finalize();
+    });
+    return out;
+  };
+
+  const Outcome interpreted = create_with(EstimatorMode::kInterpret);
+  const Outcome compiled = create_with(EstimatorMode::kCompiled);
+  const Outcome delta = create_with(EstimatorMode::kDelta);
+  EXPECT_EQ(compiled.members, interpreted.members);
+  EXPECT_EQ(delta.members, interpreted.members);
+  EXPECT_EQ(compiled.estimated, interpreted.estimated);
+  EXPECT_EQ(delta.estimated, interpreted.estimated);
+}
+
+TEST(EstimatorMode, EnvOverrideSelectsBackend) {
+  Model model = ring_model();
+  auto mode_under_env = [&](const char* value) {
+    ::setenv("HMPI_EST_COMPILE", value, 1);
+    EstimatorMode mode = EstimatorMode::kDelta;
+    at_host([&](Runtime& rt) {
+      rt.timeof(model, {pmdl::scalar(3)});
+      mode = rt.estimator_stats().mode;
+    });
+    ::unsetenv("HMPI_EST_COMPILE");
+    return mode;
+  };
+  EXPECT_EQ(mode_under_env("off"), EstimatorMode::kInterpret);
+  EXPECT_EQ(mode_under_env("0"), EstimatorMode::kInterpret);
+  EXPECT_EQ(mode_under_env("1"), EstimatorMode::kCompiled);
+  EXPECT_EQ(mode_under_env("compile"), EstimatorMode::kCompiled);
+  EXPECT_EQ(mode_under_env("delta"), EstimatorMode::kDelta);
+  EXPECT_EQ(mode_under_env("bogus"), EstimatorMode::kDelta);  // ignored
+}
+
+TEST(EstimatorMode, InterpretModePricesNothingOnTheIr) {
+  Model model = ring_model();
+  RuntimeConfig config;
+  config.estimator = EstimatorMode::kInterpret;
+  at_host(
+      [&](Runtime& rt) {
+        rt.timeof(model, {pmdl::scalar(3)});
+        const Runtime::EstimatorStats stats = rt.estimator_stats();
+        EXPECT_EQ(stats.mode, EstimatorMode::kInterpret);
+        EXPECT_EQ(stats.plans_compiled, 0);
+        EXPECT_EQ(stats.compiled_evaluations, 0);
+        EXPECT_EQ(stats.delta_evaluations, 0);
+        EXPECT_GT(rt.last_search_stats().evaluations, 0);
+      },
+      config);
+}
+
+TEST(EstimatorTrace, CompileEmitsAnInstantWhenATracerIsAttached) {
+  Model model = ring_model();
+  mp::Tracer tracer;
+  World::Options options;
+  options.tracer = &tracer;
+  hnoc::Cluster cluster = lumpy_cluster();
+  World::run_one_per_processor(
+      cluster,
+      [&](Proc& p) {
+        Runtime rt(p);
+        if (rt.is_host()) rt.timeof(model, {pmdl::scalar(3)});
+        rt.finalize();
+      },
+      options);
+  bool saw_compile = false;
+  for (const mp::TraceEvent& e : tracer.events()) {
+    if (e.kind != mp::TraceEvent::Kind::kEstCompile) continue;
+    saw_compile = true;
+    EXPECT_GT(e.compile.ops, 0);
+    EXPECT_GE(e.compile.seconds, 0.0);
+  }
+  EXPECT_TRUE(saw_compile);
+}
+
+TEST(CApiEstimator, BatchAndStatsThroughTheCVeneer) {
+  Model model = ring_model();
+  hnoc::Cluster cluster = lumpy_cluster();
+  World::run_one_per_processor(cluster, [&](Proc& p) {
+    HMPI_Init(p);
+    if (HMPI_Is_host()) {
+      const std::vector<std::vector<ParamValue>> sets{
+          {pmdl::scalar(2)}, {pmdl::scalar(3)}};
+      const std::vector<double> batch = HMPI_Timeof_batch(model, sets);
+      ASSERT_EQ(batch.size(), 2u);
+      EXPECT_EQ(batch[0], HMPI_Timeof(model, sets[0]));
+      EXPECT_EQ(batch[1], HMPI_Timeof(model, sets[1]));
+
+      const Runtime::EstimatorStats stats = HMPI_Get_estimator_stats();
+      EXPECT_EQ(stats.mode, EstimatorMode::kDelta);
+      EXPECT_GE(stats.plans_compiled, 1);
+      EXPECT_GT(stats.compiled_evaluations, 0);
+    }
+    HMPI_Finalize(0);
+  });
+}
+
+}  // namespace
+}  // namespace hmpi

@@ -88,6 +88,43 @@ TEST(TraceCsv, KindNamesAreStable) {
   EXPECT_STREQ(kind_name(TraceEvent::Kind::kSuspect), "suspect");
   EXPECT_STREQ(kind_name(TraceEvent::Kind::kRecover), "recover");
   EXPECT_STREQ(kind_name(TraceEvent::Kind::kMapperSearch), "mapper_search");
+  EXPECT_STREQ(kind_name(TraceEvent::Kind::kEstCompile), "est_compile");
+}
+
+TEST(TraceCsv, EstCompilePacksOpsAndSecondsIntoLegacyColumns) {
+  // Same convention as mapper_search: the honest payload is
+  // TraceEvent::compile; the CSV packs plan ops into bytes and compile
+  // seconds into units.
+  Tracer tracer;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kEstCompile;
+  e.world_rank = 0;
+  e.processor = 0;
+  e.compile.ops = 512;
+  e.compile.seconds = 0.25;
+  e.start_time = 1.0;
+  e.end_time = 1.0;
+  tracer.record(e);
+  std::ostringstream os;
+  tracer.write_csv(os);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "est_compile,0,0,-1,0,0,512,0.25,1,1");
+
+  std::ostringstream chrome;
+  tracer.write_chrome_json(chrome);
+  std::string error;
+  const auto doc = telemetry::parse_json(chrome.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  bool saw_compile = false;
+  for (const telemetry::JsonValue& ev : doc->find("traceEvents")->array) {
+    if (ev.find("name")->string != "est_compile") continue;
+    saw_compile = true;
+    EXPECT_EQ(ev.find("ph")->string, "i");  // instant: zero virtual time
+    EXPECT_DOUBLE_EQ(ev.find("args")->find("ops")->number, 512.0);
+    EXPECT_DOUBLE_EQ(ev.find("args")->find("seconds")->number, 0.25);
+  }
+  EXPECT_TRUE(saw_compile);
 }
 
 TEST(TraceCsv, MapperSearchKeepsLegacyColumnEncoding) {

@@ -10,7 +10,12 @@
 //     the reserved `coll.` namespace must follow the collective-subsystem
 //     grammar: counters `coll.tuner.hits|misses` or `coll.<op>.<algo>`,
 //     histograms `coll.<op>.seconds`, with <op>/<algo> names from the
-//     coll policy tables (docs/collectives.md).
+//     coll policy tables (docs/collectives.md). Metrics in the reserved
+//     `est.` namespace must follow the estimator grammar: counters
+//     `est.compile.count|hits|misses|evaluations` or
+//     `est.delta.evaluations|ops_replayed|ops_total`, gauge
+//     `est.delta.savings`, histogram `est.compile.seconds`
+//     (docs/estimator.md).
 //   * Bench exports ({"benchmark": ..., "tables": [...]}): every table needs
 //     title/columns/rows with rows matching the column count.
 // Exit status 0 when every file passes, 1 otherwise.
@@ -97,6 +102,26 @@ bool valid_coll_metric(const std::string& name, bool histogram) {
   return false;
 }
 
+// The estimator-subsystem grammar for the reserved "est." namespace
+// (docs/estimator.md), by metric kind.
+enum class MetricKind { kCounter, kGauge, kHistogram };
+bool valid_est_metric(const std::string& name, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return name == "est.compile.count" || name == "est.compile.hits" ||
+             name == "est.compile.misses" ||
+             name == "est.compile.evaluations" ||
+             name == "est.delta.evaluations" ||
+             name == "est.delta.ops_replayed" ||
+             name == "est.delta.ops_total";
+    case MetricKind::kGauge:
+      return name == "est.delta.savings";
+    case MetricKind::kHistogram:
+      return name == "est.compile.seconds";
+  }
+  return false;
+}
+
 void check_metrics(const std::string& file, const JsonValue& doc) {
   for (const char* section : {"counters", "gauges", "histograms"}) {
     const JsonValue* s = doc.find(section);
@@ -114,6 +139,25 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                        "' violates the coll.* grammar (expected "
                        "coll.tuner.hits|misses or coll.<op>.<algo>)");
       }
+      if (name.rfind("est.", 0) == 0 &&
+          !valid_est_metric(name, MetricKind::kCounter)) {
+        fail(file, "counter '" + name +
+                       "' violates the est.* grammar (expected "
+                       "est.compile.count|hits|misses|evaluations or "
+                       "est.delta.evaluations|ops_replayed|ops_total)");
+      }
+    }
+  }
+  const JsonValue* gauges = doc.find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, g] : gauges->object) {
+      (void)g;
+      if (name.rfind("est.", 0) == 0 &&
+          !valid_est_metric(name, MetricKind::kGauge)) {
+        fail(file, "gauge '" + name +
+                       "' violates the est.* grammar (expected "
+                       "est.delta.savings)");
+      }
     }
   }
   const JsonValue* hists = doc.find("histograms");
@@ -129,6 +173,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
       fail(file, "histogram '" + name +
                      "' violates the coll.* grammar (expected "
                      "coll.<op>.seconds)");
+    }
+    if (name.rfind("est.", 0) == 0 &&
+        !valid_est_metric(name, MetricKind::kHistogram)) {
+      fail(file, "histogram '" + name +
+                     "' violates the est.* grammar (expected "
+                     "est.compile.seconds)");
     }
   }
 }
