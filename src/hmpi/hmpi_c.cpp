@@ -123,6 +123,54 @@ void HMPI_Group_respawn(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
       **gid, perf_model, model_parameters);
 }
 
+void HMPI_Group_migrate(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                        std::span<const hmpi::pmdl::ParamValue> model_parameters) {
+  hmpi::support::require(gid != nullptr && gid->has_value(),
+                         "HMPI_Group_migrate: not a live group");
+  *gid = hmpi::capi::detail::require_runtime().group_migrate(
+      **gid, perf_model, model_parameters);
+}
+
+int HMPI_Adapt_enabled() {
+  return hmpi::capi::detail::require_runtime().adapt_enabled() ? 1 : 0;
+}
+
+int HMPI_Adapt_observe(const HMPI_Group& gid, double measured_s,
+                       double* severity) {
+  hmpi::support::require(gid.has_value(),
+                         "HMPI_Adapt_observe: not a live group");
+  const hmpi::adapt::AdaptDecision decision =
+      hmpi::capi::detail::require_runtime().adapt_observe(*gid, measured_s);
+  if (severity != nullptr) *severity = decision.severity;
+  return decision.migrate ? 1 : 0;
+}
+
+int HMPI_Adapt_migrate(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                       std::span<const hmpi::pmdl::ParamValue> model_parameters,
+                       long long state_bytes) {
+  hmpi::support::require(gid != nullptr && gid->has_value(),
+                         "HMPI_Adapt_migrate: not a live group");
+  hmpi::Runtime::AdaptMigrateOptions options;
+  options.state_bytes = state_bytes;
+  const hmpi::Runtime::AdaptOutcome outcome =
+      hmpi::capi::detail::require_runtime().adapt_migrate(
+          **gid, perf_model, model_parameters, options);
+  if (!outcome.member) gid->reset();
+  return outcome.member ? 1 : 0;
+}
+
+void HMPI_Adapt_quiesce() {
+  hmpi::capi::detail::require_runtime().adapt_quiesce();
+}
+
+int HMPI_Adapt_quiesced() {
+  return hmpi::capi::detail::require_runtime().adapt_quiesced() ? 1 : 0;
+}
+
+void HMPI_Adapt_ledger_json(std::ostream& os) {
+  hmpi::capi::detail::require_runtime().adapt_write_ledger_json(os);
+}
+
 int HMPI_Group_rank(const HMPI_Group& gid) {
   hmpi::support::require(gid.has_value(), "HMPI_Group_rank: not a live group");
   return gid->rank();

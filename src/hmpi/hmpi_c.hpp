@@ -94,6 +94,48 @@ void HMPI_Group_fail(HMPI_Group* gid);
 void HMPI_Group_respawn(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
                         std::span<const hmpi::pmdl::ParamValue> model_parameters);
 
+/// HMPI_Group_migrate: voluntary live migration — re-selects the roster
+/// from the members plus the free pool at current speed estimates and moves
+/// the group there (collective over the members, all alive, and all free
+/// processes). On return `*gid` is the new group for selected processes and
+/// empty for released ones (docs/adaptation.md).
+void HMPI_Group_migrate(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                        std::span<const hmpi::pmdl::ParamValue> model_parameters);
+
+// --- closed-loop adaptation (docs/adaptation.md) ----------------------------
+
+/// HMPI_Adapt_enabled: 1 when the adaptation policy is active (config or
+/// HMPI_ADAPT environment override), else 0.
+int HMPI_Adapt_enabled();
+
+/// HMPI_Adapt_observe: feeds one measured round of `gid` into the
+/// adaptation controller; returns 1 when the (parent-decided, broadcast)
+/// verdict asks for HMPI_Adapt_migrate, else 0. Collective over the
+/// members when adaptation is enabled; a local no-op returning 0 when
+/// disabled. `severity`, when non-null, receives the smoothed violation.
+int HMPI_Adapt_observe(const HMPI_Group& gid, double measured_s,
+                       double* severity = nullptr);
+
+/// HMPI_Adapt_migrate: prices a re-mapping of `gid` and migrates when the
+/// predicted gain clears the respawn + state-transfer cost (rolling back a
+/// move that priced worse). Returns 1 if this process is a member of the
+/// resulting group, else 0 (it was released to the free pool and should
+/// keep serving HMPI_Group_create). Collective like group_migrate.
+int HMPI_Adapt_migrate(HMPI_Group* gid, const hmpi::pmdl::Model& perf_model,
+                       std::span<const hmpi::pmdl::ParamValue> model_parameters,
+                       long long state_bytes = 0);
+
+/// HMPI_Adapt_quiesce: releases every process waiting in the group-creation
+/// rendezvous; their pending/future HMPI_Group_create calls return empty.
+void HMPI_Adapt_quiesce();
+
+/// HMPI_Adapt_quiesced: 1 after any process called HMPI_Adapt_quiesce.
+int HMPI_Adapt_quiesced();
+
+/// HMPI_Adapt_ledger_json: writes this process's adaptation decision ledger
+/// as `{"adaptations": [...]}` (the group parent's is the canonical one).
+void HMPI_Adapt_ledger_json(std::ostream& os);
+
 /// HMPI_Group_rank / HMPI_Group_size.
 int HMPI_Group_rank(const HMPI_Group& gid);
 int HMPI_Group_size(const HMPI_Group& gid);

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <set>
@@ -103,6 +105,30 @@ struct Runtime::Shared {
   /// stays in `network`; suspicion only removes them from member selection).
   std::set<int> suspect_processors;
 
+  /// Processors a migration just evacuated, barred from being re-drafted
+  /// until the given virtual time — the ping-pong guard: a machine whose
+  /// slowness (or suspect mark) triggered the move must not bounce straight
+  /// back into the replacement roster, even if a later recon cleared its
+  /// suspect mark in between (docs/adaptation.md).
+  std::map<int, double> draft_cooldown;
+
+  /// Whether `processor` is inside its post-migration draft cooldown at
+  /// virtual time `now`; expired entries are reaped on the way.
+  bool draft_blocked_locked(int processor, double now) {
+    auto it = draft_cooldown.find(processor);
+    if (it == draft_cooldown.end()) return false;
+    if (it->second <= now) {
+      draft_cooldown.erase(it);
+      return false;
+    }
+    return true;
+  }
+
+  /// Set by adapt_quiesce: pending and future group_create rendezvous by
+  /// free processes return std::nullopt instead of blocking (the serve-loop
+  /// exit signal).
+  bool quiesced = false;
+
   /// The world's collective-algorithm selector (installed into the World by
   /// the factory; also kept here for policy updates and diagnostics).
   /// Lock-ordering contract: CollTuner::select locks its own mutex and then
@@ -115,6 +141,12 @@ struct Runtime::Shared {
     int parent_rank = -1;
     bool degraded = false;     // dead ranks excluded or suspects present
     std::vector<int> excluded;  // dead world ranks left out of the rendezvous
+    /// Rollback guard of an adaptation migration (NaN = unguarded). Every
+    /// participant compares the broadcast estimate against this bound and,
+    /// when the move priced no better, rejoins a creation pinned to
+    /// `guard_restore` — see Runtime::MigrationGuard.
+    double guard_old_pred = std::numeric_limits<double>::quiet_NaN();
+    std::vector<int> guard_restore;
   };
   long long creation_seq = 0;
   std::map<long long, Creation> creations;
@@ -161,6 +193,10 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
   config_.telemetry = config_.telemetry.with_env_overrides();
   config_.coll = coll_config_with_env(config_.coll);
   config_.estimator = estimator_mode_with_env(config_.estimator);
+  config_.adapt = config_.adapt.with_env();
+  if (config_.adapt.enabled) {
+    adapt_ = std::make_unique<adapt::AdaptationController>(config_.adapt);
+  }
   if (!config_.mapper) {
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
@@ -404,7 +440,9 @@ std::vector<map::Candidate> Runtime::candidates_with(
     std::lock_guard<std::mutex> lock(shared_->mutex);
     for (int r = 0; r < proc_->nprocs(); ++r) {
       if (r != parent_rank && shared_->is_free_locked(r) && world.alive(r) &&
-          shared_->suspect_processors.count(world.processor_of(r)) == 0) {
+          shared_->suspect_processors.count(world.processor_of(r)) == 0 &&
+          !shared_->draft_blocked_locked(world.processor_of(r),
+                                         proc_->clock())) {
         participants.push_back(r);
       }
     }
@@ -591,7 +629,9 @@ std::optional<Group> Runtime::group_create(
 
 std::optional<Group> Runtime::group_create_impl(
     const pmdl::Model& model, std::span<const pmdl::ParamValue> params,
-    CreateRole role) {
+    CreateRole role, const std::vector<int>* forced_members,
+    std::vector<int>* out_members, const MigrationGuard* guard,
+    bool* out_rolled_back) {
   support::require(!finalized_, "group_create after finalize");
   const int me = proc_->rank();
   mp::World& world = proc_->world();
@@ -613,6 +653,8 @@ std::optional<Group> Runtime::group_create_impl(
   int parent_world = -1;
   bool degraded = false;
   std::vector<int> excluded;
+  double guard_old_pred = std::numeric_limits<double>::quiet_NaN();
+  std::vector<int> guard_restore;
   {
     std::unique_lock<std::mutex> lock(shared_->mutex);
     const auto deadline =
@@ -634,6 +676,8 @@ std::optional<Group> Runtime::group_create_impl(
         parent_world = c.parent_rank;
         degraded = c.degraded;
         excluded = c.excluded;
+        guard_old_pred = c.guard_old_pred;
+        guard_restore = c.guard_restore;
         shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
         break;
       }
@@ -642,6 +686,9 @@ std::optional<Group> Runtime::group_create_impl(
         // Non-free caller with no pending creation addressed to it: it is
         // the parent; announce the creation. (Freeness here is the caller's
         // local view — see is_free().)
+        support::require(!shared_->quiesced,
+                         "group_create after adapt_quiesce (the rendezvous "
+                         "is shut down)");
         parent_world = me;
         participants.push_back(me);
         for (int r = 0; r < world.nprocs(); ++r) {
@@ -663,13 +710,30 @@ std::optional<Group> Runtime::group_create_impl(
           }
         }
         if (!excluded.empty()) degraded = true;
-        shared_->creations[id] = {participants, me, degraded, excluded};
+        Shared::Creation creation;
+        creation.participants = participants;
+        creation.parent_rank = me;
+        creation.degraded = degraded;
+        creation.excluded = excluded;
+        if (guard != nullptr) {
+          creation.guard_old_pred = guard->old_pred;
+          creation.guard_restore = guard->restore;
+          guard_old_pred = guard->old_pred;
+          guard_restore = guard->restore;
+        }
+        shared_->creations[id] = std::move(creation);
         shared_->creation_seq = id + 1;
         shared_->next_creation[static_cast<std::size_t>(me)] = id + 1;
         shared_->cv.notify_all();
         break;
       }
       // Free process (or forced follower) with nothing announced yet: wait.
+      if (role == CreateRole::kAuto && shared_->quiesced) {
+        // adapt_quiesce shut the rendezvous down: the serve loop is over.
+        // (Forced followers keep waiting — their respawn/migration parent
+        // WILL announce.)
+        return std::nullopt;
+      }
       if (world.aborted()) {
         throw MpError("world aborted while waiting for a group creation");
       }
@@ -739,8 +803,30 @@ std::optional<Group> Runtime::group_create_impl(
       return mapped;
     };
 
+    if (forced_members != nullptr) {
+      // Pinned roster (adaptation rollback / force_roster test hook): skip
+      // the mapper and price the given members as-is.
+      members = *forced_members;
+      support::require(static_cast<int>(members.size()) == instance.size(),
+                       "forced roster size does not match the model");
+      std::vector<int> mapping(members.size());
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        support::require(std::find(participants.begin(), participants.end(),
+                                   members[a]) != participants.end(),
+                         "forced roster names a non-participant process");
+        mapping[a] = world.processor_of(members[a]);
+      }
+      support::require(
+          members[static_cast<std::size_t>(instance.parent_index())] ==
+              parent_world,
+          "forced roster must keep the parent on the model's parent slot");
+      estimated = est::estimate_time(instance, mapping, snapshot,
+                                     config_.estimate);
+      ideal = estimated;
+    } else {
     // Suspect processors stay in the rendezvous (they are alive and must
-    // join the collective) but are not drafted as members — unless that
+    // join the collective) but are not drafted as members — and neither are
+    // processors inside a post-migration draft cooldown — unless that
     // leaves the model infeasible, in which case they are re-admitted (a
     // slow group beats no group). The parent itself is always a candidate.
     std::vector<int> preferred;
@@ -748,7 +834,9 @@ std::optional<Group> Runtime::group_create_impl(
       std::lock_guard<std::mutex> lock(shared_->mutex);
       for (int r : participants) {
         if (r == parent_world ||
-            shared_->suspect_processors.count(world.processor_of(r)) == 0) {
+            (shared_->suspect_processors.count(world.processor_of(r)) == 0 &&
+             !shared_->draft_blocked_locked(world.processor_of(r),
+                                            proc_->clock()))) {
           preferred.push_back(r);
         }
       }
@@ -786,6 +874,8 @@ std::optional<Group> Runtime::group_create_impl(
         ideal = estimated;  // hypothetical infeasible: report no delta
       }
     }
+    note_search(search_stats);
+    }
     {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       group_id = shared_->group_counter++;
@@ -793,7 +883,6 @@ std::optional<Group> Runtime::group_create_impl(
         shared_->busy_count[r] += 1;
       }
     }
-    note_search(search_stats);
     telemetry::metrics().counter("groups_created").add();
     telemetry::metrics().histogram("group_create_seconds")
         .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -815,10 +904,43 @@ std::optional<Group> Runtime::group_create_impl(
   // the flag from the blackboard entry, so the healthy path stays
   // byte-identical to a run without the fault layer.
   if (degraded) coord.bcast_value(ideal, parent_coord);
+  if (out_members != nullptr) *out_members = members;
 
-  // --- selected members form the group (ordered by abstract processor) ------
   const bool selected =
       std::find(members.begin(), members.end(), me) != members.end();
+
+  // --- guarded migration: every participant judges the move locally ---------
+  // The guard rides in the creation record and the estimate was broadcast,
+  // so kept members, released members, and freshly drafted free processes
+  // all reach the same verdict with no extra communication — a drafted
+  // process never needs to know it walked into an adaptation attempt.
+  if (!std::isnan(guard_old_pred) && estimated >= guard_old_pred) {
+    if (out_rolled_back != nullptr) *out_rolled_back = true;
+    if (selected) {
+      // Walk the move back: release the just-formed membership (it was
+      // never returned to the application) and rejoin the restore creation.
+      {
+        std::lock_guard<std::mutex> lock(shared_->mutex);
+        auto it = shared_->busy_count.find(me);
+        support::require(it != shared_->busy_count.end() && it->second > 0,
+                         "guarded-migration rollback without a membership");
+        it->second -= 1;
+        shared_->next_creation[static_cast<std::size_t>(me)] =
+            shared_->creation_seq;
+      }
+      // Order every release before the parent announces the restoration —
+      // the same fence group_migrate enforces with its members barrier.
+      mp::Comm members_comm = mp::Comm::create_subcomm(*proc_, members);
+      members_comm.barrier();
+    }
+    const CreateRole restore_role =
+        me == parent_world ? CreateRole::kParent : CreateRole::kFollower;
+    return group_create_impl(model, params, restore_role,
+                             me == parent_world ? &guard_restore : nullptr,
+                             out_members);
+  }
+
+  // --- selected members form the group (ordered by abstract processor) ------
   if (!selected) return std::nullopt;
 
   live_groups_ += 1;
@@ -832,6 +954,13 @@ std::optional<Group> Runtime::group_create_impl(
   group.shape_ = std::move(shape);
   group.degraded_ = degraded;
   group.degraded_delta_ = degraded ? std::max(0.0, estimated - ideal) : 0.0;
+  {
+    // Baseline for the adaptation loop's drift signal: the speed estimates
+    // the selection was made from. Speeds change only inside the collective
+    // recon, so every member snapshots the same vector here.
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    group.speed_snapshot_ = shared_->network->speeds();
+  }
   return group;
 }
 
@@ -1019,6 +1148,436 @@ std::optional<Group> Runtime::group_respawn(
   const CreateRole role = proc_->rank() == new_parent ? CreateRole::kParent
                                                       : CreateRole::kFollower;
   return group_create_impl(model, params, role);
+}
+
+std::optional<Group> Runtime::group_migrate(
+    Group& group, const pmdl::Model& model,
+    std::span<const pmdl::ParamValue> params, const HandoffHook& on_handoff) {
+  return group_migrate_impl(group, model, params, nullptr, on_handoff);
+}
+
+std::optional<Group> Runtime::group_migrate_impl(
+    Group& group, const pmdl::Model& model,
+    std::span<const pmdl::ParamValue> params,
+    const std::vector<int>* forced_members, const HandoffHook& on_handoff,
+    const MigrationGuard* guard, bool* out_rolled_back) {
+  support::require(group.valid(), "group_migrate on an invalid group");
+  support::require(live_groups_ > 0,
+                   "group_migrate by a process with no group membership");
+  mp::World& world = proc_->world();
+  const std::vector<int> members = group.members();
+  for (int member : members) {
+    support::require(world.alive(member),
+                     "group_migrate with a dead member (use group_respawn)");
+  }
+  const int parent_world =
+      members[static_cast<std::size_t>(group.parent_rank())];
+  const int old_rank = group.rank();
+
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("group_migrate", proc_->rank());
+  telemetry::metrics().counter("group_migrations").add();
+
+  // Voluntary respawn: release this membership, then synchronise over the
+  // old roster so every member has released before the parent announces the
+  // replacement creation (a laggard would look busy and be left out of the
+  // rendezvous — the same ordering group_respawn's survivor barrier
+  // enforces).
+  live_groups_ -= 1;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    const int me = proc_->rank();
+    auto it = shared_->busy_count.find(me);
+    support::require(it != shared_->busy_count.end() && it->second > 0,
+                     "group_migrate by a process with no group membership");
+    it->second -= 1;
+    // A non-parent member holding further memberships (it parents a nested
+    // group) would not be free after the release, so the replacement
+    // rendezvous could not list it — refuse rather than deadlock. The
+    // parent is exempt: it announces the creation instead of being drafted.
+    support::require(it->second == 0 || me == parent_world,
+                     "group_migrate with nested group memberships is not "
+                     "supported");
+    shared_->next_creation[static_cast<std::size_t>(me)] =
+        shared_->creation_seq;
+  }
+  group = Group();
+  mp::Comm members_comm = mp::Comm::create_subcomm(*proc_, members);
+  members_comm.barrier();
+
+  const CreateRole role = proc_->rank() == parent_world ? CreateRole::kParent
+                                                        : CreateRole::kFollower;
+  std::vector<int> new_members;
+  std::optional<Group> moved = group_create_impl(
+      model, params, role, forced_members, &new_members, guard,
+      out_rolled_back);
+  // State handoff: every old member learns the destination roster, whether
+  // or not it was re-selected, so it can ship its partition before the
+  // computation resumes. After a guarded rollback `new_members` holds the
+  // restored roster — the roster state actually ends up on.
+  if (on_handoff) on_handoff(old_rank, new_members);
+  return moved;
+}
+
+adapt::AdaptDecision Runtime::adapt_observe(const Group& group,
+                                            double measured_s) {
+  support::require(group.valid(), "adapt_observe on an invalid group");
+  support::require(measured_s >= 0.0,
+                   "adapt_observe needs a non-negative measurement");
+  if (!adapt_) return {};  // disabled: zero communication, zero state
+  const int parent_world =
+      group.members()[static_cast<std::size_t>(group.parent_rank())];
+  adapt::AdaptDecision decision;
+  if (proc_->rank() == parent_world) {
+    decision = adapt_->note_progress(group.id(), group.estimated_time(),
+                                     measured_s);
+    telemetry::MetricsRegistry& reg = telemetry::metrics();
+    reg.counter("adapt.checks").add();
+    reg.gauge("adapt.divergence").set(decision.severity);
+    if (decision.closed_migration) {
+      reg.histogram("adapt.realized_gain_seconds")
+          .observe(decision.realized_gain_s);
+    }
+    if (decision.migrate) {
+      reg.counter("adapt.triggers").add();
+      note_adapt_event(static_cast<int>(mp::TraceEvent::Kind::kAdaptTrigger),
+                       group.id(), decision.signal, decision.severity, 0.0);
+    }
+  }
+  // The parent decides; members follow. Broadcasting the verdict (rather
+  // than replicating controller state everywhere) keeps re-drafted members
+  // — whose controllers missed rounds while they were free — in lockstep.
+  group.comm().bcast_value(decision, group.parent_rank());
+  return decision;
+}
+
+adapt::AdaptDecision Runtime::adapt_recon(
+    const Group& group, const std::function<void(mp::Proc&)>& bench,
+    const RetryPolicy& policy) {
+  support::require(group.valid(), "adapt_recon on an invalid group");
+  recon_on(group.comm(), bench, policy);
+  if (!adapt_) return {};
+  const int parent_world =
+      group.members()[static_cast<std::size_t>(group.parent_rank())];
+  adapt::AdaptDecision decision;
+  if (proc_->rank() == parent_world) {
+    // Largest relative speed change across the members' machines since the
+    // group was selected (hnoc::NetworkModel::relative_drift).
+    const std::vector<double>& baseline = group.speed_snapshot();
+    double drift = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      for (int member : group.members()) {
+        const int p = proc_->world().processor_of(member);
+        const double base =
+            static_cast<std::size_t>(p) < baseline.size()
+                ? baseline[static_cast<std::size_t>(p)]
+                : 0.0;
+        drift = std::max(drift, shared_->network->relative_drift(p, base));
+      }
+    }
+    decision = adapt_->note_drift(group.id(), drift);
+    telemetry::MetricsRegistry& reg = telemetry::metrics();
+    reg.counter("adapt.checks").add();
+    reg.gauge("adapt.drift").set(drift);
+    if (decision.migrate) {
+      reg.counter("adapt.triggers").add();
+      note_adapt_event(static_cast<int>(mp::TraceEvent::Kind::kAdaptTrigger),
+                       group.id(), decision.signal, decision.severity, 0.0);
+    }
+  }
+  group.comm().bcast_value(decision, group.parent_rank());
+  return decision;
+}
+
+Runtime::AdaptOutcome Runtime::adapt_migrate(
+    Group& group, const pmdl::Model& model,
+    std::span<const pmdl::ParamValue> params,
+    const AdaptMigrateOptions& options) {
+  support::require(group.valid(), "adapt_migrate on an invalid group");
+  support::require(adapt_ != nullptr,
+                   "adapt_migrate requires the adaptation policy "
+                   "(RuntimeConfig::adapt.enabled or HMPI_ADAPT=on)");
+  support::require(options.state_bytes >= 0, "state_bytes must be >= 0");
+  mp::World& world = proc_->world();
+  const std::vector<int> old_members = group.members();
+  const long long old_group_id = group.id();
+  const int parent_world =
+      old_members[static_cast<std::size_t>(group.parent_rank())];
+  const bool is_parent = proc_->rank() == parent_world;
+
+  telemetry::VirtualClockScope vclock(sample_proc_clock, proc_);
+  telemetry::Span span("adapt_migrate", proc_->rank());
+
+  // --- the parent prices the move -----------------------------------------
+  struct Verdict {
+    std::int32_t migrate = 0;
+    double old_pred = 0.0;  ///< Old roster re-priced at today's speeds.
+    double new_pred = 0.0;  ///< Best roster the re-selection found.
+    double cost_s = 0.0;    ///< Respawn overhead + state transfer.
+  };
+  Verdict verdict;
+  std::vector<int> proposed;  // world rank per abstract processor (parent)
+  if (is_parent) {
+    const pmdl::ModelInstance instance = model.instantiate(params);
+    prefetch_plan(instance);
+    hnoc::NetworkModel snapshot = [&] {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      return *shared_->network;
+    }();
+    // The creation-time estimate is stale by hypothesis (that staleness is
+    // the trigger); the gate compares the old roster re-priced against
+    // TODAY's speeds with the best roster a fresh selection can find.
+    std::vector<int> old_mapping(old_members.size());
+    for (std::size_t a = 0; a < old_members.size(); ++a) {
+      old_mapping[a] = world.processor_of(old_members[a]);
+    }
+    verdict.old_pred = est::estimate_time(instance, old_mapping, snapshot,
+                                          config_.estimate);
+    if (options.force_roster != nullptr) {
+      // Test hook: pin the target and skip the gate — the rollback guard
+      // downstream still judges the result.
+      proposed = *options.force_roster;
+      support::require(static_cast<int>(proposed.size()) == instance.size(),
+                       "force_roster size does not match the model");
+      std::vector<int> mapping(proposed.size());
+      for (std::size_t a = 0; a < proposed.size(); ++a) {
+        mapping[a] = world.processor_of(proposed[a]);
+      }
+      verdict.new_pred = est::estimate_time(instance, mapping, snapshot,
+                                            config_.estimate);
+      verdict.migrate = 1;
+    } else {
+      // Candidates: the current members plus every live, unsuspected,
+      // non-cooled free process.
+      std::vector<int> ranks = old_members;
+      {
+        std::lock_guard<std::mutex> lock(shared_->mutex);
+        for (int r = 0; r < proc_->nprocs(); ++r) {
+          if (std::find(old_members.begin(), old_members.end(), r) !=
+              old_members.end()) {
+            continue;
+          }
+          if (shared_->is_free_locked(r) && world.alive(r) &&
+              shared_->suspect_processors.count(world.processor_of(r)) == 0 &&
+              !shared_->draft_blocked_locked(world.processor_of(r),
+                                             proc_->clock())) {
+            ranks.push_back(r);
+          }
+        }
+      }
+      // A suspect member is an evacuation target, not a candidate: drop it
+      // as long as the roster stays feasible (the parent always stays — it
+      // anchors the selection and announced the rendezvous).
+      {
+        std::lock_guard<std::mutex> lock(shared_->mutex);
+        std::vector<int> trusted;
+        for (int r : ranks) {
+          if (r == parent_world ||
+              shared_->suspect_processors.count(world.processor_of(r)) == 0) {
+            trusted.push_back(r);
+          }
+        }
+        if (static_cast<int>(trusted.size()) >= instance.size()) {
+          ranks = std::move(trusted);
+        }
+      }
+      std::sort(ranks.begin(), ranks.end());
+      std::vector<map::Candidate> candidates;
+      candidates.reserve(ranks.size());
+      for (int r : ranks) candidates.push_back({r, world.processor_of(r)});
+      const int pidx = static_cast<int>(
+          std::find(ranks.begin(), ranks.end(), parent_world) - ranks.begin());
+      const map::MappingResult result =
+          config_.mapper->select(instance, candidates, pidx, snapshot,
+                                 config_.estimate, search_context());
+      note_search(result.stats);
+      proposed.resize(static_cast<std::size_t>(instance.size()));
+      for (int a = 0; a < instance.size(); ++a) {
+        proposed[static_cast<std::size_t>(a)] = ranks[static_cast<std::size_t>(
+            result.candidate_for_abstract[static_cast<std::size_t>(a)])];
+      }
+      verdict.new_pred = result.estimated_time;
+      verdict.cost_s =
+          config_.adapt.migration_cost_s +
+          proc_->cluster().default_link().transfer_time(
+              static_cast<double>(options.state_bytes));
+      verdict.migrate =
+          proposed != old_members &&
+          verdict.old_pred - verdict.new_pred >
+              verdict.cost_s + config_.adapt.min_gain_s;
+    }
+  }
+  group.comm().bcast_value(verdict, group.parent_rank());
+
+  AdaptOutcome outcome;
+  outcome.predicted_gain_s = verdict.old_pred - verdict.new_pred;
+  if (verdict.migrate == 0) {
+    // Gate closed: keep the group; the controller logs the suppression and
+    // re-seeds its streaks so the gate is not hammered every round.
+    if (is_parent) {
+      adapt::AdaptRecord record;
+      record.group_id = old_group_id;
+      record.signal = options.trigger.signal;
+      record.severity = options.trigger.severity;
+      record.predicted_old_s = verdict.old_pred;
+      record.predicted_new_s = verdict.new_pred;
+      record.cost_s = verdict.cost_s;
+      record.old_members = old_members;
+      adapt_->note_suppressed(std::move(record));
+      telemetry::metrics().counter("adapt.suppressed").add();
+    }
+    outcome.member = true;
+    return outcome;
+  }
+
+  // --- commit: evacuate offenders' machines, then migrate ------------------
+  if (is_parent && config_.adapt.cooldown_s > 0.0) {
+    // Ping-pong guard: machines this migration walks away from because they
+    // are suspect or measurably slower than at selection time must not be
+    // re-drafted into the replacement roster (or the next respawn) until
+    // the cooldown lapses — even if a recon clears their suspect mark first.
+    const std::vector<double>& baseline = group.speed_snapshot();
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    for (int member : old_members) {
+      if (std::find(proposed.begin(), proposed.end(), member) !=
+          proposed.end()) {
+        continue;
+      }
+      const int p = world.processor_of(member);
+      const double base = static_cast<std::size_t>(p) < baseline.size()
+                              ? baseline[static_cast<std::size_t>(p)]
+                              : 0.0;
+      const bool offender =
+          shared_->suspect_processors.count(p) > 0 ||
+          (base > 0.0 && shared_->network->speed(p) <
+                             base * (1.0 - config_.adapt.threshold));
+      if (offender) {
+        double& until = shared_->draft_cooldown[p];
+        until = std::max(until, proc_->clock() + config_.adapt.cooldown_s);
+      }
+    }
+  }
+
+  // The rollback guard travels with the creation itself (MigrationGuard):
+  // every participant of the guarded creation — kept members, released
+  // members, and drafted free processes — re-judges the move against the
+  // broadcast estimate and walks it back symmetrically when it priced no
+  // better than the roster it left.
+  MigrationGuard guard;
+  const MigrationGuard* guard_ptr = nullptr;
+  if (is_parent) {
+    guard.old_pred = verdict.old_pred;
+    guard.restore = old_members;
+    guard_ptr = &guard;
+  }
+  bool rolled_back = false;
+  std::optional<Group> moved =
+      group_migrate_impl(group, model, params, is_parent ? &proposed : nullptr,
+                         options.on_handoff, guard_ptr, &rolled_back);
+
+  if (rolled_back) {
+    // The move priced no better than the roster it left: the guard restored
+    // the old roster and the controller arms its exponential backoff
+    // instead of thrashing.
+    if (is_parent) {
+      adapt::AdaptRecord record;
+      record.group_id = old_group_id;
+      record.signal = options.trigger.signal;
+      record.severity = options.trigger.severity;
+      record.predicted_old_s = verdict.old_pred;
+      record.predicted_new_s = verdict.new_pred;
+      record.cost_s = verdict.cost_s;
+      record.old_members = old_members;
+      record.new_members = moved ? moved->members() : std::vector<int>();
+      adapt_->note_rollback(std::move(record));
+      telemetry::metrics().counter("adapt.rollbacks").add();
+      note_adapt_event(static_cast<int>(mp::TraceEvent::Kind::kAdaptRollback),
+                       old_group_id, options.trigger.signal,
+                       options.trigger.severity,
+                       verdict.old_pred - verdict.new_pred);
+    }
+    outcome.rolled_back = true;
+    outcome.member = moved.has_value();
+    if (moved.has_value()) group = std::move(*moved);
+    return outcome;
+  }
+
+  outcome.migrated = true;
+  if (!moved.has_value()) {
+    // Released by the re-selection; this process serves group_create again.
+    // The parent owns the ledger.
+    outcome.member = false;
+    return outcome;
+  }
+  if (is_parent) {
+    adapt::AdaptRecord record;
+    record.group_id = old_group_id;
+    record.new_group_id = moved->id();
+    record.signal = options.trigger.signal;
+    record.severity = options.trigger.severity;
+    record.predicted_old_s = verdict.old_pred;
+    record.predicted_new_s = moved->estimated_time();
+    record.cost_s = verdict.cost_s;
+    record.old_members = old_members;
+    record.new_members = moved->members();
+    adapt_->note_migration(std::move(record));
+    telemetry::MetricsRegistry& reg = telemetry::metrics();
+    reg.counter("adapt.migrations").add();
+    reg.histogram("adapt.predicted_gain_seconds")
+        .observe(verdict.old_pred - moved->estimated_time());
+    note_adapt_event(static_cast<int>(mp::TraceEvent::Kind::kAdaptMigrate),
+                     moved->id(), options.trigger.signal,
+                     options.trigger.severity,
+                     verdict.old_pred - moved->estimated_time());
+  }
+  group = std::move(*moved);
+  outcome.member = true;
+  return outcome;
+}
+
+void Runtime::adapt_quiesce() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->quiesced = true;
+  }
+  shared_->cv.notify_all();
+}
+
+bool Runtime::adapt_quiesced() const {
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->quiesced;
+}
+
+const std::vector<adapt::AdaptRecord>& Runtime::adapt_ledger() const {
+  static const std::vector<adapt::AdaptRecord> kEmpty;
+  return adapt_ ? adapt_->ledger() : kEmpty;
+}
+
+void Runtime::adapt_write_ledger_json(std::ostream& os) const {
+  if (adapt_) {
+    adapt_->write_json(os);
+  } else {
+    os << "{\n  \"adaptations\": []\n}\n";
+  }
+}
+
+void Runtime::note_adapt_event(int trace_kind, long long group_id,
+                               adapt::AdaptSignal signal, double severity,
+                               double predicted_gain_s) const {
+  mp::Tracer* tracer = proc_->world().options().tracer;
+  if (tracer == nullptr) return;
+  mp::TraceEvent event;
+  event.kind = static_cast<mp::TraceEvent::Kind>(trace_kind);
+  event.world_rank = proc_->rank();
+  event.processor = proc_->processor();
+  event.adapt.group_id = group_id;
+  event.adapt.signal = static_cast<int>(signal);
+  event.adapt.severity = severity;
+  event.adapt.predicted_gain_s = predicted_gain_s;
+  event.start_time = proc_->clock();
+  event.end_time = proc_->clock();
+  tracer->record(event);
 }
 
 void Runtime::group_observed(const Group& group, double measured_s,

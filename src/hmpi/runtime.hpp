@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "estimator/estimator.hpp"
+#include "hmpi/adapt.hpp"
 #include "hnoc/network_model.hpp"
 #include "mapper/mapper.hpp"
 #include "mpsim/comm.hpp"
@@ -147,6 +148,12 @@ struct RuntimeConfig {
   /// installs a coll::CollTuner as the world's selector; these settings
   /// configure it.
   CollConfig coll;
+  /// Closed-loop adaptation policy (docs/adaptation.md). Disabled by
+  /// default: with adapt.enabled false (or HMPI_ADAPT=off) the runtime's
+  /// selections and traces are bit-identical to a build without the
+  /// subsystem. Env overrides: HMPI_ADAPT, HMPI_ADAPT_THRESHOLD,
+  /// HMPI_ADAPT_COOLDOWN.
+  adapt::AdaptConfig adapt;
 };
 
 class Runtime;
@@ -187,6 +194,12 @@ class Group {
   /// World-unique identifier of this group (keys the prediction ledger).
   long long id() const noexcept { return id_; }
 
+  /// Per-processor speed estimates captured when the group was selected —
+  /// the baseline Runtime::adapt_recon measures drift against.
+  const std::vector<double>& speed_snapshot() const noexcept {
+    return speed_snapshot_;
+  }
+
   /// World ranks of the members, by group rank.
   const std::vector<int>& members() const { return comm_.group(); }
 
@@ -211,6 +224,7 @@ class Group {
   std::vector<long long> shape_;
   bool degraded_ = false;
   double degraded_delta_ = 0.0;
+  std::vector<double> speed_snapshot_;
 };
 
 /// Per-process handle to the HMPI runtime system (see file comment).
@@ -333,6 +347,100 @@ class Runtime {
                                                            params.size()));
   }
 
+  /// Voluntary live migration (HeteroMPI has no analogue; docs/adaptation.md):
+  /// re-selects the group's roster from its current members plus the free
+  /// pool at TODAY's speed estimates and moves the group there. Collective
+  /// over the group's members (all alive — use group_respawn after a death)
+  /// and all free processes. Returns the new group for selected processes,
+  /// std::nullopt for members the re-selection released to the free pool.
+  /// `on_handoff`, when set, is invoked on every OLD member once the new
+  /// roster is known, before group_migrate returns — the state handoff
+  /// hook (arguments: this process's old group rank, the new member world
+  /// ranks); the application moves its data there before resuming.
+  using HandoffHook =
+      std::function<void(int old_rank, const std::vector<int>& new_members)>;
+  std::optional<Group> group_migrate(Group& group, const pmdl::Model& model,
+                                     std::span<const pmdl::ParamValue> params,
+                                     const HandoffHook& on_handoff = nullptr);
+
+  /// True when the closed-loop adaptation policy is active (config +
+  /// HMPI_ADAPT environment override).
+  bool adapt_enabled() const noexcept { return adapt_ != nullptr; }
+
+  /// Feeds one measured round into the adaptation controller and returns
+  /// the (parent-decided, broadcast) verdict. Collective over the group's
+  /// members when adaptation is enabled; a zero-communication no-op
+  /// returning a default decision when disabled — so an adaptation-aware
+  /// application runs bit-identically with HMPI_ADAPT=off.
+  adapt::AdaptDecision adapt_observe(const Group& group, double measured_s);
+
+  /// Re-measures the members' speeds (recon_on over the group) and feeds
+  /// the drift vs the group's creation-time snapshot into the controller.
+  /// Collective over the group's members. With adaptation disabled the
+  /// recon still runs (it is an ordinary recon_on) but no decision is made.
+  adapt::AdaptDecision adapt_recon(const Group& group,
+                                   const std::function<void(mp::Proc&)>& bench,
+                                   const RetryPolicy& policy = RetryPolicy());
+
+  /// Knobs of one adapt_migrate call.
+  struct AdaptMigrateOptions {
+    /// The decision that led here (the return of adapt_observe /
+    /// adapt_recon); its signal and severity annotate the ledger entry and
+    /// trace events. Optional — zeros record as a divergence-less entry.
+    adapt::AdaptDecision trigger;
+    /// Application state a migration must move to the new roster; priced at
+    /// the cluster's default link bandwidth and charged to the gate.
+    long long state_bytes = 0;
+    /// Test hook: bypass the cost/benefit gate and pin the target roster
+    /// (world ranks by abstract processor). The rollback guard still runs —
+    /// this is how the forced-bad-migration tests exercise it.
+    const std::vector<int>* force_roster = nullptr;
+    /// State handoff hook, forwarded to group_migrate.
+    HandoffHook on_handoff;
+  };
+
+  /// How an adapt_migrate call ended, on this process.
+  struct AdaptOutcome {
+    bool migrated = false;        ///< A new roster was adopted (and kept).
+    bool rolled_back = false;     ///< The move was reverted to the old roster.
+    bool member = false;          ///< This process is in the resulting group.
+    double predicted_gain_s = 0.0;  ///< Gate-time predicted improvement.
+  };
+
+  /// The act side of the closed loop: re-prices the group's roster against
+  /// the current network model, and when the predicted gain clears the
+  /// respawn + state-transfer cost, migrates via group_migrate. A migration
+  /// that lands on a WORSE prediction than the old roster is rolled back
+  /// (the old roster is re-created) and the controller's backoff is armed.
+  /// Collective over the group's members and all free processes whenever
+  /// the gate opens; when the gate suppresses the move only the group's
+  /// members communicate. On return `group` holds the surviving group for
+  /// members (outcome.member), or is invalidated for released processes.
+  AdaptOutcome adapt_migrate(Group& group, const pmdl::Model& model,
+                             std::span<const pmdl::ParamValue> params,
+                             const AdaptMigrateOptions& options);
+  AdaptOutcome adapt_migrate(Group& group, const pmdl::Model& model,
+                             std::span<const pmdl::ParamValue> params) {
+    return adapt_migrate(group, model, params, AdaptMigrateOptions());
+  }
+
+  /// Releases every process waiting in the group-creation rendezvous:
+  /// subsequent (and pending) group_create calls by free processes return
+  /// std::nullopt instead of blocking. The serve-loop pattern
+  /// `while (!rt.adapt_quiesced()) { auto g = rt.group_create(...); ... }`
+  /// ends when a non-free process calls adapt_quiesce(). Idempotent.
+  void adapt_quiesce();
+
+  /// True after any process called adapt_quiesce().
+  bool adapt_quiesced() const;
+
+  /// The adaptation decision ledger of THIS process's controller (the
+  /// parent's is the canonical record); empty when adaptation is disabled.
+  const std::vector<adapt::AdaptRecord>& adapt_ledger() const;
+
+  /// `{"adaptations": [...]}` dump of adapt_ledger() for telemetry_check.
+  void adapt_write_ledger_json(std::ostream& os) const;
+
   /// Health of a world rank: dead (injected crash), suspect (recon timeout
   /// on its processor), or alive.
   Health rank_health(int world_rank) const;
@@ -431,9 +539,47 @@ class Runtime {
   /// the respawn announcement instead of starting their own creation).
   enum class CreateRole { kAuto, kParent, kFollower };
 
+  /// Rollback guard of an adaptation migration, announced by the parent as
+  /// part of the creation record. Every participant — members kept, members
+  /// released, and freshly drafted free processes alike — compares the
+  /// broadcast estimate against `old_pred` and, when the move priced no
+  /// better, walks it back by rejoining a follow-up creation pinned to
+  /// `restore` (the pre-migration roster). Keeping the verdict derivable
+  /// from broadcast state is what makes the protocol symmetric: no
+  /// participant needs to know it is inside an adaptation attempt.
+  struct MigrationGuard {
+    double old_pred = 0.0;      ///< Old roster re-priced at trigger time.
+    std::vector<int> restore;   ///< Roster to re-create on rollback.
+  };
+
+  /// `forced_members` (world rank per abstract processor, read at the
+  /// parent only) skips the mapper and prices the pinned roster as-is — the
+  /// adaptation rollback path and the force_roster test hook. `out_members`
+  /// receives the selected roster on every participant (state handoff needs
+  /// it on processes the selection released). `guard` (parent only) arms
+  /// the rollback guard above; `out_rolled_back` reports — on every
+  /// participant of the guarded creation — that the guard fired.
   std::optional<Group> group_create_impl(const pmdl::Model& model,
                                          std::span<const pmdl::ParamValue> params,
-                                         CreateRole role);
+                                         CreateRole role,
+                                         const std::vector<int>* forced_members =
+                                             nullptr,
+                                         std::vector<int>* out_members = nullptr,
+                                         const MigrationGuard* guard = nullptr,
+                                         bool* out_rolled_back = nullptr);
+
+  std::optional<Group> group_migrate_impl(Group& group, const pmdl::Model& model,
+                                          std::span<const pmdl::ParamValue> params,
+                                          const std::vector<int>* forced_members,
+                                          const HandoffHook& on_handoff,
+                                          const MigrationGuard* guard = nullptr,
+                                          bool* out_rolled_back = nullptr);
+
+  /// Emits an adaptation trace instant (kAdaptTrigger / kAdaptMigrate /
+  /// kAdaptRollback) when a tracer is attached.
+  void note_adapt_event(int trace_kind, long long group_id,
+                        adapt::AdaptSignal signal, double severity,
+                        double predicted_gain_s) const;
 
   void recon_impl(const mp::Comm& comm, const std::function<void(mp::Proc&)>& bench,
                   const RetryPolicy& policy);
@@ -468,6 +614,9 @@ class Runtime {
   mutable map::SearchStats last_search_stats_;
   /// Additive counters of every search this process drove (estimator_stats).
   mutable map::SearchStats search_totals_;
+  /// The adaptation decision engine; null when the policy is disabled so
+  /// the off path costs nothing (docs/adaptation.md).
+  std::unique_ptr<adapt::AdaptationController> adapt_;
   /// Number of live groups THIS process belongs to (local view; see
   /// is_free() for why this is not read off the shared blackboard).
   int live_groups_ = 0;

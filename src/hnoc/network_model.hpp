@@ -59,6 +59,29 @@ class NetworkModel {
   /// All estimates, indexed by processor.
   const std::vector<double>& speeds() const noexcept { return speeds_; }
 
+  /// Relative speed drift of processor `p` against a baseline estimate
+  /// (|current - baseline| / baseline; 0 when the baseline is not positive).
+  /// The adaptation loop measures a group's decay against the snapshot
+  /// taken at selection time this way (docs/adaptation.md).
+  double relative_drift(int p, double baseline_speed) const {
+    if (baseline_speed <= 0.0) return 0.0;
+    const double now = speed(p);
+    return (now > baseline_speed ? now - baseline_speed : baseline_speed - now) /
+           baseline_speed;
+  }
+
+  /// Per-processor relative drift against a baseline speed vector (missing
+  /// baseline entries count as no drift).
+  std::vector<double> relative_drift(const std::vector<double>& baseline) const {
+    std::vector<double> out(speeds_.size(), 0.0);
+    for (std::size_t p = 0; p < speeds_.size(); ++p) {
+      out[p] = p < baseline.size()
+                   ? relative_drift(static_cast<int>(p), baseline[p])
+                   : 0.0;
+    }
+    return out;
+  }
+
   /// Link parameters between two processors (static, from topology).
   const LinkParams& link(int from, int to) const {
     return topology_->link(from, to);

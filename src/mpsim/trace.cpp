@@ -22,6 +22,9 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kMapperSearch: return "mapper_search";
     case TraceEvent::Kind::kCollSelect: return "coll_select";
     case TraceEvent::Kind::kEstCompile: return "est_compile";
+    case TraceEvent::Kind::kAdaptTrigger: return "adapt_trigger";
+    case TraceEvent::Kind::kAdaptMigrate: return "adapt_migrate";
+    case TraceEvent::Kind::kAdaptRollback: return "adapt_rollback";
   }
   return "compute";
 }
@@ -37,6 +40,9 @@ bool is_instant(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kMapperSearch:
     case TraceEvent::Kind::kCollSelect:
     case TraceEvent::Kind::kEstCompile:
+    case TraceEvent::Kind::kAdaptTrigger:
+    case TraceEvent::Kind::kAdaptMigrate:
+    case TraceEvent::Kind::kAdaptRollback:
       return true;
     default:
       return false;
@@ -92,6 +98,14 @@ std::vector<telemetry::ChromeEvent> to_chrome_events(
         c.arg("bytes", static_cast<double>(e.bytes));
         c.arg("predicted_s", e.coll.predicted_s);
         break;
+      case TraceEvent::Kind::kAdaptTrigger:
+      case TraceEvent::Kind::kAdaptMigrate:
+      case TraceEvent::Kind::kAdaptRollback:
+        c.arg("group_id", static_cast<double>(e.adapt.group_id));
+        c.arg("signal", static_cast<double>(e.adapt.signal));
+        c.arg("severity", e.adapt.severity);
+        c.arg("predicted_gain_s", e.adapt.predicted_gain_s);
+        break;
       default:
         break;
     }
@@ -111,10 +125,16 @@ std::vector<TraceEvent> Tracer::events() const {
     std::lock_guard<std::mutex> lock(mutex_);
     out = events_;
   }
-  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
-    if (a.start_time != b.start_time) return a.start_time < b.start_time;
-    return a.world_rank < b.world_rank;
-  });
+  // Stable: events tied on (start_time, world_rank) come from one process
+  // thread and keep their program order, so the sorted stream is independent
+  // of the wall-clock interleaving in which threads recorded them.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_time != b.start_time) {
+                       return a.start_time < b.start_time;
+                     }
+                     return a.world_rank < b.world_rank;
+                   });
   return out;
 }
 
@@ -147,6 +167,16 @@ void Tracer::write_csv(std::ostream& os) const {
     if (e.kind == TraceEvent::Kind::kEstCompile) {
       bytes = static_cast<std::size_t>(e.compile.ops);
       units = e.compile.seconds;
+    }
+    // The kAdapt* kinds pack the signal in peer, the group id in bytes and
+    // the predicted gain in units; the honest form is TraceEvent::adapt /
+    // the Chrome-trace args (severity is trace-args-only).
+    if (e.kind == TraceEvent::Kind::kAdaptTrigger ||
+        e.kind == TraceEvent::Kind::kAdaptMigrate ||
+        e.kind == TraceEvent::Kind::kAdaptRollback) {
+      peer = e.adapt.signal;
+      bytes = static_cast<std::size_t>(e.adapt.group_id);
+      units = e.adapt.predicted_gain_s;
     }
     os << kind_name(e.kind) << ',' << e.world_rank << ',' << e.processor
        << ',' << peer << ',' << tag << ',' << e.context << ',' << bytes << ','

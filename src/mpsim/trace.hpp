@@ -38,6 +38,12 @@ struct TraceEvent {
                    ///< communicator's rank 0 only); details in `coll`.
     kEstCompile,   ///< A performance model was compiled to the cost IR
                    ///< (estimator/plan.hpp); details in `compile`.
+    kAdaptTrigger, ///< The adaptation controller asked for a migration
+                   ///< (hmpi/adapt.hpp); details in `adapt`.
+    kAdaptMigrate, ///< A guarded live migration committed; `adapt` carries
+                   ///< the predicted gain.
+    kAdaptRollback,///< A migration priced worse than the old roster and was
+                   ///< rolled back; details in `adapt`.
   };
 
   /// Named payload for kMapperSearch (peer/tag/bytes/units are unused —
@@ -53,6 +59,15 @@ struct TraceEvent {
   struct EstCompile {
     long long ops = 0;      ///< Scheme ops in the compiled plan (op_count()).
     double seconds = 0.0;   ///< Real (not virtual) compile duration.
+  };
+
+  /// Named payload for the kAdapt* kinds (recorded by the group parent
+  /// only; the signal integer is hmpi::adapt::AdaptSignal).
+  struct Adapt {
+    long long group_id = -1;       ///< Group the decision concerned.
+    int signal = 0;                ///< adapt::AdaptSignal that fired.
+    double severity = 0.0;         ///< Smoothed violation level.
+    double predicted_gain_s = 0.0; ///< Gate-time predicted improvement.
   };
 
   /// Named payload for kCollSelect (`bytes` carries the payload size; the
@@ -77,6 +92,7 @@ struct TraceEvent {
   MapperSearch search;     ///< kMapperSearch only.
   EstCompile compile;      ///< kEstCompile only.
   CollSelect coll;         ///< kCollSelect only.
+  Adapt adapt;             ///< kAdaptTrigger/kAdaptMigrate/kAdaptRollback.
 };
 
 /// Stable lower-case name for an event kind ("send", "mapper_search", ...).
@@ -85,7 +101,8 @@ const char* kind_name(TraceEvent::Kind kind);
 /// Converts events to Chrome-trace form on the virtual timeline
 /// (pid = telemetry::kVirtualPid, tid = world_rank, ts = virtual seconds
 /// scaled to microseconds). Instantaneous kinds (crash, drop, suspect,
-/// recover, mapper_search, est_compile) become 'i' events; the rest are 'X'.
+/// recover, mapper_search, est_compile, adapt_*) become 'i' events; the
+/// rest are 'X'.
 std::vector<telemetry::ChromeEvent> to_chrome_events(
     std::span<const TraceEvent> events);
 

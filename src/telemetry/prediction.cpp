@@ -27,6 +27,7 @@ void PredictionLedger::record_predicted(std::string_view model, int group_id,
   s.group_id = group_id;
   s.predicted_s = predicted_s;
   samples_.push_back(std::move(s));
+  ++total_;
 }
 
 void PredictionLedger::record_measured(int group_id, double measured_total_s,
@@ -36,14 +37,56 @@ void PredictionLedger::record_measured(int group_id, double measured_total_s,
     if (it->group_id == group_id && !it->has_measured) {
       it->measured_s = measured_total_s / std::max(runs, 1);
       it->has_measured = true;
+      prune_locked();
       return;
     }
   }
 }
 
+void PredictionLedger::prune_locked() {
+  std::size_t matched = 0;
+  for (const PredictionSample& s : samples_) {
+    if (s.has_measured) ++matched;
+  }
+  if (matched <= capacity_) return;
+  // Fold the oldest matched pairs into the exact per-model aggregates and
+  // drop them; unmatched predictions stay (they await their measurement).
+  std::size_t to_drop = matched - capacity_;
+  std::vector<PredictionSample> kept;
+  kept.reserve(samples_.size() - to_drop);
+  for (PredictionSample& s : samples_) {
+    if (s.has_measured && to_drop > 0) {
+      Pruned& p = pruned_[s.model];
+      const double err = relative_error(s);
+      p.samples += 1;
+      p.sum_rel_error += err;
+      p.max_rel_error = std::max(p.max_rel_error, err);
+      --to_drop;
+    } else {
+      kept.push_back(std::move(s));
+    }
+  }
+  samples_ = std::move(kept);
+}
+
+void PredictionLedger::set_capacity(std::size_t max_matched_samples) {
+  std::lock_guard lock(mutex_);
+  capacity_ = std::max<std::size_t>(max_matched_samples, 1);
+  prune_locked();
+}
+
 std::vector<PredictionLedger::ModelError> PredictionLedger::summary() const {
   std::lock_guard lock(mutex_);
   std::map<std::string, ModelError> by_model;
+  // Pruned pairs first: their exact aggregates keep the summary identical
+  // to an unbounded ledger's.
+  for (const auto& [model, p] : pruned_) {
+    ModelError& e = by_model[model];
+    e.model = model;
+    e.mean_rel_error += p.sum_rel_error;  // Sum for now; divided below.
+    e.max_rel_error = std::max(e.max_rel_error, p.max_rel_error);
+    e.samples += static_cast<int>(p.samples);
+  }
   for (const PredictionSample& s : samples_) {
     if (!s.has_measured) continue;
     ModelError& e = by_model[s.model];
@@ -65,7 +108,12 @@ std::vector<PredictionLedger::ModelError> PredictionLedger::summary() const {
 double PredictionLedger::mean_relative_error(std::string_view model) const {
   std::lock_guard lock(mutex_);
   double sum = 0.0;
-  int n = 0;
+  long long n = 0;
+  for (const auto& [name, p] : pruned_) {
+    if (!model.empty() && name != model) continue;
+    sum += p.sum_rel_error;
+    n += p.samples;
+  }
   for (const PredictionSample& s : samples_) {
     if (!s.has_measured) continue;
     if (!model.empty() && s.model != model) continue;
@@ -73,7 +121,7 @@ double PredictionLedger::mean_relative_error(std::string_view model) const {
     ++n;
   }
   if (n == 0) return std::numeric_limits<double>::quiet_NaN();
-  return sum / n;
+  return sum / static_cast<double>(n);
 }
 
 std::vector<PredictionSample> PredictionLedger::samples() const {
@@ -113,9 +161,16 @@ std::size_t PredictionLedger::size() const {
   return samples_.size();
 }
 
+std::size_t PredictionLedger::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
 void PredictionLedger::clear() {
   std::lock_guard lock(mutex_);
   samples_.clear();
+  pruned_.clear();
+  total_ = 0;
 }
 
 PredictionLedger& predictions() {

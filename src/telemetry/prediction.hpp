@@ -6,9 +6,19 @@
 // execution time (reported by the application after it runs), then
 // summarises mean/max relative error per performance model. Exposed to C as
 // HMPI_Prediction_error and asserted < 25% in the regression tests.
+// Long-running adaptive jobs re-map repeatedly, so the ledger bounds its
+// memory: once the number of MATCHED predicted/measured pairs exceeds a
+// configurable capacity, the oldest matched pairs are folded into exact
+// per-model aggregates (count / error sum / error max) and dropped. The
+// summary(), mean_relative_error() and write_json() model statistics stay
+// exact over everything ever recorded; only the per-sample listing is
+// truncated to the retained window. Unmatched predictions are never pruned
+// (they still await their measurement).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -54,12 +64,37 @@ class PredictionLedger {
   /// `{"samples": [...], "models": [...]}`.
   void write_json(std::ostream& os) const;
 
+  /// Retained samples (matched window + unmatched predictions).
   std::size_t size() const;
+
+  /// Everything ever recorded, pruned pairs included.
+  std::size_t total_recorded() const;
+
+  /// Caps the retained matched pairs at `max_matched_samples` (>= 1),
+  /// folding the overflow — oldest first — into exact per-model aggregates.
+  /// Applies immediately and to all later recording.
+  void set_capacity(std::size_t max_matched_samples);
+
+  /// The default matched-pair capacity of a fresh ledger.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
   void clear();
 
  private:
+  /// Exact statistics of pruned (matched) samples, per model.
+  struct Pruned {
+    long long samples = 0;
+    double sum_rel_error = 0.0;
+    double max_rel_error = 0.0;
+  };
+
+  void prune_locked();
+
   mutable std::mutex mutex_;
   std::vector<PredictionSample> samples_;
+  std::map<std::string, Pruned> pruned_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t total_ = 0;
 };
 
 /// The process-wide ledger the runtime records into.

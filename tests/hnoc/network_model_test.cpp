@@ -54,5 +54,32 @@ TEST(NetworkModel, SpeedsVectorMatchesAccessors) {
   for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(v[static_cast<std::size_t>(i)], m.speed(i));
 }
 
+TEST(NetworkModel, RelativeDriftAgainstBaseline) {
+  Cluster c = testbeds::homogeneous(3, 100.0);
+  NetworkModel m(c);
+  EXPECT_DOUBLE_EQ(m.relative_drift(0, 100.0), 0.0);
+  m.set_speed(0, 50.0);   // halved
+  m.set_speed(1, 150.0);  // 1.5x
+  EXPECT_DOUBLE_EQ(m.relative_drift(0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.relative_drift(1, 100.0), 0.5);  // symmetric
+  EXPECT_DOUBLE_EQ(m.relative_drift(2, 100.0), 0.0);
+  // Non-positive baselines read as "no drift" rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(m.relative_drift(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.relative_drift(0, -5.0), 0.0);
+}
+
+TEST(NetworkModel, RelativeDriftVectorHandlesShortBaselines) {
+  Cluster c = testbeds::homogeneous(3, 100.0);
+  NetworkModel m(c);
+  m.set_speed(2, 25.0);
+  const std::vector<double> drift = m.relative_drift({100.0, 100.0});
+  ASSERT_EQ(drift.size(), 3u);
+  EXPECT_DOUBLE_EQ(drift[0], 0.0);
+  EXPECT_DOUBLE_EQ(drift[1], 0.0);
+  EXPECT_DOUBLE_EQ(drift[2], 0.0);  // missing baseline entry: no drift
+  const std::vector<double> full = m.relative_drift({100.0, 100.0, 100.0});
+  EXPECT_DOUBLE_EQ(full[2], 0.75);
+}
+
 }  // namespace
 }  // namespace hmpi::hnoc

@@ -103,6 +103,85 @@ TEST(Prediction, WriteJsonParses) {
   EXPECT_DOUBLE_EQ(models->array[0].find("samples")->number, 1.0);
 }
 
+TEST(Prediction, CapacityPrunesOldestMatchedPairsIntoExactAggregates) {
+  PredictionLedger ledger;
+  ledger.set_capacity(2);
+  // Three matched pairs with relative errors 0.5, 0.25, and 0.0.
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.record_measured(1, 2.0);  // |1-2|/2 = 0.5
+  ledger.record_predicted("Em3d", 2, 3.0);
+  ledger.record_measured(2, 4.0);  // |3-4|/4 = 0.25
+  ledger.record_predicted("Em3d", 3, 5.0);
+  ledger.record_measured(3, 5.0);  // 0.0
+
+  // The oldest pair was folded away; the statistics remain exact over all 3.
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.total_recorded(), 3u);
+  EXPECT_EQ(ledger.samples().size(), 2u);
+  EXPECT_EQ(ledger.samples()[0].group_id, 2);
+  const auto summary = ledger.summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].samples, 3);
+  EXPECT_NEAR(summary[0].mean_rel_error, 0.75 / 3.0, 1e-12);
+  EXPECT_NEAR(summary[0].max_rel_error, 0.5, 1e-12);
+  EXPECT_NEAR(ledger.mean_relative_error("Em3d"), 0.25, 1e-12);
+}
+
+TEST(Prediction, UnmatchedPredictionsAreNeverPruned) {
+  PredictionLedger ledger;
+  ledger.set_capacity(1);
+  // Two outstanding predictions, then enough matched pairs to overflow.
+  ledger.record_predicted("Open", 100, 1.0);
+  ledger.record_predicted("Open", 101, 1.0);
+  for (int id = 1; id <= 4; ++id) {
+    ledger.record_predicted("Churn", id, 1.0);
+    ledger.record_measured(id, 1.0);
+  }
+  // Retained: 1 matched pair + the 2 unmatched predictions.
+  EXPECT_EQ(ledger.size(), 3u);
+  int unmatched = 0;
+  for (const auto& s : ledger.samples()) {
+    if (!s.has_measured) unmatched += 1;
+  }
+  EXPECT_EQ(unmatched, 2);
+  // A late measurement still finds its prediction and can be pruned next.
+  ledger.record_measured(100, 2.0);
+  EXPECT_NEAR(ledger.mean_relative_error("Open"), 0.5, 1e-12);
+}
+
+TEST(Prediction, ShrinkingCapacityPrunesImmediately) {
+  PredictionLedger ledger;
+  for (int id = 1; id <= 10; ++id) {
+    ledger.record_predicted("Em3d", id, 1.0);
+    ledger.record_measured(id, 2.0);
+  }
+  EXPECT_EQ(ledger.size(), 10u);
+  ledger.set_capacity(3);
+  EXPECT_EQ(ledger.size(), 3u);
+  EXPECT_EQ(ledger.total_recorded(), 10u);
+  EXPECT_EQ(ledger.summary()[0].samples, 10);
+  EXPECT_NEAR(ledger.mean_relative_error(), 0.5, 1e-12);
+}
+
+TEST(Prediction, PrunedStatisticsSurviveInWriteJson) {
+  PredictionLedger ledger;
+  ledger.set_capacity(1);
+  ledger.record_predicted("Em3d", 1, 1.0);
+  ledger.record_measured(1, 2.0);
+  ledger.record_predicted("Em3d", 2, 1.0);
+  ledger.record_measured(2, 1.0);
+  std::ostringstream os;
+  ledger.write_json(os);
+  std::string error;
+  const auto doc = parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("samples")->array.size(), 1u);  // retained window only
+  const JsonValue* models = doc->find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(models->array[0].find("samples")->number, 2.0);  // exact
+}
+
 TEST(Prediction, ClearEmpties) {
   PredictionLedger ledger;
   ledger.record_predicted("Em3d", 1, 1.0);

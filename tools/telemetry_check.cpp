@@ -15,9 +15,16 @@
 //     `est.compile.count|hits|misses|evaluations` or
 //     `est.delta.evaluations|ops_replayed|ops_total`, gauge
 //     `est.delta.savings`, histogram `est.compile.seconds`
-//     (docs/estimator.md).
+//     (docs/estimator.md). Metrics in the reserved `adapt.` namespace must
+//     follow the adaptation grammar: counters
+//     `adapt.checks|triggers|migrations|rollbacks|suppressed`, gauges
+//     `adapt.divergence|drift`, histograms
+//     `adapt.predicted_gain_seconds|realized_gain_seconds`
+//     (docs/adaptation.md).
 //   * Bench exports ({"benchmark": ..., "tables": [...]}): every table needs
 //     title/columns/rows with rows matching the column count.
+//   * Adaptation ledgers ({"adaptations": [...]}): every entry needs group
+//     ids, a known signal/outcome, gate pricing, and member rosters.
 // Exit status 0 when every file passes, 1 otherwise.
 #include <cstdio>
 #include <fstream>
@@ -105,6 +112,23 @@ bool valid_coll_metric(const std::string& name, bool histogram) {
 // The estimator-subsystem grammar for the reserved "est." namespace
 // (docs/estimator.md), by metric kind.
 enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// The adaptation-subsystem grammar for the reserved "adapt." namespace
+// (docs/adaptation.md), by metric kind.
+bool valid_adapt_metric(const std::string& name, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return name == "adapt.checks" || name == "adapt.triggers" ||
+             name == "adapt.migrations" || name == "adapt.rollbacks" ||
+             name == "adapt.suppressed";
+    case MetricKind::kGauge:
+      return name == "adapt.divergence" || name == "adapt.drift";
+    case MetricKind::kHistogram:
+      return name == "adapt.predicted_gain_seconds" ||
+             name == "adapt.realized_gain_seconds";
+  }
+  return false;
+}
 bool valid_est_metric(const std::string& name, MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -146,6 +170,13 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                        "est.compile.count|hits|misses|evaluations or "
                        "est.delta.evaluations|ops_replayed|ops_total)");
       }
+      if (name.rfind("adapt.", 0) == 0 &&
+          !valid_adapt_metric(name, MetricKind::kCounter)) {
+        fail(file, "counter '" + name +
+                       "' violates the adapt.* grammar (expected "
+                       "adapt.checks|triggers|migrations|rollbacks|"
+                       "suppressed)");
+      }
     }
   }
   const JsonValue* gauges = doc.find("gauges");
@@ -157,6 +188,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         fail(file, "gauge '" + name +
                        "' violates the est.* grammar (expected "
                        "est.delta.savings)");
+      }
+      if (name.rfind("adapt.", 0) == 0 &&
+          !valid_adapt_metric(name, MetricKind::kGauge)) {
+        fail(file, "gauge '" + name +
+                       "' violates the adapt.* grammar (expected "
+                       "adapt.divergence|drift)");
       }
     }
   }
@@ -180,6 +217,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                      "' violates the est.* grammar (expected "
                      "est.compile.seconds)");
     }
+    if (name.rfind("adapt.", 0) == 0 &&
+        !valid_adapt_metric(name, MetricKind::kHistogram)) {
+      fail(file, "histogram '" + name +
+                     "' violates the adapt.* grammar (expected "
+                     "adapt.predicted_gain_seconds|realized_gain_seconds)");
+    }
   }
 }
 
@@ -202,6 +245,54 @@ void check_bench(const std::string& file, const JsonValue& doc) {
       if (!row.is_array() || row.array.size() != columns->array.size()) {
         fail(file, "table '" + title->string + "' row width != column count");
         break;
+      }
+    }
+  }
+}
+
+// Adaptation-decision ledgers ({"adaptations": [...]}; docs/adaptation.md):
+// every entry needs group ids, a signal/outcome from the closed vocabulary,
+// the gate's pricing fields, and the member rosters.
+void check_adapt_ledger(const std::string& file, const JsonValue& doc) {
+  const JsonValue* entries = doc.find("adaptations");
+  if (entries == nullptr || !entries->is_array()) {
+    fail(file, "adaptations is not an array");
+    return;
+  }
+  for (std::size_t i = 0; i < entries->array.size(); ++i) {
+    const JsonValue& e = entries->array[i];
+    const std::string at = "adaptations[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      fail(file, at + " is not an object");
+      continue;
+    }
+    for (const char* field : {"group_id", "time_s", "severity",
+                              "predicted_old_s", "predicted_new_s", "cost_s"}) {
+      const JsonValue* v = e.find(field);
+      if (v == nullptr || !v->is_number()) {
+        fail(file, at + " missing numeric " + field);
+      }
+    }
+    const JsonValue* signal = e.find("signal");
+    if (signal == nullptr || !signal->is_string() ||
+        (signal->string != "none" && signal->string != "divergence" &&
+         signal->string != "speed_drift")) {
+      fail(file, at + " signal outside none|divergence|speed_drift");
+    }
+    const JsonValue* outcome = e.find("outcome");
+    if (outcome == nullptr || !outcome->is_string() ||
+        (outcome->string != "migrated" && outcome->string != "rolled_back" &&
+         outcome->string != "suppressed")) {
+      fail(file, at + " outcome outside migrated|rolled_back|suppressed");
+    }
+    // realized_gain_s may be null (migration never measured) but must exist.
+    if (e.find("realized_gain_s") == nullptr) {
+      fail(file, at + " missing realized_gain_s");
+    }
+    for (const char* field : {"old_members", "new_members"}) {
+      const JsonValue* v = e.find(field);
+      if (v == nullptr || !v->is_array()) {
+        fail(file, at + " missing " + field + " array");
       }
     }
   }
@@ -234,6 +325,8 @@ void check_file(const std::string& file) {
     check_bench(file, *doc);
   } else if (doc->find("samples") != nullptr && doc->find("models") != nullptr) {
     // Prediction-ledger dump: well-formed JSON with both sections suffices.
+  } else if (doc->find("adaptations") != nullptr) {
+    check_adapt_ledger(file, *doc);
   } else {
     fail(file, "unrecognised telemetry document shape");
     return;
