@@ -67,8 +67,13 @@ double collective_cost(CollOp op, int algo, std::span<const int> member_procs,
     count = bytes / static_cast<std::size_t>(n);
   }
   if (op == CollOp::kBarrier) count = 0;
+  // Generate with LAN-collapsed placement (so the two-level bcast elects
+  // leaders per LAN, matching the executor) but price every step over the
+  // real processor pair — the schedule's links, not the group ids.
+  const std::vector<int> groups =
+      two_level_groups(network.topology(), member_procs);
   const std::vector<Step> steps =
-      schedule_for(op, algo, n, root, count, member_procs);
+      schedule_for(op, algo, n, root, count, groups);
   return schedule_cost(steps, member_procs, 1, network, opts);
 }
 

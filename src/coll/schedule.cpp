@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "hnoc/cluster.hpp"
 #include "support/error.hpp"
 
 namespace hmpi::coll {
@@ -547,6 +548,14 @@ std::vector<Step> schedule_for(CollOp op, int algo, int n, int root,
       return barrier_schedule(static_cast<BarrierAlgo>(algo), n);
   }
   return {};
+}
+
+std::vector<int> two_level_groups(const hnoc::Cluster& cluster,
+                                  std::span<const int> member_procs) {
+  std::vector<int> groups(member_procs.begin(), member_procs.end());
+  if (!cluster.two_level()) return groups;
+  for (int& g : groups) g = cluster.lan_of(g);
+  return groups;
 }
 
 }  // namespace hmpi::coll

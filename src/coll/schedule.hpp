@@ -20,6 +20,10 @@
 
 #include "coll/policy.hpp"
 
+namespace hmpi::hnoc {
+class Cluster;
+}
+
 namespace hmpi::coll {
 
 /// One message of a collective schedule.
@@ -83,5 +87,14 @@ std::vector<Step> schedule_for(CollOp op, int algo, int n, int root,
                                std::size_t count,
                                std::span<const int> member_procs = {},
                                std::size_t segment_elems = kChainSegmentBytes);
+
+/// Grouping key per member for hierarchy-aware schedules (the kTwoLevel
+/// bcast): each member's LAN id when the cluster carries a two-level
+/// topology, else its machine id unchanged. On flat clusters the result is
+/// byte-identical to `member_procs`, so schedules are unaffected; on
+/// two-level clusters one leader is elected per LAN instead of per machine,
+/// crossing the slow inter-LAN link once per LAN.
+std::vector<int> two_level_groups(const hnoc::Cluster& cluster,
+                                  std::span<const int> member_procs);
 
 }  // namespace hmpi::coll

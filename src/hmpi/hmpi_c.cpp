@@ -1,37 +1,50 @@
 #include "hmpi/hmpi_c.hpp"
 
 #include "support/error.hpp"
+#include "support/process_local.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prediction.hpp"
 
 namespace hmpi::capi {
 namespace {
 
-thread_local std::unique_ptr<Runtime> tls_runtime;
+// The per-simulated-process Runtime. Process-local (not thread_local): under
+// the event engine many process fibers share one host thread, and each must
+// see its own Runtime.
+constexpr char kRuntimeKey = 0;
+
+std::shared_ptr<void>& runtime_slot() {
+  return support::process_local_slot(&kRuntimeKey);
+}
 
 }  // namespace
 
-Runtime* current() { return tls_runtime.get(); }
+Runtime* current() { return static_cast<Runtime*>(runtime_slot().get()); }
 
 namespace detail {
 
 Runtime& require_runtime() {
-  if (!tls_runtime) {
+  Runtime* runtime = current();
+  if (runtime == nullptr) {
     throw RuntimeError("HMPI routine called before HMPI_Init");
   }
-  return *tls_runtime;
+  return *runtime;
 }
 
 void init(mp::Proc& proc, RuntimeConfig config) {
-  if (tls_runtime) {
+  if (runtime_slot() != nullptr) {
     throw RuntimeError("HMPI_Init called twice on the same process");
   }
-  tls_runtime = std::make_unique<Runtime>(proc, std::move(config));
+  // Construct before storing: the Runtime constructor opens spans and may
+  // touch other process-local slots, which can rehash the table and
+  // invalidate a slot reference held across it.
+  auto runtime = std::make_shared<Runtime>(proc, std::move(config));
+  runtime_slot() = std::move(runtime);
 }
 
 void finalize(int exitcode) {
   require_runtime().finalize(exitcode);
-  tls_runtime.reset();
+  runtime_slot().reset();
 }
 
 }  // namespace detail

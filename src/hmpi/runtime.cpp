@@ -4,7 +4,6 @@
 #include <cctype>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdlib>
 #include <fstream>
 #include <iterator>
@@ -16,6 +15,7 @@
 #include "coll/tuner.hpp"
 #include "estimator/estimate_cache.hpp"
 #include "estimator/plan.hpp"
+#include "mpsim/engine.hpp"
 #include "mpsim/trace.hpp"
 #include "support/error.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -82,7 +82,9 @@ EstimatorMode estimator_mode_with_env(EstimatorMode mode) {
 /// the rendezvous queue for group creations.
 struct Runtime::Shared {
   std::mutex mutex;
-  std::condition_variable cv;
+  /// Rendezvous wakeups; engine-agnostic (condition variable under the
+  /// thread engine, fiber parking under the event engine).
+  mp::sim::WaitChannel cv;
 
   std::unique_ptr<hnoc::NetworkModel> network;
 
@@ -202,6 +204,7 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
   }
   auto shared = proc.world().get_or_create_shared([&]() -> std::shared_ptr<void> {
     auto s = std::make_shared<Shared>();
+    s->cv.debug_name = "rendezvous";
     s->network = std::make_unique<hnoc::NetworkModel>(proc.cluster());
     s->next_creation.assign(static_cast<std::size_t>(proc.nprocs()), 0);
     // The collective tuner: one per world, installed before the init
@@ -749,7 +752,10 @@ std::optional<Group> Runtime::group_create_impl(
               mp::kAnySource, std::numeric_limits<double>::infinity());
         }
       }
-      if (shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+      const double remaining =
+          std::chrono::duration<double>(deadline - std::chrono::steady_clock::now())
+              .count();
+      if (!shared_->cv.wait(lock, std::max(remaining, 0.0)) &&
           shared_->creations.find(id) == shared_->creations.end()) {
         throw DeadlockError(
             "free process waited for a group creation that was never "

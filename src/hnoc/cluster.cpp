@@ -8,11 +8,13 @@ namespace hmpi::hnoc {
 
 Cluster::Cluster(std::vector<Processor> processors, LinkParams default_link,
                  LinkParams self_link,
-                 std::map<std::pair<int, int>, LinkParams> overrides)
+                 std::map<std::pair<int, int>, LinkParams> overrides,
+                 std::optional<TwoLevelTopology> two_level)
     : processors_(std::move(processors)),
       default_link_(default_link),
       self_link_(self_link),
-      overrides_(std::move(overrides)) {
+      overrides_(std::move(overrides)),
+      two_level_(std::move(two_level)) {
   support::require(!processors_.empty(), "Cluster needs at least one processor");
   for (const Processor& p : processors_) {
     support::require(p.speed > 0.0 && std::isfinite(p.speed),
@@ -30,6 +32,16 @@ Cluster::Cluster(std::vector<Processor> processors, LinkParams default_link,
                      "link override references unknown processor");
     check_link(l, "link override");
   }
+  if (two_level_.has_value()) {
+    support::require(
+        two_level_->lan_of.size() == processors_.size(),
+        "two-level topology needs exactly one LAN id per processor");
+    for (int id : two_level_->lan_of) {
+      support::require(id >= 0, "LAN ids must be non-negative");
+    }
+    check_link(two_level_->intra, "intra-LAN link");
+    check_link(two_level_->inter, "inter-LAN link");
+  }
 }
 
 const Processor& Cluster::processor(int p) const {
@@ -42,7 +54,31 @@ const LinkParams& Cluster::link(int from, int to) const {
                    "link endpoint out of range");
   auto it = overrides_.find({from, to});
   if (it != overrides_.end()) return it->second;
-  return from == to ? self_link_ : default_link_;
+  if (from == to) return self_link_;
+  if (two_level_.has_value()) {
+    const auto& lan = two_level_->lan_of;
+    return lan[static_cast<std::size_t>(from)] ==
+                   lan[static_cast<std::size_t>(to)]
+               ? two_level_->intra
+               : two_level_->inter;
+  }
+  return default_link_;
+}
+
+int Cluster::lan_of(int p) const {
+  support::require(p >= 0 && p < size(), "processor index out of range");
+  support::require(two_level_.has_value(), "lan_of on a flat cluster");
+  return two_level_->lan_of[static_cast<std::size_t>(p)];
+}
+
+const LinkParams& Cluster::intra_link() const {
+  support::require(two_level_.has_value(), "intra_link on a flat cluster");
+  return two_level_->intra;
+}
+
+const LinkParams& Cluster::inter_link() const {
+  support::require(two_level_.has_value(), "inter_link on a flat cluster");
+  return two_level_->inter;
 }
 
 double Cluster::compute_finish(int p, double start, double units) const {
@@ -99,8 +135,19 @@ ClusterBuilder& ClusterBuilder::symmetric_link_override(int a, int b,
   return *this;
 }
 
+ClusterBuilder& ClusterBuilder::two_level(std::vector<int> lan_of,
+                                          double intra_latency_s,
+                                          double intra_bandwidth_bps,
+                                          double inter_latency_s,
+                                          double inter_bandwidth_bps) {
+  two_level_ = TwoLevelTopology{std::move(lan_of),
+                                {intra_latency_s, intra_bandwidth_bps},
+                                {inter_latency_s, inter_bandwidth_bps}};
+  return *this;
+}
+
 Cluster ClusterBuilder::build() const {
-  return Cluster(processors_, default_link_, self_link_, overrides_);
+  return Cluster(processors_, default_link_, self_link_, overrides_, two_level_);
 }
 
 namespace testbeds {
@@ -130,6 +177,25 @@ Cluster homogeneous(int n, double speed) {
   support::require(n > 0, "homogeneous cluster needs n > 0");
   std::vector<double> speeds(static_cast<std::size_t>(n), speed);
   return from_speeds(speeds);
+}
+
+Cluster two_level(int lans, int per_lan, double speed) {
+  support::require(lans > 0 && per_lan > 0,
+                   "two_level cluster needs lans > 0 and per_lan > 0");
+  ClusterBuilder b;
+  std::vector<int> lan_of;
+  lan_of.reserve(static_cast<std::size_t>(lans) *
+                 static_cast<std::size_t>(per_lan));
+  for (int lan = 0; lan < lans; ++lan) {
+    for (int m = 0; m < per_lan; ++m) {
+      b.add("l" + std::to_string(lan) + "m" + std::to_string(m), speed);
+      lan_of.push_back(lan);
+    }
+  }
+  b.shared_memory(5e-6, 1e9);
+  // Gigabit inside a LAN; a slow, high-latency WAN between LANs.
+  b.two_level(std::move(lan_of), 50e-6, 125e6, 5e-3, 1.25e6);
+  return b.build();
 }
 
 }  // namespace testbeds

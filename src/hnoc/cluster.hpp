@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,12 +49,24 @@ struct Processor {
   Availability availability;
 };
 
+/// Two-level LAN/WAN topology (cf. MPICH-G2's multilevel clustering): every
+/// processor belongs to one LAN; same-LAN pairs communicate over the `intra`
+/// link, cross-LAN pairs over the `inter` link. Per-pair overrides and the
+/// intra-machine self link still take precedence. Described by two link
+/// classes instead of a P x P table, so a 10k-processor WAN costs O(P).
+struct TwoLevelTopology {
+  std::vector<int> lan_of;  ///< LAN id per processor (any non-negative ids).
+  LinkParams intra;         ///< Same-LAN link (fast, low latency).
+  LinkParams inter;         ///< Cross-LAN link (WAN: slow, high latency).
+};
+
 /// Immutable description of a heterogeneous network of computers.
 class Cluster {
  public:
   Cluster(std::vector<Processor> processors, LinkParams default_link,
           LinkParams self_link,
-          std::map<std::pair<int, int>, LinkParams> overrides = {});
+          std::map<std::pair<int, int>, LinkParams> overrides = {},
+          std::optional<TwoLevelTopology> two_level = {});
 
   int size() const noexcept { return static_cast<int>(processors_.size()); }
   const Processor& processor(int p) const;
@@ -74,11 +87,24 @@ class Cluster {
   /// Sum of base speeds (useful for theoretical-bound calculations).
   double total_base_speed() const noexcept;
 
+  /// True when the cluster carries a two-level LAN/WAN topology.
+  bool two_level() const noexcept { return two_level_.has_value(); }
+
+  /// LAN id of processor `p` (requires two_level()).
+  int lan_of(int p) const;
+
+  /// Same-LAN / cross-LAN links (require two_level()).
+  const LinkParams& intra_link() const;
+  const LinkParams& inter_link() const;
+
   /// Raw link configuration (used by cluster_io and diagnostics).
   const LinkParams& default_link() const noexcept { return default_link_; }
   const LinkParams& self_link() const noexcept { return self_link_; }
   const std::map<std::pair<int, int>, LinkParams>& link_overrides() const noexcept {
     return overrides_;
+  }
+  const std::optional<TwoLevelTopology>& two_level_topology() const noexcept {
+    return two_level_;
   }
 
  private:
@@ -86,6 +112,7 @@ class Cluster {
   LinkParams default_link_;
   LinkParams self_link_;
   std::map<std::pair<int, int>, LinkParams> overrides_;
+  std::optional<TwoLevelTopology> two_level_;
 };
 
 /// Fluent builder for Cluster.
@@ -111,6 +138,13 @@ class ClusterBuilder {
   ClusterBuilder& symmetric_link_override(int a, int b, double latency_s,
                                           double bandwidth_bps);
 
+  /// Declares a two-level LAN/WAN topology: `lan_of[p]` is the LAN id of
+  /// processor p (sized to the processors added by build() time), intra is
+  /// the same-LAN link and inter the cross-LAN link.
+  ClusterBuilder& two_level(std::vector<int> lan_of, double intra_latency_s,
+                            double intra_bandwidth_bps, double inter_latency_s,
+                            double inter_bandwidth_bps);
+
   Cluster build() const;
 
  private:
@@ -118,6 +152,7 @@ class ClusterBuilder {
   LinkParams default_link_{150e-6, 12.5e6};  // 100 Mbit switched Ethernet
   LinkParams self_link_{5e-6, 1e9};          // shared memory
   std::map<std::pair<int, int>, LinkParams> overrides_;
+  std::optional<TwoLevelTopology> two_level_;
 };
 
 namespace testbeds {
@@ -134,6 +169,10 @@ Cluster paper_mm_network();
 
 /// Homogeneous n-machine cluster (control case: HMPI should match MPI).
 Cluster homogeneous(int n, double speed = 50.0);
+
+/// `lans` LANs of `per_lan` machines each, gigabit inside a LAN and a slow
+/// high-latency WAN between LANs (the MPICH-G2 style hierarchical testbed).
+Cluster two_level(int lans, int per_lan, double speed = 50.0);
 
 }  // namespace testbeds
 }  // namespace hmpi::hnoc

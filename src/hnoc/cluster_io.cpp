@@ -52,6 +52,14 @@ Cluster parse_cluster(std::string_view text) {
     int line;
   };
   std::vector<PendingLink> pending_links;
+  struct PendingLan {
+    std::string name;
+    int id;
+    int line;
+  };
+  std::vector<PendingLan> pending_lans;
+  LinkParams intra_lan{50e-6, 125e6};
+  LinkParams inter_lan{5e-3, 1.25e6};
   int next_index = 0;
 
   std::istringstream stream{std::string(text)};
@@ -107,6 +115,18 @@ Cluster parse_cluster(std::string_view text) {
       pending_links.push_back({tokens[1], tokens[2],
                                parse_link_params(tokens, 3, line_no),
                                directive == "symmetric_link", line_no});
+    } else if (directive == "intra_lan" || directive == "inter_lan") {
+      const LinkParams params = parse_link_params(tokens, 1, line_no);
+      (directive == "intra_lan" ? intra_lan : inter_lan) = params;
+    } else if (directive == "lan") {
+      if (tokens.size() != 3) {
+        fail(line_no, "expected 'lan <processor> <id>'");
+      }
+      const double id = parse_number(tokens[2], line_no, "LAN id");
+      if (id < 0 || id != static_cast<double>(static_cast<int>(id))) {
+        fail(line_no, "LAN id must be a non-negative integer");
+      }
+      pending_lans.push_back({tokens[1], static_cast<int>(id), line_no});
     } else {
       fail(line_no, "unknown directive '" + directive + "'");
     }
@@ -125,6 +145,25 @@ Cluster parse_cluster(std::string_view text) {
       builder.link_override(a->second, b->second, link.params.latency_s,
                             link.params.bandwidth_bps);
     }
+  }
+  if (!pending_lans.empty()) {
+    std::vector<int> lan_of(static_cast<std::size_t>(next_index), -1);
+    for (const PendingLan& lan : pending_lans) {
+      auto it = names.find(lan.name);
+      if (it == names.end()) fail(lan.line, "unknown processor '" + lan.name + "'");
+      lan_of[static_cast<std::size_t>(it->second)] = lan.id;
+    }
+    for (std::size_t p = 0; p < lan_of.size(); ++p) {
+      if (lan_of[p] < 0) {
+        throw InvalidArgument("cluster description: processor index " +
+                              std::to_string(p) +
+                              " has no 'lan' assignment (a two-level cluster "
+                              "needs one per processor)");
+      }
+    }
+    builder.two_level(std::move(lan_of), intra_lan.latency_s,
+                      intra_lan.bandwidth_bps, inter_lan.latency_s,
+                      inter_lan.bandwidth_bps);
   }
   return builder.build();
 }
@@ -151,6 +190,16 @@ std::string to_description(const Cluster& cluster) {
     os << "link " << cluster.processor(pair.first).name << " "
        << cluster.processor(pair.second).name << " latency " << params.latency_s
        << " bandwidth " << params.bandwidth_bps << "\n";
+  }
+  if (cluster.two_level()) {
+    os << "intra_lan latency " << cluster.intra_link().latency_s
+       << " bandwidth " << cluster.intra_link().bandwidth_bps << "\n";
+    os << "inter_lan latency " << cluster.inter_link().latency_s
+       << " bandwidth " << cluster.inter_link().bandwidth_bps << "\n";
+    for (int p = 0; p < cluster.size(); ++p) {
+      os << "lan " << cluster.processor(p).name << " " << cluster.lan_of(p)
+         << "\n";
+    }
   }
   return os.str();
 }

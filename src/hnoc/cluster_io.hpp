@@ -12,6 +12,15 @@
 //   link ws0 ws6 latency 1e-5 bandwidth 1e8  # per-pair override (directed)
 //   symmetric_link ws0 ws7 latency 1e-5 bandwidth 1e8
 //
+// A two-level LAN/WAN topology is declared by assigning every processor a
+// LAN id (all processors must then be assigned) and, optionally, the two
+// link classes:
+//
+//   intra_lan latency 50e-6 bandwidth 125e6  # same-LAN link
+//   inter_lan latency 5e-3 bandwidth 1.25e6  # cross-LAN (WAN) link
+//   lan ws0 0
+//   lan ws6 1
+//
 // Processors are indexed in declaration order. parse_cluster throws
 // InvalidArgument with a line number on malformed input.
 #pragma once

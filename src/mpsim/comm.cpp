@@ -358,11 +358,14 @@ std::vector<coll::Step> Comm::coll_schedule(coll::CollOp op, int algo,
                                             int root, std::size_t count,
                                             std::size_t elem_size) const {
   // Only the two-level bcast reads placement; skip the lookup otherwise.
+  // On a two-level cluster the placement is collapsed to LAN ids, so the
+  // leader election spans whole LANs rather than single machines (flat
+  // clusters pass machine ids through unchanged).
   std::vector<int> procs;
   std::span<const int> procs_span;
   if (op == coll::CollOp::kBcast &&
       static_cast<coll::BcastAlgo>(algo) == coll::BcastAlgo::kTwoLevel) {
-    procs = member_procs();
+    procs = coll::two_level_groups(proc_->world().cluster(), member_procs());
     procs_span = procs;
   }
   const std::size_t segment_elems = std::max<std::size_t>(

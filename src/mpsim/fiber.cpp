@@ -1,0 +1,141 @@
+#include "mpsim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "support/error.hpp"
+
+// Sanitizer fiber support: without these annotations TSan/ASan see one OS
+// thread jumping between stacks and report false positives (or crash while
+// unwinding fake stacks).
+#if defined(__SANITIZE_THREAD__)
+#define HMPI_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HMPI_FIBER_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define HMPI_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HMPI_FIBER_ASAN 1
+#endif
+#endif
+
+#if defined(HMPI_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+#if defined(HMPI_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace hmpi::mp::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return ((bytes + page - 1) / page) * page;
+}
+
+}  // namespace
+
+Fiber::Fiber(EventEngine* engine, int rank, std::size_t stack_bytes,
+             std::function<void()> entry)
+    : engine_(engine), rank_(rank), entry_(std::move(entry)) {
+  const std::size_t page = page_size();
+  stack_bytes_ = round_up_pages(stack_bytes < 4 * page ? 4 * page : stack_bytes);
+  map_bytes_ = stack_bytes_ + page;  // one guard page below the stack
+  // MAP_NORESERVE: 10k+ fibers only pay RSS for the stack pages they touch.
+  void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  support::require(map != MAP_FAILED, "fiber stack mmap failed");
+  map_base_ = map;
+  ::mprotect(map_base_, page, PROT_NONE);  // overflow traps instead of corrupting
+  stack_base_ = static_cast<char*>(map_base_) + page;
+
+#if defined(HMPI_FIBER_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+
+  support::require(::getcontext(&ctx_) == 0, "getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_base_;
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = nullptr;  // a finished fiber yields explicitly, never returns
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+#if defined(HMPI_FIBER_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const std::uintptr_t self = (static_cast<std::uintptr_t>(hi) << 32) |
+                              static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->entry_point();
+}
+
+void Fiber::entry_point() {
+#if defined(HMPI_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(nullptr, &asan_host_stack_base_,
+                                  &asan_host_stack_size_);
+#endif
+  entry_();
+  state = State::kFinished;
+  yield();
+  // A finished fiber must never be resumed again.
+  std::abort();
+}
+
+void Fiber::resume() {
+#if defined(HMPI_FIBER_ASAN)
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_base_, stack_bytes_);
+#endif
+#if defined(HMPI_FIBER_TSAN)
+  tsan_host_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  ::swapcontext(&host_, &ctx_);
+  // Back on the host thread: the fiber parked or finished.
+#if defined(HMPI_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+}
+
+void Fiber::yield() {
+#if defined(HMPI_FIBER_ASAN)
+  // Passing nullptr on the final switch lets ASan release the fake stack.
+  __sanitizer_start_switch_fiber(
+      state == State::kFinished ? nullptr : &asan_fake_stack_,
+      asan_host_stack_base_, asan_host_stack_size_);
+#endif
+#if defined(HMPI_FIBER_TSAN)
+  __tsan_switch_to_fiber(tsan_host_, 0);
+#endif
+  ::swapcontext(&ctx_, &host_);
+  // Resumed again (possibly from a different resume() call of the host).
+#if defined(HMPI_FIBER_ASAN)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &asan_host_stack_base_,
+                                  &asan_host_stack_size_);
+#endif
+}
+
+}  // namespace hmpi::mp::sim

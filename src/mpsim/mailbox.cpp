@@ -1,7 +1,5 @@
 #include "mpsim/mailbox.hpp"
 
-#include <chrono>
-
 namespace hmpi::mp {
 
 void Mailbox::deliver(Envelope e) {
@@ -9,7 +7,7 @@ void Mailbox::deliver(Envelope e) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(e));
   }
-  cv_.notify_all();
+  channel_.notify_all();
 }
 
 bool Mailbox::matches(const Envelope& e, int src_world, int tag, int context) {
@@ -35,7 +33,6 @@ std::optional<Envelope> Mailbox::take_matching(
     int src_world, int tag, int context, double timeout_s,
     const std::function<bool()>& hopeless) {
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto timeout = std::chrono::duration<double>(timeout_s);
   for (;;) {
     if (auto e = extract_locked(src_world, tag, context)) return e;
     if (shutdown_.load()) return std::nullopt;
@@ -44,8 +41,10 @@ std::optional<Envelope> Mailbox::take_matching(
     // nothing more in flight for us.
     if (hopeless && hopeless()) return std::nullopt;
     // Wait for new deliveries; restart the timeout whenever anything arrives
-    // (only total silence counts as a potential deadlock).
-    if (cv_.wait_for(lock, timeout) == std::cv_status::timeout) {
+    // (only total silence counts as a potential deadlock). Under the event
+    // engine the wait parks the fiber and a false return means the engine
+    // picked it as a structural-stall victim.
+    if (!channel_.wait(lock, timeout_s)) {
       if (auto e = extract_locked(src_world, tag, context)) return e;
       return std::nullopt;
     }
@@ -54,7 +53,7 @@ std::optional<Envelope> Mailbox::take_matching(
 
 void Mailbox::shutdown() {
   shutdown_.store(true);
-  cv_.notify_all();
+  channel_.notify_all();
 }
 
 std::optional<Envelope> Mailbox::try_take_matching(int src_world, int tag,
@@ -86,6 +85,6 @@ std::vector<Mailbox::EnvelopeInfo> Mailbox::snapshot() const {
   return out;
 }
 
-void Mailbox::poke() { cv_.notify_all(); }
+void Mailbox::poke() { channel_.notify_all(); }
 
 }  // namespace hmpi::mp

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -16,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "mpsim/engine.hpp"
 #include "mpsim/types.hpp"
 
 namespace hmpi::mp {
@@ -36,6 +36,8 @@ struct Envelope {
 /// Thread-safe matching queue for one process.
 class Mailbox {
  public:
+  Mailbox() { channel_.debug_name = "mailbox"; }
+
   /// Enqueues an envelope and wakes any blocked receiver.
   void deliver(Envelope e);
 
@@ -91,7 +93,9 @@ class Mailbox {
   std::optional<Envelope> extract_locked(int src_world, int tag, int context);
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  /// Blocking receivers wait here; engine-agnostic (condition variable under
+  /// the thread engine, fiber parking under the event engine).
+  sim::WaitChannel channel_;
   std::deque<Envelope> queue_;
   std::atomic<bool> shutdown_{false};
 };

@@ -245,6 +245,11 @@ World::RunResult World::run(const hnoc::Cluster& cluster,
                             std::vector<int> placement,
                             const std::function<void(Proc&)>& body,
                             Options options) {
+  // Nested worlds (a simulated process starting its own World::run) fall
+  // back to the thread engine: a fiber must not host a second scheduler.
+  const sim::SimEngine engine = sim::on_fiber()
+                                    ? sim::SimEngine::kThread
+                                    : sim::resolve_engine(options.engine);
   World world(cluster, std::move(placement), std::move(options));
   const int n = world.nprocs();
 
@@ -259,25 +264,39 @@ World::RunResult World::run(const hnoc::Cluster& cluster,
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
   std::atomic<int> first_error{-1};
+  const auto guarded_body = [&](int r) {
+    try {
+      body(procs[static_cast<std::size_t>(r)]);
+    } catch (const ProcessKilledError&) {
+      // Injected crash: an expected event of the fault model, not a run
+      // failure. The process is already marked dead; survivors continue.
+    } catch (...) {
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      int expected = -1;
+      first_error.compare_exchange_strong(expected, r);
+      world.abort_all();
+    }
+  };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        body(procs[static_cast<std::size_t>(r)]);
-      } catch (const ProcessKilledError&) {
-        // Injected crash: an expected event of the fault model, not a run
-        // failure. The process is already marked dead; survivors continue.
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        int expected = -1;
-        first_error.compare_exchange_strong(expected, r);
-        world.abort_all();
-      }
-    });
+  if (engine == sim::SimEngine::kEvent) {
+    telemetry::metrics().counter("sim.runs.event").add();
+    sim::EventEngine::Config config;
+    config.workers = sim::resolve_workers(world.options().event_workers);
+    config.stack_bytes =
+        sim::resolve_stack_bytes(world.options().fiber_stack_bytes);
+    config.clock_of = [&procs](int r) {
+      return procs[static_cast<std::size_t>(r)].clock();
+    };
+    sim::EventEngine(std::move(config)).run(n, guarded_body);
+  } else {
+    telemetry::metrics().counter("sim.runs.thread").add();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&guarded_body, r] { guarded_body(r); });
+    }
+    for (std::thread& t : threads) t.join();
   }
-  for (std::thread& t : threads) t.join();
 
   if (int fe = first_error.load(); fe >= 0) {
     std::rethrow_exception(errors[static_cast<std::size_t>(fe)]);

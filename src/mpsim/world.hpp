@@ -29,6 +29,7 @@
 
 #include "coll/policy.hpp"
 #include "hnoc/cluster.hpp"
+#include "mpsim/engine.hpp"
 #include "mpsim/fault.hpp"
 #include "mpsim/mailbox.hpp"
 #include "mpsim/types.hpp"
@@ -123,7 +124,23 @@ class Tracer;
 /// Tunables of a simulated run. (Namespace-scope so it can be used as a
 /// defaulted argument of World's member functions.)
 struct WorldOptions {
+  /// Execution engine (docs/simulator.md): kThread runs one OS thread per
+  /// simulated process, kEvent multiplexes fibers over a virtual-time event
+  /// queue. kAuto resolves the HMPI_SIM_ENGINE env var (default: thread).
+  /// Both engines produce bit-identical virtual timestamps, results, and
+  /// trace streams for deterministic programs.
+  sim::SimEngine engine = sim::SimEngine::kAuto;
+  /// Event-engine worker threads hosting the fiber stacks (dispatch stays
+  /// sequential, so every worker count gives identical results). 0 resolves
+  /// HMPI_SIM_WORKERS, default 1 (fibers run on the calling thread).
+  int event_workers = 0;
+  /// Event-engine stack size per fiber. 0 resolves HMPI_SIM_STACK_KB,
+  /// default 512 KiB (virtual; guard-paged, so RSS only covers touched pages).
+  std::size_t fiber_stack_bytes = 0;
   /// Real-time silence after which a blocked receive is declared deadlocked.
+  /// (The event engine has no real-time waits; it raises the same deadlock
+  /// diagnosis when no fiber is runnable, using this value only to order
+  /// simultaneous stall victims.)
   double deadlock_timeout_s = 30.0;
   /// Virtual per-message sender-side overhead (LogP's "o").
   double send_overhead_s = 5e-6;

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "support/process_local.hpp"
 #include "telemetry/json.hpp"
 
 namespace hmpi::telemetry {
@@ -29,20 +30,33 @@ struct VirtualClockHook {
   VirtualClockScope::ClockFn fn = nullptr;
   const void* ctx = nullptr;
 };
-thread_local VirtualClockHook tls_vclock;
+
+// Process-local, not thread_local: under the event engine many simulated
+// processes (fibers) share one host thread, and each needs its own clock
+// hook and span nesting stack.
+constexpr char kVClockKey = 0;
+constexpr char kSpanStackKey = 0;
+
+VirtualClockHook& vclock() {
+  return support::process_local<VirtualClockHook>(&kVClockKey);
+}
 
 double virt_now_s() {
-  if (tls_vclock.fn == nullptr) {
+  const VirtualClockHook& hook = vclock();
+  if (hook.fn == nullptr) {
     return std::numeric_limits<double>::quiet_NaN();
   }
-  return tls_vclock.fn(tls_vclock.ctx);
+  return hook.fn(hook.ctx);
 }
 
 struct OpenSpan {
   std::uint64_t id = 0;
   int track = 0;
 };
-thread_local std::vector<OpenSpan> tls_span_stack;
+
+std::vector<OpenSpan>& span_stack() {
+  return support::process_local<std::vector<OpenSpan>>(&kSpanStackKey);
+}
 
 std::uint64_t next_span_id() {
   static std::atomic<std::uint64_t> counter{1};
@@ -84,12 +98,14 @@ TraceLog& spans() {
   return log;
 }
 
-VirtualClockScope::VirtualClockScope(ClockFn fn, const void* ctx)
-    : saved_fn_(tls_vclock.fn), saved_ctx_(tls_vclock.ctx) {
-  tls_vclock = {fn, ctx};
+VirtualClockScope::VirtualClockScope(ClockFn fn, const void* ctx) {
+  VirtualClockHook& hook = vclock();
+  saved_fn_ = hook.fn;
+  saved_ctx_ = hook.ctx;
+  hook = {fn, ctx};
 }
 
-VirtualClockScope::~VirtualClockScope() { tls_vclock = {saved_fn_, saved_ctx_}; }
+VirtualClockScope::~VirtualClockScope() { vclock() = {saved_fn_, saved_ctx_}; }
 
 Span::Span(std::string_view name) { open(name, 0, /*explicit_track=*/false); }
 
@@ -100,23 +116,25 @@ Span::Span(std::string_view name, int track) {
 void Span::open(std::string_view name, int track, bool explicit_track) {
   record_.id = next_span_id();
   record_.name.assign(name);
-  if (!tls_span_stack.empty()) {
-    record_.parent_id = tls_span_stack.back().id;
+  std::vector<OpenSpan>& stack = span_stack();
+  if (!stack.empty()) {
+    record_.parent_id = stack.back().id;
     // Children stay on their parent's track so the flame nests in one row.
-    record_.track = tls_span_stack.back().track;
+    record_.track = stack.back().track;
   } else {
     record_.track = explicit_track ? track : 0;
   }
   record_.wall_start_us = wall_now_us();
   record_.virt_start_s = virt_now_s();
-  tls_span_stack.push_back({record_.id, record_.track});
+  stack.push_back({record_.id, record_.track});
 }
 
 Span::~Span() {
   record_.wall_dur_us = wall_now_us() - record_.wall_start_us;
   record_.virt_end_s = virt_now_s();
-  if (!tls_span_stack.empty() && tls_span_stack.back().id == record_.id) {
-    tls_span_stack.pop_back();
+  std::vector<OpenSpan>& stack = span_stack();
+  if (!stack.empty() && stack.back().id == record_.id) {
+    stack.pop_back();
   }
   spans().record(std::move(record_));
 }

@@ -10,6 +10,8 @@
 
 #include "coll/schedule.hpp"
 
+#include "hnoc/cluster.hpp"
+
 namespace hmpi::coll {
 namespace {
 
@@ -295,6 +297,39 @@ TEST(Schedules, TagWrapsWithinReservedBlock) {
   Step s;
   s.round = 300;
   EXPECT_EQ(s.tag(), 300 & 0xff);
+}
+
+TEST(TwoLevelGroups, FlatClusterPassesMachineIdsThrough) {
+  hnoc::Cluster flat = hnoc::testbeds::homogeneous(4);
+  const std::vector<int> procs{3, 1, 1, 0};
+  EXPECT_EQ(two_level_groups(flat, procs), procs);
+}
+
+TEST(TwoLevelGroups, TwoLevelClusterCollapsesToLanIds) {
+  // 2 LANs x 3 machines: machines {0,1,2} are LAN 0, {3,4,5} LAN 1.
+  hnoc::Cluster c = hnoc::testbeds::two_level(2, 3);
+  const std::vector<int> procs{0, 2, 3, 5};
+  EXPECT_EQ(two_level_groups(c, procs), (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(TwoLevelGroups, BcastElectsOneLeaderPerLan) {
+  // 4 members on 4 distinct machines of 2 LANs. With LAN grouping the
+  // two-level bcast must cross the inter-LAN boundary exactly once; with raw
+  // machine ids every non-root member would be its own leader (4 distinct
+  // "machines") and three messages would cross.
+  hnoc::Cluster c = hnoc::testbeds::two_level(2, 2);
+  const std::vector<int> procs{0, 1, 2, 3};  // LANs {0,0,1,1}
+  const std::vector<int> groups = two_level_groups(c, procs);
+  const std::vector<Step> steps = bcast_schedule(
+      BcastAlgo::kTwoLevel, 4, /*root=*/0, /*count=*/1024, groups);
+  int cross_lan = 0;
+  for (const Step& s : steps) {
+    if (c.lan_of(procs[static_cast<std::size_t>(s.src)]) !=
+        c.lan_of(procs[static_cast<std::size_t>(s.dst)])) {
+      ++cross_lan;
+    }
+  }
+  EXPECT_EQ(cross_lan, 1);
 }
 
 }  // namespace

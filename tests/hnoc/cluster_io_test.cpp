@@ -105,5 +105,54 @@ TEST(ClusterIo, EmptyDescriptionRejected) {
   EXPECT_THROW(parse_cluster("network latency 1 bandwidth 1\n"), InvalidArgument);
 }
 
+TEST(ClusterIo, TwoLevelDirectivesParse) {
+  Cluster c = parse_cluster(R"(
+    processor a speed 50
+    processor b speed 50
+    processor c speed 50
+    intra_lan latency 5e-5 bandwidth 1e8
+    inter_lan latency 1e-2 bandwidth 1e6
+    lan a 0
+    lan b 0
+    lan c 1
+  )");
+  ASSERT_TRUE(c.two_level());
+  EXPECT_EQ(c.lan_of(0), 0);
+  EXPECT_EQ(c.lan_of(2), 1);
+  EXPECT_DOUBLE_EQ(c.link(0, 1).latency_s, 5e-5);
+  EXPECT_DOUBLE_EQ(c.link(0, 2).latency_s, 1e-2);
+}
+
+TEST(ClusterIo, TwoLevelRoundTrips) {
+  Cluster original = testbeds::two_level(2, 3, 45.0);
+  Cluster reparsed = parse_cluster(to_description(original));
+  ASSERT_TRUE(reparsed.two_level());
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (int p = 0; p < original.size(); ++p) {
+    EXPECT_EQ(reparsed.lan_of(p), original.lan_of(p));
+  }
+  for (int a = 0; a < original.size(); ++a) {
+    for (int b = 0; b < original.size(); ++b) {
+      EXPECT_DOUBLE_EQ(reparsed.link(a, b).latency_s,
+                       original.link(a, b).latency_s);
+      EXPECT_DOUBLE_EQ(reparsed.link(a, b).bandwidth_bps,
+                       original.link(a, b).bandwidth_bps);
+    }
+  }
+}
+
+TEST(ClusterIo, TwoLevelRejectsPartialLanAssignment) {
+  EXPECT_THROW(parse_cluster(R"(
+    processor a speed 50
+    processor b speed 50
+    lan a 0
+  )"),
+               InvalidArgument);
+  EXPECT_THROW(parse_cluster("processor a speed 50\nlan a -1\n"),
+               InvalidArgument);
+  EXPECT_THROW(parse_cluster("processor a speed 50\nlan ghost 0\n"),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace hmpi::hnoc

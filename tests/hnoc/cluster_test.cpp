@@ -124,5 +124,76 @@ TEST(Cluster, LinkEndpointValidation) {
   EXPECT_THROW(c.link(-1, 0), hmpi::InvalidArgument);
 }
 
+TEST(ClusterTwoLevel, LinkResolutionByLan) {
+  // 2 LANs of 2 machines: {0,1} and {2,3}.
+  Cluster c = ClusterBuilder()
+                  .add("a", 50)
+                  .add("b", 50)
+                  .add("c", 50)
+                  .add("d", 50)
+                  .shared_memory(1e-6, 1e9)
+                  .two_level({0, 0, 1, 1}, 5e-5, 1e8, 1e-2, 1e6)
+                  .build();
+  ASSERT_TRUE(c.two_level());
+  EXPECT_EQ(c.lan_of(0), 0);
+  EXPECT_EQ(c.lan_of(3), 1);
+  // Same LAN -> intra link.
+  EXPECT_DOUBLE_EQ(c.link(0, 1).latency_s, 5e-5);
+  EXPECT_DOUBLE_EQ(c.link(0, 1).bandwidth_bps, 1e8);
+  // Cross LAN -> inter link.
+  EXPECT_DOUBLE_EQ(c.link(1, 2).latency_s, 1e-2);
+  EXPECT_DOUBLE_EQ(c.link(1, 2).bandwidth_bps, 1e6);
+  // Self link still wins over the topology.
+  EXPECT_DOUBLE_EQ(c.link(2, 2).latency_s, 1e-6);
+}
+
+TEST(ClusterTwoLevel, OverrideBeatsTopology) {
+  Cluster c = ClusterBuilder()
+                  .add("a", 50)
+                  .add("b", 50)
+                  .two_level({0, 1}, 5e-5, 1e8, 1e-2, 1e6)
+                  .symmetric_link_override(0, 1, 7e-4, 7e7)
+                  .build();
+  EXPECT_DOUBLE_EQ(c.link(0, 1).latency_s, 7e-4);
+  EXPECT_DOUBLE_EQ(c.link(1, 0).bandwidth_bps, 7e7);
+}
+
+TEST(ClusterTwoLevel, ValidatesLanVector) {
+  // Wrong arity: one id for two processors.
+  EXPECT_THROW(ClusterBuilder()
+                   .add("a", 50)
+                   .add("b", 50)
+                   .two_level({0}, 5e-5, 1e8, 1e-2, 1e6)
+                   .build(),
+               hmpi::InvalidArgument);
+  // Negative LAN id.
+  EXPECT_THROW(ClusterBuilder()
+                   .add("a", 50)
+                   .add("b", 50)
+                   .two_level({0, -1}, 5e-5, 1e8, 1e-2, 1e6)
+                   .build(),
+               hmpi::InvalidArgument);
+  // Flat cluster: LAN accessors refuse.
+  Cluster flat = two_machines();
+  EXPECT_FALSE(flat.two_level());
+  EXPECT_THROW(flat.lan_of(0), hmpi::InvalidArgument);
+  EXPECT_THROW(flat.intra_link(), hmpi::InvalidArgument);
+  EXPECT_THROW(flat.inter_link(), hmpi::InvalidArgument);
+}
+
+TEST(ClusterTestbeds, TwoLevelShape) {
+  Cluster c = testbeds::two_level(3, 4, 60.0);
+  ASSERT_EQ(c.size(), 12);
+  ASSERT_TRUE(c.two_level());
+  for (int p = 0; p < 12; ++p) {
+    EXPECT_EQ(c.lan_of(p), p / 4);
+    EXPECT_DOUBLE_EQ(c.processor(p).speed, 60.0);
+  }
+  // Intra is strictly faster than inter.
+  EXPECT_LT(c.intra_link().latency_s, c.inter_link().latency_s);
+  EXPECT_GT(c.intra_link().bandwidth_bps, c.inter_link().bandwidth_bps);
+  EXPECT_THROW(testbeds::two_level(0, 4), hmpi::InvalidArgument);
+}
+
 }  // namespace
 }  // namespace hmpi::hnoc

@@ -1,0 +1,130 @@
+// Dual-engine differential harness (docs/simulator.md).
+//
+// Runs the same simulated program under the thread engine and the event
+// engine and asserts that everything observable is bit-identical: final
+// virtual clocks, per-process stats, failed ranks, makespan, and the trace
+// CSV. This is the executable form of the engines' equivalence contract —
+// any program that is deterministic under the thread engine must not be able
+// to tell the engines apart. That class excludes kAnySource races and
+// concurrently-contended directed links (several senders sharing one
+// processor pair reserve it in host-scheduling order under the thread
+// engine); the event engine is deterministic even for those, which is a
+// strictly stronger guarantee pinned separately in engine_test.cpp.
+//
+// Trace masking: kMapperSearch and kEstCompile events pack *real* wall-clock
+// durations into their CSV columns (see Tracer::write_csv), which legitimately
+// differ between runs; those lines are dropped before comparison. Everything
+// else on the trace timeline is virtual and must match exactly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/trace.hpp"
+#include "mpsim/world.hpp"
+
+namespace hmpi::mp::testing {
+
+/// Everything observable from one engine's run.
+struct EngineRun {
+  World::RunResult result;
+  std::string trace_csv;  ///< write_csv output with wall-clock kinds masked.
+  bool threw = false;
+  std::string error;  ///< what() of the body/world exception, if any.
+};
+
+inline std::string mask_wall_clock_lines(const std::string& csv) {
+  std::istringstream in(csv);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("mapper_search,", 0) == 0) continue;
+    if (line.rfind("est_compile,", 0) == 0) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+inline EngineRun run_with_engine(sim::SimEngine engine,
+                                 const hnoc::Cluster& cluster,
+                                 std::vector<int> placement,
+                                 const std::function<void(Proc&)>& body,
+                                 World::Options options = {},
+                                 int event_workers = 1) {
+  Tracer tracer;
+  options.engine = engine;
+  options.event_workers = event_workers;
+  options.tracer = &tracer;
+  EngineRun run;
+  try {
+    run.result = World::run(cluster, std::move(placement), body, options);
+  } catch (const std::exception& e) {
+    run.threw = true;
+    run.error = e.what();
+  }
+  std::ostringstream csv;
+  tracer.write_csv(csv);
+  run.trace_csv = mask_wall_clock_lines(csv.str());
+  return run;
+}
+
+inline void expect_identical_runs(const EngineRun& thread_run,
+                                  const EngineRun& event_run) {
+  ASSERT_EQ(thread_run.threw, event_run.threw)
+      << "thread: " << thread_run.error << "\nevent: " << event_run.error;
+  if (thread_run.threw) {
+    // Both runs aborted with a body exception. The abort tears the world
+    // down at real-time-racy points, so partial traces and stats are not
+    // comparable; agreeing that the program fails is the contract here.
+    return;
+  }
+  const World::RunResult& a = thread_run.result;
+  const World::RunResult& b = event_run.result;
+  ASSERT_EQ(a.clocks.size(), b.clocks.size());
+  for (std::size_t r = 0; r < a.clocks.size(); ++r) {
+    // Bit-identical, not approximately equal: both engines must execute the
+    // exact same arithmetic in the exact same order.
+    EXPECT_EQ(a.clocks[r], b.clocks[r]) << "clock of rank " << r;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.failed_ranks, b.failed_ranks);
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t r = 0; r < a.stats.size(); ++r) {
+    EXPECT_EQ(a.stats[r].msgs_sent, b.stats[r].msgs_sent) << "rank " << r;
+    EXPECT_EQ(a.stats[r].bytes_sent, b.stats[r].bytes_sent) << "rank " << r;
+    EXPECT_EQ(a.stats[r].msgs_received, b.stats[r].msgs_received)
+        << "rank " << r;
+    EXPECT_EQ(a.stats[r].bytes_received, b.stats[r].bytes_received)
+        << "rank " << r;
+    EXPECT_EQ(a.stats[r].compute_units, b.stats[r].compute_units)
+        << "rank " << r;
+    EXPECT_EQ(a.stats[r].compute_time, b.stats[r].compute_time)
+        << "rank " << r;
+    EXPECT_EQ(a.stats[r].wait_time, b.stats[r].wait_time) << "rank " << r;
+  }
+  EXPECT_EQ(thread_run.trace_csv, event_run.trace_csv);
+}
+
+/// Runs `body` under both engines and asserts bit-identical observables.
+/// Returns the thread-engine run for additional assertions.
+inline EngineRun expect_engines_agree(const hnoc::Cluster& cluster,
+                                      std::vector<int> placement,
+                                      const std::function<void(Proc&)>& body,
+                                      World::Options options = {},
+                                      int event_workers = 1) {
+  EngineRun thread_run = run_with_engine(sim::SimEngine::kThread, cluster,
+                                         placement, body, options);
+  EngineRun event_run = run_with_engine(sim::SimEngine::kEvent, cluster,
+                                        std::move(placement), body, options,
+                                        event_workers);
+  expect_identical_runs(thread_run, event_run);
+  return thread_run;
+}
+
+}  // namespace hmpi::mp::testing

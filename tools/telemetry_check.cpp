@@ -20,7 +20,10 @@
 //     `adapt.checks|triggers|migrations|rollbacks|suppressed`, gauges
 //     `adapt.divergence|drift`, histograms
 //     `adapt.predicted_gain_seconds|realized_gain_seconds`
-//     (docs/adaptation.md).
+//     (docs/adaptation.md). Metrics in the reserved `sim.` namespace must
+//     follow the simulator-engine grammar: counters
+//     `sim.dispatches|stalls|runs.event|runs.thread`, gauges
+//     `sim.fibers|workers|ready_peak|stack_bytes` (docs/simulator.md).
 //   * Bench exports ({"benchmark": ..., "tables": [...]}): every table needs
 //     title/columns/rows with rows matching the column count.
 //   * Adaptation ledgers ({"adaptations": [...]}): every entry needs group
@@ -129,6 +132,23 @@ bool valid_adapt_metric(const std::string& name, MetricKind kind) {
   }
   return false;
 }
+// The simulator-engine grammar for the reserved "sim." namespace
+// (docs/simulator.md), by metric kind. The event engine emits the dispatch
+// counters and capacity gauges at the end of each run; World::run counts
+// engine selections.
+bool valid_sim_metric(const std::string& name, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return name == "sim.dispatches" || name == "sim.stalls" ||
+             name == "sim.runs.event" || name == "sim.runs.thread";
+    case MetricKind::kGauge:
+      return name == "sim.fibers" || name == "sim.workers" ||
+             name == "sim.ready_peak" || name == "sim.stack_bytes";
+    case MetricKind::kHistogram:
+      return false;
+  }
+  return false;
+}
 bool valid_est_metric(const std::string& name, MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -177,6 +197,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                        "adapt.checks|triggers|migrations|rollbacks|"
                        "suppressed)");
       }
+      if (name.rfind("sim.", 0) == 0 &&
+          !valid_sim_metric(name, MetricKind::kCounter)) {
+        fail(file, "counter '" + name +
+                       "' violates the sim.* grammar (expected "
+                       "sim.dispatches|stalls|runs.event|runs.thread)");
+      }
     }
   }
   const JsonValue* gauges = doc.find("gauges");
@@ -194,6 +220,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         fail(file, "gauge '" + name +
                        "' violates the adapt.* grammar (expected "
                        "adapt.divergence|drift)");
+      }
+      if (name.rfind("sim.", 0) == 0 &&
+          !valid_sim_metric(name, MetricKind::kGauge)) {
+        fail(file, "gauge '" + name +
+                       "' violates the sim.* grammar (expected "
+                       "sim.fibers|workers|ready_peak|stack_bytes)");
       }
     }
   }
@@ -222,6 +254,11 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
       fail(file, "histogram '" + name +
                      "' violates the adapt.* grammar (expected "
                      "adapt.predicted_gain_seconds|realized_gain_seconds)");
+    }
+    if (name.rfind("sim.", 0) == 0 &&
+        !valid_sim_metric(name, MetricKind::kHistogram)) {
+      fail(file, "histogram '" + name +
+                     "' violates the sim.* grammar (sim.* has no histograms)");
     }
   }
 }
