@@ -9,12 +9,13 @@
 // ledger supply the search timeline and the Timeof-accuracy summary
 // (docs/observability.md).
 //
-// Exports: trace_report_metrics.json and trace_report_trace.json (Chrome
-// trace_event format — load in Perfetto or chrome://tracing). Override the
-// paths with HMPI_METRICS_JSON / HMPI_TRACE_JSON.
+// Exports: build/trace_report_metrics.json and build/trace_report_trace.json
+// (Chrome trace_event format — load in Perfetto or chrome://tracing).
+// Override the paths with HMPI_METRICS_JSON / HMPI_TRACE_JSON.
 //
 // Build & run:  ./build/examples/trace_report
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -133,9 +134,12 @@ int main() {
   std::printf("\n");
 
   // --- export ---------------------------------------------------------------
+  // Default under build/ so the dumps never land in a source checkout; the
+  // HMPI_METRICS_JSON / HMPI_TRACE_JSON overrides still win.
+  std::filesystem::create_directories("build");
   telemetry::Sinks sinks;
-  sinks.metrics_json = "trace_report_metrics.json";
-  sinks.trace_json = "trace_report_trace.json";
+  sinks.metrics_json = "build/trace_report_metrics.json";
+  sinks.trace_json = "build/trace_report_trace.json";
   sinks = sinks.with_env_overrides();
   {
     std::ofstream os(sinks.metrics_json);

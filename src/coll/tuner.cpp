@@ -144,4 +144,10 @@ std::uint64_t CollTuner::cache_misses() const {
   return misses_;
 }
 
+double CollTuner::feedback_ratio(CollOp op, int algo) const {
+  if (algo <= 0 || algo > 7) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_ratio_[static_cast<int>(op)][static_cast<std::size_t>(algo)];
+}
+
 }  // namespace hmpi::coll

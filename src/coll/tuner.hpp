@@ -72,6 +72,11 @@ class CollTuner : public Selector {
   std::uint64_t cache_hits() const;
   std::uint64_t cache_misses() const;
 
+  /// Active (promoted) measured/predicted EWMA ratio for one (op, algo), or
+  /// <= 0 when no observation has been promoted. Exported by the runtime as
+  /// `coll.feedback.<op>.<algo>` gauges (docs/observability.md).
+  double feedback_ratio(CollOp op, int algo) const;
+
  private:
   struct Key {
     std::uint8_t op;

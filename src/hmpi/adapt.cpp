@@ -36,6 +36,8 @@ const char* signal_name(AdaptSignal signal) {
     case AdaptSignal::kNone: return "none";
     case AdaptSignal::kDivergence: return "divergence";
     case AdaptSignal::kSpeedDrift: return "speed_drift";
+    case AdaptSignal::kBlameMachine: return "blame_machine";
+    case AdaptSignal::kBlameLink: return "blame_link";
   }
   return "none";
 }
@@ -65,6 +67,10 @@ AdaptConfig AdaptConfig::with_env() const {
     const double parsed = std::strtod(value, &end);
     if (end != value && parsed >= 0.0) config.cooldown_s = parsed;
   }
+  if (const char* value = std::getenv("HMPI_ADAPT_BLAME")) {
+    const int parsed = parse_switch(value);
+    if (parsed >= 0) config.blame = parsed == 1;
+  }
   return config;
 }
 
@@ -78,6 +84,8 @@ AdaptationController::AdaptationController(AdaptConfig config)
   support::require(config_.retry_backoff >= 1.0,
                    "adapt retry_backoff must be >= 1");
   support::require(config_.max_retries >= 0, "adapt max_retries must be >= 0");
+  support::require(config_.blame_share > 0.0 && config_.blame_share <= 1.0,
+                   "adapt blame_share must be in (0, 1]");
 }
 
 bool AdaptationController::gates_open() const {
@@ -164,6 +172,31 @@ AdaptDecision AdaptationController::note_drift(long long group_id,
     }
   } else {
     state.drift_streak = 0;
+  }
+  return decision;
+}
+
+AdaptDecision AdaptationController::note_blame(long long group_id,
+                                               AdaptSignal signal,
+                                               double share) {
+  support::require(signal == AdaptSignal::kBlameMachine ||
+                       signal == AdaptSignal::kBlameLink,
+                   "adapt note_blame needs a blame signal");
+  support::require(share >= 0.0 && share <= 1.0,
+                   "adapt note_blame needs a share in [0, 1]");
+  AdaptDecision decision;
+  if (!config_.blame) return decision;
+  GroupState& state = groups_[group_id];
+  decision.severity = share;
+  if (share > config_.blame_share) {
+    state.blame_streak += 1;
+    decision.signal = signal;
+    if (state.blame_streak >= config_.hysteresis && gates_open()) {
+      decision.migrate = true;
+      state.blame_streak = 0;
+    }
+  } else {
+    state.blame_streak = 0;
   }
   return decision;
 }

@@ -34,9 +34,14 @@ enum class AdaptSignal : std::int32_t {
   kNone = 0,     ///< No violation.
   kDivergence,   ///< Measured makespan diverged from the prediction.
   kSpeedDrift,   ///< Recon-measured speeds drifted from the group snapshot.
+  kBlameMachine, ///< Critical-path blame concentrated on one machine's
+                 ///< compute (telemetry/critpath.hpp; a "slow machine").
+  kBlameLink,    ///< Critical-path blame concentrated on one link's wait +
+                 ///< transfer time (a "slow link").
 };
 
-/// Stable lower-case name ("none", "divergence", "speed_drift").
+/// Stable lower-case name ("none", "divergence", "speed_drift",
+/// "blame_machine", "blame_link").
 const char* signal_name(AdaptSignal signal);
 
 /// Tunables of the adaptation policy. Identical on every process (like
@@ -71,9 +76,19 @@ struct AdaptConfig {
   int max_retries = 3;
   /// Cooldown multiplier applied per rollback (exponential backoff).
   double retry_backoff = 2.0;
+  /// Feed critical-path blame attribution (telemetry/critpath.hpp) into the
+  /// trigger logic: a machine or link owning more than `blame_share` of the
+  /// critical path counts as a violation, distinguishing "slow machine"
+  /// (kBlameMachine) from "slow link" (kBlameLink). Off by default — blame
+  /// triggers change no behaviour unless explicitly enabled. Env:
+  /// HMPI_ADAPT_BLAME.
+  bool blame = false;
+  /// Critical-path share above which one machine/link is blamed (0, 1].
+  double blame_share = 0.5;
 
-  /// Applies HMPI_ADAPT / HMPI_ADAPT_THRESHOLD / HMPI_ADAPT_COOLDOWN on top
-  /// of the programmatic values. Unknown values are ignored.
+  /// Applies HMPI_ADAPT / HMPI_ADAPT_THRESHOLD / HMPI_ADAPT_COOLDOWN /
+  /// HMPI_ADAPT_BLAME on top of the programmatic values. Unknown values are
+  /// ignored.
   AdaptConfig with_env() const;
 };
 
@@ -142,6 +157,14 @@ class AdaptationController {
   /// round axis). Same hysteresis/cooldown gates as note_progress.
   AdaptDecision note_drift(long long group_id, double drift);
 
+  /// Feeds a critical-path blame observation: `signal` names the dominant
+  /// entity kind (kBlameMachine or kBlameLink) and `share` its fraction of
+  /// the critical path in [0, 1]. A share above config().blame_share counts
+  /// as a violation; hysteresis/cooldown gates as note_drift. No-op
+  /// returning a default decision when config().blame is false.
+  AdaptDecision note_blame(long long group_id, AdaptSignal signal,
+                           double share);
+
   /// Records a committed migration and arms the cooldown window. The entry
   /// stays open until the next note_progress supplies the realized gain.
   void note_migration(AdaptRecord record);
@@ -183,6 +206,7 @@ class AdaptationController {
     bool ewma_seeded = false;
     int divergence_streak = 0;
     int drift_streak = 0;
+    int blame_streak = 0;
     double last_measured_s = 0.0;
     bool has_measured = false;
   };

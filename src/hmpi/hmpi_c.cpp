@@ -260,6 +260,14 @@ void HMPI_Trace_export_json(std::ostream& os) {
   hmpi::capi::detail::require_runtime().trace_export_json(os);
 }
 
+void HMPI_Critical_path_json(std::ostream& os) {
+  hmpi::capi::detail::require_runtime().critical_path_json(os);
+}
+
+std::vector<hmpi::Runtime::BlameEntry> HMPI_Blame_top(int k) {
+  return hmpi::capi::detail::require_runtime().blame_top(k);
+}
+
 double HMPI_Prediction_error(std::string_view model_name) {
   return hmpi::telemetry::predictions().mean_relative_error(model_name);
 }

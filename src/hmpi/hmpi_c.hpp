@@ -196,8 +196,19 @@ void HMPI_Metrics_dump(std::ostream& os);
 
 /// HMPI_Trace_export_json: writes the combined Chrome `trace_event` JSON
 /// (telemetry spans + the world tracer's virtual-time events, when a tracer
-/// is attached). Loads directly in Perfetto / chrome://tracing.
+/// is attached, + causal send->recv flow arrows). Loads directly in
+/// Perfetto / chrome://tracing.
 void HMPI_Trace_export_json(std::ostream& os);
+
+/// HMPI_Critical_path_json: writes the `{"critical_path": {...}}` report of
+/// the run's causal log — path segments, per-machine / per-link / per-
+/// collective blame (docs/observability.md; read by tools/hmpiprof). Local
+/// operation; the canonical report is the host's.
+void HMPI_Critical_path_json(std::ostream& os);
+
+/// HMPI_Blame_top: the top `k` machines and links by critical-path seconds,
+/// most-blamed first. Local operation.
+std::vector<hmpi::Runtime::BlameEntry> HMPI_Blame_top(int k);
 
 /// HMPI_Prediction_error: mean relative error |predicted - measured| /
 /// measured over the prediction ledger's closed samples for `model_name`

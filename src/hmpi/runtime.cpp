@@ -75,6 +75,18 @@ EstimatorMode estimator_mode_with_env(EstimatorMode mode) {
   return mode;
 }
 
+/// Resolves (op, algo) pairs to the collective subsystem's stable names for
+/// the critical-path report and `crit.coll.*` metrics.
+telemetry::CollNamer coll_namer() {
+  return [](int op, int algo) -> std::pair<std::string, std::string> {
+    if (op < 0 || op >= coll::kNumCollOps) {
+      return {"op" + std::to_string(op), "algo" + std::to_string(algo)};
+    }
+    const auto o = static_cast<coll::CollOp>(op);
+    return {coll::op_name(o), coll::algo_name(o, algo)};
+  };
+}
+
 }  // namespace
 
 /// World-level blackboard shared by all Runtime instances of a run — the
@@ -251,10 +263,31 @@ void Runtime::finalize(int exit_code) {
         static_cast<double>(shared_->coll_tuner->cache_hits()));
     telemetry::metrics().counter("coll.tuner.misses").add(
         static_cast<double>(shared_->coll_tuner->cache_misses()));
+    // Promoted measured-feedback ratios, one gauge per observed (op, algo)
+    // (docs/observability.md). Nothing is emitted with feedback off.
+    for (int o = 0; o < coll::kNumCollOps; ++o) {
+      const auto op = static_cast<coll::CollOp>(o);
+      for (int algo = 1; algo <= coll::algo_count(op); ++algo) {
+        const double ratio = shared_->coll_tuner->feedback_ratio(op, algo);
+        if (ratio > 0.0) {
+          telemetry::metrics()
+              .gauge(std::string("coll.feedback.") + coll::op_name(op) + "." +
+                     coll::algo_name(op, algo))
+              .set(ratio);
+        }
+      }
+    }
   }
   // The host dumps the configured telemetry sinks after the barrier, when
   // every process's records are in (docs/observability.md).
   if (is_host() && config_.telemetry.any()) {
+    // Analyze once; the crit.* gauges must land before the metrics dump.
+    const telemetry::CriticalPathReport report = critical_path_report();
+    telemetry::report_to_metrics(report, telemetry::metrics(), coll_namer());
+    if (!config_.telemetry.critpath_json.empty()) {
+      std::ofstream os(config_.telemetry.critpath_json);
+      if (os) telemetry::write_critpath_json(os, report, coll_namer());
+    }
     if (!config_.telemetry.metrics_json.empty()) {
       std::ofstream os(config_.telemetry.metrics_json);
       if (os) telemetry::metrics().write_json(os);
@@ -1244,6 +1277,38 @@ adapt::AdaptDecision Runtime::adapt_observe(const Group& group,
       reg.histogram("adapt.realized_gain_seconds")
           .observe(decision.realized_gain_s);
     }
+    // Blame-informed trigger (default off, docs/observability.md): when the
+    // critical path concentrates on one machine or one link, feed that as a
+    // distinct signal so the ledger records *why* — slow machine vs slow
+    // link — not just "diverged".
+    if (!decision.migrate && adapt_->config().blame) {
+      const telemetry::CriticalPathReport report = critical_path_report();
+      if (report.path_s > 0.0) {
+        double machine_best = 0.0;
+        for (const auto& [p, s] : report.machine_s) {
+          machine_best = std::max(machine_best, s);
+        }
+        double link_best = 0.0;
+        for (const auto& [l, s] : report.link_s) {
+          link_best = std::max(link_best, s);
+        }
+        const bool machine = machine_best >= link_best;
+        const double share =
+            (machine ? machine_best : link_best) / report.path_s;
+        reg.gauge("adapt.blame_share").set(share);
+        const adapt::AdaptDecision blame = adapt_->note_blame(
+            group.id(),
+            machine ? adapt::AdaptSignal::kBlameMachine
+                    : adapt::AdaptSignal::kBlameLink,
+            share);
+        if (blame.signal != adapt::AdaptSignal::kNone &&
+            decision.signal == adapt::AdaptSignal::kNone) {
+          decision.signal = blame.signal;
+          decision.severity = blame.severity;
+        }
+        if (blame.migrate) decision.migrate = true;
+      }
+    }
     if (decision.migrate) {
       reg.counter("adapt.triggers").add();
       note_adapt_event(static_cast<int>(mp::TraceEvent::Kind::kAdaptTrigger),
@@ -1603,7 +1668,52 @@ void Runtime::trace_export_json(std::ostream& os) const {
     events.insert(events.end(), std::make_move_iterator(virt.begin()),
                   std::make_move_iterator(virt.end()));
   }
+  std::vector<telemetry::ChromeEvent> flows =
+      telemetry::causal_flow_events(proc_->world().causal_log());
+  events.insert(events.end(), std::make_move_iterator(flows.begin()),
+                std::make_move_iterator(flows.end()));
   telemetry::write_chrome_trace(os, std::move(events));
+}
+
+telemetry::CriticalPathReport Runtime::critical_path_report() const {
+  return telemetry::analyze_critical_path(proc_->world().causal_log());
+}
+
+void Runtime::critical_path_json(std::ostream& os) const {
+  telemetry::write_critpath_json(os, critical_path_report(), coll_namer());
+}
+
+std::vector<Runtime::BlameEntry> Runtime::blame_top(int k) const {
+  support::require(k >= 1, "blame_top needs k >= 1");
+  const telemetry::CriticalPathReport report = critical_path_report();
+  std::vector<BlameEntry> entries;
+  entries.reserve(report.machine_s.size() + report.link_s.size());
+  for (const auto& [proc, seconds] : report.machine_s) {
+    BlameEntry e;
+    e.kind = BlameEntry::Kind::kMachine;
+    e.proc = proc;
+    e.seconds = seconds;
+    entries.push_back(e);
+  }
+  for (const auto& [link, seconds] : report.link_s) {
+    BlameEntry e;
+    e.kind = BlameEntry::Kind::kLink;
+    e.proc = link.first;
+    e.peer_proc = link.second;
+    e.seconds = seconds;
+    entries.push_back(e);
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const BlameEntry& a, const BlameEntry& b) {
+                     return a.seconds > b.seconds;
+                   });
+  if (entries.size() > static_cast<std::size_t>(k)) {
+    entries.resize(static_cast<std::size_t>(k));
+  }
+  for (BlameEntry& e : entries) {
+    e.share = report.path_s > 0.0 ? e.seconds / report.path_s : 0.0;
+  }
+  return entries;
 }
 
 }  // namespace hmpi

@@ -47,6 +47,7 @@
 #include "mapper/mapper.hpp"
 #include "mpsim/comm.hpp"
 #include "pmdl/model.hpp"
+#include "telemetry/critpath.hpp"
 #include "telemetry/sinks.hpp"
 
 namespace hmpi {
@@ -521,8 +522,35 @@ class Runtime {
 
   /// Writes the combined Chrome `trace_event` JSON: telemetry spans (wall
   /// timeline) merged with the world tracer's virtual-time events when a
-  /// tracer is attached (docs/observability.md).
+  /// tracer is attached, plus send->recv flow arrows derived from the causal
+  /// log (docs/observability.md).
   void trace_export_json(std::ostream& os) const;
+
+  /// Critical-path analysis of the run so far, computed over the world's
+  /// causal log (telemetry/critpath.hpp; docs/observability.md). Local —
+  /// safe mid-run (the log snapshots per-rank under its shard locks), though
+  /// the canonical report is the host's at finalize.
+  telemetry::CriticalPathReport critical_path_report() const;
+
+  /// Writes the `{"critical_path": {...}}` JSON document of
+  /// critical_path_report() with collective names resolved
+  /// (HMPI_Critical_path_json; read by tools/hmpiprof).
+  void critical_path_json(std::ostream& os) const;
+
+  /// One entry of blame_top: a machine (compute seconds on the critical
+  /// path) or a directed machine-pair link (overhead + transfer seconds).
+  struct BlameEntry {
+    enum class Kind { kMachine, kLink };
+    Kind kind = Kind::kMachine;
+    int proc = -1;       ///< Machine, or link source machine.
+    int peer_proc = -1;  ///< Link destination machine (kLink only).
+    double seconds = 0.0;
+    double share = 0.0;  ///< seconds / critical-path length.
+  };
+
+  /// The top `k` blamed machines and links, by on-path seconds descending
+  /// (HMPI_Blame_top). Local, like critical_path_report.
+  std::vector<BlameEntry> blame_top(int k) const;
 
   /// World ranks currently free (diagnostics / tests).
   std::vector<int> free_ranks() const;

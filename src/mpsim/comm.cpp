@@ -105,6 +105,7 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
   e.payload.assign(data.begin(), data.end());
   e.logical_bytes = logical_bytes;
   e.arrival_time = finish;
+  e.causal_seq = proc_->next_causal_sequence(dst_world);
 
   if (Tracer* tracer = world.options().tracer) {
     TraceEvent event;
@@ -126,6 +127,21 @@ void Comm::send_impl(std::span<const std::byte> data, std::size_t logical_bytes,
       blocked.end_time = link.start;
       tracer->record(blocked);
     }
+  }
+
+  if (world.causal_log().enabled()) {
+    telemetry::CausalEvent c = proc_->causal_event();
+    c.kind = telemetry::CausalEvent::Kind::kSend;
+    c.peer = dst_world;
+    c.peer_proc = dst_proc;
+    c.seq = e.causal_seq;
+    c.bytes = logical_bytes;
+    c.t0 = proc_->clock();
+    c.t1 = proc_->clock() + world.options().send_overhead_s;
+    c.arrival = finish;
+    if (dropped) c.flags |= telemetry::CausalEvent::kDropped;
+    if (delayed) c.flags |= telemetry::CausalEvent::kDelayed;
+    world.causal_log().record(proc_->rank(), c);
   }
 
   proc_->set_clock(proc_->clock() + world.options().send_overhead_s);
@@ -237,6 +253,18 @@ Status Comm::recv_impl(std::span<std::byte>* buffer, int src, int tag,
     event.start_time = before;
     event.end_time = matched;
     tracer->record(event);
+  }
+  if (world.causal_log().enabled()) {
+    telemetry::CausalEvent c = proc_->causal_event();
+    c.kind = telemetry::CausalEvent::Kind::kRecv;
+    c.peer = envelope->src_world;
+    c.peer_proc = world.processor_of(envelope->src_world);
+    c.seq = envelope->causal_seq;
+    c.bytes = envelope->logical_bytes;
+    c.t0 = before;
+    c.t1 = matched;
+    c.arrival = envelope->arrival_time;
+    world.causal_log().record(proc_->rank(), c);
   }
   proc_->set_clock(matched);
   proc_->check_crash();  // waiting may have carried the clock past a crash
@@ -351,6 +379,10 @@ Comm::CollChoice Comm::coll_select(coll::CollOp op, std::size_t bytes) const {
     event.coll.predicted_s = choice.predicted_s;
     tracer->record(event);
   }
+  // Annotate every causal event until the matching coll_finish with the
+  // (op, algo) pair, so the critical path can attribute collective time.
+  proc_->push_coll_note(static_cast<std::int16_t>(op),
+                        static_cast<std::int16_t>(choice.algo));
   return choice;
 }
 
@@ -376,6 +408,7 @@ std::vector<coll::Step> Comm::coll_schedule(coll::CollOp op, int algo,
 
 void Comm::coll_finish(coll::CollOp op, int algo, std::size_t bytes,
                        double start_clock, double predicted_s) const {
+  proc_->pop_coll_note();
   const double elapsed = proc_->clock() - start_clock;
   telemetry::metrics()
       .histogram(std::string("coll.") + coll::op_name(op) + ".seconds")

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -31,6 +32,9 @@ struct Envelope {
   /// (used by workload drivers running in virtual-only mode).
   std::size_t logical_bytes = 0;
   double arrival_time = 0.0;       ///< Virtual time the transfer completes.
+  /// Per-(sender, destination) message index, stamped at the send so the
+  /// causal log can pair the receive with its send (docs/observability.md).
+  std::uint64_t causal_seq = 0;
 };
 
 /// Thread-safe matching queue for one process.

@@ -33,6 +33,17 @@ void Proc::note_message_sent(std::size_t bytes) {
 
 const hnoc::Cluster& Proc::cluster() const noexcept { return world_->cluster(); }
 
+telemetry::CausalEvent Proc::causal_event() const {
+  telemetry::CausalEvent e;
+  e.rank = rank_;
+  e.proc = processor_;
+  if (!coll_notes_.empty()) {
+    e.coll_op = coll_notes_.back().first;
+    e.coll_algo = coll_notes_.back().second;
+  }
+  return e;
+}
+
 void Proc::check_crash() {
   if (crash_time_ <= clock_) die(std::max(clock_, crash_time_));
 }
@@ -63,6 +74,13 @@ void Proc::compute(double units) {
     event.end_time = finish;
     tracer->record(event);
   }
+  if (world_->causal_log().enabled()) {
+    telemetry::CausalEvent e = causal_event();
+    e.kind = telemetry::CausalEvent::Kind::kCompute;
+    e.t0 = clock_;
+    e.t1 = finish;
+    world_->causal_log().record(rank_, e);
+  }
   clock_ = finish;
 }
 
@@ -70,6 +88,13 @@ void Proc::elapse(double seconds) {
   support::require(seconds >= 0.0, "elapse duration must be non-negative");
   check_crash();
   if (crash_time_ <= clock_ + seconds) die(crash_time_);
+  if (world_->causal_log().enabled() && seconds > 0.0) {
+    telemetry::CausalEvent e = causal_event();
+    e.kind = telemetry::CausalEvent::Kind::kElapse;
+    e.t0 = clock_;
+    e.t1 = clock_ + seconds;
+    world_->causal_log().record(rank_, e);
+  }
   clock_ += seconds;
 }
 
@@ -109,6 +134,9 @@ World::World(const hnoc::Cluster& cluster, std::vector<int> placement,
                      "fault plan crashes a world rank outside the run");
     support::require(c.time >= 0.0, "fault plan crash time must be >= 0");
   }
+
+  causal_ = std::make_shared<telemetry::CausalLog>(
+      nprocs(), telemetry::resolve_prof_mode(options_.prof));
 }
 
 World::LinkReservation World::reserve_link(int src_proc, int dst_proc,
@@ -156,6 +184,18 @@ void World::mark_dead(int world_rank, double t) {
     event.start_time = t;
     event.end_time = t;
     tracer->record(event);
+  }
+  if (causal_->enabled()) {
+    // Recorded from the dying rank's own thread (die() runs on it), so the
+    // per-rank sharding invariant holds.
+    telemetry::CausalEvent e;
+    e.kind = telemetry::CausalEvent::Kind::kMark;
+    e.flags = telemetry::CausalEvent::kCrash;
+    e.rank = world_rank;
+    e.proc = processor_of(world_rank);
+    e.t0 = t;
+    e.t1 = t;
+    causal_->record(world_rank, e);
   }
   // Wake every blocked receiver so hopeless-predicates re-evaluate, then the
   // registered higher-layer watchers (e.g. the HMPI rendezvous queue).
@@ -313,6 +353,7 @@ World::RunResult World::run(const hnoc::Cluster& cluster,
   for (int r = 0; r < n; ++r) {
     if (!world.alive(r)) result.failed_ranks.push_back(r);
   }
+  result.causal = world.causal_;  // outlives the World (destroyed on return)
   return result;
 }
 

@@ -34,6 +34,7 @@
 #include "mpsim/mailbox.hpp"
 #include "mpsim/types.hpp"
 #include "support/error.hpp"
+#include "telemetry/causal.hpp"
 
 namespace hmpi::telemetry {
 class Counter;
@@ -100,6 +101,27 @@ class Proc {
     return fault_seq_[dst_world]++;
   }
 
+  /// Next per-destination causal sequence number: stamped on every send (and
+  /// its Envelope) so the causal log pairs sends with receives. Program
+  /// order per destination, hence identical under both engines.
+  std::uint64_t next_causal_sequence(int dst_world) {
+    return causal_seq_[dst_world]++;
+  }
+
+  /// A CausalEvent with this process's identity and the innermost active
+  /// collective annotation filled in; the caller sets kind-specific fields.
+  telemetry::CausalEvent causal_event() const;
+
+  /// Collective annotation stack, pushed in Comm::coll_select and popped in
+  /// Comm::coll_finish so every causal event inside the collective carries
+  /// its (op, algo).
+  void push_coll_note(std::int16_t op, std::int16_t algo) {
+    coll_notes_.emplace_back(op, algo);
+  }
+  void pop_coll_note() {
+    if (!coll_notes_.empty()) coll_notes_.pop_back();
+  }
+
   // Per-machine telemetry (machine.<processor>.*) with the Counter pointers
   // cached so the simulation hot paths skip the registry lookup.
   void note_compute_seconds(double seconds);
@@ -113,6 +135,8 @@ class Proc {
   /// here so fault points are one comparison in the common case.
   double crash_time_ = std::numeric_limits<double>::infinity();
   std::map<int, std::uint64_t> fault_seq_;
+  std::map<int, std::uint64_t> causal_seq_;
+  std::vector<std::pair<std::int16_t, std::int16_t>> coll_notes_;
   Stats stats_;
   telemetry::Counter* compute_seconds_counter_ = nullptr;
   telemetry::Counter* sent_bytes_counter_ = nullptr;
@@ -158,6 +182,11 @@ struct WorldOptions {
   /// installed — to the legacy hard-coded algorithms, reproducing their
   /// virtual timing exactly.
   coll::CollPolicy coll;
+  /// Causal-log retention (docs/observability.md): kAuto resolves HMPI_PROF
+  /// (unset -> the always-on per-rank ring, "1"/"full" -> unbounded full
+  /// mode, "0"/"off" -> disabled). The log never changes virtual timing or
+  /// the trace stream — only how much causal history a report can walk.
+  telemetry::ProfMode prof = telemetry::ProfMode::kAuto;
 };
 
 /// Owns the processes, mailboxes, and link state of one simulated run.
@@ -171,6 +200,9 @@ class World {
     double makespan = 0.0;       ///< max(clocks).
     /// World ranks killed by injected faults (crash time == their clock).
     std::vector<int> failed_ranks;
+    /// The run's causal log (shared: the World itself is destroyed when run
+    /// returns). Feed to telemetry::analyze_critical_path.
+    std::shared_ptr<const telemetry::CausalLog> causal;
   };
 
   /// Runs `nprocs = placement.size()` processes; process i executes `body`
@@ -292,6 +324,11 @@ class World {
     return coll_selector_.get();
   }
 
+  /// The run's causal log (docs/observability.md). Always present; mode kOff
+  /// makes record() a no-op.
+  telemetry::CausalLog& causal_log() noexcept { return *causal_; }
+  const telemetry::CausalLog& causal_log() const noexcept { return *causal_; }
+
  private:
   World(const hnoc::Cluster& cluster, std::vector<int> placement,
         Options options);
@@ -331,6 +368,9 @@ class World {
   std::mutex shared_mutex_;
   std::shared_ptr<void> shared_;
   std::shared_ptr<coll::Selector> coll_selector_;
+
+  /// Shared so RunResult can export it past the World's destruction.
+  std::shared_ptr<telemetry::CausalLog> causal_;
 
   friend class Comm;
   friend class Proc;

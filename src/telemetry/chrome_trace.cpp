@@ -51,6 +51,10 @@ void write_event(std::ostream& os, const ChromeEvent& e) {
      << json_quote(e.cat) << ", \"ph\": \"" << e.ph
      << "\", \"ts\": " << json_number(e.ts_us);
   if (e.ph == 'X') os << ", \"dur\": " << json_number(e.dur_us);
+  if (e.ph == 's' || e.ph == 'f' || e.ph == 't') {
+    os << ", \"id\": " << e.flow_id;
+    if (e.ph == 'f') os << ", \"bp\": \"e\"";
+  }
   os << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
   if (!e.args.empty()) {
     os << ", \"args\": {";

@@ -10,6 +10,7 @@
 // guarantees non-decreasing ts.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -24,7 +25,8 @@ inline constexpr int kVirtualPid = 1;  ///< mpsim events, virtual time.
 inline constexpr int kRuntimePid = 2;  ///< telemetry spans, wall time.
 
 /// One event in Chrome trace format. ph 'X' = complete (ts + dur),
-/// 'i' = instant, 'M' = metadata.
+/// 'i' = instant, 'M' = metadata, 's'/'f' = flow start/finish (message
+/// arrows between tracks; `flow_id` pairs the two ends).
 struct ChromeEvent {
   std::string name;
   std::string cat = "hmpi";
@@ -33,6 +35,7 @@ struct ChromeEvent {
   double dur_us = 0.0;
   int pid = kVirtualPid;
   int tid = 0;
+  std::uint64_t flow_id = 0;  ///< Written as "id" for flow phases only.
   /// Values are raw JSON fragments (already encoded).
   std::vector<std::pair<std::string, std::string>> args;
 

@@ -1,0 +1,349 @@
+#include "telemetry/critpath.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <tuple>
+
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hmpi::telemetry {
+
+namespace {
+
+bool on_path(const CausalEvent& e) {
+  return e.kind != CausalEvent::Kind::kMark;
+}
+
+/// (sender rank, dst rank, sequence) -> position of the send event.
+using SendIndex =
+    std::map<std::tuple<int, int, std::uint64_t>, std::pair<int, std::size_t>>;
+
+std::pair<std::string, std::string> resolve_coll(const CollNamer& namer,
+                                                 int op, int algo) {
+  if (namer) return namer(op, algo);
+  return {"op" + std::to_string(op), "algo" + std::to_string(algo)};
+}
+
+}  // namespace
+
+const char* path_segment_kind_name(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kCompute: return "compute";
+    case PathSegment::Kind::kElapse: return "elapse";
+    case PathSegment::Kind::kSendOverhead: return "send_overhead";
+    case PathSegment::Kind::kTransfer: return "transfer";
+    case PathSegment::Kind::kRecvOverhead: return "recv_overhead";
+    case PathSegment::Kind::kGap: return "gap";
+  }
+  return "gap";
+}
+
+CriticalPathReport analyze_critical_path(const CausalLog& log) {
+  CriticalPathReport report;
+
+  std::vector<std::vector<CausalEvent>> events;
+  events.reserve(static_cast<std::size_t>(log.ranks()));
+  for (int r = 0; r < log.ranks(); ++r) {
+    events.push_back(log.events_of(r));
+    report.events_dropped += log.dropped_of(r);
+  }
+
+  // Index every send by its (sender, destination, sequence) identity so a
+  // receive can find its matching send across shards.
+  SendIndex sends;
+  for (int r = 0; r < log.ranks(); ++r) {
+    const auto& shard = events[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      const CausalEvent& e = shard[i];
+      if (e.kind == CausalEvent::Kind::kSend) {
+        sends[{e.rank, e.peer, e.seq}] = {r, i};
+      }
+    }
+  }
+
+  // The path ends at the globally latest in-path event (smallest rank wins
+  // ties, for determinism across engines).
+  int end_rank = -1;
+  std::size_t end_index = 0;
+  for (int r = 0; r < log.ranks(); ++r) {
+    const auto& shard = events[static_cast<std::size_t>(r)];
+    for (std::size_t i = shard.size(); i-- > 0;) {
+      if (!on_path(shard[i])) continue;
+      if (end_rank < 0 || shard[i].t1 > report.makespan_s) {
+        report.makespan_s = shard[i].t1;
+        end_rank = r;
+        end_index = i;
+      }
+      break;  // only the last in-path event per rank can end the path
+    }
+  }
+  if (end_rank < 0) {
+    // Nothing recorded: an empty world (trivially complete) or a disabled
+    // log (nothing to say).
+    report.complete = log.enabled();
+    return report;
+  }
+  report.end_rank = end_rank;
+
+  // Backward walk. `frontier` is the exclusive upper bound of the next
+  // segment; it only ever decreases, so segments never overlap even if a
+  // model produced arrival times inside the sender's overhead window.
+  std::vector<PathSegment> backward;
+  const auto add_segment = [&](PathSegment::Kind kind, const CausalEvent& e,
+                               double t0, double t1) {
+    if (t1 < t0) t1 = t0;
+    PathSegment seg;
+    seg.kind = kind;
+    seg.rank = e.rank;
+    seg.proc = e.proc;
+    seg.peer_proc = e.peer_proc;
+    seg.t0 = t0;
+    seg.t1 = t1;
+    seg.coll_op = e.coll_op;
+    seg.coll_algo = e.coll_algo;
+    backward.push_back(seg);
+    const double dur = t1 - t0;
+    switch (kind) {
+      case PathSegment::Kind::kCompute:
+      case PathSegment::Kind::kElapse:
+        report.compute_s += dur;
+        report.machine_s[seg.proc] += dur;
+        break;
+      case PathSegment::Kind::kSendOverhead:
+        report.overhead_s += dur;
+        report.link_s[{seg.proc, seg.peer_proc}] += dur;
+        break;
+      case PathSegment::Kind::kTransfer:
+        report.transfer_s += dur;
+        report.link_s[{seg.proc, seg.peer_proc}] += dur;
+        break;
+      case PathSegment::Kind::kRecvOverhead:
+        report.overhead_s += dur;
+        if (seg.peer_proc >= 0) {
+          report.link_s[{seg.peer_proc, seg.proc}] += dur;
+        }
+        break;
+      case PathSegment::Kind::kGap:
+        report.gap_s += dur;
+        break;
+    }
+    if (seg.coll_op >= 0 && kind != PathSegment::Kind::kGap) {
+      report.coll_s[{seg.coll_op, seg.coll_algo}] += dur;
+    }
+  };
+
+  int rank = end_rank;
+  std::size_t index = end_index;
+  double frontier = report.makespan_s;
+  double start_time = frontier;
+  bool complete = false;
+  while (true) {
+    const CausalEvent& e = events[static_cast<std::size_t>(rank)][index];
+
+    if (e.kind == CausalEvent::Kind::kRecv && e.arrival > e.t0) {
+      // The receiver was ready before the message arrived: the critical
+      // dependency is the message itself. Cross to the matching send.
+      const double matched = std::min(e.arrival, frontier);
+      add_segment(PathSegment::Kind::kRecvOverhead, e, matched, frontier);
+      const auto it = sends.find({e.peer, e.rank, e.seq});
+      if (it == sends.end()) {
+        start_time = matched;  // sender's history fell off the ring
+        break;
+      }
+      const auto [send_rank, send_index] = it->second;
+      const CausalEvent& send =
+          events[static_cast<std::size_t>(send_rank)][send_index];
+      const double send_end = std::min(send.t1, matched);
+      add_segment(PathSegment::Kind::kTransfer, send, send_end, matched);
+      rank = send_rank;
+      index = send_index;
+      frontier = send_end;
+      continue;
+    }
+
+    PathSegment::Kind kind = PathSegment::Kind::kCompute;
+    switch (e.kind) {
+      case CausalEvent::Kind::kCompute: kind = PathSegment::Kind::kCompute; break;
+      case CausalEvent::Kind::kElapse: kind = PathSegment::Kind::kElapse; break;
+      case CausalEvent::Kind::kSend: kind = PathSegment::Kind::kSendOverhead; break;
+      case CausalEvent::Kind::kRecv: kind = PathSegment::Kind::kRecvOverhead; break;
+      case CausalEvent::Kind::kMark: break;  // unreachable: marks are skipped
+    }
+    const double lo = std::min(e.t0, frontier);
+    add_segment(kind, e, lo, frontier);
+    start_time = lo;
+    if (lo == 0.0) {
+      complete = true;
+      break;
+    }
+    // Local program order: the previous in-path event ends exactly where
+    // this one starts (the clock only moves inside recorded events).
+    std::size_t prev = index;
+    bool found = false;
+    while (prev-- > 0) {
+      const CausalEvent& cand = events[static_cast<std::size_t>(rank)][prev];
+      if (!on_path(cand)) continue;
+      if (cand.t1 == e.t0) {
+        index = prev;
+        frontier = lo;
+        found = true;
+      }
+      break;  // contiguity broken (ring horizon): stop either way
+    }
+    if (!found) break;
+  }
+
+  report.complete = complete;
+  report.path_s = report.makespan_s - start_time;
+  if (!complete && start_time > 0.0) {
+    CausalEvent gap;  // placeholder identity for the unattributed prefix
+    gap.rank = -1;
+    gap.proc = -1;
+    gap.peer_proc = -1;
+    gap.coll_op = -1;
+    add_segment(PathSegment::Kind::kGap, gap, 0.0, start_time);
+  }
+
+  report.segments.assign(backward.rbegin(), backward.rend());
+  return report;
+}
+
+void write_critpath_json(std::ostream& os, const CriticalPathReport& report,
+                         const CollNamer& namer) {
+  os << "{\n  \"critical_path\": {\n";
+  os << "    \"complete\": " << (report.complete ? "true" : "false") << ",\n";
+  os << "    \"makespan_s\": " << json_number(report.makespan_s) << ",\n";
+  os << "    \"path_s\": " << json_number(report.path_s) << ",\n";
+  os << "    \"compute_s\": " << json_number(report.compute_s) << ",\n";
+  os << "    \"transfer_s\": " << json_number(report.transfer_s) << ",\n";
+  os << "    \"overhead_s\": " << json_number(report.overhead_s) << ",\n";
+  os << "    \"gap_s\": " << json_number(report.gap_s) << ",\n";
+  os << "    \"end_rank\": " << report.end_rank << ",\n";
+  os << "    \"events_dropped\": " << report.events_dropped << ",\n";
+
+  os << "    \"machines\": [";
+  bool first = true;
+  for (const auto& [proc, seconds] : report.machine_s) {
+    os << (first ? "" : ", ") << "{\"processor\": " << proc
+       << ", \"seconds\": " << json_number(seconds) << "}";
+    first = false;
+  }
+  os << "],\n";
+
+  os << "    \"links\": [";
+  first = true;
+  for (const auto& [link, seconds] : report.link_s) {
+    os << (first ? "" : ", ") << "{\"src\": " << link.first
+       << ", \"dst\": " << link.second
+       << ", \"seconds\": " << json_number(seconds) << "}";
+    first = false;
+  }
+  os << "],\n";
+
+  os << "    \"collectives\": [";
+  first = true;
+  for (const auto& [key, seconds] : report.coll_s) {
+    const auto [op, algo] = resolve_coll(namer, key.first, key.second);
+    os << (first ? "" : ", ") << "{\"op\": " << json_quote(op)
+       << ", \"algo\": " << json_quote(algo)
+       << ", \"seconds\": " << json_number(seconds) << "}";
+    first = false;
+  }
+  os << "],\n";
+
+  os << "    \"segments\": [";
+  for (std::size_t i = 0; i < report.segments.size(); ++i) {
+    const PathSegment& seg = report.segments[i];
+    os << (i == 0 ? "\n" : ",\n") << "      {\"kind\": \""
+       << path_segment_kind_name(seg.kind) << "\", \"rank\": " << seg.rank
+       << ", \"processor\": " << seg.proc << ", \"peer\": " << seg.peer_proc
+       << ", \"start_s\": " << json_number(seg.t0)
+       << ", \"end_s\": " << json_number(seg.t1);
+    if (seg.coll_op >= 0) {
+      const auto [op, algo] = resolve_coll(namer, seg.coll_op, seg.coll_algo);
+      os << ", \"op\": " << json_quote(op) << ", \"algo\": " << json_quote(algo);
+    }
+    os << "}";
+  }
+  os << (report.segments.empty() ? "" : "\n    ") << "]\n";
+  os << "  }\n}\n";
+}
+
+void report_to_metrics(const CriticalPathReport& report,
+                       MetricsRegistry& registry, const CollNamer& namer) {
+  registry.gauge("crit.path_seconds").set(report.path_s);
+  registry.gauge("crit.makespan_seconds").set(report.makespan_s);
+  registry.gauge("crit.compute_seconds").set(report.compute_s);
+  registry.gauge("crit.transfer_seconds").set(report.transfer_s);
+  registry.gauge("crit.overhead_seconds").set(report.overhead_s);
+  registry.gauge("crit.gap_seconds").set(report.gap_s);
+  registry.gauge("crit.segments").set(static_cast<double>(report.segments.size()));
+  registry.gauge("crit.complete").set(report.complete ? 1.0 : 0.0);
+  registry.gauge("crit.events_dropped")
+      .set(static_cast<double>(report.events_dropped));
+  for (const auto& [proc, seconds] : report.machine_s) {
+    registry.gauge("crit.machine." + std::to_string(proc) + ".seconds")
+        .set(seconds);
+  }
+  for (const auto& [link, seconds] : report.link_s) {
+    registry
+        .gauge("crit.link." + std::to_string(link.first) + "." +
+               std::to_string(link.second) + ".seconds")
+        .set(seconds);
+  }
+  for (const auto& [key, seconds] : report.coll_s) {
+    const auto [op, algo] = resolve_coll(namer, key.first, key.second);
+    registry.gauge("crit.coll." + op + "." + algo + ".seconds").set(seconds);
+  }
+}
+
+std::vector<ChromeEvent> causal_flow_events(const CausalLog& log) {
+  std::vector<ChromeEvent> flows;
+  SendIndex sends;
+  std::vector<std::vector<CausalEvent>> events;
+  events.reserve(static_cast<std::size_t>(log.ranks()));
+  for (int r = 0; r < log.ranks(); ++r) {
+    events.push_back(log.events_of(r));
+    const auto& shard = events.back();
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      if (shard[i].kind == CausalEvent::Kind::kSend) {
+        sends[{shard[i].rank, shard[i].peer, shard[i].seq}] = {r, i};
+      }
+    }
+  }
+  std::uint64_t next_id = 1;
+  for (int r = 0; r < log.ranks(); ++r) {
+    for (const CausalEvent& e : events[static_cast<std::size_t>(r)]) {
+      if (e.kind != CausalEvent::Kind::kRecv) continue;
+      const auto it = sends.find({e.peer, e.rank, e.seq});
+      if (it == sends.end()) continue;
+      const CausalEvent& send =
+          events[static_cast<std::size_t>(it->second.first)][it->second.second];
+      const std::uint64_t id = next_id++;
+      ChromeEvent start;
+      start.name = "msg";
+      start.cat = "hmpi.flow";
+      start.ph = 's';
+      start.ts_us = send.t0 * 1e6;
+      start.pid = kVirtualPid;
+      start.tid = send.rank;
+      start.flow_id = id;
+      flows.push_back(std::move(start));
+      ChromeEvent finish;
+      finish.name = "msg";
+      finish.cat = "hmpi.flow";
+      finish.ph = 'f';
+      finish.ts_us = e.t1 * 1e6;
+      finish.pid = kVirtualPid;
+      finish.tid = e.rank;
+      finish.flow_id = id;
+      flows.push_back(std::move(finish));
+    }
+  }
+  return flows;
+}
+
+}  // namespace hmpi::telemetry

@@ -1,0 +1,101 @@
+// Critical-path extraction and blame attribution over the causal log
+// (docs/observability.md).
+//
+// The analyzer rebuilds the execution DAG implied by a CausalLog — per-rank
+// program order plus send->recv cross edges — and walks backward from the
+// globally latest event. At a receive whose message arrived after the
+// receiver was ready, the path jumps to the matching send on the sender;
+// everywhere else it follows local program order (adjacent events share a
+// clock value exactly, since the virtual clock only advances inside recorded
+// events). The walk telescopes: when it reaches virtual time zero the path
+// length equals the simulator makespan bit-identically.
+//
+// Every path segment is attributed: compute/elapse seconds to the machine
+// that ran them, send-overhead and transfer seconds to the directed
+// machine-pair link that carried the message, and — when the segment fired
+// inside a collective — to that collective's (op, algo). Ring-mode logs can
+// truncate history; the walk then stops at the horizon and reports
+// `complete = false` with the unattributed remainder as a gap.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/causal.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace hmpi::telemetry {
+
+class MetricsRegistry;
+
+/// One segment of the critical path, in chronological order.
+struct PathSegment {
+  enum class Kind {
+    kCompute,       ///< Machine time (Proc::compute).
+    kElapse,        ///< Machine time (Proc::elapse).
+    kSendOverhead,  ///< Sender-side overhead + link-serialization wait.
+    kTransfer,      ///< In-flight time: send end -> arrival at the receiver.
+    kRecvOverhead,  ///< Receiver-side overhead after the match.
+    kGap,           ///< Unattributed time (ring horizon reached).
+  };
+  Kind kind = Kind::kCompute;
+  int rank = -1;       ///< Rank whose timeline carries the segment.
+  int proc = -1;       ///< Machine blamed (compute/elapse) or link source.
+  int peer_proc = -1;  ///< Link destination (send/transfer segments).
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int coll_op = -1;  ///< Enclosing collective, -1 = none.
+  int coll_algo = 0;
+};
+
+const char* path_segment_kind_name(PathSegment::Kind kind);
+
+/// The analyzer's result: the path, its totals, and the blame tables.
+struct CriticalPathReport {
+  bool complete = false;      ///< Path walked all the way to virtual t = 0.
+  double makespan_s = 0.0;    ///< max over ranks of the last event's end.
+  double path_s = 0.0;        ///< End minus path start (== makespan_s when
+                              ///< complete; shorter when truncated).
+  double compute_s = 0.0;     ///< Machine-attributed seconds on the path.
+  double transfer_s = 0.0;    ///< In-flight seconds on the path.
+  double overhead_s = 0.0;    ///< Send/recv overhead seconds on the path.
+  double gap_s = 0.0;         ///< Unattributed seconds (incomplete logs).
+  int end_rank = -1;          ///< Rank whose final event ends the path.
+  std::uint64_t events_dropped = 0;  ///< Ring overwrites across all ranks.
+
+  std::vector<PathSegment> segments;  ///< Chronological.
+  std::map<int, double> machine_s;    ///< processor -> on-path seconds.
+  std::map<std::pair<int, int>, double> link_s;  ///< (src, dst proc) -> s.
+  std::map<std::pair<int, int>, double> coll_s;  ///< (op, algo) -> seconds.
+};
+
+/// Walks the log. O(total events) matching + O(path length) walk.
+CriticalPathReport analyze_critical_path(const CausalLog& log);
+
+/// Resolves a (coll op, algo) pair to human names for the JSON report; the
+/// runtime installs coll::op_name/algo_name, tools fall back to numbers.
+using CollNamer =
+    std::function<std::pair<std::string, std::string>(int op, int algo)>;
+
+/// Writes the `{"critical_path": {...}}` document (docs/observability.md;
+/// validated by tools/telemetry_check, read by tools/hmpiprof).
+void write_critpath_json(std::ostream& os, const CriticalPathReport& report,
+                         const CollNamer& namer = nullptr);
+
+/// Publishes the report as `crit.*` gauges: totals plus
+/// `crit.machine.<p>.seconds`, `crit.link.<src>.<dst>.seconds`, and — via
+/// `namer` — `crit.coll.<op>.<algo>.seconds`.
+void report_to_metrics(const CriticalPathReport& report,
+                       MetricsRegistry& registry,
+                       const CollNamer& namer = nullptr);
+
+/// Perfetto flow events (phase 's'/'f' pairs sharing an id) for every
+/// matched send->recv edge in the log, on the virtual-time pid. Appended to
+/// the dual-clock export so Perfetto draws the message arrows.
+std::vector<ChromeEvent> causal_flow_events(const CausalLog& log);
+
+}  // namespace hmpi::telemetry

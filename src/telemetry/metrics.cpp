@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <ostream>
 
 #include "telemetry/json.hpp"
@@ -37,6 +38,25 @@ Histogram::Snapshot Histogram::snapshot() const {
   snap.min = min_;
   snap.max = max_;
   return snap;
+}
+
+double Histogram::Snapshot::percentile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = std::max(q * static_cast<double>(count), 1.0);
+  long long cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const long long below = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = b == 0 ? min : upper_bounds[b - 1];
+    const double upper = b < upper_bounds.size() ? upper_bounds[b] : max;
+    const double fraction =
+        (target - static_cast<double>(below)) / static_cast<double>(counts[b]);
+    return std::clamp(lower + (upper - lower) * fraction, min, max);
+  }
+  return max;
 }
 
 void Histogram::reset() {
@@ -130,7 +150,11 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(name) << ": {"
        << "\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
        << ", \"min\": " << json_number(h.min)
-       << ", \"max\": " << json_number(h.max) << ", \"buckets\": [";
+       << ", \"max\": " << json_number(h.max)
+       << ", \"p50\": " << json_number(h.percentile(0.50))
+       << ", \"p95\": " << json_number(h.percentile(0.95))
+       << ", \"p99\": " << json_number(h.percentile(0.99))
+       << ", \"buckets\": [";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b > 0) os << ", ";
       os << "{\"le\": "

@@ -63,6 +63,15 @@ class Histogram {
     double sum = 0.0;
     double min = 0.0;  ///< 0 when count == 0.
     double max = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+    /// bucket holding the ceil(q * count)-th observation: the bucket's lower
+    /// edge is the previous ceiling (the recorded min for the first bucket),
+    /// its upper edge the ceiling (the recorded max for the overflow
+    /// bucket), and the observation's rank within the bucket sets the
+    /// interpolation fraction. Results are clamped to [min, max]; NaN when
+    /// the histogram is empty.
+    double percentile(double q) const;
   };
   Snapshot snapshot() const;
 

@@ -19,6 +19,7 @@ Sinks Sinks::with_env_overrides() const {
   Sinks out = *this;
   out.metrics_json = env_or("HMPI_METRICS_JSON", metrics_json);
   out.trace_json = env_or("HMPI_TRACE_JSON", trace_json);
+  out.critpath_json = env_or("HMPI_CRITPATH_JSON", critpath_json);
   return out;
 }
 

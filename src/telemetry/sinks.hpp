@@ -2,8 +2,8 @@
 //
 // Configured on RuntimeConfig (programmatic) and overridable with
 // environment variables so examples, benches, and CI opt in without code
-// changes: HMPI_METRICS_JSON / HMPI_TRACE_JSON name the destination files.
-// Empty path = sink disabled.
+// changes: HMPI_METRICS_JSON / HMPI_TRACE_JSON / HMPI_CRITPATH_JSON name the
+// destination files. Empty path = sink disabled.
 #pragma once
 
 #include <string>
@@ -11,8 +11,9 @@
 namespace hmpi::telemetry {
 
 struct Sinks {
-  std::string metrics_json;  ///< MetricsRegistry::write_json destination.
-  std::string trace_json;    ///< Chrome trace_event JSON destination.
+  std::string metrics_json;   ///< MetricsRegistry::write_json destination.
+  std::string trace_json;     ///< Chrome trace_event JSON destination.
+  std::string critpath_json;  ///< CriticalPathReport JSON destination.
 
   /// Sinks built purely from the environment variables.
   static Sinks from_env();
@@ -21,7 +22,8 @@ struct Sinks {
   Sinks with_env_overrides() const;
 
   bool any() const noexcept {
-    return !metrics_json.empty() || !trace_json.empty();
+    return !metrics_json.empty() || !trace_json.empty() ||
+           !critpath_json.empty();
   }
 };
 

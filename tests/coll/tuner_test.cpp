@@ -141,6 +141,33 @@ TEST(CollTunerTest, FeedbackPromotionReRanks) {
   EXPECT_NE(after, first) << "a 100x penalty must dethrone the choice";
 }
 
+TEST(CollTunerTest, FeedbackRatioReadsThePromotedEwma) {
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  CollTuner::Options options;
+  options.feedback = true;
+  options.feedback_alpha = 1.0;
+  CollTuner tuner(cluster, options);
+  std::uint64_t version = 1;
+  tuner.set_version_source([&] { return version; });
+  const std::vector<int> procs = full_roster(cluster);
+
+  double predicted = -1.0;
+  const int algo = tuner.select(CollOp::kBcast, procs, 2048, &predicted);
+  ASSERT_GT(predicted, 0.0);
+  // Nothing promoted yet: the gauge source reads <= 0 (the runtime skips
+  // emitting coll.feedback.* for such pairs).
+  EXPECT_LE(tuner.feedback_ratio(CollOp::kBcast, algo), 0.0);
+
+  tuner.observe(CollOp::kBcast, algo, 2048, predicted * 3.0, predicted);
+  EXPECT_LE(tuner.feedback_ratio(CollOp::kBcast, algo), 0.0);  // still staged
+  tuner.promote_feedback();
+  // alpha = 1: the ratio is exactly measured / predicted.
+  EXPECT_DOUBLE_EQ(tuner.feedback_ratio(CollOp::kBcast, algo), 3.0);
+  // Out-of-range algos read as unobserved rather than throwing.
+  EXPECT_LE(tuner.feedback_ratio(CollOp::kBcast, 0), 0.0);
+  EXPECT_LE(tuner.feedback_ratio(CollOp::kBcast, 99), 0.0);
+}
+
 // Selections must be identical whatever the mapper threading or estimator
 // caching configuration: the tuner's inputs are only (op, roster, bucket,
 // model version, policy).

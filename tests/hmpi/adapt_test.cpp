@@ -184,6 +184,46 @@ TEST(AdaptController, DriftSignalHasItsOwnHysteresis) {
   EXPECT_DOUBLE_EQ(ctl2.now_s(), 0.0);
 }
 
+TEST(AdaptController, BlameSignalIsFlagGatedWithHysteresis) {
+  // Blame is default-off: even a decisive share produces no decision.
+  AdaptationController off(plain_config());
+  const AdaptDecision silent =
+      off.note_blame(1, AdaptSignal::kBlameMachine, 0.9);
+  EXPECT_FALSE(silent.migrate);
+  EXPECT_EQ(silent.signal, AdaptSignal::kNone);
+
+  AdaptConfig c = plain_config();
+  c.blame = true;
+  c.blame_share = 0.5;
+  AdaptationController ctl(c);
+  // Shares at or below the threshold reset the streak.
+  EXPECT_FALSE(ctl.note_blame(1, AdaptSignal::kBlameLink, 0.5).migrate);
+  EXPECT_EQ(ctl.note_blame(1, AdaptSignal::kBlameLink, 0.8).signal,
+            AdaptSignal::kBlameLink);
+  ctl.note_blame(1, AdaptSignal::kBlameLink, 0.2);  // resets
+  EXPECT_FALSE(ctl.note_blame(1, AdaptSignal::kBlameLink, 0.8).migrate);
+  // Two consecutive decisive shares clear the hysteresis (2) and trigger.
+  const AdaptDecision d = ctl.note_blame(1, AdaptSignal::kBlameLink, 0.8);
+  EXPECT_TRUE(d.migrate);
+  EXPECT_EQ(d.signal, AdaptSignal::kBlameLink);
+  EXPECT_DOUBLE_EQ(d.severity, 0.8);
+  // Triggering resets the streak.
+  EXPECT_FALSE(ctl.note_blame(1, AdaptSignal::kBlameLink, 0.8).migrate);
+}
+
+TEST(AdaptController, BlameValidatesItsInputs) {
+  AdaptConfig c = plain_config();
+  c.blame = true;
+  AdaptationController ctl(c);
+  EXPECT_THROW(ctl.note_blame(1, AdaptSignal::kDivergence, 0.5),
+               InvalidArgument);
+  EXPECT_THROW(ctl.note_blame(1, AdaptSignal::kBlameMachine, 1.5),
+               InvalidArgument);
+  AdaptConfig bad = plain_config();
+  bad.blame_share = 0.0;  // must be in (0, 1]
+  EXPECT_THROW(AdaptationController{bad}, InvalidArgument);
+}
+
 TEST(AdaptController, SuppressedAttemptResetsStreak) {
   AdaptationController ctl(plain_config());
   ctl.note_progress(1, 1.0, 2.0);  // streak 1
@@ -304,6 +344,13 @@ TEST(AdaptConfigEnv, OverridesApplyAndGarbageIsIgnored) {
   ::setenv("HMPI_ADAPT_COOLDOWN", "-2", 1);
   EXPECT_DOUBLE_EQ(base.with_env().cooldown_s, 1.0);
   ::unsetenv("HMPI_ADAPT_COOLDOWN");
+
+  EXPECT_FALSE(base.blame);  // default off
+  ::setenv("HMPI_ADAPT_BLAME", "on", 1);
+  EXPECT_TRUE(base.with_env().blame);
+  ::setenv("HMPI_ADAPT_BLAME", "off", 1);
+  EXPECT_FALSE(base.with_env().blame);
+  ::unsetenv("HMPI_ADAPT_BLAME");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,154 @@
+// Runtime- and C-API-level critical-path surface (docs/observability.md):
+// HMPI_Critical_path_json emits the report shape, blame_top ranks machines
+// and links with path shares, finalize publishes the crit.* gauges and the
+// HMPI_CRITPATH_JSON sink, and the report names collectives through the
+// runtime's coll namer.
+#include "hmpi/hmpi_c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/world.hpp"
+#include "support/error.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hmpi {
+namespace {
+
+using mp::Proc;
+using mp::World;
+using telemetry::JsonValue;
+using telemetry::parse_json;
+
+/// A short program with compute and traffic on every rank, so the path has
+/// machine and link segments to blame.
+void busy_body(Proc& p) {
+  mp::Comm comm = p.world_comm();
+  p.compute(20.0 * (p.rank() + 1));
+  comm.barrier();
+}
+
+TEST(CritPathApi, JsonAndBlameTopFromALiveRuntime) {
+  const hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4);
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  World::run_one_per_processor(
+      cluster,
+      [](Proc& p) {
+        HMPI_Init(p);
+        busy_body(p);
+
+        std::ostringstream os;
+        HMPI_Critical_path_json(os);
+        const auto doc = parse_json(os.str());
+        ASSERT_TRUE(doc.has_value());
+        const JsonValue* cp = doc->find("critical_path");
+        ASSERT_NE(cp, nullptr);
+        const JsonValue* complete = cp->find("complete");
+        ASSERT_NE(complete, nullptr);
+        EXPECT_TRUE(complete->boolean);
+        const JsonValue* machines = cp->find("machines");
+        ASSERT_NE(machines, nullptr);
+        EXPECT_FALSE(machines->array.empty());
+
+        const auto blamed = HMPI_Blame_top(3);
+        ASSERT_FALSE(blamed.empty());
+        EXPECT_LE(blamed.size(), 3u);
+        for (std::size_t i = 1; i < blamed.size(); ++i) {
+          EXPECT_GE(blamed[i - 1].seconds, blamed[i].seconds);
+        }
+        for (const auto& b : blamed) {
+          EXPECT_GT(b.seconds, 0.0);
+          EXPECT_GT(b.share, 0.0);
+          EXPECT_LE(b.share, 1.0);
+          if (b.kind == Runtime::BlameEntry::Kind::kLink) {
+            EXPECT_GE(b.peer_proc, 0);
+          }
+        }
+        // Rank 3 computes 4x rank 0's volume on identical machines: its
+        // processor must carry the most blame.
+        EXPECT_EQ(blamed.front().kind, Runtime::BlameEntry::Kind::kMachine);
+        EXPECT_EQ(blamed.front().proc, 3);
+
+        EXPECT_THROW(HMPI_Blame_top(0), InvalidArgument);
+        HMPI_Finalize(0);
+      },
+      options);
+}
+
+TEST(CritPathApi, FinalizePublishesGaugesAndSink) {
+  const std::string path =
+      ::testing::TempDir() + "/hmpi_critpath_api_test.json";
+  std::remove(path.c_str());
+
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  RuntimeConfig config;
+  config.telemetry.critpath_json = path;
+  World::run_one_per_processor(
+      cluster,
+      [&config](Proc& p) {
+        HMPI_Init(p, config);
+        busy_body(p);
+        HMPI_Finalize(0);
+      },
+      options);
+
+  // The host's finalize wrote the sink...
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << path;
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const auto doc = parse_json(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("critical_path"), nullptr);
+
+  // ...and the crit.* gauges landed in the process-wide registry.
+  const auto snap = telemetry::metrics().snapshot();
+  bool path_seconds = false;
+  bool machine_gauge = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "crit.path_seconds" && value > 0.0) path_seconds = true;
+    if (name.rfind("crit.machine.", 0) == 0 && value > 0.0) {
+      machine_gauge = true;
+    }
+  }
+  EXPECT_TRUE(path_seconds);
+  EXPECT_TRUE(machine_gauge);
+  std::remove(path.c_str());
+}
+
+TEST(CritPathApi, CollectiveBlameUsesRuntimeNames) {
+  // Inside a barrier the recorded events carry the (op, algo) annotation;
+  // the runtime's namer must resolve them to stable names, not opN/algoN.
+  const hnoc::Cluster cluster = hnoc::testbeds::homogeneous(3);
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  World::run_one_per_processor(
+      cluster,
+      [](Proc& p) {
+        HMPI_Init(p);
+        mp::Comm comm = p.world_comm();
+        for (int i = 0; i < 3; ++i) comm.barrier();
+
+        std::ostringstream os;
+        HMPI_Critical_path_json(os);
+        const std::string json = os.str();
+        if (p.rank() == 0) {
+          EXPECT_NE(json.find("\"barrier\""), std::string::npos) << json;
+          EXPECT_EQ(json.find("\"op-1\""), std::string::npos);
+        }
+        HMPI_Finalize(0);
+      },
+      options);
+}
+
+}  // namespace
+}  // namespace hmpi

@@ -1,0 +1,313 @@
+// Causal profiling under the simulator (docs/observability.md): the
+// critical-path length telescopes to the makespan bit-identically under both
+// engines, a deliberately slowed machine or link tops the blame tables, the
+// always-on ring mode leaves every existing observable bit-identical to a
+// profiling-off run, ring truncation degrades gracefully, and the Perfetto
+// export (trace events + flow arrows) is identical across engines and event
+// worker counts (the span-nesting contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/comm.hpp"
+#include "mpsim/trace.hpp"
+#include "mpsim/world.hpp"
+#include "telemetry/causal.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/critpath.hpp"
+
+#include "differential.hpp"
+
+namespace hmpi::mp {
+namespace {
+
+using telemetry::CausalLog;
+using telemetry::CriticalPathReport;
+using telemetry::ProfMode;
+
+/// Scoped setenv/unsetenv (tests in this binary run single-threaded).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+/// An irregular but deterministic program: skewed compute, a ring exchange,
+/// and a reduction-to-rank-0 chain, so the critical path crosses machines.
+void mixed_program(Proc& p) {
+  Comm comm = p.world_comm();
+  const int me = p.rank();
+  const int n = comm.size();
+  p.compute(50.0 * (me % 3 + 1));
+  comm.send_placeholder(4096, (me + 1) % n, 7);
+  comm.recv_placeholder((me + n - 1) % n, 7);
+  p.compute(25.0);
+  if (me != 0) {
+    comm.send_placeholder(1024, 0, 8);
+  } else {
+    for (int src = 1; src < n; ++src) comm.recv_placeholder(src, 8);
+  }
+}
+
+World::RunResult run_with(sim::SimEngine engine, const hnoc::Cluster& cluster,
+                          ProfMode prof, int event_workers = 1) {
+  std::vector<int> placement(static_cast<std::size_t>(cluster.size()));
+  for (int r = 0; r < cluster.size(); ++r)
+    placement[static_cast<std::size_t>(r)] = r;
+  World::Options options;
+  options.engine = engine;
+  options.event_workers = event_workers;
+  options.prof = prof;
+  return World::run(cluster, placement, mixed_program, options);
+}
+
+TEST(CausalSim, PathEqualsMakespanBitIdenticallyUnderBothEngines) {
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  const auto thread_run =
+      run_with(sim::SimEngine::kThread, cluster, ProfMode::kFull);
+  const auto event_run =
+      run_with(sim::SimEngine::kEvent, cluster, ProfMode::kFull, 4);
+
+  for (const auto& run : {thread_run, event_run}) {
+    ASSERT_NE(run.causal, nullptr);
+    const CriticalPathReport report =
+        telemetry::analyze_critical_path(*run.causal);
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.events_dropped, 0u);
+    // Bit-identical, not approximately equal: the virtual clock only moves
+    // inside recorded events, so the backward walk telescopes exactly.
+    EXPECT_EQ(report.makespan_s, run.makespan);
+    EXPECT_EQ(report.path_s, run.makespan);
+  }
+
+  // And the two engines agree on the path itself, segment by segment.
+  const CriticalPathReport a =
+      telemetry::analyze_critical_path(*thread_run.causal);
+  const CriticalPathReport b =
+      telemetry::analyze_critical_path(*event_run.causal);
+  EXPECT_EQ(a.end_rank, b.end_rank);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].kind, b.segments[i].kind) << i;
+    EXPECT_EQ(a.segments[i].rank, b.segments[i].rank) << i;
+    EXPECT_EQ(a.segments[i].t0, b.segments[i].t0) << i;
+    EXPECT_EQ(a.segments[i].t1, b.segments[i].t1) << i;
+  }
+  EXPECT_EQ(a.machine_s, b.machine_s);
+  EXPECT_EQ(a.link_s, b.link_s);
+}
+
+/// The label (machine or link identity) with the most on-path seconds —
+/// exactly the top row of tools/hmpiprof's blame table.
+std::string top_blamed(const CriticalPathReport& report) {
+  std::string label;
+  double best = -1.0;
+  for (const auto& [proc, s] : report.machine_s) {
+    if (s > best) {
+      best = s;
+      label = "machine " + std::to_string(proc);
+    }
+  }
+  for (const auto& [link, s] : report.link_s) {
+    if (s > best) {
+      best = s;
+      label = "link " + std::to_string(link.first) + " -> " +
+              std::to_string(link.second);
+    }
+  }
+  return label;
+}
+
+TEST(CausalSim, SlowMachineTopsTheBlameTable) {
+  // Machine 2 is 20x slower; everyone computes the same volume, so its
+  // compute interval dominates the path.
+  hnoc::ClusterBuilder builder;
+  builder.add("fast0", 100.0).add("fast1", 100.0).add("slow", 5.0);
+  builder.network(1e-6, 1e9);  // make links negligible
+  const hnoc::Cluster cluster = builder.build();
+
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  const auto result = World::run(
+      cluster, {0, 1, 2},
+      [](Proc& p) {
+        Comm comm = p.world_comm();
+        p.compute(100.0);
+        comm.barrier();
+      },
+      options);
+  ASSERT_NE(result.causal, nullptr);
+  const CriticalPathReport report =
+      telemetry::analyze_critical_path(*result.causal);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(top_blamed(report), "machine 2");
+  // And the slow machine's share is decisive, not marginal.
+  EXPECT_GT(report.machine_s.at(2), 0.9 * (100.0 / 5.0));
+}
+
+TEST(CausalSim, SlowLinkTopsTheBlameTable) {
+  // Identical machines, but the 0 -> 1 link has a 2-second latency; the
+  // ping-pong's transfer time dwarfs every compute interval.
+  hnoc::ClusterBuilder builder;
+  builder.add("a", 100.0).add("b", 100.0);
+  builder.network(1e-6, 1e9);
+  builder.link_override(0, 1, /*latency_s=*/2.0, /*bandwidth_bps=*/1e9);
+  const hnoc::Cluster cluster = builder.build();
+
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  const auto result = World::run(
+      cluster, {0, 1},
+      [](Proc& p) {
+        Comm comm = p.world_comm();
+        p.compute(1.0);
+        if (p.rank() == 0) {
+          comm.send_placeholder(1024, 1, 3);
+          comm.recv_placeholder(1, 4);
+        } else {
+          comm.recv_placeholder(0, 3);
+          comm.send_placeholder(1024, 0, 4);
+        }
+      },
+      options);
+  ASSERT_NE(result.causal, nullptr);
+  const CriticalPathReport report =
+      telemetry::analyze_critical_path(*result.causal);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(top_blamed(report), "link 0 -> 1");
+  EXPECT_GT(report.link_s.at({0, 1}), 2.0);
+}
+
+TEST(CausalSim, DefaultRingModeLeavesTraceBitIdentical) {
+  // The always-on ring log must be a pure observer: with HMPI_PROF unset,
+  // clocks, stats, and the trace CSV match a profiling-off run exactly.
+  ScopedEnv env("HMPI_PROF", nullptr);
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  std::vector<int> placement(static_cast<std::size_t>(cluster.size()));
+  for (int r = 0; r < cluster.size(); ++r)
+    placement[static_cast<std::size_t>(r)] = r;
+
+  auto run_once = [&](ProfMode prof) {
+    World::Options options;
+    options.prof = prof;
+    return testing::run_with_engine(sim::SimEngine::kThread, cluster,
+                                    placement, mixed_program, options);
+  };
+  const testing::EngineRun ring = run_once(ProfMode::kAuto);  // -> kRing
+  const testing::EngineRun off = run_once(ProfMode::kOff);
+  ASSERT_NE(ring.result.causal, nullptr);
+  EXPECT_EQ(ring.result.causal->mode(), ProfMode::kRing);
+  EXPECT_EQ(off.result.causal->mode(), ProfMode::kOff);
+  testing::expect_identical_runs(ring, off);
+}
+
+TEST(CausalSim, RingTruncationReportsIncompleteWithGap) {
+  // More events per rank than the ring holds: the walk must stop at the
+  // horizon and account the missing prefix as a gap, never mis-telescope.
+  const hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2);
+  World::Options options;
+  options.prof = telemetry::ProfMode::kRing;
+  const auto result = World::run(
+      cluster, {0, 1},
+      [](Proc& p) {
+        for (int i = 0; i < 2 * static_cast<int>(
+                                CausalLog::kDefaultRingCapacity);
+             ++i) {
+          p.compute(1.0);
+        }
+      },
+      options);
+  ASSERT_NE(result.causal, nullptr);
+  const CriticalPathReport report =
+      telemetry::analyze_critical_path(*result.causal);
+  EXPECT_FALSE(report.complete);
+  EXPECT_GT(report.events_dropped, 0u);
+  EXPECT_GT(report.gap_s, 0.0);
+  EXPECT_EQ(report.makespan_s, result.makespan);
+  EXPECT_DOUBLE_EQ(report.path_s + report.gap_s, report.makespan_s);
+}
+
+TEST(CausalSim, PerfettoExportIdenticalAcrossEnginesAndWorkers) {
+  // The span-nesting contract: the full Perfetto document — tracer 'X'/'i'
+  // events plus the causal flow arrows — is byte-identical under the thread
+  // engine and the event engine at 1, 2, and 8 workers. mixed_program uses
+  // only virtual-time kinds, so no wall-clock masking is needed.
+  const hnoc::Cluster cluster = hnoc::testbeds::two_level(2, 3, 80.0);
+  std::vector<int> placement(static_cast<std::size_t>(cluster.size()));
+  for (int r = 0; r < cluster.size(); ++r)
+    placement[static_cast<std::size_t>(r)] = r;
+
+  auto export_once = [&](sim::SimEngine engine, int workers) {
+    Tracer tracer;
+    World::Options options;
+    options.engine = engine;
+    options.event_workers = workers;
+    options.tracer = &tracer;
+    options.prof = telemetry::ProfMode::kFull;
+    const auto result = World::run(cluster, placement, mixed_program, options);
+    auto events = to_chrome_events(tracer.events());
+    auto flows = telemetry::causal_flow_events(*result.causal);
+    events.insert(events.end(), flows.begin(), flows.end());
+    std::ostringstream os;
+    telemetry::write_chrome_trace(os, std::move(events));
+    return os.str();
+  };
+
+  const std::string reference = export_once(sim::SimEngine::kThread, 1);
+  EXPECT_FALSE(reference.empty());
+  for (int workers : {1, 2, 8}) {
+    EXPECT_EQ(reference, export_once(sim::SimEngine::kEvent, workers))
+        << "event engine with " << workers << " workers";
+  }
+}
+
+TEST(CausalSim, CrashLeavesAMarkInTheLog) {
+  // A rank killed by the fault plan records a kMark/kCrash event from its
+  // own timeline, so post-mortems can place the death on the virtual clock.
+  const hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2);
+  World::Options options;
+  options.prof = telemetry::ProfMode::kFull;
+  options.faults.crashes.push_back({.world_rank = 1, .time = 5.0});
+  const auto result = World::run(
+      cluster, {0, 1},
+      [](Proc& p) {
+        for (int i = 0; i < 100; ++i) p.compute(10.0);
+      },
+      options);
+  ASSERT_NE(result.causal, nullptr);
+  const auto events = result.causal->events_of(1);
+  const auto mark = std::find_if(events.begin(), events.end(), [](const auto& e) {
+    return e.kind == telemetry::CausalEvent::Kind::kMark &&
+           (e.flags & telemetry::CausalEvent::kCrash) != 0;
+  });
+  ASSERT_NE(mark, events.end());
+  EXPECT_GE(mark->t0, 5.0);
+}
+
+}  // namespace
+}  // namespace hmpi::mp

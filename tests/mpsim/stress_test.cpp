@@ -12,6 +12,7 @@
 #include "hnoc/cluster.hpp"
 #include "mpsim/comm.hpp"
 #include "support/rng.hpp"
+#include "telemetry/critpath.hpp"
 
 namespace hmpi::mp {
 namespace {
@@ -269,6 +270,64 @@ TEST(StressAtScale, TenThousandProcessRingAndBarrier) {
   if (rss != 0) {
     EXPECT_LT(rss, 8ull * 1024 * 1024 * 1024) << "peak RSS over budget";
   }
+#else
+  (void)wall_s;
+#endif
+}
+
+TEST(StressAtScale, FullProfilingStaysWithinWallBudget) {
+  // The same 10k-process pattern as above with HMPI_PROF-style full causal
+  // logging: every send/recv/compute is recorded (~60 events x 10k ranks),
+  // the analyzer still telescopes the path to the makespan, and the whole
+  // run stays within an interactive wall budget — the acceptance bar for
+  // leaving profiling on during at-scale experiments.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  const int P = 2000;
+#else
+  const int P = 10000;
+#endif
+  const int machines = 16;
+  hnoc::Cluster cluster = hnoc::testbeds::two_level(4, 4, 100.0);
+  std::vector<int> placement(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) placement[static_cast<std::size_t>(r)] = r % machines;
+
+  World::Options options;
+  options.engine = sim::SimEngine::kEvent;
+  options.fiber_stack_bytes = 256 * 1024;
+  options.prof = telemetry::ProfMode::kFull;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto result = World::run(
+      cluster, placement,
+      [P](Proc& p) {
+        Comm comm = p.world_comm();
+        const int me = p.rank();
+        comm.send_placeholder(256, (me + 1) % P, 1);
+        comm.recv_placeholder((me + P - 1) % P, 1);
+        for (int k = 1, round = 0; k < P; k <<= 1, ++round) {
+          comm.send_placeholder(1, (me + k) % P, 100 + round);
+          comm.recv_placeholder((me + P - k) % P, 100 + round);
+        }
+      },
+      options);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  ASSERT_NE(result.causal, nullptr);
+  EXPECT_EQ(result.causal->mode(), telemetry::ProfMode::kFull);
+  const telemetry::CriticalPathReport report =
+      telemetry::analyze_critical_path(*result.causal);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.events_dropped, 0u);
+  EXPECT_EQ(report.makespan_s, result.makespan);
+  EXPECT_EQ(report.path_s, result.makespan);
+#if defined(NDEBUG) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
+  // Full-mode recording rides the existing per-event work; budget it at the
+  // same interactive bar as the unprofiled run (which passes well under it).
+  EXPECT_LT(wall_s, 90.0) << "full causal profiling too slow at 10k processes";
 #else
   (void)wall_s;
 #endif

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -124,6 +125,83 @@ TEST(Metrics, GlobalRegistryIsProcessWide) {
   Counter& a = metrics().counter("test.global_registry_counter");
   Counter& b = metrics().counter("test.global_registry_counter");
   EXPECT_EQ(&a, &b);
+}
+
+// ---------------------------------------------------------------------------
+// Percentile estimation (docs/observability.md): the interpolation is pinned
+// exactly — lower edge = previous ceiling (min for the first bucket), upper
+// edge = ceiling (max for overflow), rank within the bucket sets the
+// fraction, result clamped to [min, max].
+// ---------------------------------------------------------------------------
+
+TEST(Percentiles, InterpolationIsPinned) {
+  Histogram h({1.0, 2.0, 4.0});
+  // One observation per finite bucket plus one in overflow:
+  // counts = {1, 1, 1, 1}, min = 0.5, max = 8.
+  for (double v : {0.5, 1.5, 3.0, 8.0}) h.observe(v);
+  const Histogram::Snapshot s = h.snapshot();
+  // p50: target = 2 lands on bucket (1, 2] with fraction 1 -> exactly 2.
+  EXPECT_DOUBLE_EQ(s.percentile(0.50), 2.0);
+  // p95: target = 3.8 lands in overflow (4, max=8] at fraction 0.8.
+  EXPECT_DOUBLE_EQ(s.percentile(0.95), 4.0 + 4.0 * 0.8);
+  // p99: fraction 0.96 of the same bucket.
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 4.0 + 4.0 * 0.96);
+}
+
+TEST(Percentiles, SingleObservationClampsToItself) {
+  Histogram h({10.0});
+  h.observe(5.0);
+  const Histogram::Snapshot s = h.snapshot();
+  // Interpolation inside (min=5, le=10] would say 10; the [min, max] clamp
+  // pins every quantile of a single observation to that observation.
+  EXPECT_DOUBLE_EQ(s.percentile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 5.0);
+}
+
+TEST(Percentiles, EmptyBucketsAreSkipped) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  // Everything in the (2, 4] bucket; the empty buckets around it must not
+  // shift the interpolation edges.
+  for (int i = 0; i < 10; ++i) h.observe(3.0);
+  const Histogram::Snapshot s = h.snapshot();
+  // All mass in one bucket: lower = 2, upper = 4, p50 at fraction 0.5, but
+  // min = max = 3 clamps every quantile to 3.
+  EXPECT_DOUBLE_EQ(s.percentile(0.50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 3.0);
+}
+
+TEST(Percentiles, EmptyHistogramIsNaN) {
+  Histogram h({1.0});
+  EXPECT_TRUE(std::isnan(h.snapshot().percentile(0.5)));
+}
+
+TEST(Percentiles, JsonDumpCarriesP50P95P99) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", std::vector<double>{1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 3.0, 8.0}) h.observe(v);
+  reg.histogram("empty", std::vector<double>{1.0});
+  std::ostringstream os;
+  reg.write_json(os);
+  const auto doc = parse_json(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* hists = doc->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* lat = hists->find("lat");
+  ASSERT_NE(lat, nullptr);
+  const JsonValue* p50 = lat->find("p50");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_TRUE(p50->is_number());
+  EXPECT_DOUBLE_EQ(p50->number, 2.0);
+  const JsonValue* p95 = lat->find("p95");
+  ASSERT_NE(p95, nullptr);
+  ASSERT_TRUE(p95->is_number());
+  EXPECT_DOUBLE_EQ(p95->number, 4.0 + 4.0 * 0.8);
+  // An empty histogram's percentiles are NaN, which JSON renders as null.
+  const JsonValue* empty = hists->find("empty");
+  ASSERT_NE(empty, nullptr);
+  const JsonValue* empty_p99 = empty->find("p99");
+  ASSERT_NE(empty_p99, nullptr);
+  EXPECT_TRUE(empty_p99->is_null());
 }
 
 }  // namespace

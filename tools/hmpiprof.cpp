@@ -1,0 +1,213 @@
+// hmpiprof: human-readable critical-path and blame report
+// (docs/observability.md).
+//
+// Reads the `{"critical_path": {...}}` JSON written by the HMPI_CRITPATH_JSON
+// sink (or HMPI_Critical_path_json) and prints the path breakdown, the top-k
+// blamed machines and links, and the collectives' share of the path. With a
+// prediction-ledger dump as a second file, also prints predicted-vs-measured
+// deltas per model.
+//
+//   hmpiprof [-k N] CRITPATH.json [PREDICTIONS.json]
+//
+// Exit status 0 on success, 1 on malformed input, 2 on usage errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace {
+
+using hmpi::telemetry::JsonValue;
+
+double number_or(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string read_file(const std::string& path, bool* ok) {
+  std::ifstream is(path);
+  if (!is) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  *ok = true;
+  return buffer.str();
+}
+
+void print_share_line(const std::string& label, double seconds, double path_s) {
+  const double share = path_s > 0.0 ? 100.0 * seconds / path_s : 0.0;
+  std::printf("  %-24s %12.6f s  %5.1f%%\n", label.c_str(), seconds, share);
+}
+
+/// One blame row: a machine's compute seconds or a link's wait + transfer
+/// seconds on the critical path, printed most-blamed first.
+struct Blamed {
+  std::string label;
+  double seconds = 0.0;
+};
+
+int report_critpath(const std::string& file, const JsonValue& doc, int top_k) {
+  const JsonValue* cp = doc.find("critical_path");
+  if (cp == nullptr || !cp->is_object()) {
+    std::fprintf(stderr, "%s: not a critical-path report (missing "
+                         "\"critical_path\")\n",
+                 file.c_str());
+    return 1;
+  }
+  const double makespan = number_or(*cp, "makespan_s", 0.0);
+  const double path = number_or(*cp, "path_s", 0.0);
+  const JsonValue* complete = cp->find("complete");
+  const bool is_complete = complete != nullptr &&
+                           complete->type == JsonValue::Type::kBool &&
+                           complete->boolean;
+
+  std::printf("critical path report (%s)\n", file.c_str());
+  std::printf("  %-24s %12.6f s\n", "makespan", makespan);
+  std::printf("  %-24s %12.6f s  (%s)\n", "path", path,
+              is_complete ? "complete" : "truncated: ring horizon reached");
+  print_share_line("compute", number_or(*cp, "compute_s", 0.0), path);
+  print_share_line("transfer", number_or(*cp, "transfer_s", 0.0), path);
+  print_share_line("overhead", number_or(*cp, "overhead_s", 0.0), path);
+  print_share_line("gap", number_or(*cp, "gap_s", 0.0), path);
+  const JsonValue* segments = cp->find("segments");
+  std::printf("  %-24s %12d     (ends at rank %d, %d events dropped)\n",
+              "segments",
+              segments != nullptr && segments->is_array()
+                  ? static_cast<int>(segments->array.size())
+                  : 0,
+              static_cast<int>(number_or(*cp, "end_rank", -1.0)),
+              static_cast<int>(number_or(*cp, "events_dropped", 0.0)));
+
+  std::vector<Blamed> blamed;
+  if (const JsonValue* machines = cp->find("machines");
+      machines != nullptr && machines->is_array()) {
+    for (const JsonValue& m : machines->array) {
+      Blamed b;
+      b.label =
+          "machine " + std::to_string(static_cast<int>(number_or(m, "processor", -1.0)));
+      b.seconds = number_or(m, "seconds", 0.0);
+      blamed.push_back(std::move(b));
+    }
+  }
+  if (const JsonValue* links = cp->find("links");
+      links != nullptr && links->is_array()) {
+    for (const JsonValue& l : links->array) {
+      Blamed b;
+      b.label = "link " +
+                std::to_string(static_cast<int>(number_or(l, "src", -1.0))) +
+                " -> " +
+                std::to_string(static_cast<int>(number_or(l, "dst", -1.0)));
+      b.seconds = number_or(l, "seconds", 0.0);
+      blamed.push_back(std::move(b));
+    }
+  }
+  std::stable_sort(blamed.begin(), blamed.end(),
+                   [](const Blamed& a, const Blamed& b) {
+                     return a.seconds > b.seconds;
+                   });
+  std::printf("\ntop blamed machines / links\n");
+  if (blamed.empty()) std::printf("  (none on the path)\n");
+  for (std::size_t i = 0;
+       i < blamed.size() && i < static_cast<std::size_t>(top_k); ++i) {
+    const double share = path > 0.0 ? 100.0 * blamed[i].seconds / path : 0.0;
+    std::printf("  %2d. %-22s %12.6f s  %5.1f%%\n", static_cast<int>(i + 1),
+                blamed[i].label.c_str(), blamed[i].seconds, share);
+  }
+
+  if (const JsonValue* colls = cp->find("collectives");
+      colls != nullptr && colls->is_array() && !colls->array.empty()) {
+    std::printf("\ncollectives on the path\n");
+    for (const JsonValue& c : colls->array) {
+      const JsonValue* op = c.find("op");
+      const JsonValue* algo = c.find("algo");
+      const std::string label =
+          (op != nullptr && op->is_string() ? op->string : "?") + "/" +
+          (algo != nullptr && algo->is_string() ? algo->string : "?");
+      print_share_line(label, number_or(c, "seconds", 0.0), path);
+    }
+  }
+  return 0;
+}
+
+int report_predictions(const std::string& file, const JsonValue& doc) {
+  const JsonValue* samples = doc.find("samples");
+  if (samples == nullptr || !samples->is_array()) {
+    std::fprintf(stderr, "%s: not a prediction ledger (missing \"samples\")\n",
+                 file.c_str());
+    return 1;
+  }
+  std::printf("\npredicted vs measured (%s)\n", file.c_str());
+  bool any = false;
+  for (const JsonValue& s : samples->array) {
+    const JsonValue* measured = s.find("measured_s");
+    if (measured == nullptr || !measured->is_number()) continue;  // open entry
+    const JsonValue* model = s.find("model");
+    const double predicted = number_or(s, "predicted_s", 0.0);
+    const double delta = measured->number - predicted;
+    std::printf("  %-16s group %-4d predicted %10.6f s, measured %10.6f s, "
+                "delta %+10.6f s (%+.1f%%)\n",
+                model != nullptr && model->is_string() ? model->string.c_str()
+                                                       : "?",
+                static_cast<int>(number_or(s, "group_id", -1.0)), predicted,
+                measured->number, delta,
+                predicted > 0.0 ? 100.0 * delta / predicted : 0.0);
+    any = true;
+  }
+  if (!any) std::printf("  (no closed predicted/measured pairs)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int top_k = 5;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hmpiprof: -k needs a value\n");
+        return 2;
+      }
+      top_k = std::atoi(argv[++i]);
+      if (top_k < 1) {
+        std::fprintf(stderr, "hmpiprof: -k needs a positive integer\n");
+        return 2;
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || files.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: hmpiprof [-k N] CRITPATH.json [PREDICTIONS.json]\n");
+    return 2;
+  }
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    bool ok = false;
+    const std::string text = read_file(files[i], &ok);
+    if (!ok) {
+      std::fprintf(stderr, "%s: cannot open\n", files[i].c_str());
+      return 1;
+    }
+    std::string error;
+    const auto doc = hmpi::telemetry::parse_json(text, &error);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", files[i].c_str(),
+                   error.c_str());
+      return 1;
+    }
+    const int status = i == 0 ? report_critpath(files[i], *doc, top_k)
+                              : report_predictions(files[i], *doc);
+    if (status != 0) return status;
+  }
+  return 0;
+}

@@ -90,6 +90,22 @@ void check_chrome_trace(const std::string& file, const JsonValue& doc) {
   if (real_events == 0) fail(file, "trace contains no non-metadata events");
 }
 
+// Resolves a "<op>.<algo>" tail against the coll policy tables.
+bool valid_coll_op_algo(const std::string& tail) {
+  const std::size_t dot = tail.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= tail.size()) {
+    return false;
+  }
+  const std::string op_part = tail.substr(0, dot);
+  const std::string algo_part = tail.substr(dot + 1);
+  for (int i = 0; i < hmpi::coll::kNumCollOps; ++i) {
+    const auto op = static_cast<hmpi::coll::CollOp>(i);
+    if (op_part != hmpi::coll::op_name(op)) continue;
+    return hmpi::coll::algo_from_name(op, algo_part) >= 1;
+  }
+  return false;
+}
+
 // Splits "coll.<op>.<suffix>" and resolves <op> against the policy tables;
 // returns false when the name is outside the reserved grammar.
 bool valid_coll_metric(const std::string& name, bool histogram) {
@@ -112,6 +128,59 @@ bool valid_coll_metric(const std::string& name, bool histogram) {
   return false;
 }
 
+// The measured-feedback gauge grammar: coll.feedback.<op>.<algo>
+// (docs/observability.md).
+bool valid_coll_gauge(const std::string& name) {
+  const std::string rest = name.substr(5);  // past "coll."
+  if (rest.rfind("feedback.", 0) != 0) return false;
+  return valid_coll_op_algo(rest.substr(9));
+}
+
+// True when every character of `s` is a decimal digit (and s is non-empty).
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+// The critical-path gauge grammar for the reserved "crit." namespace
+// (docs/observability.md): fixed totals plus crit.machine.<p>.seconds,
+// crit.link.<src>.<dst>.seconds, and crit.coll.<op>.<algo>.seconds. The
+// crit.* namespace holds gauges only.
+bool valid_crit_gauge(const std::string& name) {
+  const std::string rest = name.substr(5);  // past "crit."
+  if (rest == "path_seconds" || rest == "makespan_seconds" ||
+      rest == "compute_seconds" || rest == "transfer_seconds" ||
+      rest == "overhead_seconds" || rest == "gap_seconds" ||
+      rest == "segments" || rest == "complete" || rest == "events_dropped") {
+    return true;
+  }
+  if (rest.rfind("machine.", 0) == 0) {
+    const std::string tail = rest.substr(8);
+    const std::size_t dot = tail.find('.');
+    return dot != std::string::npos && all_digits(tail.substr(0, dot)) &&
+           tail.substr(dot + 1) == "seconds";
+  }
+  if (rest.rfind("link.", 0) == 0) {
+    const std::string tail = rest.substr(5);
+    const std::size_t d1 = tail.find('.');
+    if (d1 == std::string::npos) return false;
+    const std::size_t d2 = tail.find('.', d1 + 1);
+    return d2 != std::string::npos && all_digits(tail.substr(0, d1)) &&
+           all_digits(tail.substr(d1 + 1, d2 - d1 - 1)) &&
+           tail.substr(d2 + 1) == "seconds";
+  }
+  if (rest.rfind("coll.", 0) == 0) {
+    std::string tail = rest.substr(5);
+    const std::size_t suffix = tail.rfind(".seconds");
+    if (suffix == std::string::npos || suffix + 8 != tail.size()) return false;
+    return valid_coll_op_algo(tail.substr(0, suffix));
+  }
+  return false;
+}
+
 // The estimator-subsystem grammar for the reserved "est." namespace
 // (docs/estimator.md), by metric kind.
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -125,7 +194,8 @@ bool valid_adapt_metric(const std::string& name, MetricKind kind) {
              name == "adapt.migrations" || name == "adapt.rollbacks" ||
              name == "adapt.suppressed";
     case MetricKind::kGauge:
-      return name == "adapt.divergence" || name == "adapt.drift";
+      return name == "adapt.divergence" || name == "adapt.drift" ||
+             name == "adapt.blame_share";
     case MetricKind::kHistogram:
       return name == "adapt.predicted_gain_seconds" ||
              name == "adapt.realized_gain_seconds";
@@ -183,6 +253,11 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                        "' violates the coll.* grammar (expected "
                        "coll.tuner.hits|misses or coll.<op>.<algo>)");
       }
+      if (name.rfind("crit.", 0) == 0) {
+        fail(file, "counter '" + name +
+                       "' violates the crit.* grammar (crit.* holds gauges "
+                       "only)");
+      }
       if (name.rfind("est.", 0) == 0 &&
           !valid_est_metric(name, MetricKind::kCounter)) {
         fail(file, "counter '" + name +
@@ -209,6 +284,18 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
   if (gauges != nullptr && gauges->is_object()) {
     for (const auto& [name, g] : gauges->object) {
       (void)g;
+      if (name.rfind("coll.", 0) == 0 && !valid_coll_gauge(name)) {
+        fail(file, "gauge '" + name +
+                       "' violates the coll.* grammar (expected "
+                       "coll.feedback.<op>.<algo>)");
+      }
+      if (name.rfind("crit.", 0) == 0 && !valid_crit_gauge(name)) {
+        fail(file, "gauge '" + name +
+                       "' violates the crit.* grammar (expected a path "
+                       "total, crit.machine.<p>.seconds, "
+                       "crit.link.<src>.<dst>.seconds, or "
+                       "crit.coll.<op>.<algo>.seconds)");
+      }
       if (name.rfind("est.", 0) == 0 &&
           !valid_est_metric(name, MetricKind::kGauge)) {
         fail(file, "gauge '" + name +
@@ -237,11 +324,24 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         !h.find("buckets")->is_array()) {
       fail(file, "histogram " + name + " missing count/sum/buckets");
     }
+    // Percentiles are part of the dump format; null only for empty
+    // histograms (json_number renders NaN as null).
+    for (const char* q : {"p50", "p95", "p99"}) {
+      const JsonValue* v = h.is_object() ? h.find(q) : nullptr;
+      if (v == nullptr || (!v->is_number() && !v->is_null())) {
+        fail(file, "histogram " + name + " missing numeric-or-null " + q);
+      }
+    }
     if (name.rfind("coll.", 0) == 0 &&
         !valid_coll_metric(name, /*histogram=*/true)) {
       fail(file, "histogram '" + name +
                      "' violates the coll.* grammar (expected "
                      "coll.<op>.seconds)");
+    }
+    if (name.rfind("crit.", 0) == 0) {
+      fail(file, "histogram '" + name +
+                     "' violates the crit.* grammar (crit.* holds gauges "
+                     "only)");
     }
     if (name.rfind("est.", 0) == 0 &&
         !valid_est_metric(name, MetricKind::kHistogram)) {
@@ -313,8 +413,11 @@ void check_adapt_ledger(const std::string& file, const JsonValue& doc) {
     const JsonValue* signal = e.find("signal");
     if (signal == nullptr || !signal->is_string() ||
         (signal->string != "none" && signal->string != "divergence" &&
-         signal->string != "speed_drift")) {
-      fail(file, at + " signal outside none|divergence|speed_drift");
+         signal->string != "speed_drift" &&
+         signal->string != "blame_machine" &&
+         signal->string != "blame_link")) {
+      fail(file, at + " signal outside none|divergence|speed_drift|"
+                      "blame_machine|blame_link");
     }
     const JsonValue* outcome = e.find("outcome");
     if (outcome == nullptr || !outcome->is_string() ||
@@ -331,6 +434,82 @@ void check_adapt_ledger(const std::string& file, const JsonValue& doc) {
       if (v == nullptr || !v->is_array()) {
         fail(file, at + " missing " + field + " array");
       }
+    }
+  }
+}
+
+// Critical-path reports ({"critical_path": {...}}; docs/observability.md):
+// numeric totals, a boolean completeness flag, and the machines / links /
+// collectives / segments blame arrays with their identity fields.
+void check_critpath(const std::string& file, const JsonValue& doc) {
+  const JsonValue* cp = doc.find("critical_path");
+  if (cp == nullptr || !cp->is_object()) {
+    fail(file, "critical_path is not an object");
+    return;
+  }
+  for (const char* field : {"makespan_s", "path_s", "compute_s", "transfer_s",
+                            "overhead_s", "gap_s", "end_rank",
+                            "events_dropped"}) {
+    const JsonValue* v = cp->find(field);
+    if (v == nullptr || !v->is_number()) {
+      fail(file, std::string("critical_path missing numeric ") + field);
+    }
+  }
+  const JsonValue* complete = cp->find("complete");
+  if (complete == nullptr || complete->type != JsonValue::Type::kBool) {
+    fail(file, "critical_path missing boolean complete");
+  }
+  for (const char* section : {"machines", "links", "collectives", "segments"}) {
+    const JsonValue* s = cp->find(section);
+    if (s == nullptr || !s->is_array()) {
+      fail(file, std::string("critical_path missing ") + section + " array");
+    }
+  }
+  if (const JsonValue* machines = cp->find("machines");
+      machines != nullptr && machines->is_array()) {
+    for (const JsonValue& m : machines->array) {
+      if (m.find("processor") == nullptr || m.find("seconds") == nullptr) {
+        fail(file, "critical_path machine entry missing processor/seconds");
+        break;
+      }
+    }
+  }
+  if (const JsonValue* links = cp->find("links");
+      links != nullptr && links->is_array()) {
+    for (const JsonValue& l : links->array) {
+      if (l.find("src") == nullptr || l.find("dst") == nullptr ||
+          l.find("seconds") == nullptr) {
+        fail(file, "critical_path link entry missing src/dst/seconds");
+        break;
+      }
+    }
+  }
+  if (const JsonValue* segments = cp->find("segments");
+      segments != nullptr && segments->is_array()) {
+    double last_end = 0.0;
+    for (std::size_t i = 0; i < segments->array.size(); ++i) {
+      const JsonValue& s = segments->array[i];
+      const std::string at = "segments[" + std::to_string(i) + "]";
+      const JsonValue* kind = s.find("kind");
+      const JsonValue* start = s.find("start_s");
+      const JsonValue* end = s.find("end_s");
+      if (kind == nullptr || !kind->is_string() || start == nullptr ||
+          !start->is_number() || end == nullptr || !end->is_number()) {
+        fail(file, at + " missing kind/start_s/end_s");
+        continue;
+      }
+      if (kind->string != "compute" && kind->string != "elapse" &&
+          kind->string != "send_overhead" && kind->string != "transfer" &&
+          kind->string != "recv_overhead" && kind->string != "gap") {
+        fail(file, at + " kind '" + kind->string + "' outside the vocabulary");
+      }
+      if (end->number < start->number) {
+        fail(file, at + " ends before it starts");
+      }
+      if (i > 0 && start->number < last_end) {
+        fail(file, at + " overlaps the previous segment");
+      }
+      last_end = end->number;
     }
   }
 }
@@ -364,6 +543,8 @@ void check_file(const std::string& file) {
     // Prediction-ledger dump: well-formed JSON with both sections suffices.
   } else if (doc->find("adaptations") != nullptr) {
     check_adapt_ledger(file, *doc);
+  } else if (doc->find("critical_path") != nullptr) {
+    check_critpath(file, *doc);
   } else {
     fail(file, "unrecognised telemetry document shape");
     return;
