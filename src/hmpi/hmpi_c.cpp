@@ -271,3 +271,28 @@ std::vector<hmpi::Runtime::BlameEntry> HMPI_Blame_top(int k) {
 double HMPI_Prediction_error(std::string_view model_name) {
   return hmpi::telemetry::predictions().mean_relative_error(model_name);
 }
+
+hmpi::sched::JobId HMPI_Sched_submit(hmpi::sched::JobSpec spec) {
+  return hmpi::capi::detail::require_runtime().scheduler().submit(
+      std::move(spec));
+}
+
+std::optional<hmpi::sched::JobInfo> HMPI_Sched_poll(hmpi::sched::JobId job) {
+  return hmpi::capi::detail::require_runtime().scheduler().poll(job);
+}
+
+int HMPI_Sched_cancel(hmpi::sched::JobId job) {
+  return hmpi::capi::detail::require_runtime().scheduler().cancel(job) ? 1 : 0;
+}
+
+void HMPI_Sched_advance() {
+  hmpi::capi::detail::require_runtime().scheduler().run_until_idle();
+}
+
+hmpi::sched::SchedStats HMPI_Sched_stats() {
+  return hmpi::capi::detail::require_runtime().scheduler().stats();
+}
+
+void HMPI_Sched_stats_json(std::ostream& os) {
+  hmpi::capi::detail::require_runtime().scheduler().stats_json(os);
+}

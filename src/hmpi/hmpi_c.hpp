@@ -214,3 +214,33 @@ std::vector<hmpi::Runtime::BlameEntry> HMPI_Blame_top(int k);
 /// measured over the prediction ledger's closed samples for `model_name`
 /// (all models when empty). NaN when no sample matches.
 double HMPI_Prediction_error(std::string_view model_name = {});
+
+// --- scheduler service (docs/scheduler.md) ----------------------------------
+
+/// HMPI_Sched_submit: enqueues a job on the world-shared hmpictld scheduler
+/// service (created on first use from RuntimeConfig::sched + the
+/// HMPI_SCHED_* env overrides) and returns its job id. The scheduler runs
+/// on its own virtual timeline; advance it with HMPI_Sched_advance. Any
+/// process may submit — the service is shared, so ids are world-unique.
+hmpi::sched::JobId HMPI_Sched_submit(hmpi::sched::JobSpec spec);
+
+/// HMPI_Sched_poll: status of a submitted job; empty for an unknown id.
+std::optional<hmpi::sched::JobInfo> HMPI_Sched_poll(hmpi::sched::JobId job);
+
+/// HMPI_Sched_cancel: cancels a pending or running job. Returns 1 on
+/// success, 0 when the id is unknown or the job already completed.
+int HMPI_Sched_cancel(hmpi::sched::JobId job);
+
+/// HMPI_Sched_advance: drains the scheduler's event heap — every submitted
+/// job arrives, dispatches, and completes — and publishes the sched.*
+/// gauges. Deterministic: the virtual timeline depends only on the
+/// submitted specs and the speed estimates, never on which process drains.
+void HMPI_Sched_advance();
+
+/// HMPI_Sched_stats: aggregate scheduler accounting (queue depths,
+/// makespan, utilization, mean wait/turnaround). Local operation.
+hmpi::sched::SchedStats HMPI_Sched_stats();
+
+/// HMPI_Sched_stats_json: writes the `{"scheduler": {...}}` summary +
+/// per-job records document that tools/telemetry_check validates.
+void HMPI_Sched_stats_json(std::ostream& os);

@@ -150,6 +150,12 @@ struct Runtime::Shared {
   /// call a tuner method while holding `mutex`, or two threads deadlock.
   std::shared_ptr<coll::CollTuner> coll_tuner;
 
+  /// The world-shared hmpictld scheduler service (docs/scheduler.md),
+  /// lazily created by Runtime::scheduler(). Same lock-ordering contract as
+  /// the tuner: the Scheduler has its own coarse mutex, so never call a
+  /// scheduler method while holding `mutex` above.
+  std::unique_ptr<sched::Scheduler> scheduler;
+
   struct Creation {
     std::vector<int> participants;  // sorted world ranks
     int parent_rank = -1;
@@ -277,6 +283,17 @@ void Runtime::finalize(int exit_code) {
         }
       }
     }
+  }
+  // Drain the scheduler service (if the run used it) so its final sched.*
+  // gauges land before the metrics dump (host only, once — the service is
+  // world-shared, so any process's drain would double the counters).
+  if (is_host()) {
+    sched::Scheduler* scheduler = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      scheduler = shared_->scheduler.get();
+    }
+    if (scheduler != nullptr) scheduler->run_until_idle();
   }
   // The host dumps the configured telemetry sinks after the barrier, when
   // every process's records are in (docs/observability.md).
@@ -419,6 +436,21 @@ void Runtime::recon_impl(const mp::Comm& comm,
   // repeated recons do not accumulate dead memory. (Collective call: every
   // process clears, which is an idempotent no-op after the first.)
   if (speeds_changed) shared_->estimate_cache.clear();
+
+  // Re-seed the scheduler service's base speeds from the refreshed network
+  // model so residual-capacity pricing tracks recon (idempotent across the
+  // collective). Copy the speed vector under the Shared lock, then call out
+  // with no lock held (see Shared::scheduler's lock-ordering note).
+  if (speeds_changed) {
+    sched::Scheduler* scheduler = nullptr;
+    std::vector<double> speeds;
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      scheduler = shared_->scheduler.get();
+      if (scheduler != nullptr) speeds = shared_->network->speeds();
+    }
+    if (scheduler != nullptr) scheduler->refresh_speeds(speeds);
+  }
 
   // Feedback mode: promote the staged measured/predicted ratios into the
   // tuner's active ranking, bracketed by two pinned-algorithm barriers.
@@ -1099,6 +1131,34 @@ std::vector<int> Runtime::free_ranks() const {
     if (shared_->is_free_locked(r) && proc_->world().alive(r)) out.push_back(r);
   }
   return out;
+}
+
+sched::Scheduler& Runtime::scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (shared_->scheduler) return *shared_->scheduler;
+  }
+  // Build outside the lock (the ctor prices nothing, but it allocates and
+  // reads env vars), then install first-wins — the config is required to be
+  // identical on every process, so any process's build is the right one.
+  sched::SchedConfig config = sched::sched_config_with_env(config_.sched);
+  // A nested World::run cannot start from inside a simulated process, so the
+  // runtime's scheduler always services jobs for their predicted makespan.
+  config.execute = false;
+  config.tracer = proc_->world().options().tracer;
+  auto built = std::make_unique<sched::Scheduler>(proc_->cluster(), config);
+  std::vector<double> speeds;
+  sched::Scheduler* scheduler = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    if (!shared_->scheduler) shared_->scheduler = std::move(built);
+    scheduler = shared_->scheduler.get();
+    speeds = shared_->network->speeds();
+  }
+  // Seed base speeds from the current (possibly recon-refreshed) estimates;
+  // lock released first per Shared::scheduler's ordering note.
+  scheduler->refresh_speeds(speeds);
+  return *scheduler;
 }
 
 Health Runtime::rank_health(int world_rank) const {

@@ -47,6 +47,7 @@
 #include "mapper/mapper.hpp"
 #include "mpsim/comm.hpp"
 #include "pmdl/model.hpp"
+#include "sched/scheduler.hpp"
 #include "telemetry/critpath.hpp"
 #include "telemetry/sinks.hpp"
 
@@ -155,6 +156,14 @@ struct RuntimeConfig {
   /// subsystem. Env overrides: HMPI_ADAPT, HMPI_ADAPT_THRESHOLD,
   /// HMPI_ADAPT_COOLDOWN.
   adapt::AdaptConfig adapt;
+  /// The hmpictld scheduler service (docs/scheduler.md), world-shared and
+  /// lazily created by Runtime::scheduler() on first use. `execute` is
+  /// forced off inside the runtime (a nested World::run cannot start from a
+  /// simulated process), so jobs are serviced for the estimator's predicted
+  /// makespan. Env overrides: HMPI_SCHED_POLICY, HMPI_SCHED_SLOTS,
+  /// HMPI_SCHED_BACKFILL, HMPI_SCHED_BACKFILL_DEPTH, HMPI_SCHED_PREEMPT,
+  /// HMPI_SCHED_PREEMPT_GAP, HMPI_SCHED_AGING.
+  sched::SchedConfig sched;
 };
 
 class Runtime;
@@ -551,6 +560,14 @@ class Runtime {
   /// The top `k` blamed machines and links, by on-path seconds descending
   /// (HMPI_Blame_top). Local, like critical_path_report.
   std::vector<BlameEntry> blame_top(int k) const;
+
+  /// The world-shared hmpictld scheduler service (docs/scheduler.md; C API
+  /// HMPI_Sched_*), created on first use from RuntimeConfig::sched with the
+  /// HMPI_SCHED_* env overrides applied, its base speeds seeded from the
+  /// current (recon-refreshed) network model and re-seeded by every later
+  /// recon. Thread-safe: any process may submit/poll/cancel; advance the
+  /// virtual queue with sched::Scheduler::step / run_until_idle.
+  sched::Scheduler& scheduler();
 
   /// World ranks currently free (diagnostics / tests).
   std::vector<int> free_ranks() const;

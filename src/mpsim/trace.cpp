@@ -25,6 +25,8 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kAdaptTrigger: return "adapt_trigger";
     case TraceEvent::Kind::kAdaptMigrate: return "adapt_migrate";
     case TraceEvent::Kind::kAdaptRollback: return "adapt_rollback";
+    case TraceEvent::Kind::kSchedDispatch: return "sched_dispatch";
+    case TraceEvent::Kind::kSchedPreempt: return "sched_preempt";
   }
   return "compute";
 }
@@ -43,6 +45,8 @@ bool is_instant(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kAdaptTrigger:
     case TraceEvent::Kind::kAdaptMigrate:
     case TraceEvent::Kind::kAdaptRollback:
+    case TraceEvent::Kind::kSchedDispatch:
+    case TraceEvent::Kind::kSchedPreempt:
       return true;
     default:
       return false;
@@ -105,6 +109,14 @@ std::vector<telemetry::ChromeEvent> to_chrome_events(
         c.arg("signal", static_cast<double>(e.adapt.signal));
         c.arg("severity", e.adapt.severity);
         c.arg("predicted_gain_s", e.adapt.predicted_gain_s);
+        break;
+      case TraceEvent::Kind::kSchedDispatch:
+      case TraceEvent::Kind::kSchedPreempt:
+        c.arg("job", static_cast<double>(e.sched.job));
+        c.arg("priority", static_cast<double>(e.sched.priority));
+        c.arg("procs", static_cast<double>(e.sched.procs));
+        c.arg("predicted_s", e.sched.predicted_s);
+        c.arg("progress", e.sched.progress);
         break;
       default:
         break;
@@ -177,6 +189,17 @@ void Tracer::write_csv(std::ostream& os) const {
       peer = e.adapt.signal;
       bytes = static_cast<std::size_t>(e.adapt.group_id);
       units = e.adapt.predicted_gain_s;
+    }
+    // The kSched* kinds pack the priority in peer, the abstract-processor
+    // count in tag, the job id in bytes, and the predicted segment length
+    // in units; the honest form is TraceEvent::sched / the Chrome-trace
+    // args (progress is trace-args-only).
+    if (e.kind == TraceEvent::Kind::kSchedDispatch ||
+        e.kind == TraceEvent::Kind::kSchedPreempt) {
+      peer = e.sched.priority;
+      tag = e.sched.procs;
+      bytes = static_cast<std::size_t>(e.sched.job);
+      units = e.sched.predicted_s;
     }
     os << kind_name(e.kind) << ',' << e.world_rank << ',' << e.processor
        << ',' << peer << ',' << tag << ',' << e.context << ',' << bytes << ','

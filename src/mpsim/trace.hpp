@@ -44,6 +44,10 @@ struct TraceEvent {
                    ///< the predicted gain.
     kAdaptRollback,///< A migration priced worse than the old roster and was
                    ///< rolled back; details in `adapt`.
+    kSchedDispatch,///< The scheduler dispatched (or re-dispatched) a job
+                   ///< (sched/scheduler.hpp); details in `sched`.
+    kSchedPreempt, ///< The scheduler revoked a running job's leases and
+                   ///< requeued it; details in `sched`.
   };
 
   /// Named payload for kMapperSearch (peer/tag/bytes/units are unused —
@@ -70,6 +74,17 @@ struct TraceEvent {
     double predicted_gain_s = 0.0; ///< Gate-time predicted improvement.
   };
 
+  /// Named payload for the kSched* kinds (recorded by the scheduler on the
+  /// virtual timeline; world_rank/processor stay -1 — the acting entity is
+  /// the scheduler service, not a simulated process).
+  struct Sched {
+    long long job = -1;        ///< Scheduler job id.
+    int priority = 0;          ///< Static priority of the job.
+    int procs = 0;             ///< Abstract processors (slots leased).
+    double predicted_s = 0.0;  ///< Segment service length at dispatch time.
+    double progress = 0.0;     ///< kSchedPreempt: completed segment fraction.
+  };
+
   /// Named payload for kCollSelect (`bytes` carries the payload size; the
   /// op/algo integers are hmpi::coll::CollOp and its per-op algorithm enum,
   /// exported by name in the Chrome-trace args).
@@ -93,6 +108,7 @@ struct TraceEvent {
   EstCompile compile;      ///< kEstCompile only.
   CollSelect coll;         ///< kCollSelect only.
   Adapt adapt;             ///< kAdaptTrigger/kAdaptMigrate/kAdaptRollback.
+  Sched sched;             ///< kSchedDispatch/kSchedPreempt only.
 };
 
 /// Stable lower-case name for an event kind ("send", "mapper_search", ...).
@@ -101,8 +117,8 @@ const char* kind_name(TraceEvent::Kind kind);
 /// Converts events to Chrome-trace form on the virtual timeline
 /// (pid = telemetry::kVirtualPid, tid = world_rank, ts = virtual seconds
 /// scaled to microseconds). Instantaneous kinds (crash, drop, suspect,
-/// recover, mapper_search, est_compile, adapt_*) become 'i' events; the
-/// rest are 'X'.
+/// recover, mapper_search, est_compile, adapt_*, sched_*) become 'i'
+/// events; the rest are 'X'.
 std::vector<telemetry::ChromeEvent> to_chrome_events(
     std::span<const TraceEvent> events);
 

@@ -1,0 +1,86 @@
+#include "sched/capacity.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace hmpi::sched {
+
+CapacityLedger::CapacityLedger(const hnoc::Cluster& cluster, Partition partition)
+    : cluster_(&cluster),
+      partition_(Partition::resolve(std::move(partition), cluster)),
+      overlay_(cluster),
+      base_(static_cast<std::size_t>(cluster.size()), 0.0),
+      holders_(static_cast<std::size_t>(cluster.size())),
+      in_partition_(static_cast<std::size_t>(cluster.size()), false) {
+  for (int p = 0; p < cluster.size(); ++p) {
+    base_[static_cast<std::size_t>(p)] = cluster.processor(p).speed;
+  }
+  for (int p : partition_.machines) {
+    in_partition_[static_cast<std::size_t>(p)] = true;
+  }
+  total_free_ = static_cast<int>(partition_.machines.size()) *
+                partition_.slots_per_machine;
+}
+
+void CapacityLedger::lease(int machine, JobId job) {
+  support::require(machine >= 0 && machine < cluster_->size() &&
+                       in_partition_[static_cast<std::size_t>(machine)],
+                   "lease on a machine outside the partition");
+  std::vector<JobId>& holders = holders_[static_cast<std::size_t>(machine)];
+  support::require(static_cast<int>(holders.size()) <
+                       partition_.slots_per_machine,
+                   "lease on a machine with no free slot");
+  if (holders.empty()) ++busy_machines_;
+  holders.push_back(job);
+  --total_free_;
+  reprice(machine);
+}
+
+void CapacityLedger::release(int machine, JobId job) {
+  support::require(machine >= 0 && machine < cluster_->size() &&
+                       in_partition_[static_cast<std::size_t>(machine)],
+                   "release on a machine outside the partition");
+  std::vector<JobId>& holders = holders_[static_cast<std::size_t>(machine)];
+  const auto it = std::find(holders.begin(), holders.end(), job);
+  support::require(it != holders.end(),
+                   "release of a lease the job does not hold");
+  holders.erase(it);
+  if (holders.empty()) --busy_machines_;
+  ++total_free_;
+  reprice(machine);
+}
+
+int CapacityLedger::leases(int machine) const {
+  return static_cast<int>(holders_.at(static_cast<std::size_t>(machine)).size());
+}
+
+int CapacityLedger::free_slots(int machine) const {
+  support::require(in_partition_.at(static_cast<std::size_t>(machine)),
+                   "machine outside the partition");
+  return partition_.slots_per_machine - leases(machine);
+}
+
+double CapacityLedger::base_speed(int machine) const {
+  return base_.at(static_cast<std::size_t>(machine));
+}
+
+double CapacityLedger::residual_speed(int machine) const {
+  return base_speed(machine) / (1.0 + leases(machine));
+}
+
+void CapacityLedger::refresh_base(const std::vector<double>& speeds) {
+  for (int p : partition_.machines) {
+    const auto idx = static_cast<std::size_t>(p);
+    if (idx < speeds.size() && speeds[idx] > 0.0) base_[idx] = speeds[idx];
+    reprice(p);
+  }
+}
+
+void CapacityLedger::reprice(int machine) {
+  // set_speed re-stamps the overlay's version, so every cached estimate
+  // priced under the previous lease state becomes unreachable.
+  overlay_.set_speed(machine, residual_speed(machine));
+}
+
+}  // namespace hmpi::sched

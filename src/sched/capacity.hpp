@@ -1,0 +1,86 @@
+// Residual-capacity accounting: the scheduler-owned NetworkModel overlay.
+//
+// The interesting scheduling problem on a heterogeneous network is placement
+// against *residual* capacity (ISSUE 9; cf. steady-state master-worker
+// scheduling, PAPERS.md): a machine leased to a running job is not removed
+// from the candidate pool, it is re-priced. The ledger owns a NetworkModel
+// whose speed for machine p is base_speed(p) / (1 + leases(p)) — exactly
+// what a *new* tenant would get if it landed there, since the processor
+// share is split evenly among tenants. Every lease/release mutates the
+// overlay through NetworkModel::set_speed, which re-stamps the model's
+// version from the process-wide counter, so the EstimateCache can never
+// serve an estimate priced against stale lease state (the same invariant a
+// recon relies on; tests/estimator/estimate_cache_test.cpp pins it for
+// lease/release cycles).
+#pragma once
+
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "hnoc/network_model.hpp"
+#include "sched/job.hpp"
+#include "sched/partition.hpp"
+
+namespace hmpi::sched {
+
+/// Lease bookkeeping + the residual-priced NetworkModel overlay.
+class CapacityLedger {
+ public:
+  /// The cluster must outlive the ledger. `partition` is resolved against it.
+  CapacityLedger(const hnoc::Cluster& cluster, Partition partition);
+
+  const Partition& partition() const noexcept { return partition_; }
+
+  /// The residual-priced model the Selector searches against. Mutated by
+  /// lease/release/refresh_base only (version-bumped each time).
+  const hnoc::NetworkModel& overlay() const noexcept { return overlay_; }
+
+  /// Takes one slot on `machine` for `job`. Requires a free slot. A job may
+  /// hold several slots on one machine (one per abstract processor placed
+  /// there).
+  void lease(int machine, JobId job);
+
+  /// Returns one of `job`'s slots on `machine`. Throws when `job` holds no
+  /// lease there.
+  void release(int machine, JobId job);
+
+  /// Active leases on `machine` (0..slots_per_machine).
+  int leases(int machine) const;
+
+  /// Free slots on `machine`.
+  int free_slots(int machine) const;
+
+  /// Free slots across the partition (cheap feasibility pre-check).
+  int total_free_slots() const noexcept { return total_free_; }
+
+  /// Machines with at least one active lease.
+  int busy_machines() const noexcept { return busy_machines_; }
+
+  /// Idle-machine base speed for `machine` (recon-refreshed, not the
+  /// cluster's installation-time figure once refresh_base was called).
+  double base_speed(int machine) const;
+
+  /// What a new tenant would get on `machine` now: base / (1 + leases).
+  double residual_speed(int machine) const;
+
+  /// Re-seeds base speeds from a recon-refreshed estimate vector (indexed by
+  /// physical machine; entries outside the partition are ignored) and
+  /// re-prices every partition machine under its current lease count.
+  void refresh_base(const std::vector<double>& speeds);
+
+ private:
+  void reprice(int machine);
+
+  const hnoc::Cluster* cluster_;
+  Partition partition_;
+  hnoc::NetworkModel overlay_;
+  std::vector<double> base_;       ///< Indexed by physical machine.
+  /// Per-machine lease holders (one entry per slot taken); indexed by
+  /// physical machine. Attribution makes release validate ownership.
+  std::vector<std::vector<JobId>> holders_;
+  std::vector<bool> in_partition_; ///< Indexed by physical machine.
+  int total_free_ = 0;
+  int busy_machines_ = 0;
+};
+
+}  // namespace hmpi::sched

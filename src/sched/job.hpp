@@ -1,0 +1,89 @@
+// Job descriptors for the hmpictld scheduler (docs/scheduler.md).
+//
+// A job is what a tenant submits to the multi-tenant scheduler: the
+// performance model + parameters that HMPI_Group_create would receive, plus
+// the queueing attributes slurmctld attaches to a batch job — priority,
+// walltime estimate, arrival time, and (optionally) a checkpoint size that
+// makes the job resumable after preemption. The scheduler never inspects the
+// model; it instantiates it once at submit time and feeds the instance to the
+// same mapper/estimator pipeline HMPI_Group_create uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpsim/world.hpp"
+#include "pmdl/model.hpp"
+
+namespace hmpi::sched {
+
+/// Scheduler-assigned job identity (monotonic per Scheduler).
+using JobId = long long;
+
+enum class JobState {
+  kPending,    ///< Queued, waiting for a dispatch.
+  kRunning,    ///< Leases held; a completion event is in flight.
+  kCompleted,  ///< Finished; result and turnaround recorded.
+  kCancelled,  ///< Removed by HMPI_Sched_cancel before completion.
+};
+
+/// Stable lower-case name ("pending", "running", ...).
+const char* job_state_name(JobState state);
+
+/// Optional executable payload: runs on every process of the job's simulated
+/// HMPI run and returns a result token. Tokens must be placement-independent
+/// (derived from rank + problem data, never from processor identity or
+/// virtual timestamps) so a preempted/re-dispatched job reproduces the
+/// uncontended result bit for bit.
+using JobBody = std::function<std::uint64_t(mp::Proc&)>;
+
+/// What a tenant submits.
+struct JobSpec {
+  /// Performance model + parameters (as HMPI_Group_create takes them).
+  std::shared_ptr<const pmdl::Model> model;
+  std::vector<pmdl::ParamValue> params;
+
+  /// Larger runs first (after aging); ties broken by (arrival, id).
+  int priority = 0;
+
+  /// Tenant's walltime estimate in virtual seconds; used as the backfill
+  /// feasibility bound when positive, else the estimator's prediction is.
+  double walltime_estimate_s = 0.0;
+
+  /// Virtual arrival time of the job (trace-driven submission).
+  double arrival_s = 0.0;
+
+  /// Checkpoint size in bytes: >= 0 makes the job resumable (preemption
+  /// keeps completed progress and pays a checkpoint transfer on resume);
+  /// negative means a preempted job restarts from scratch.
+  long long checkpoint_bytes = -1;
+
+  /// Optional simulated-run payload (see JobBody). When the scheduler's
+  /// `execute` knob is on and a body is present, the job really runs on the
+  /// event engine and the measured makespan is its service time.
+  JobBody body;
+
+  /// Diagnostic label (defaults to the model name).
+  std::string name;
+};
+
+/// Observable job status (HMPI_Sched_poll).
+struct JobInfo {
+  JobId id = -1;
+  JobState state = JobState::kPending;
+  std::string name;
+  int priority = 0;
+  double arrival_s = 0.0;
+  double start_s = -1.0;    ///< First dispatch (virtual); -1 before it.
+  double finish_s = -1.0;   ///< Completion (virtual); -1 before it.
+  double service_s = 0.0;   ///< Total virtual service received.
+  int preemptions = 0;      ///< Times the job was revoked and requeued.
+  bool backfilled = false;  ///< Last dispatch slid past the queue head.
+  std::uint64_t result = 0; ///< Rank-0 result token (executed jobs).
+  std::vector<int> machines;  ///< Physical machine per abstract processor.
+};
+
+}  // namespace hmpi::sched

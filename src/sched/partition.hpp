@@ -1,0 +1,57 @@
+// Partitions and reservations — the slurmctld resource-carving vocabulary.
+//
+// A Partition names the subset of the cluster a scheduler instance manages
+// and how many concurrent leases each machine inside it accepts. Slots are
+// the residual-capacity twist on slurm's exclusive node allocation: a
+// machine with S slots can host S tenant processes at proportionally
+// degraded speed (capacity.hpp), so leased machines stay candidates instead
+// of leaving the pool. A Reservation is the conservative-backfill shadow:
+// the earliest time the blocked queue head is guaranteed to fit, which
+// lower-priority jobs must not delay (scheduler.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "sched/job.hpp"
+#include "support/error.hpp"
+
+namespace hmpi::sched {
+
+/// The slice of the cluster one scheduler manages.
+struct Partition {
+  std::string name = "all";
+  /// Physical machine indices (into the Cluster); empty = every machine.
+  std::vector<int> machines;
+  /// Concurrent leases a machine accepts (1 = slurm-style exclusive nodes).
+  int slots_per_machine = 2;
+
+  /// Resolves an empty machine list to the whole cluster and validates
+  /// indices/slots against it.
+  static Partition resolve(Partition partition, const hnoc::Cluster& cluster) {
+    support::require(partition.slots_per_machine >= 1,
+                     "partition needs at least one slot per machine");
+    if (partition.machines.empty()) {
+      partition.machines.resize(static_cast<std::size_t>(cluster.size()));
+      for (int p = 0; p < cluster.size(); ++p) {
+        partition.machines[static_cast<std::size_t>(p)] = p;
+      }
+    }
+    for (int p : partition.machines) {
+      support::require(p >= 0 && p < cluster.size(),
+                       "partition machine index out of range");
+    }
+    return partition;
+  }
+};
+
+/// The queue head's backfill shadow: `job` is guaranteed `slots` free slots
+/// at virtual time `start_s`; backfilled jobs may not push that back.
+struct Reservation {
+  JobId job = -1;
+  double start_s = 0.0;
+  int slots = 0;
+};
+
+}  // namespace hmpi::sched

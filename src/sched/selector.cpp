@@ -1,0 +1,62 @@
+#include "sched/selector.hpp"
+
+namespace hmpi::sched {
+
+Selector::Selector(const map::Mapper* mapper, est::EstimateOptions options)
+    : options_(options) {
+  if (mapper == nullptr) {
+    owned_ = std::make_unique<map::GreedyMapper>();
+    mapper_ = owned_.get();
+  } else {
+    mapper_ = mapper;
+  }
+}
+
+std::optional<Placement> Selector::place(const pmdl::ModelInstance& instance,
+                                         const CapacityLedger& ledger,
+                                         const map::SearchContext& context) const {
+  const int needed = instance.size();
+  if (needed > ledger.total_free_slots()) return std::nullopt;
+
+  // One candidate per free slot, in machine order: the mapper's injective
+  // selection over candidates then allows up to `free_slots` abstract
+  // processors per machine. world_rank is a synthetic id (candidate index)
+  // — the scheduler has no real processes, only machines.
+  std::vector<map::Candidate> candidates;
+  candidates.reserve(static_cast<std::size_t>(ledger.total_free_slots()));
+  int parent_candidate = -1;
+  double parent_speed = -1.0;
+  for (int machine : ledger.partition().machines) {
+    const int free = ledger.free_slots(machine);
+    if (free <= 0) continue;
+    // The parent goes to the fastest residual machine (ties to the lowest
+    // machine id, which candidate order already delivers via strict >).
+    if (ledger.residual_speed(machine) > parent_speed) {
+      parent_speed = ledger.residual_speed(machine);
+      parent_candidate = static_cast<int>(candidates.size());
+    }
+    for (int s = 0; s < free; ++s) {
+      candidates.push_back(map::Candidate{
+          .world_rank = static_cast<int>(candidates.size()),
+          .processor = machine});
+    }
+  }
+  if (static_cast<int>(candidates.size()) < needed) return std::nullopt;
+
+  const map::MappingResult result = mapper_->select(
+      instance, candidates, parent_candidate, ledger.overlay(), options_,
+      context);
+
+  Placement placement;
+  placement.machines.resize(static_cast<std::size_t>(needed));
+  for (int a = 0; a < needed; ++a) {
+    const int c = result.candidate_for_abstract[static_cast<std::size_t>(a)];
+    placement.machines[static_cast<std::size_t>(a)] =
+        candidates[static_cast<std::size_t>(c)].processor;
+  }
+  placement.estimated_s = result.estimated_time;
+  placement.stats = result.stats;
+  return placement;
+}
+
+}  // namespace hmpi::sched

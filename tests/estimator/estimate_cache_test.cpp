@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hnoc/cluster.hpp"
+#include "sched/capacity.hpp"
 #include "support/rng.hpp"
 
 namespace hmpi::est {
@@ -157,6 +158,56 @@ TEST(EstimateCache, ClearDropsEntriesButKeepsCounters) {
   bool hit = true;
   cache.estimate(inst, mapping, net, EstimateOptions{}, &hit);
   EXPECT_FALSE(hit);
+}
+
+TEST(EstimateCache, NeverStaleAcrossSchedulerLeaseReleaseCycles) {
+  // Regression for the hmpictld overlay (docs/scheduler.md): the scheduler
+  // prices placements against CapacityLedger::overlay(), whose speeds change
+  // on every lease/release. Each mutation must re-stamp the overlay version
+  // so a cached estimate from a previous lease state is unreachable — a
+  // release that restored the original speeds but kept a stale version would
+  // let the cache quote contended prices for an idle machine (or vice
+  // versa).
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(4, 100.0);
+  sched::CapacityLedger ledger(cluster, sched::Partition{.slots_per_machine = 2});
+  ModelInstance inst = ring_model(4);
+  EstimateCache cache;
+  const std::vector<int> mapping{0, 1, 2, 3};
+
+  const auto check_fresh = [&] {
+    // Ground truth recomputed from scratch against the current overlay; the
+    // cache must agree bit for bit, and a repeat lookup must hit with the
+    // identical bits.
+    const double plain =
+        estimate_time(inst, mapping, ledger.overlay(), EstimateOptions{});
+    EXPECT_EQ(cache.estimate(inst, mapping, ledger.overlay(), EstimateOptions{}),
+              plain);
+    bool hit = false;
+    EXPECT_EQ(
+        cache.estimate(inst, mapping, ledger.overlay(), EstimateOptions{}, &hit),
+        plain);
+    EXPECT_TRUE(hit);
+    return plain;
+  };
+
+  const double idle = check_fresh();
+  ledger.lease(1, /*job=*/7);
+  const double contended = check_fresh();
+  EXPECT_GT(contended, idle);  // machine 1 runs at half speed
+  ledger.lease(1, /*job=*/8);
+  check_fresh();
+  ledger.release(1, 8);
+  EXPECT_EQ(check_fresh(), contended);  // same speeds, fresh version, same bits
+  ledger.release(1, 7);
+  // Full cycle: speeds are back to the idle state, but the version moved, so
+  // this is a miss that reproduces the idle estimate exactly.
+  bool hit = true;
+  EXPECT_EQ(
+      cache.estimate(inst, mapping, ledger.overlay(), EstimateOptions{}, &hit),
+      idle);
+  EXPECT_FALSE(hit);
+  ledger.refresh_base({100.0, 50.0, 100.0, 100.0});
+  EXPECT_NE(check_fresh(), idle);  // recon re-pricing invalidates too
 }
 
 TEST(EstimateCache, ConcurrentLookupsAreConsistent) {

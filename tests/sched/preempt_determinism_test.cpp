@@ -1,0 +1,142 @@
+// Property: a preempted -> requeued -> re-dispatched job produces a result
+// token bit-identical to the same spec run alone on an idle cluster. Job
+// bodies fold only rank + problem data into the token (see sched::JobBody),
+// so any placement change, checkpoint resume, or co-tenant slowdown that
+// leaked into results would show up as a divergence here. This is the
+// in-tree miniature of the A13 zero-divergence acceptance bar
+// (bench/ablation_sched.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hnoc/cluster.hpp"
+#include "sched/scheduler.hpp"
+
+namespace hmpi::sched {
+namespace {
+
+/// Three speed tiers behind a 1 ms / 2 MB/s network — contention over both
+/// compute slots and links, like the A13 bench cluster but smaller.
+hnoc::Cluster small_cluster() {
+  hnoc::ClusterBuilder b;
+  b.add("fast0", 100.0);
+  b.add("fast1", 100.0);
+  b.add("mid0", 80.0);
+  b.add("mid1", 80.0);
+  b.add("slow0", 60.0);
+  b.add("slow1", 60.0);
+  b.network(1e-3, 2e6);
+  return b.build();
+}
+
+/// Runs `specs` through a contended scheduler and checks every completed
+/// job's token against its uncontended reference. `out` receives the stats
+/// so the caller can assert the property was actually exercised.
+void check_trace(const hnoc::Cluster& cluster, std::vector<JobSpec> specs,
+                 const SchedConfig& config, SchedStats* out) {
+  // References first: uncontended_run never sees the scheduler's state.
+  std::vector<std::uint64_t> expected;
+  expected.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    expected.push_back(Scheduler::uncontended_run(cluster, spec));
+  }
+
+  Scheduler scheduler(cluster, config);
+  std::vector<JobId> ids;
+  ids.reserve(specs.size());
+  for (JobSpec& spec : specs) ids.push_back(scheduler.submit(std::move(spec)));
+  scheduler.run_until_idle();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto info = scheduler.poll(ids[i]);
+    ASSERT_TRUE(info.has_value());
+    ASSERT_EQ(info->state, JobState::kCompleted) << "job " << ids[i];
+    EXPECT_EQ(info->result, expected[i])
+        << "job " << ids[i] << " (" << info->name << ") diverged after "
+        << info->preemptions << " preemption(s)";
+  }
+  *out = scheduler.stats();
+}
+
+TEST(PreemptDeterminism, RandomTracesMatchUncontendedBitForBit) {
+  const hnoc::Cluster cluster = small_cluster();
+  SchedConfig config;
+  config.slots_per_machine = 2;
+  config.preempt_priority_gap = 1;  // aggressive: any lower priority is prey
+  config.execute = true;
+
+  long long preempted = 0, backfilled = 0;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    bench::ArrivalTraceOptions options;
+    options.jobs = 120;
+    options.seed = seed;
+    options.mean_interarrival_s = 0.05;  // heavy overload forces contention
+    options.max_width = 4;
+    options.volume_scale = 15.0;
+    options.ring_bytes = 1 << 18;
+    options.checkpoint_frac = 0.5;  // mix of resumable and restart-on-preempt
+    SchedStats stats;
+    ASSERT_NO_FATAL_FAILURE(check_trace(
+        cluster, bench::make_arrival_trace(options), config, &stats));
+    EXPECT_EQ(stats.completed, options.jobs);
+    preempted += stats.preempted;
+    backfilled += stats.backfilled;
+  }
+  // The property is vacuous unless contention really kicked both mechanisms.
+  EXPECT_GT(preempted, 0);
+  EXPECT_GT(backfilled, 0);
+}
+
+TEST(PreemptDeterminism, CheckpointResumeOnOneMachineKeepsTheToken) {
+  // Deterministic miniature: one machine, one slot, a long checkpointable
+  // job preempted mid-flight by an urgent arrival, resumed after it.
+  hnoc::ClusterBuilder b;
+  b.add("solo", 100.0);
+  const hnoc::Cluster cluster = b.build();
+
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  config.backfill = false;
+  config.preempt_priority_gap = 1;
+  config.aging_weight = 0.0;
+  config.execute = true;
+
+  JobSpec victim;
+  victim.model = bench::sched_job_model();
+  victim.params = {pmdl::array(std::vector<long long>{4000}),
+                   pmdl::scalar(0)};
+  victim.body = bench::make_sched_job_body({4000}, 0);
+  victim.priority = 0;
+  victim.checkpoint_bytes = 1 << 20;
+  victim.name = "victim";
+
+  JobSpec urgent = victim;
+  urgent.params = {pmdl::array(std::vector<long long>{50}), pmdl::scalar(0)};
+  urgent.body = bench::make_sched_job_body({50}, 0);
+  urgent.priority = 5;
+  urgent.arrival_s = 10.0;
+  urgent.name = "urgent";
+
+  const std::uint64_t victim_ref =
+      Scheduler::uncontended_run(cluster, victim);
+  const std::uint64_t urgent_ref =
+      Scheduler::uncontended_run(cluster, urgent);
+  ASSERT_NE(victim_ref, urgent_ref);  // distinct problems, distinct tokens
+
+  Scheduler scheduler(cluster, config);
+  const JobId v = scheduler.submit(std::move(victim));
+  const JobId u = scheduler.submit(std::move(urgent));
+  scheduler.run_until_idle();
+
+  const auto iv = scheduler.poll(v), iu = scheduler.poll(u);
+  ASSERT_TRUE(iv && iu);
+  EXPECT_EQ(iv->preemptions, 1);
+  EXPECT_EQ(iv->result, victim_ref);
+  EXPECT_EQ(iu->result, urgent_ref);
+}
+
+}  // namespace
+}  // namespace hmpi::sched

@@ -1,0 +1,309 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "hnoc/cluster.hpp"
+#include "mpsim/trace.hpp"
+#include "pmdl/model.hpp"
+#include "support/error.hpp"
+#include "telemetry/json.hpp"
+
+namespace hmpi::sched {
+namespace {
+
+using pmdl::InstanceBuilder;
+using pmdl::Model;
+using pmdl::ParamValue;
+using pmdl::ScheduleSink;
+
+/// Model with two params: per-processor volume array and (ignored here)
+/// nothing else — width is the array length.
+std::shared_ptr<const Model> flat_model() {
+  return std::make_shared<const Model>(Model::from_factory(
+      "flat", 1, [](std::span<const ParamValue> params) {
+        const auto& volumes = std::get<std::vector<long long>>(params[0]);
+        const auto p = static_cast<long long>(volumes.size());
+        InstanceBuilder b("flat");
+        b.shape({p});
+        for (long long a = 0; a < p; ++a) {
+          b.node_volume(static_cast<int>(a),
+                        static_cast<double>(volumes[static_cast<std::size_t>(a)]));
+        }
+        b.scheme([p](ScheduleSink& s) {
+          s.par_begin();
+          for (long long a = 0; a < p; ++a) {
+            s.par_iter_begin();
+            const long long c[1] = {a};
+            s.compute(c, 100.0);
+          }
+          s.par_end();
+        });
+        return b.build();
+      }));
+}
+
+JobSpec job(const std::shared_ptr<const Model>& model, int width,
+            long long volume, int priority, double arrival_s,
+            const char* name) {
+  JobSpec spec;
+  spec.model = model;
+  spec.params = {pmdl::array(std::vector<long long>(
+      static_cast<std::size_t>(width), volume))};
+  spec.priority = priority;
+  spec.arrival_s = arrival_s;
+  spec.name = name;
+  return spec;
+}
+
+TEST(Scheduler, FifoRunsInArrivalOrderWithExclusiveLeases) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 100.0);
+  SchedConfig config;
+  config.policy = SchedPolicy::kFifo;
+  config.slots_per_machine = 4;  // normalised away: kFifo is exclusive
+  Scheduler scheduler(cluster, config);
+  EXPECT_EQ(scheduler.config().slots_per_machine, 1);
+  EXPECT_FALSE(scheduler.config().backfill);
+  EXPECT_FALSE(scheduler.config().preempt);
+
+  const auto model = flat_model();
+  // Priorities are inverted vs arrival; FIFO must ignore them.
+  const JobId a = scheduler.submit(job(model, 2, 1000, 0, 0.0, "a"));
+  const JobId b = scheduler.submit(job(model, 2, 1000, 5, 0.1, "b"));
+  const JobId c = scheduler.submit(job(model, 2, 1000, 9, 0.2, "c"));
+  scheduler.run_until_idle();
+
+  const auto ia = scheduler.poll(a), ib = scheduler.poll(b),
+             ic = scheduler.poll(c);
+  ASSERT_TRUE(ia && ib && ic);
+  EXPECT_EQ(ia->state, JobState::kCompleted);
+  EXPECT_LT(ia->start_s, ib->start_s);
+  EXPECT_LT(ib->start_s, ic->start_s);
+  const SchedStats stats = scheduler.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.preempted, 0);
+  EXPECT_EQ(stats.backfilled, 0);
+  EXPECT_GT(stats.makespan_s, 0.0);
+}
+
+TEST(Scheduler, PriorityOrdersTheQueueHighestFirst) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(1, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  config.backfill = false;
+  config.preempt = false;
+  config.aging_weight = 0.0;
+  Scheduler scheduler(cluster, config);
+
+  const auto model = flat_model();
+  const JobId running = scheduler.submit(job(model, 1, 2000, 0, 0.0, "run"));
+  const JobId low = scheduler.submit(job(model, 1, 100, 0, 0.1, "low"));
+  const JobId high = scheduler.submit(job(model, 1, 100, 5, 0.2, "high"));
+  scheduler.run_until_idle();
+
+  const auto ir = scheduler.poll(running), il = scheduler.poll(low),
+             ih = scheduler.poll(high);
+  ASSERT_TRUE(ir && il && ih);
+  // `high` arrived after `low` but outranks it once `run` finishes.
+  EXPECT_LT(ir->start_s, ih->start_s);
+  EXPECT_LT(ih->start_s, il->start_s);
+}
+
+TEST(Scheduler, AgingLetsAStarvingJobOvertakeFreshHighPriority) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(1, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  config.backfill = false;
+  config.preempt = false;
+  config.aging_weight = 1.0;  // 1 priority unit per waited second
+  Scheduler scheduler(cluster, config);
+
+  const auto model = flat_model();
+  scheduler.submit(job(model, 1, 1000, 0, 0.0, "run"));  // ~10 s
+  const JobId old_low = scheduler.submit(job(model, 1, 100, 0, 0.1, "old"));
+  const JobId fresh_high =
+      scheduler.submit(job(model, 1, 100, 5, 9.9, "fresh"));
+  scheduler.run_until_idle();
+
+  const auto io = scheduler.poll(old_low), ifr = scheduler.poll(fresh_high);
+  ASSERT_TRUE(io && ifr);
+  // At t~10 the old job's effective priority is ~0 + 1.0 * 9.9 > 5.
+  EXPECT_LT(io->start_s, ifr->start_s);
+}
+
+TEST(Scheduler, BackfillSlidesShortJobsPastABlockedHead) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  config.preempt = false;
+  config.aging_weight = 0.0;
+  Scheduler scheduler(cluster, config);
+
+  const auto model = flat_model();
+  // `wide` (high priority) needs both machines while `long` holds one:
+  // blocked, it posts a reservation. `shorty` fits on the idle machine and
+  // finishes before the reservation, so conservative backfill runs it.
+  const JobId long_job = scheduler.submit(job(model, 1, 2000, 1, 0.0, "long"));
+  const JobId wide = scheduler.submit(job(model, 2, 500, 5, 0.1, "wide"));
+  const JobId shorty = scheduler.submit(job(model, 1, 100, 0, 0.2, "short"));
+  scheduler.run_until_idle();
+
+  const auto il = scheduler.poll(long_job), iw = scheduler.poll(wide),
+             is = scheduler.poll(shorty);
+  ASSERT_TRUE(il && iw && is);
+  EXPECT_TRUE(is->backfilled);
+  EXPECT_LT(is->start_s, iw->start_s);
+  EXPECT_GE(iw->start_s, il->finish_s);  // the head was never delayed
+  EXPECT_GE(scheduler.stats().backfilled, 1);
+}
+
+TEST(Scheduler, PreemptionRevokesRequeuesAndTraces) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(1, 100.0);
+  mp::Tracer tracer;
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  config.backfill = false;
+  config.preempt_priority_gap = 1;
+  config.aging_weight = 0.0;
+  config.tracer = &tracer;
+  Scheduler scheduler(cluster, config);
+
+  const auto model = flat_model();
+  JobSpec victim_spec = job(model, 1, 2000, 0, 0.0, "victim");
+  victim_spec.checkpoint_bytes = 0;  // checkpoints: keeps completed work
+  const JobId victim = scheduler.submit(victim_spec);
+  const JobId urgent = scheduler.submit(job(model, 1, 100, 5, 5.0, "urgent"));
+  scheduler.run_until_idle();
+
+  const auto iv = scheduler.poll(victim), iu = scheduler.poll(urgent);
+  ASSERT_TRUE(iv && iu);
+  EXPECT_EQ(iv->preemptions, 1);
+  EXPECT_EQ(iv->state, JobState::kCompleted);
+  EXPECT_EQ(iu->state, JobState::kCompleted);
+  EXPECT_LT(iu->finish_s, iv->finish_s);
+  EXPECT_EQ(scheduler.stats().preempted, 1);
+
+  int dispatches = 0, preempts = 0;
+  for (const mp::TraceEvent& e : tracer.events()) {
+    if (e.kind == mp::TraceEvent::Kind::kSchedDispatch) ++dispatches;
+    if (e.kind == mp::TraceEvent::Kind::kSchedPreempt) {
+      ++preempts;
+      EXPECT_EQ(e.sched.job, victim);
+      EXPECT_GT(e.sched.progress, 0.0);
+    }
+  }
+  EXPECT_EQ(dispatches, 3);  // victim, urgent, victim again
+  EXPECT_EQ(preempts, 1);
+}
+
+TEST(Scheduler, CancelPendingRunningAndCompleted) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(1, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  Scheduler scheduler(cluster, config);
+
+  const auto model = flat_model();
+  const JobId first = scheduler.submit(job(model, 1, 1000, 0, 0.0, "first"));
+  const JobId queued = scheduler.submit(job(model, 1, 1000, 0, 0.0, "queued"));
+  scheduler.step();  // arrival of `first` -> it dispatches
+  scheduler.step();  // arrival of `queued` -> pending behind it
+
+  EXPECT_TRUE(scheduler.cancel(queued));
+  EXPECT_EQ(scheduler.poll(queued)->state, JobState::kCancelled);
+  EXPECT_TRUE(scheduler.cancel(first));  // running: leases revoked
+  scheduler.run_until_idle();
+  EXPECT_EQ(scheduler.poll(first)->state, JobState::kCancelled);
+  EXPECT_FALSE(scheduler.cancel(first));  // already cancelled
+  EXPECT_FALSE(scheduler.cancel(12345));  // unknown
+  EXPECT_FALSE(scheduler.poll(777).has_value());
+  EXPECT_EQ(scheduler.stats().cancelled, 2);
+  EXPECT_EQ(scheduler.stats().completed, 0);
+}
+
+TEST(Scheduler, SubmitValidatesModelAndFit) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 2;
+  Scheduler scheduler(cluster, config);
+
+  JobSpec no_model;
+  EXPECT_THROW(scheduler.submit(no_model), InvalidArgument);
+  const auto model = flat_model();
+  // 5 abstract processors can never fit 2 machines x 2 slots.
+  EXPECT_THROW(scheduler.submit(job(model, 5, 100, 0, 0.0, "wide")),
+               InvalidArgument);
+}
+
+TEST(Scheduler, RefreshSpeedsRedirectsPlacement) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 100.0);
+  SchedConfig config;
+  config.slots_per_machine = 1;
+  Scheduler scheduler(cluster, config);
+
+  // Recon learned machine 0 is 20x slower than installed.
+  scheduler.refresh_speeds({5.0, 100.0});
+  EXPECT_DOUBLE_EQ(scheduler.ledger().base_speed(0), 5.0);
+
+  const auto model = flat_model();
+  const JobId id = scheduler.submit(job(model, 1, 100, 0, 0.0, "j"));
+  scheduler.run_until_idle();
+  const auto info = scheduler.poll(id);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_EQ(info->machines.size(), 1u);
+  EXPECT_EQ(info->machines[0], 1);
+}
+
+TEST(Scheduler, StatsJsonCarriesTheDocumentedShape) {
+  hnoc::Cluster cluster = hnoc::testbeds::homogeneous(2, 100.0);
+  Scheduler scheduler(cluster, SchedConfig{});
+  const auto model = flat_model();
+  scheduler.submit(job(model, 1, 100, 0, 0.0, "a"));
+  scheduler.submit(job(model, 2, 200, 1, 0.5, "b"));
+  scheduler.run_until_idle();
+
+  std::ostringstream os;
+  scheduler.stats_json(os);
+  std::string error;
+  const auto doc = telemetry::parse_json(os.str(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const telemetry::JsonValue* sched = doc->find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  ASSERT_TRUE(sched->is_object());
+  for (const char* key :
+       {"policy", "machines", "slots_per_machine", "submitted", "completed",
+        "makespan_s", "utilization", "mean_wait_s", "jobs"}) {
+    EXPECT_NE(sched->find(key), nullptr) << key;
+  }
+  const telemetry::JsonValue* jobs = sched->find("jobs");
+  ASSERT_TRUE(jobs->is_array());
+  EXPECT_EQ(jobs->array.size(), 2u);
+  EXPECT_NE(jobs->array[0].find("state"), nullptr);
+}
+
+TEST(SchedConfig, EnvOverridesApply) {
+  ::setenv("HMPI_SCHED_POLICY", "priority", 1);
+  ::setenv("HMPI_SCHED_SLOTS", "3", 1);
+  ::setenv("HMPI_SCHED_BACKFILL", "0", 1);
+  ::setenv("HMPI_SCHED_AGING", "0.5", 1);
+  SchedConfig base;
+  base.policy = SchedPolicy::kFifo;
+  const SchedConfig got = sched_config_with_env(base);
+  ::unsetenv("HMPI_SCHED_POLICY");
+  ::unsetenv("HMPI_SCHED_SLOTS");
+  ::unsetenv("HMPI_SCHED_BACKFILL");
+  ::unsetenv("HMPI_SCHED_AGING");
+
+  EXPECT_EQ(got.policy, SchedPolicy::kPriority);
+  EXPECT_EQ(got.slots_per_machine, 3);
+  EXPECT_FALSE(got.backfill);
+  EXPECT_DOUBLE_EQ(got.aging_weight, 0.5);
+  // Unset vars keep the base values.
+  EXPECT_TRUE(got.preempt);
+}
+
+}  // namespace
+}  // namespace hmpi::sched

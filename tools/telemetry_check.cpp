@@ -28,6 +28,14 @@
 //     title/columns/rows with rows matching the column count.
 //   * Adaptation ledgers ({"adaptations": [...]}): every entry needs group
 //     ids, a known signal/outcome, gate pricing, and member rosters.
+//   * Scheduler dumps ({"scheduler": {...}}; docs/scheduler.md): a
+//     fifo|priority policy, numeric accounting summary, and per-job records
+//     with states from the JobState vocabulary. Metrics in the reserved
+//     `sched.` namespace must follow the scheduler grammar: counters
+//     `sched.submitted|dispatched|completed|preempted|backfilled|cancelled`,
+//     gauges `sched.queue_depth|queue_depth_peak|running|utilization|
+//     makespan_s|throughput_jobs_per_s`, histograms
+//     `sched.wait_seconds|turnaround_seconds|service_seconds`.
 // Exit status 0 when every file passes, 1 otherwise.
 #include <cstdio>
 #include <fstream>
@@ -219,6 +227,27 @@ bool valid_sim_metric(const std::string& name, MetricKind kind) {
   }
   return false;
 }
+// The scheduler-service grammar for the reserved "sched." namespace
+// (docs/scheduler.md): dispatch-loop counters, queue/throughput gauges, and
+// the wait/turnaround/service latency histograms.
+bool valid_sched_metric(const std::string& name, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return name == "sched.submitted" || name == "sched.dispatched" ||
+             name == "sched.completed" || name == "sched.preempted" ||
+             name == "sched.backfilled" || name == "sched.cancelled";
+    case MetricKind::kGauge:
+      return name == "sched.queue_depth" ||
+             name == "sched.queue_depth_peak" || name == "sched.running" ||
+             name == "sched.utilization" || name == "sched.makespan_s" ||
+             name == "sched.throughput_jobs_per_s";
+    case MetricKind::kHistogram:
+      return name == "sched.wait_seconds" ||
+             name == "sched.turnaround_seconds" ||
+             name == "sched.service_seconds";
+  }
+  return false;
+}
 bool valid_est_metric(const std::string& name, MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -278,6 +307,13 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
                        "' violates the sim.* grammar (expected "
                        "sim.dispatches|stalls|runs.event|runs.thread)");
       }
+      if (name.rfind("sched.", 0) == 0 &&
+          !valid_sched_metric(name, MetricKind::kCounter)) {
+        fail(file, "counter '" + name +
+                       "' violates the sched.* grammar (expected "
+                       "sched.submitted|dispatched|completed|preempted|"
+                       "backfilled|cancelled)");
+      }
     }
   }
   const JsonValue* gauges = doc.find("gauges");
@@ -313,6 +349,13 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         fail(file, "gauge '" + name +
                        "' violates the sim.* grammar (expected "
                        "sim.fibers|workers|ready_peak|stack_bytes)");
+      }
+      if (name.rfind("sched.", 0) == 0 &&
+          !valid_sched_metric(name, MetricKind::kGauge)) {
+        fail(file, "gauge '" + name +
+                       "' violates the sched.* grammar (expected "
+                       "sched.queue_depth|queue_depth_peak|running|"
+                       "utilization|makespan_s|throughput_jobs_per_s)");
       }
     }
   }
@@ -359,6 +402,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         !valid_sim_metric(name, MetricKind::kHistogram)) {
       fail(file, "histogram '" + name +
                      "' violates the sim.* grammar (sim.* has no histograms)");
+    }
+    if (name.rfind("sched.", 0) == 0 &&
+        !valid_sched_metric(name, MetricKind::kHistogram)) {
+      fail(file, "histogram '" + name +
+                     "' violates the sched.* grammar (expected "
+                     "sched.wait_seconds|turnaround_seconds|service_seconds)");
     }
   }
 }
@@ -514,6 +563,64 @@ void check_critpath(const std::string& file, const JsonValue& doc) {
   }
 }
 
+// Scheduler dumps ({"scheduler": {...}}; docs/scheduler.md): a policy name,
+// numeric capacity/accounting summary, and per-job records whose states come
+// from the closed JobState vocabulary.
+void check_scheduler(const std::string& file, const JsonValue& doc) {
+  const JsonValue* sched = doc.find("scheduler");
+  if (sched == nullptr || !sched->is_object()) {
+    fail(file, "scheduler is not an object");
+    return;
+  }
+  const JsonValue* policy = sched->find("policy");
+  if (policy == nullptr || !policy->is_string() ||
+      (policy->string != "fifo" && policy->string != "priority")) {
+    fail(file, "scheduler policy outside fifo|priority");
+  }
+  for (const char* field :
+       {"machines", "slots_per_machine", "submitted", "dispatched",
+        "completed", "preempted", "backfilled", "cancelled", "queue_depth",
+        "running", "now_s", "makespan_s", "utilization", "mean_wait_s",
+        "mean_turnaround_s", "throughput_jobs_per_s"}) {
+    const JsonValue* v = sched->find(field);
+    if (v == nullptr || !v->is_number()) {
+      fail(file, std::string("scheduler missing numeric ") + field);
+    }
+  }
+  const JsonValue* jobs = sched->find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    fail(file, "scheduler missing jobs array");
+    return;
+  }
+  for (std::size_t i = 0; i < jobs->array.size(); ++i) {
+    const JsonValue& j = jobs->array[i];
+    const std::string at = "jobs[" + std::to_string(i) + "]";
+    if (!j.is_object()) {
+      fail(file, at + " is not an object");
+      continue;
+    }
+    for (const char* field : {"id", "priority", "arrival_s", "start_s",
+                              "finish_s", "service_s", "preemptions",
+                              "result"}) {
+      const JsonValue* v = j.find(field);
+      if (v == nullptr || !v->is_number()) {
+        fail(file, at + " missing numeric " + field);
+      }
+    }
+    const JsonValue* state = j.find("state");
+    if (state == nullptr || !state->is_string() ||
+        (state->string != "pending" && state->string != "running" &&
+         state->string != "completed" && state->string != "cancelled")) {
+      fail(file, at + " state outside pending|running|completed|cancelled");
+    }
+    const JsonValue* backfilled = j.find("backfilled");
+    if (backfilled == nullptr ||
+        backfilled->type != JsonValue::Type::kBool) {
+      fail(file, at + " missing boolean backfilled");
+    }
+  }
+}
+
 void check_file(const std::string& file) {
   const int errors_before = errors;
   std::ifstream is(file);
@@ -545,6 +652,8 @@ void check_file(const std::string& file) {
     check_adapt_ledger(file, *doc);
   } else if (doc->find("critical_path") != nullptr) {
     check_critpath(file, *doc);
+  } else if (doc->find("scheduler") != nullptr) {
+    check_scheduler(file, *doc);
   } else {
     fail(file, "unrecognised telemetry document shape");
     return;
