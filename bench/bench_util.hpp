@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "hnoc/cluster.hpp"
 #include "mpsim/comm.hpp"
 #include "pmdl/model.hpp"
 #include "sched/job.hpp"
@@ -126,6 +127,15 @@ inline std::shared_ptr<const pmdl::Model> sched_job_model() {
         });
         return b.build();
       }));
+}
+
+/// The shared P-machine heterogeneous testbed of the at-scale experiments:
+/// one seed, one cluster, everywhere — the A10 ablation, the mapper scale
+/// tests and `hmpictl --large-cluster` must all search the same landscape so
+/// their numbers compare (docs/mapper.md).
+inline hnoc::Cluster make_large_cluster(int machines,
+                                        std::uint64_t seed = 0x413130ULL) {
+  return hnoc::testbeds::large_cluster(machines, seed);
 }
 
 /// Body of a sched_job: each rank computes its volume and exchanges the ring

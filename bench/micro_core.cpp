@@ -6,6 +6,7 @@
 #include "apps/em3d/app.hpp"
 #include "apps/matmul/app.hpp"
 #include "estimator/estimator.hpp"
+#include "estimator/plan.hpp"
 #include "hnoc/cluster.hpp"
 #include "mapper/mapper.hpp"
 #include "mpsim/comm.hpp"
@@ -76,6 +77,33 @@ void BM_EstimateAxBScheme(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimateAxBScheme)->Arg(18)->Arg(45)->Arg(90);
+
+void BM_EstimateBatchEm3d(benchmark::State& state) {
+  const auto system = bench_system();
+  pmdl::Model model = apps::em3d::performance_model();
+  const auto instance =
+      model.instantiate(apps::em3d::model_parameters(system, 1000));
+  hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  hnoc::NetworkModel net(cluster);
+  const est::Plan plan(instance);
+  const auto p = static_cast<std::size_t>(instance.size());
+  const auto count = static_cast<std::size_t>(state.range(0));
+  // Slot-major SoA batch of rotations of the identity mapping.
+  std::vector<int> soa(p * count);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t i = 0; i < count; ++i) {
+      soa[a * count + i] = static_cast<int>((a + i) % p);
+    }
+  }
+  std::vector<double> out(count);
+  for (auto _ : state) {
+    plan.evaluate_batch(soa, count, net, est::EstimateOptions{}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long long>(state.iterations()) *
+                          static_cast<long long>(count));
+}
+BENCHMARK(BM_EstimateBatchEm3d)->Arg(64)->Arg(1024);
 
 void BM_SwapRefineSelect(benchmark::State& state) {
   const auto system = bench_system();

@@ -24,6 +24,15 @@
 //                   whose endpoints kept their processors, so its state is
 //                   identical under both mappings and the suffix replay
 //                   performs the same float ops a full evaluation would.
+//   BatchEvaluator — structure-of-arrays pricing of a whole candidate set in
+//                   one pass: the op list is walked once, each op's inner
+//                   loop runs contiguously over all candidates (slot-major
+//                   speed/time/busy arrays, no per-candidate allocation).
+//                   Busy state is kept per *abstract* transfer pair — O(Q)
+//                   slots instead of the P x P table Plan::evaluate zeroes —
+//                   with per-candidate aliasing of pairs that land on the
+//                   same physical link, so P=1000 costs the same per
+//                   candidate as P=9. Bit-identical to Plan::evaluate.
 //   PlanCache     — compile-once memo keyed like EstimateCache (instance
 //                   fingerprint); plans are mapping- and network-independent,
 //                   so recon never invalidates them.
@@ -106,8 +115,25 @@ class Plan {
                   const hnoc::NetworkModel& network,
                   EstimateOptions options = EstimateOptions()) const;
 
+  /// Prices `count` candidate mappings in one structure-of-arrays pass.
+  /// `procs_soa` is slot-major: procs_soa[a * count + i] is the physical
+  /// processor of abstract slot `a` in candidate `i`. out[i] is
+  /// bit-identical to evaluate() on candidate i (see BatchEvaluator).
+  /// Reuses a thread-local BatchEvaluator; callers in a hot loop should own
+  /// one directly.
+  void evaluate_batch(std::span<const int> procs_soa, std::size_t count,
+                      const hnoc::NetworkModel& network,
+                      EstimateOptions options, std::span<double> out) const;
+
+  /// Distinct abstract (src, dst) transfer pairs, in first-appearance order.
+  /// The batch evaluator keys its compact busy slots by these.
+  std::span<const std::pair<int, int>> transfer_pairs() const noexcept {
+    return pairs_;
+  }
+
  private:
   friend class DeltaEvaluator;
+  friend class BatchEvaluator;
 
   int num_procs_ = 0;
   bool from_scheme_ = false;
@@ -116,6 +142,8 @@ class Plan {
   std::vector<PlanOp> ops_;
   std::vector<std::size_t> first_touch_;  // per abstract processor
   std::size_t checkpoint_stride_ = 1;     // DeltaEvaluator checkpoint spacing
+  std::vector<std::pair<int, int>> pairs_;  // distinct abstract transfer pairs
+  std::vector<int> op_pair_;  // per op: index into pairs_ (-1 off transfers)
 
   // Fallback IR (also used for aggregate queries on scheme plans).
   std::vector<double> volumes_;            // per abstract processor
@@ -262,6 +290,63 @@ class DeltaEvaluator {
   // this exceeds one full pass, rebuilding the grid is the cheaper steady
   // state (rebuild_checkpoints).
   long long stale_ops_ = 0;
+};
+
+/// Structure-of-arrays batch pricing of a candidate set (see file comment).
+/// Holds all scratch across calls, so a search loop pays zero allocation
+/// once the high-water batch size is reached. Not thread-safe; each search
+/// thread owns its own evaluator (like DeltaEvaluator).
+///
+/// Exactness: per candidate, the op walk performs the identical sequence of
+/// float operations as Plan::evaluate — compute divides by the same speed,
+/// a transfer's busy slot is shared between two ops iff they land on the
+/// same physical (src, dst) pair (the per-candidate canonical-pair aliasing
+/// reproduces the dense table's physical keying), and the par-block merges
+/// over the compact slots agree with the dense merge because every slot the
+/// batch never touches stays 0.0 on both sides (max(0, 0) == 0) and the
+/// makespan reads only the time vector. Pinned by
+/// tests/estimator/batch_test.cpp.
+class BatchEvaluator {
+ public:
+  BatchEvaluator() = default;
+
+  /// Prices `count` candidates of `plan` laid out slot-major
+  /// (procs_soa[a * count + i], see Plan::evaluate_batch) into out[0..count).
+  void evaluate(const Plan& plan, std::span<const int> procs_soa,
+                std::size_t count, const hnoc::NetworkModel& network,
+                EstimateOptions options, std::span<double> out);
+
+ private:
+  /// Per-candidate canonical busy slot of every abstract pair: two pairs
+  /// alias iff they map to the same physical (src, dst) under the candidate.
+  void compute_canonical_pairs(const Plan& plan,
+                               std::span<const int> procs_soa,
+                               std::size_t count,
+                               const hnoc::NetworkModel& network);
+
+  // Slot-major scratch, all sized (rows x count).
+  std::vector<double> speed_;      // per abstract slot: speed of its processor
+  std::vector<double> time_;       // per abstract slot
+  std::vector<double> busy_;       // per abstract transfer pair (canonical)
+  std::vector<int> canon_;         // per pair: canonical pair index
+  std::vector<double> latency_;    // per pair: physical link latency
+  std::vector<double> bandwidth_;  // per pair: physical link bandwidth
+  std::vector<double> cost_;       // fallback plans: per abstract slot
+
+  // Par-block frames (snapshot + running max), pooled across calls.
+  struct Frame {
+    std::vector<double> snap_time, snap_busy;
+    std::vector<double> acc_time, acc_busy;
+  };
+  std::vector<Frame> frames_;
+  std::size_t frame_depth_ = 0;
+
+  // Open-addressing scratch of compute_canonical_pairs (generation-stamped
+  // so it never needs clearing between candidates).
+  std::vector<std::uint64_t> probe_key_;
+  std::vector<std::uint32_t> probe_gen_;
+  std::vector<int> probe_pair_;
+  std::uint32_t generation_ = 0;
 };
 
 /// Compile-once memo: instance fingerprint -> shared immutable Plan.

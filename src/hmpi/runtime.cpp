@@ -75,6 +75,21 @@ EstimatorMode estimator_mode_with_env(EstimatorMode mode) {
   return mode;
 }
 
+/// HMPI_EST_SHARDS override (docs/estimator.md): shard count of the shared
+/// estimate cache. Values are purely a contention knob — every count returns
+/// bit-identical results — so malformed or non-positive input is ignored.
+int est_shards_with_env(int shards) {
+  if (const char* value = std::getenv("HMPI_EST_SHARDS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end != value && *end == '\0' && parsed > 0 &&
+        parsed <= (1 << 20)) {
+      return static_cast<int>(parsed);
+    }
+  }
+  return shards;
+}
+
 /// Resolves (op, algo) pairs to the collective subsystem's stable names for
 /// the critical-path report and `crit.coll.*` metrics.
 telemetry::CollNamer coll_namer() {
@@ -93,6 +108,8 @@ telemetry::CollNamer coll_namer() {
 /// moral equivalent of the HMPI daemon: speed estimates, the free set, and
 /// the rendezvous queue for group creations.
 struct Runtime::Shared {
+  explicit Shared(std::size_t est_shards) : estimate_cache(est_shards) {}
+
   std::mutex mutex;
   /// Rendezvous wakeups; engine-agnostic (condition variable under the
   /// thread engine, fiber parking under the event engine).
@@ -213,6 +230,7 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
   config_.telemetry = config_.telemetry.with_env_overrides();
   config_.coll = coll_config_with_env(config_.coll);
   config_.estimator = estimator_mode_with_env(config_.estimator);
+  config_.est_shards = std::max(1, est_shards_with_env(config_.est_shards));
   config_.adapt = config_.adapt.with_env();
   if (config_.adapt.enabled) {
     adapt_ = std::make_unique<adapt::AdaptationController>(config_.adapt);
@@ -221,7 +239,8 @@ Runtime::Runtime(mp::Proc& proc, RuntimeConfig config)
     config_.mapper = std::shared_ptr<const map::Mapper>(map::make_default_mapper());
   }
   auto shared = proc.world().get_or_create_shared([&]() -> std::shared_ptr<void> {
-    auto s = std::make_shared<Shared>();
+    auto s = std::make_shared<Shared>(
+        static_cast<std::size_t>(config_.est_shards));
     s->cv.debug_name = "rendezvous";
     s->network = std::make_unique<hnoc::NetworkModel>(proc.cluster());
     s->next_creation.assign(static_cast<std::size_t>(proc.nprocs()), 0);
@@ -594,6 +613,22 @@ void Runtime::note_search(const map::SearchStats& stats) const {
         .set(1.0 - static_cast<double>(stats.delta_ops_replayed) /
                        static_cast<double>(stats.delta_ops_total));
   }
+  // Namespaced twins of the legacy cache counters (docs/observability.md):
+  // est.cache.* keeps the estimator's counters in one namespace alongside
+  // est.compile.* / est.delta.* / est.batch.*.
+  if (stats.cache_hits > 0 || stats.cache_misses > 0) {
+    reg.counter("est.cache.hits").add(static_cast<double>(stats.cache_hits));
+    reg.counter("est.cache.misses")
+        .add(static_cast<double>(stats.cache_misses));
+  }
+  if (stats.batch_chunks > 0) {
+    reg.counter("mapper.batch.chunks")
+        .add(static_cast<double>(stats.batch_chunks));
+    reg.counter("mapper.batch.candidates")
+        .add(static_cast<double>(stats.batch_candidates));
+    reg.counter("est.batch.evaluations")
+        .add(static_cast<double>(stats.batch_evaluated));
+  }
   if (mp::Tracer* tracer = proc_->world().options().tracer) {
     mp::TraceEvent event;
     event.kind = mp::TraceEvent::Kind::kMapperSearch;
@@ -606,6 +641,18 @@ void Runtime::note_search(const map::SearchStats& stats) const {
     event.start_time = proc_->clock();
     event.end_time = proc_->clock();
     tracer->record(event);
+    if (stats.batch_chunks > 0) {
+      mp::TraceEvent batch;
+      batch.kind = mp::TraceEvent::Kind::kMapperBatch;
+      batch.world_rank = proc_->rank();
+      batch.processor = proc_->processor();
+      batch.batch.chunks = stats.batch_chunks;
+      batch.batch.candidates = stats.batch_candidates;
+      batch.batch.evaluated = stats.batch_evaluated;
+      batch.start_time = proc_->clock();
+      batch.end_time = proc_->clock();
+      tracer->record(batch);
+    }
   }
 }
 

@@ -137,6 +137,11 @@ struct RuntimeConfig {
   /// counter, which every recon speed update bumps, so a stale makespan can
   /// never be served (docs/mapper.md).
   bool estimate_cache = true;
+  /// Shard count of that cache (clamped to >= 1). Batch searches over large
+  /// candidate sets probe thousands of keys per round; more shards cut mutex
+  /// contention without changing any value (docs/estimator.md). Env override
+  /// HMPI_EST_SHARDS.
+  int est_shards = static_cast<int>(est::EstimateCache::kDefaultShards);
   /// Candidate-scoring backend of the selection searches (docs/estimator.md).
   /// Env override HMPI_EST_COMPILE: "0"/"off"/"interpret" -> kInterpret,
   /// "1"/"full"/"compile"/"compiled" -> kCompiled, "2"/"delta" -> kDelta.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace hmpi::hnoc {
 
@@ -177,6 +178,24 @@ Cluster homogeneous(int n, double speed) {
   support::require(n > 0, "homogeneous cluster needs n > 0");
   std::vector<double> speeds(static_cast<std::size_t>(n), speed);
   return from_speeds(speeds);
+}
+
+Cluster large_cluster(int machines, std::uint64_t seed) {
+  support::require(machines > 0, "large_cluster needs machines > 0");
+  support::Rng rng(seed);
+  ClusterBuilder b;
+  for (int i = 0; i < machines; ++i) {
+    // Log-uniform over [20, 200): heterogeneity multiplicative, like mixed
+    // hardware generations. Rounded to 0.01 so the speeds print cleanly.
+    const double speed = 20.0 * std::exp(rng.next_double() * std::log(10.0));
+    b.add("n" + std::to_string(i), std::round(speed * 100.0) / 100.0);
+  }
+  // Switched gigabit Ethernet: ~100 MB/s, ~50 us message latency. Fast
+  // uniform links keep the landscape compute-dominant at this scale, which
+  // is the regime the paper's campus-network experiments target.
+  b.network(50e-6, 1e8);
+  b.shared_memory(5e-6, 1e9);
+  return b.build();
 }
 
 Cluster two_level(int lans, int per_lan, double speed) {

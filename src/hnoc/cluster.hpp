@@ -14,6 +14,7 @@
 // the estimator, which is what makes HMPI_Timeof predictions meaningful.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -173,6 +174,13 @@ Cluster homogeneous(int n, double speed = 50.0);
 /// `lans` LANs of `per_lan` machines each, gigabit inside a LAN and a slow
 /// high-latency WAN between LANs (the MPICH-G2 style hierarchical testbed).
 Cluster two_level(int lans, int per_lan, double speed = 50.0);
+
+/// Seeded heterogeneous cluster at campus scale for the P=1000 mapping
+/// experiments (bench/ablation_mapscale.cpp, hmpictl --large-cluster):
+/// `machines` nodes with speeds drawn log-uniformly from [20, 200) — a
+/// decade of spread, like a campus network mixing hardware generations — on
+/// fast switched gigabit Ethernet. Fully deterministic in (machines, seed).
+Cluster large_cluster(int machines, std::uint64_t seed = 0x413130);
 
 }  // namespace testbeds
 }  // namespace hmpi::hnoc

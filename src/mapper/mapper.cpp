@@ -177,6 +177,183 @@ class CandidateScorer {
   std::vector<est::DeltaEvaluator::Move> moves_;
 };
 
+/// Batch counterpart of CandidateScorer for the scalable searches: packs a
+/// set of complete selections into row-major physical mappings, answers what
+/// it can from the estimate cache in one bulk probe per shard, prices the
+/// misses through the SoA est::BatchEvaluator (or the interpreter when no
+/// plan cache is supplied) and bulk-inserts them back. Values are
+/// bit-identical on every route — the same contract CandidateScorer rides
+/// on — so batch and one-at-a-time searches agree bit for bit.
+///
+/// Not thread-safe: one scorer per chunk/chain (all scratch is reused
+/// across calls, so a steady-state round allocates nothing).
+class BatchScorer {
+ public:
+  BatchScorer(const pmdl::ModelInstance& instance,
+              std::span<const Candidate> candidates,
+              const hnoc::NetworkModel& network, est::EstimateOptions options,
+              const SearchContext& context)
+      : instance_(&instance),
+        candidates_(candidates),
+        network_(&network),
+        options_(options),
+        cache_(context.cache),
+        width_(static_cast<std::size_t>(instance.size())) {
+    if (context.plans != nullptr) plan_ = context.plans->get(instance);
+    if (cache_ != nullptr) {
+      fingerprint_ = est::estimate_fingerprint(instance, options);
+    }
+  }
+
+  /// Scores `count` selections laid out row-major (selections[j * width + a]
+  /// is the candidate index of abstract slot `a` in selection `j`) into
+  /// out[0..count).
+  void score(std::span<const int> selections, std::size_t count,
+             std::span<double> out, SearchStats* stats) {
+    if (count == 0) return;
+    stats->evaluations += static_cast<long long>(count);
+    stats->batch_chunks += 1;
+    stats->batch_candidates += static_cast<long long>(count);
+
+    // Selection -> physical processors, row-major (the cache key layout).
+    rows_.resize(count * width_);
+    for (std::size_t j = 0; j < count * width_; ++j) {
+      rows_[j] = candidates_[static_cast<std::size_t>(selections[j])].processor;
+    }
+
+    found_.assign(count, 0);
+    std::size_t hits = 0;
+    if (cache_ != nullptr) {
+      hits = cache_->lookup_batch(fingerprint_, rows_, width_, *network_, out,
+                                  found_);
+      stats->cache_hits += static_cast<long long>(hits);
+      stats->cache_misses += static_cast<long long>(count - hits);
+      if (hits == count) return;
+    }
+
+    if (plan_ != nullptr) {
+      // Pack the miss subset slot-major and price it in one SoA pass.
+      miss_index_.clear();
+      for (std::size_t j = 0; j < count; ++j) {
+        if (found_[j] == 0) miss_index_.push_back(j);
+      }
+      const std::size_t misses = miss_index_.size();
+      soa_.resize(width_ * misses);
+      for (std::size_t a = 0; a < width_; ++a) {
+        for (std::size_t m = 0; m < misses; ++m) {
+          soa_[a * misses + m] = rows_[miss_index_[m] * width_ + a];
+        }
+      }
+      miss_out_.resize(misses);
+      batch_.evaluate(*plan_, soa_, misses, *network_, options_, miss_out_);
+      for (std::size_t m = 0; m < misses; ++m) {
+        out[miss_index_[m]] = miss_out_[m];
+      }
+      stats->compiled_evaluations += static_cast<long long>(misses);
+      stats->batch_evaluated += static_cast<long long>(misses);
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        if (found_[j] != 0) continue;
+        out[j] = est::estimate_time(
+            *instance_,
+            std::span<const int>(rows_).subspan(j * width_, width_), *network_,
+            options_);
+      }
+    }
+
+    if (cache_ != nullptr) {
+      cache_->insert_batch(fingerprint_, rows_, width_, *network_, out, found_);
+    }
+  }
+
+ private:
+  const pmdl::ModelInstance* instance_;
+  std::span<const Candidate> candidates_;
+  const hnoc::NetworkModel* network_;
+  est::EstimateOptions options_;
+  est::EstimateCache* cache_;
+  std::shared_ptr<const est::Plan> plan_;
+  std::uint64_t fingerprint_ = 0;
+  std::size_t width_;
+  est::BatchEvaluator batch_;
+  std::vector<int> rows_;
+  std::vector<char> found_;
+  std::vector<std::size_t> miss_index_;
+  std::vector<int> soa_;
+  std::vector<double> miss_out_;
+};
+
+/// Chunked batch scoring over the context's pool: the candidate set is split
+/// into one contiguous range per worker slot, each scored by that slot's own
+/// BatchScorer (reused across rounds), stats merged in slot order. Values
+/// land in disjoint out ranges and do not depend on which thread computed
+/// them, so results are bit-identical for any thread count.
+class ParallelBatchScorer {
+ public:
+  ParallelBatchScorer(const pmdl::ModelInstance& instance,
+                      std::span<const Candidate> candidates,
+                      const hnoc::NetworkModel& network,
+                      est::EstimateOptions options,
+                      const SearchContext& context)
+      : pool_(context.pool), width_(static_cast<std::size_t>(instance.size())) {
+    const int slots = std::max(1, context_threads(context));
+    scorers_.reserve(static_cast<std::size_t>(slots));
+    for (int t = 0; t < slots; ++t) {
+      scorers_.emplace_back(instance, candidates, network, options, context);
+    }
+    slot_stats_.resize(scorers_.size());
+  }
+
+  void score(std::span<const int> selections, std::size_t count,
+             std::span<double> out, SearchStats* stats) {
+    const std::size_t slots = scorers_.size();
+    // Small batches are not worth the fork/join round trip.
+    if (pool_ == nullptr || slots <= 1 || count < 2 * slots) {
+      scorers_[0].score(selections, count, out, stats);
+      return;
+    }
+    for (SearchStats& s : slot_stats_) s = SearchStats{};
+    const std::size_t chunk = (count + slots - 1) / slots;
+    pool_->parallel_for(static_cast<int>(slots), [&](int t) {
+      const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+      if (begin >= count) return;
+      const std::size_t n = std::min(chunk, count - begin);
+      scorers_[static_cast<std::size_t>(t)].score(
+          selections.subspan(begin * width_, n * width_), n,
+          out.subspan(begin, n), &slot_stats_[static_cast<std::size_t>(t)]);
+    });
+    for (const SearchStats& s : slot_stats_) stats->add_counters(s);
+  }
+
+ private:
+  support::ThreadPool* pool_;
+  std::size_t width_;
+  std::vector<BatchScorer> scorers_;
+  std::vector<SearchStats> slot_stats_;
+};
+
+/// Substitution targets under the locality restriction: every non-parent
+/// candidate below the threshold; the top_k fastest (ties towards the lower
+/// index) above it.
+std::vector<int> substitution_targets(std::span<const Candidate> candidates,
+                                      int parent_candidate,
+                                      const hnoc::NetworkModel& network,
+                                      const LocalityOptions& locality) {
+  std::vector<int> order;
+  order.reserve(candidates.size());
+  for (int c = 0; c < static_cast<int>(candidates.size()); ++c) {
+    if (c != parent_candidate) order.push_back(c);
+  }
+  if (static_cast<int>(candidates.size()) <= locality.threshold) return order;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return network.speed(candidates[static_cast<std::size_t>(a)].processor) >
+           network.speed(candidates[static_cast<std::size_t>(b)].processor);
+  });
+  const auto k = static_cast<std::size_t>(std::max(1, locality.top_k));
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
 }  // namespace
 
 int Mapper::check(const pmdl::ModelInstance& instance,
@@ -617,6 +794,318 @@ MappingResult AnnealingMapper::select(const pmdl::ModelInstance& instance,
   return finish(std::move(best), best_score);
 }
 
+// --- BeamMapper ------------------------------------------------------------------
+
+BeamMapper::BeamMapper(Options options) : options_(options) {
+  support::require(options_.width >= 1, "beam width must be >= 1");
+  support::require(options_.max_rounds >= 1, "beam max_rounds must be >= 1");
+  support::require(options_.locality.top_k >= 1,
+                   "locality top_k must be >= 1");
+}
+
+MappingResult BeamMapper::select(const pmdl::ModelInstance& instance,
+                                 std::span<const Candidate> candidates,
+                                 int parent_candidate,
+                                 const hnoc::NetworkModel& network,
+                                 est::EstimateOptions options,
+                                 const SearchContext& context) const {
+  const WallTimer timer;
+  HMPI_SPAN("mapper:beam");
+  const int p = check(instance, candidates, parent_candidate, network);
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+  const auto width = static_cast<std::size_t>(p);
+
+  SearchStats stats;
+  ParallelBatchScorer scorer(instance, candidates, network, options, context);
+
+  const auto finish = [&](std::vector<int> selection, double t) {
+    MappingResult result;
+    result.candidate_for_abstract = std::move(selection);
+    result.estimated_time = t;
+    result.stats = stats;
+    result.stats.threads = context_threads(context);
+    result.stats.wall_seconds = timer.seconds();
+    return result;
+  };
+
+  std::vector<int> start = GreedyMapper::greedy_selection(
+      instance, candidates, parent_candidate, network);
+  double start_time = 0.0;
+  scorer.score(start, 1, std::span<double>(&start_time, 1), &stats);
+
+  // Mutable non-parent slots and (locality-restricted) substitution targets.
+  std::vector<int> slots;
+  for (int a = 0; a < p; ++a) {
+    if (a != parent_abstract) slots.push_back(a);
+  }
+  if (slots.empty()) return finish(std::move(start), start_time);
+  const std::vector<int> targets = substitution_targets(
+      candidates, parent_candidate, network, options_.locality);
+
+  // Frontier states, kept sorted by (time, selection) — the lexicographic
+  // tie-break makes the frontier, and hence the result, independent of both
+  // thread count and enumeration order.
+  struct State {
+    std::vector<int> selection;
+    double time = 0.0;
+  };
+  std::vector<State> frontier;
+  frontier.push_back(State{std::move(start), start_time});
+  double best_time = start_time;
+
+  std::vector<int> rows;       // neighbour selections, row-major
+  std::vector<double> scores;  // their times
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    // Expand every frontier state: all pairwise swaps of free slots, plus
+    // substitutions of each free slot to each unused neighbourhood target.
+    rows.clear();
+    for (const State& state : frontier) {
+      std::fill(used.begin(), used.end(), 0);
+      for (int c : state.selection) used[static_cast<std::size_t>(c)] = 1;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        for (std::size_t j = i + 1; j < slots.size(); ++j) {
+          rows.insert(rows.end(), state.selection.begin(),
+                      state.selection.end());
+          int* row = rows.data() + (rows.size() - width);
+          std::swap(row[slots[i]], row[slots[j]]);
+        }
+      }
+      for (int a : slots) {
+        for (int c : targets) {
+          if (used[static_cast<std::size_t>(c)] != 0) continue;
+          rows.insert(rows.end(), state.selection.begin(),
+                      state.selection.end());
+          rows[rows.size() - width + static_cast<std::size_t>(a)] = c;
+        }
+      }
+    }
+    const std::size_t count = rows.size() / width;
+    if (count == 0) break;
+    scores.resize(count);
+    scorer.score(rows, count, scores, &stats);
+
+    // Merge survivors and neighbours, keep the `width` best. Duplicate
+    // selections score identically (deterministic estimator), so they sort
+    // adjacent and collapse under unique().
+    std::vector<State> merged = std::move(frontier);
+    merged.reserve(merged.size() + count);
+    for (std::size_t j = 0; j < count; ++j) {
+      merged.push_back(
+          State{std::vector<int>(rows.begin() + static_cast<std::ptrdiff_t>(
+                                     j * width),
+                                 rows.begin() + static_cast<std::ptrdiff_t>(
+                                     (j + 1) * width)),
+                scores[j]});
+    }
+    std::sort(merged.begin(), merged.end(), [](const State& a, const State& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.selection < b.selection;
+    });
+    merged.erase(std::unique(merged.begin(), merged.end(),
+                             [](const State& a, const State& b) {
+                               return a.selection == b.selection;
+                             }),
+                 merged.end());
+    if (merged.size() > static_cast<std::size_t>(options_.width)) {
+      merged.resize(static_cast<std::size_t>(options_.width));
+    }
+    frontier = std::move(merged);
+
+    const double round_best = frontier.front().time;
+    if (!(round_best + 1e-15 < best_time)) break;
+    best_time = round_best;
+  }
+
+  return finish(std::move(frontier.front().selection), frontier.front().time);
+}
+
+// --- WorkStealingAnnealingMapper -------------------------------------------------
+
+WorkStealingAnnealingMapper::WorkStealingAnnealingMapper(Options options)
+    : options_(options) {
+  support::require(options_.chains >= 1, "annealing-ws chains must be >= 1");
+  support::require(options_.chunk >= 1, "annealing-ws chunk must be >= 1");
+  support::require(options_.locality.top_k >= 1,
+                   "locality top_k must be >= 1");
+}
+
+MappingResult WorkStealingAnnealingMapper::select(
+    const pmdl::ModelInstance& instance, std::span<const Candidate> candidates,
+    int parent_candidate, const hnoc::NetworkModel& network,
+    est::EstimateOptions options, const SearchContext& context) const {
+  const WallTimer timer;
+  HMPI_SPAN("mapper:annealing-ws");
+  const int p = check(instance, candidates, parent_candidate, network);
+  const int parent_abstract = instance.parent_index();
+  const int n = static_cast<int>(candidates.size());
+  const auto width = static_cast<std::size_t>(p);
+  const int chains = options_.chains;
+
+  // Shared across chains: the greedy start, the mutable slot list, and the
+  // (locality-restricted) substitution targets.
+  const std::vector<int> start = GreedyMapper::greedy_selection(
+      instance, candidates, parent_candidate, network);
+  std::vector<int> slots;
+  for (int a = 0; a < p; ++a) {
+    if (a != parent_abstract) slots.push_back(a);
+  }
+  const std::vector<int> targets = substitution_targets(
+      candidates, parent_candidate, network, options_.locality);
+
+  struct ChainResult {
+    std::vector<int> best;
+    double best_time = 0.0;
+    SearchStats stats;
+  };
+  std::vector<ChainResult> results(static_cast<std::size_t>(chains));
+
+  // One independent chain per index. Each chain's move sequence is a fixed
+  // function of its seed alone: proposals are drawn speculatively in chunks,
+  // priced in one batch, then walked in draw order with the exact
+  // AnnealingMapper acceptance rule; the first accepted proposal ends the
+  // chunk and the rejected tail is discarded (their scores were speculative,
+  // their RNG draws were made before pricing, so the trajectory matches the
+  // one-at-a-time chain exactly). Threads only decide which worker runs
+  // which chain — never what any chain computes.
+  const auto run_chain = [&](int ci) {
+    ChainResult& out = results[static_cast<std::size_t>(ci)];
+    SearchContext chain_context = context;
+    chain_context.pool = nullptr;  // chains are the parallelism
+    BatchScorer scorer(instance, candidates, network, options, chain_context);
+    support::Rng rng(chain_seed(options_.annealing.seed, ci));
+
+    std::vector<int> current = start;
+    double current_time = 0.0;
+    scorer.score(current, 1, std::span<double>(&current_time, 1), &out.stats);
+    out.best = current;
+    out.best_time = current_time;
+    if (slots.empty()) return;
+
+    std::vector<char> used(static_cast<std::size_t>(n), 0);
+    for (int c : current) used[static_cast<std::size_t>(c)] = 1;
+    double temperature =
+        std::max(1e-12, options_.annealing.initial_temperature_factor *
+                            current_time);
+
+    // A proposal is either a swap (slot_b >= 0) or a substitution of
+    // `replacement` into slot_a.
+    struct Proposal {
+      int slot_a = -1;
+      int slot_b = -1;
+      int replacement = -1;
+    };
+    std::vector<Proposal> proposals;
+    std::vector<int> rows;
+    std::vector<double> vals;
+
+    int remaining = options_.annealing.iterations;
+    while (remaining > 0) {
+      const int k = std::min(options_.chunk, remaining);
+      proposals.clear();
+      rows.clear();
+      for (int j = 0; j < k; ++j) {
+        const bool substitute =
+            n > p && (slots.size() < 2 || rng.next_double() < 0.5);
+        Proposal prop;
+        prop.slot_a = slots[static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(slots.size())))];
+        rows.insert(rows.end(), current.begin(), current.end());
+        int* row = rows.data() + (rows.size() - width);
+        if (substitute) {
+          // Reservoir over the unused neighbourhood targets; if the whole
+          // neighbourhood is occupied, fall back to any unused candidate so
+          // the move stays feasible (n > p guarantees one exists).
+          int replacement = -1;
+          int seen = 0;
+          for (int c : targets) {
+            if (used[static_cast<std::size_t>(c)] != 0) continue;
+            ++seen;
+            if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) {
+              replacement = c;
+            }
+          }
+          if (replacement < 0) {
+            for (int c = 0; c < n; ++c) {
+              if (used[static_cast<std::size_t>(c)] != 0) continue;
+              ++seen;
+              if (rng.next_below(static_cast<std::uint64_t>(seen)) == 0) {
+                replacement = c;
+              }
+            }
+          }
+          prop.replacement = replacement;
+          row[prop.slot_a] = replacement;
+        } else {
+          int slot_b = prop.slot_a;
+          while (slot_b == prop.slot_a) {
+            slot_b = slots[static_cast<std::size_t>(
+                rng.next_below(static_cast<std::uint64_t>(slots.size())))];
+          }
+          prop.slot_b = slot_b;
+          std::swap(row[prop.slot_a], row[prop.slot_b]);
+        }
+        proposals.push_back(prop);
+      }
+
+      vals.resize(static_cast<std::size_t>(k));
+      scorer.score(rows, static_cast<std::size_t>(k), vals, &out.stats);
+
+      int walked = 0;
+      for (int j = 0; j < k; ++j) {
+        ++walked;
+        const double delta = vals[static_cast<std::size_t>(j)] - current_time;
+        const bool accept = delta <= 0.0 ||
+                            rng.next_double() < std::exp(-delta / temperature);
+        temperature *= options_.annealing.cooling;
+        if (!accept) continue;
+        const Proposal& prop = proposals[static_cast<std::size_t>(j)];
+        if (prop.slot_b >= 0) {
+          std::swap(current[static_cast<std::size_t>(prop.slot_a)],
+                    current[static_cast<std::size_t>(prop.slot_b)]);
+        } else {
+          used[static_cast<std::size_t>(
+              current[static_cast<std::size_t>(prop.slot_a)])] = 0;
+          used[static_cast<std::size_t>(prop.replacement)] = 1;
+          current[static_cast<std::size_t>(prop.slot_a)] = prop.replacement;
+        }
+        current_time = vals[static_cast<std::size_t>(j)];
+        if (current_time < out.best_time) {
+          out.best_time = current_time;
+          out.best = current;
+        }
+        break;  // the rest of the chunk was speculative against the old state
+      }
+      remaining -= walked;
+    }
+  };
+
+  const int threads = context_threads(context);
+  if (context.pool != nullptr && threads > 1 && chains > 1) {
+    context.pool->parallel_for(chains, run_chain);
+  } else {
+    for (int ci = 0; ci < chains; ++ci) run_chain(ci);
+  }
+
+  // Reduce in chain order, strict improvement only: exact ties keep the
+  // earliest chain, independent of which thread finished first.
+  MappingResult best;
+  std::size_t winner = 0;
+  for (std::size_t ci = 0; ci < results.size(); ++ci) {
+    best.stats.add_counters(results[ci].stats);
+    if (ci > 0 && results[ci].best_time < results[winner].best_time) {
+      winner = ci;
+    }
+  }
+  best.candidate_for_abstract = std::move(results[winner].best);
+  best.estimated_time = results[winner].best_time;
+  best.stats.threads = threads;
+  best.stats.wall_seconds = timer.seconds();
+  return best;
+}
+
 // --- PortfolioMapper -------------------------------------------------------------
 
 PortfolioMapper::PortfolioMapper(Options options) : options_(options) {
@@ -624,6 +1113,15 @@ PortfolioMapper::PortfolioMapper(Options options) : options_(options) {
                    "portfolio annealing restarts must be >= 0");
   support::require(options_.swap_refine_rounds >= 1,
                    "portfolio swap-refine rounds must be >= 1");
+  support::require(options_.scale_threshold >= 0,
+                   "portfolio scale threshold must be >= 0");
+  support::require(options_.beam.width >= 1 && options_.beam.max_rounds >= 1 &&
+                       options_.beam.locality.top_k >= 1,
+                   "portfolio beam options out of range");
+  support::require(options_.work_stealing.chains >= 1 &&
+                       options_.work_stealing.chunk >= 1 &&
+                       options_.work_stealing.locality.top_k >= 1,
+                   "portfolio work-stealing options out of range");
 }
 
 MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
@@ -638,21 +1136,36 @@ MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
 
   // Fixed member order: the reduction prefers earlier members on exact ties,
   // so this order is part of the determinism contract.
+  const bool at_scale =
+      static_cast<int>(candidates.size()) > options_.scale_threshold;
   std::vector<std::unique_ptr<Mapper>> members;
-  members.push_back(std::make_unique<GreedyMapper>());
-  members.push_back(
-      std::make_unique<SwapRefineMapper>(options_.swap_refine_rounds));
-  for (int r = 0; r < options_.annealing_restarts; ++r) {
-    AnnealingOptions restart = options_.annealing;
-    restart.seed = restart_seed(options_.annealing.seed, r);
-    members.push_back(std::make_unique<AnnealingMapper>(restart));
+  if (at_scale) {
+    // Large candidate sets: the serial members' O(p^2 n) neighbourhoods are
+    // the bottleneck, so enroll the batch searches instead. These
+    // parallelise *internally* (chunked batch scoring / chains), so they run
+    // in sequence with the pool handed into each — never nested.
+    members.push_back(std::make_unique<GreedyMapper>());
+    members.push_back(std::make_unique<BeamMapper>(options_.beam));
+    members.push_back(
+        std::make_unique<WorkStealingAnnealingMapper>(options_.work_stealing));
+  } else {
+    members.push_back(std::make_unique<GreedyMapper>());
+    members.push_back(
+        std::make_unique<SwapRefineMapper>(options_.swap_refine_rounds));
+    for (int r = 0; r < options_.annealing_restarts; ++r) {
+      AnnealingOptions restart = options_.annealing;
+      restart.seed = restart_seed(options_.annealing.seed, r);
+      members.push_back(std::make_unique<AnnealingMapper>(restart));
+    }
   }
 
-  // Each member is a serial algorithm; the pool races the members against
-  // each other, and they share the context's estimate cache (greedy's start
-  // is swap-refine's start is every restart's start — instant hits) and the
-  // plan cache (one compile serves every member).
-  const SearchContext member_context{nullptr, context.cache, context.plans,
+  // Below the threshold each member is a serial algorithm and the pool races
+  // the members against each other; at scale each member gets the full
+  // context (pool included) and they run in sequence. Either way the members
+  // share the context's estimate cache (greedy's start is every search's
+  // start — instant hits) and the plan cache (one compile serves everyone).
+  const SearchContext member_context{at_scale ? context.pool : nullptr,
+                                     context.cache, context.plans,
                                      context.delta};
   std::vector<MappingResult> results(members.size());
   const auto run_member = [&](int m) {
@@ -663,7 +1176,8 @@ MappingResult PortfolioMapper::select(const pmdl::ModelInstance& instance,
   };
 
   const int threads = context_threads(context);
-  if (context.pool != nullptr && threads > 1 && members.size() > 1) {
+  if (!at_scale && context.pool != nullptr && threads > 1 &&
+      members.size() > 1) {
     context.pool->parallel_for(static_cast<int>(members.size()), run_member);
   } else {
     for (std::size_t m = 0; m < members.size(); ++m) {

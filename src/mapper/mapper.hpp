@@ -13,8 +13,25 @@
 //                        swaps and substitutions of unused candidates,
 //                        scored by the estimator.
 //   * AnnealingMapper  — simulated annealing over the same move set.
+//   * BeamMapper       — width-bounded frontier over the swap/substitution
+//                        neighborhood, every round's neighbors scored in one
+//                        SoA batch (est::BatchEvaluator); the scalable
+//                        hill climber for large candidate sets.
+//   * WorkStealingAnnealingMapper — independent deterministic annealing
+//                        chains claimed dynamically off the thread pool
+//                        (work stealing), each speculatively batch-scoring a
+//                        chunk of proposals per step.
 //   * PortfolioMapper  — greedy + swap-refine + multi-seed annealing
 //                        restarts raced concurrently; best result wins.
+//                        Above PortfolioOptions::scale_threshold candidates
+//                        it swaps the quadratic members for the scalable
+//                        pair (beam + work-stealing annealing).
+//
+// The scalable searches restrict substitution moves to the top-k fastest
+// candidates (LocalityOptions) once the candidate set is large: on a
+// 1000-machine network the interesting substitutions overwhelmingly target
+// the fast tail, and k bounds each round's neighborhood at O(slots x k)
+// instead of O(slots x P). Below the threshold nothing is restricted.
 //
 // Every mapper accepts a SearchContext carrying a thread pool and an
 // estimate cache. Determinism guarantee (docs/mapper.md): for a fixed input,
@@ -65,6 +82,13 @@ struct SearchStats {
   /// ...versus what the same evaluations would have cost done fully; the
   /// ratio is the est.delta.savings gauge.
   long long delta_ops_total = 0;
+  /// Batch scoring requests the scalable searches issued (mapper.batch.*).
+  long long batch_chunks = 0;
+  /// Selections scored through the batch path (cache hits included).
+  long long batch_candidates = 0;
+  /// Batch candidates the SoA evaluator priced (cache hits and interpreter
+  /// fallbacks excluded; est.batch.* metrics).
+  long long batch_evaluated = 0;
   double wall_seconds = 0.0;   ///< Host wall-clock time of the search.
   int threads = 1;             ///< Workers the search ran with.
 
@@ -87,6 +111,9 @@ struct SearchStats {
     delta_evaluations += other.delta_evaluations;
     delta_ops_replayed += other.delta_ops_replayed;
     delta_ops_total += other.delta_ops_total;
+    batch_chunks += other.batch_chunks;
+    batch_candidates += other.batch_candidates;
+    batch_evaluated += other.batch_evaluated;
   }
 };
 
@@ -260,6 +287,99 @@ class SwapRefineMapper : public Mapper {
   int max_rounds_;
 };
 
+/// Locality-aware neighborhood restriction of the scalable searches (see
+/// file comment). Substitution moves consider only the `top_k` fastest
+/// candidates (by estimated processor speed, ties towards the lower
+/// candidate index) once more than `threshold` candidates are offered;
+/// below the threshold every unused candidate is a target.
+struct LocalityOptions {
+  int top_k = 32;
+  int threshold = 64;
+};
+
+/// Tunables of BeamMapper.
+struct BeamOptions {
+  /// Frontier states kept per round (distinct selections).
+  int width = 8;
+  /// Rounds without improvement end the search earlier.
+  int max_rounds = 32;
+  LocalityOptions locality;
+};
+
+/// Width-bounded beam search over the swap/substitution neighborhood,
+/// started from the greedy selection. Every round expands each frontier
+/// state's full neighborhood, scores all neighbors in one batch
+/// (est::BatchEvaluator through the bulk estimate-cache path), and keeps the
+/// `width` best distinct selections under a (time, selection) lexicographic
+/// order — so the frontier, and therefore the result, is bit-identical for
+/// any thread count (parallel batch chunks write disjoint ranges and the
+/// merge walks a fixed order).
+class BeamMapper : public Mapper {
+ public:
+  using Options = BeamOptions;
+
+  explicit BeamMapper(Options options = BeamOptions());
+
+  using Mapper::select;
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
+  std::string name() const override { return "beam"; }
+
+ private:
+  Options options_;
+};
+
+/// Tunables of WorkStealingAnnealingMapper.
+struct WorkStealingOptions {
+  /// Independent annealing chains; idle workers steal the next unclaimed
+  /// chain off the pool's dynamic index.
+  int chains = 8;
+  /// Per-chain schedule; the seed field is the chain_seed derivation base.
+  AnnealingOptions annealing;
+  /// Speculative proposals drawn and batch-scored per step; on the first
+  /// accepted proposal the rest of the chunk is discarded (stale against the
+  /// new state).
+  int chunk = 8;
+  LocalityOptions locality;
+};
+
+/// Work-stealing parallel annealing: `chains` deterministic annealing runs
+/// (greedy start, geometric cooling, locality-restricted substitution /
+/// swap moves) claimed dynamically over the context's ThreadPool. Each
+/// chain draws a chunk of proposals i.i.d. from its current state, prices
+/// the whole chunk in one SoA batch, then walks it in order under the
+/// Metropolis rule — a chain is a fixed serial computation, so the
+/// chain-order reduction (ties keep the earliest chain) is bit-identical
+/// for any thread count.
+class WorkStealingAnnealingMapper : public Mapper {
+ public:
+  using Options = WorkStealingOptions;
+
+  explicit WorkStealingAnnealingMapper(Options options = WorkStealingOptions());
+
+  using Mapper::select;
+  MappingResult select(const pmdl::ModelInstance& instance,
+                       std::span<const Candidate> candidates,
+                       int parent_candidate, const hnoc::NetworkModel& network,
+                       est::EstimateOptions options,
+                       const SearchContext& context) const override;
+  std::string name() const override { return "annealing-ws"; }
+
+  /// Deterministic per-chain RNG seed (SplitMix64-style decorrelation of the
+  /// base). Pinned by tests — changing this derivation changes every
+  /// work-stealing selection.
+  static std::uint64_t chain_seed(std::uint64_t base_seed, int chain) noexcept {
+    return base_seed ^
+           (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chain) + 1));
+  }
+
+ private:
+  Options options_;
+};
+
 /// Tunables of PortfolioMapper.
 struct PortfolioOptions {
   /// Concurrent annealing members; each runs with a seed derived by
@@ -269,13 +389,23 @@ struct PortfolioOptions {
   AnnealingOptions annealing;
   /// Hill-climbing rounds of the swap-refine member.
   int swap_refine_rounds = 64;
+  /// Candidate count above which the portfolio enrolls the scalable members
+  /// (beam + work-stealing annealing) instead of the quadratic ones. At or
+  /// below the threshold the member list — and therefore the selection — is
+  /// exactly the pre-scaling portfolio's, bit for bit.
+  int scale_threshold = 64;
+  BeamOptions beam;
+  WorkStealingOptions work_stealing;
 };
 
 /// Races greedy, swap-refine, and `annealing_restarts` differently-seeded
 /// annealing runs — concurrently when the context has a pool — and returns
 /// the best result. Every member runs to completion and the reduction walks
 /// members in a fixed order (ties keep the earliest member), so the outcome
-/// is identical for 1 or N threads.
+/// is identical for 1 or N threads. Above scale_threshold candidates the
+/// member list becomes {greedy, beam, work-stealing annealing}, run in
+/// sequence with the pool handed *into* each member (they parallelise
+/// internally over batch chunks / chains) instead of racing serial members.
 class PortfolioMapper : public Mapper {
  public:
   using Options = PortfolioOptions;

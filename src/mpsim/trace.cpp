@@ -20,6 +20,7 @@ const char* kind_name(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kSuspect: return "suspect";
     case TraceEvent::Kind::kRecover: return "recover";
     case TraceEvent::Kind::kMapperSearch: return "mapper_search";
+    case TraceEvent::Kind::kMapperBatch: return "mapper_batch";
     case TraceEvent::Kind::kCollSelect: return "coll_select";
     case TraceEvent::Kind::kEstCompile: return "est_compile";
     case TraceEvent::Kind::kAdaptTrigger: return "adapt_trigger";
@@ -40,6 +41,7 @@ bool is_instant(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kSuspect:
     case TraceEvent::Kind::kRecover:
     case TraceEvent::Kind::kMapperSearch:
+    case TraceEvent::Kind::kMapperBatch:
     case TraceEvent::Kind::kCollSelect:
     case TraceEvent::Kind::kEstCompile:
     case TraceEvent::Kind::kAdaptTrigger:
@@ -90,6 +92,11 @@ std::vector<telemetry::ChromeEvent> to_chrome_events(
         c.arg("hit_rate", e.search.hit_rate);
         c.arg("threads", static_cast<double>(e.search.threads));
         c.arg("wall_seconds", e.search.wall_seconds);
+        break;
+      case TraceEvent::Kind::kMapperBatch:
+        c.arg("chunks", static_cast<double>(e.batch.chunks));
+        c.arg("candidates", static_cast<double>(e.batch.candidates));
+        c.arg("evaluated", static_cast<double>(e.batch.evaluated));
         break;
       case TraceEvent::Kind::kEstCompile:
         c.arg("ops", static_cast<double>(e.compile.ops));
@@ -174,6 +181,14 @@ void Tracer::write_csv(std::ostream& os) const {
       peer = e.coll.algo;
       tag = e.coll.op;
       units = e.coll.predicted_s;
+    }
+    // kMapperBatch packs the chunk count in peer, the SoA-evaluated count in
+    // bytes and the candidate count in units; the honest form is
+    // TraceEvent::batch / the Chrome-trace args.
+    if (e.kind == TraceEvent::Kind::kMapperBatch) {
+      peer = static_cast<int>(e.batch.chunks);
+      bytes = static_cast<std::size_t>(e.batch.evaluated);
+      units = static_cast<double>(e.batch.candidates);
     }
     // kEstCompile likewise: plan ops in bytes, compile seconds in units.
     if (e.kind == TraceEvent::Kind::kEstCompile) {

@@ -34,6 +34,9 @@ struct TraceEvent {
     kRecover,      ///< Runtime cleared a processor's suspect mark.
     kMapperSearch, ///< A group-selection search finished (timeof or the
                    ///< parent side of group_create); details in `search`.
+    kMapperBatch,  ///< That search used the batch-scoring path (SoA
+                   ///< estimation); details in `batch`. Emitted alongside
+                   ///< kMapperSearch, never instead of it.
     kCollSelect,   ///< A collective resolved its algorithm (recorded by the
                    ///< communicator's rank 0 only); details in `coll`.
     kEstCompile,   ///< A performance model was compiled to the cost IR
@@ -57,6 +60,15 @@ struct TraceEvent {
     double hit_rate = 0.0;      ///< Estimate-cache hit rate in [0, 1].
     int threads = 1;            ///< Worker threads used by the search.
     double wall_seconds = 0.0;  ///< Real (not virtual) search duration.
+  };
+
+  /// Named payload for kMapperBatch (one instant per batch search; the
+  /// per-chunk breakdown lives in the metrics registry).
+  struct MapperBatch {
+    long long chunks = 0;      ///< Batch scoring requests issued.
+    long long candidates = 0;  ///< Selections scored through the batch path.
+    long long evaluated = 0;   ///< Of those, priced by the SoA evaluator
+                               ///< (cache hits and fallbacks excluded).
   };
 
   /// Named payload for kEstCompile.
@@ -105,6 +117,7 @@ struct TraceEvent {
   double start_time = 0.0; ///< Virtual time the event began.
   double end_time = 0.0;   ///< Virtual completion (message arrival for sends).
   MapperSearch search;     ///< kMapperSearch only.
+  MapperBatch batch;       ///< kMapperBatch only.
   EstCompile compile;      ///< kEstCompile only.
   CollSelect coll;         ///< kCollSelect only.
   Adapt adapt;             ///< kAdaptTrigger/kAdaptMigrate/kAdaptRollback.

@@ -47,6 +47,10 @@ std::unique_ptr<map::Mapper> make_mapper(const std::string& name) {
   if (name == "annealing") return std::make_unique<map::AnnealingMapper>();
   if (name == "exhaustive") return std::make_unique<map::ExhaustiveMapper>();
   if (name == "portfolio") return std::make_unique<map::PortfolioMapper>();
+  if (name == "beam") return std::make_unique<map::BeamMapper>();
+  if (name == "annealing-ws") {
+    return std::make_unique<map::WorkStealingAnnealingMapper>();
+  }
   throw InvalidArgument("unknown scheduler mapper: " + name);
 }
 

@@ -1,0 +1,288 @@
+// The SoA batch evaluator (estimator/plan.hpp) and the estimate cache's bulk
+// probes (estimator/estimate_cache.hpp): evaluate_batch must equal N
+// one-at-a-time Plan::evaluate calls bit for bit on arbitrary models and
+// clusters, and lookup_batch/insert_batch must be interchangeable with the
+// single-key calls, at any shard count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "estimator/estimate_cache.hpp"
+#include "estimator/estimator.hpp"
+#include "estimator/fingerprint.hpp"
+#include "estimator/plan.hpp"
+#include "hnoc/cluster.hpp"
+#include "support/rng.hpp"
+
+namespace hmpi::est {
+namespace {
+
+using pmdl::InstanceBuilder;
+using pmdl::ModelInstance;
+using pmdl::ScheduleSink;
+
+/// Random scheme-bearing model: heterogeneous volumes, a random edge set, a
+/// par block of computes, then serial compute/transfer phases over the
+/// edges — exercises every op kind the batch evaluator prices.
+ModelInstance random_scheme_model(support::Rng& rng, int p) {
+  InstanceBuilder b("batch-rand");
+  b.shape({p});
+  std::vector<std::pair<long long, long long>> edges;
+  for (int a = 0; a < p; ++a) {
+    b.node_volume(a, 1.0 + rng.next_double() * 100.0);
+    const auto to = static_cast<long long>(
+        rng.next_below(static_cast<std::uint64_t>(p)));
+    if (to != a) {
+      b.link(a, static_cast<int>(to), 1e4 + rng.next_double() * 1e5);
+      edges.push_back({a, to});
+    }
+  }
+  const int phases = 1 + static_cast<int>(rng.next_below(3));
+  b.scheme([p, phases, edges](ScheduleSink& s) {
+    for (int phase = 0; phase < phases; ++phase) {
+      s.par_begin();
+      for (long long a = 0; a < p; ++a) {
+        s.par_iter_begin();
+        const long long c[1] = {a};
+        s.compute(c, 10.0 + static_cast<double>(a));
+      }
+      s.par_end();
+      for (const auto& [src, dst] : edges) {
+        const long long from[1] = {src}, to[1] = {dst};
+        s.transfer(from, to, 50.0 + static_cast<double>(phase));
+      }
+    }
+  });
+  return b.build();
+}
+
+/// Model with volumes and links but no scheme: the estimator's fallback
+/// path, which the batch evaluator must reproduce too.
+ModelInstance fallback_model(support::Rng& rng, int p) {
+  InstanceBuilder b("batch-fallback");
+  b.shape({p});
+  for (int a = 0; a < p; ++a) {
+    b.node_volume(a, 1.0 + rng.next_double() * 100.0);
+    b.link(a, (a + 1) % p, 1e4 + rng.next_double() * 1e5);
+  }
+  return b.build();
+}
+
+/// Random heterogeneous cluster with a few per-pair link overrides.
+hnoc::Cluster random_cluster(support::Rng& rng, int machines) {
+  hnoc::ClusterBuilder b;
+  for (int i = 0; i < machines; ++i) {
+    b.add("m" + std::to_string(i), 10.0 + rng.next_double() * 150.0);
+  }
+  b.network(1e-4 + rng.next_double() * 1e-3, 1e6 + rng.next_double() * 1e8);
+  b.shared_memory(5e-6, 1e9);
+  for (int k = 0; k < machines / 2; ++k) {
+    const int from = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(machines)));
+    const int to = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(machines)));
+    if (from != to) {
+      b.link_override(from, to, 5e-4, 2e6 + rng.next_double() * 1e7);
+    }
+  }
+  return b.build();
+}
+
+void expect_batch_matches_singles(const ModelInstance& instance,
+                                  const hnoc::NetworkModel& net,
+                                  support::Rng& rng, std::size_t count) {
+  const Plan plan(instance);
+  const auto p = static_cast<std::size_t>(instance.size());
+  const EstimateOptions options{};
+
+  std::vector<int> soa(p * count);
+  std::vector<std::vector<int>> rows(count, std::vector<int>(p, 0));
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const int proc = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(net.size())));
+      rows[i][a] = proc;
+      soa[a * count + i] = proc;
+    }
+  }
+
+  std::vector<double> batched(count);
+  plan.evaluate_batch(soa, count, net, options, batched);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double single = plan.evaluate(rows[i], net, options);
+    EXPECT_EQ(single, batched[i]) << "mapping " << i;  // exact bits
+    // And both must equal the interpreter (the plan contract).
+    EXPECT_EQ(estimate_time(instance, rows[i], net, options), batched[i]);
+  }
+}
+
+TEST(BatchEvaluator, MatchesSinglesOnRandomSchemeModels) {
+  support::Rng rng(0xb47c4);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int p = 2 + static_cast<int>(rng.next_below(7));
+    const int machines = p + static_cast<int>(rng.next_below(20));
+    const hnoc::Cluster cluster = random_cluster(rng, machines);
+    const hnoc::NetworkModel net(cluster);
+    const ModelInstance instance = random_scheme_model(rng, p);
+    const auto count =
+        static_cast<std::size_t>(1 + rng.next_below(50));
+    expect_batch_matches_singles(instance, net, rng, count);
+  }
+}
+
+TEST(BatchEvaluator, MatchesSinglesOnFallbackModels) {
+  support::Rng rng(0xfa11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int p = 2 + static_cast<int>(rng.next_below(5));
+    const hnoc::Cluster cluster = random_cluster(rng, p + 6);
+    const hnoc::NetworkModel net(cluster);
+    const ModelInstance instance = fallback_model(rng, p);
+    expect_batch_matches_singles(instance, net, rng, 17);
+  }
+}
+
+TEST(BatchEvaluator, MatchesSinglesAtLargeClusterScale) {
+  support::Rng rng(0x1000);
+  const hnoc::Cluster cluster = hnoc::testbeds::large_cluster(1000);
+  const hnoc::NetworkModel net(cluster);
+  const ModelInstance instance = random_scheme_model(rng, 9);
+  expect_batch_matches_singles(instance, net, rng, 64);
+}
+
+TEST(BatchEvaluator, RepeatedCallsReuseScratchDeterministically) {
+  support::Rng rng(0x5eed);
+  const hnoc::Cluster cluster = random_cluster(rng, 12);
+  const hnoc::NetworkModel net(cluster);
+  const ModelInstance instance = random_scheme_model(rng, 5);
+  const Plan plan(instance);
+  const auto p = static_cast<std::size_t>(instance.size());
+
+  std::vector<int> soa(p * 8);
+  for (std::size_t k = 0; k < soa.size(); ++k) {
+    soa[k] = static_cast<int>(rng.next_below(12));
+  }
+  std::vector<double> first(8), second(8);
+  plan.evaluate_batch(soa, 8, net, EstimateOptions{}, first);
+  plan.evaluate_batch(soa, 8, net, EstimateOptions{}, second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(EstimateCacheShards, AnyShardCountReturnsIdenticalValues) {
+  support::Rng rng(0x54a7d);
+  const hnoc::Cluster cluster = random_cluster(rng, 9);
+  const hnoc::NetworkModel net(cluster);
+  const ModelInstance instance = random_scheme_model(rng, 4);
+  const EstimateOptions options{};
+
+  std::vector<std::vector<int>> mappings;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<int> mapping(4);
+    for (int& p : mapping) {
+      p = static_cast<int>(rng.next_below(9));
+    }
+    mappings.push_back(std::move(mapping));
+  }
+
+  EstimateCache reference(1);
+  std::vector<double> expected;
+  for (const auto& mapping : mappings) {
+    expected.push_back(reference.estimate(instance, mapping, net, options));
+  }
+  for (std::size_t shards : {std::size_t{0}, std::size_t{3},
+                             std::size_t{64}}) {
+    EstimateCache cache(shards);
+    EXPECT_GE(cache.shard_count(), 1u);  // 0 clamps to 1
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+      EXPECT_EQ(cache.estimate(instance, mappings[i], net, options),
+                expected[i]);
+    }
+  }
+}
+
+TEST(EstimateCacheShards, BatchProbesMatchSingleKeyCalls) {
+  support::Rng rng(0xba7c);
+  const hnoc::Cluster cluster = random_cluster(rng, 9);
+  const hnoc::NetworkModel net(cluster);
+  const ModelInstance instance = random_scheme_model(rng, 4);
+  const EstimateOptions options{};
+  const std::uint64_t fp = estimate_fingerprint(instance, options);
+  constexpr std::size_t kWidth = 4, kCount = 24;
+
+  // Row-major batch of distinct mappings (base-9 digits of the row index,
+  // so no two rows share a cache key); even rows are pre-inserted via the
+  // single-key path.
+  std::vector<int> rows(kWidth * kCount);
+  std::vector<double> values(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    std::size_t digits = i;
+    for (std::size_t a = 0; a < kWidth; ++a) {
+      rows[i * kWidth + a] = static_cast<int>(digits % 9);
+      digits /= 9;
+    }
+  }
+  for (std::size_t i = 0; i < kCount; ++i) {
+    values[i] = 1.0 + static_cast<double>(i);
+  }
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{5}}) {
+    EstimateCache cache(shards);
+    for (std::size_t i = 0; i < kCount; i += 2) {
+      cache.insert(fp, std::span<const int>(rows).subspan(i * kWidth, kWidth),
+                   net, values[i]);
+    }
+    std::vector<double> out(kCount, -1.0);
+    std::vector<char> found(kCount, 0);
+    const std::size_t hits =
+        cache.lookup_batch(fp, rows, kWidth, net, out, found);
+    EXPECT_EQ(hits, kCount / 2);
+    EXPECT_EQ(cache.hits(), static_cast<long long>(kCount / 2));
+    EXPECT_EQ(cache.misses(), static_cast<long long>(kCount - kCount / 2));
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(found[i], i % 2 == 0 ? 1 : 0) << "row " << i;
+      if (i % 2 == 0) {
+        EXPECT_EQ(out[i], values[i]);
+      }
+    }
+
+    // insert_batch with the found mask fills exactly the misses; every key
+    // must then answer through the single-key lookup.
+    cache.insert_batch(fp, rows, kWidth, net, values, found);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      double got = -1.0;
+      EXPECT_TRUE(cache.lookup(
+          fp, std::span<const int>(rows).subspan(i * kWidth, kWidth), net,
+          &got));
+      EXPECT_EQ(got, values[i]);
+    }
+  }
+}
+
+TEST(EstimateCacheShards, BatchInsertSkipsMaskedRows) {
+  const hnoc::Cluster cluster = hnoc::testbeds::paper_em3d_network();
+  const hnoc::NetworkModel net(cluster);
+  constexpr std::size_t kWidth = 3, kCount = 6;
+  // Distinct sliding-window rows so every batch entry is its own cache key.
+  std::vector<int> rows(kWidth * kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    for (std::size_t a = 0; a < kWidth; ++a) {
+      rows[i * kWidth + a] = static_cast<int>((i + a) % 9);
+    }
+  }
+  std::vector<double> values(kCount, 7.0);
+  std::vector<char> skip(kCount, 0);
+  skip[1] = skip[4] = 1;
+
+  EstimateCache cache(4);
+  cache.insert_batch(0x11, rows, kWidth, net, values, skip);
+  EXPECT_EQ(cache.size(), kCount - 2);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    double got = 0.0;
+    const bool hit = cache.lookup(
+        0x11, std::span<const int>(rows).subspan(i * kWidth, kWidth), net,
+        &got);
+    EXPECT_EQ(hit, skip[i] == 0) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hmpi::est

@@ -395,6 +395,219 @@ TEST(CompiledScoring, DeltaReplaysFewerOpsThanFullEvaluationWould) {
   EXPECT_LT(result.stats.delta_ops_replayed, result.stats.delta_ops_total);
 }
 
+/// Every (threads, cache, plans) combination must reproduce the
+/// no-context selection bit for bit. Shared by the beam and work-stealing
+/// suites below.
+void expect_context_invariant(const Mapper& mapper, const Scenario& s,
+                              const std::vector<Candidate>& candidates) {
+  const MappingResult serial =
+      mapper.select(s.instance, candidates, 0, s.network, s.options);
+  for (int threads : {1, 2, 8}) {
+    for (const bool cached : {false, true}) {
+      support::ThreadPool pool(threads);
+      est::EstimateCache cache;
+      est::PlanCache plans;
+      SearchContext context;
+      context.pool = &pool;
+      context.cache = cached ? &cache : nullptr;
+      context.plans = &plans;
+      const MappingResult got = mapper.select(s.instance, candidates, 0,
+                                              s.network, s.options, context);
+      expect_bit_identical(serial, got, mapper.name().c_str());
+      if (cached) {
+        EXPECT_EQ(got.stats.cache_hits + got.stats.cache_misses,
+                  got.stats.evaluations);
+      }
+    }
+  }
+}
+
+TEST(BeamSearch, BitIdenticalAcrossThreadsCacheAndPlans) {
+  support::Rng rng(2026'08'09);
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s(rng);
+    expect_context_invariant(BeamMapper(), s, s.candidates());
+  }
+}
+
+TEST(BeamSearch, NeverWorseThanGreedyAndRecordsBatches) {
+  support::Rng rng(61);
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    const auto greedy =
+        GreedyMapper().select(s.instance, candidates, 0, s.network, s.options);
+    const auto beam =
+        BeamMapper().select(s.instance, candidates, 0, s.network, s.options);
+    EXPECT_LE(beam.estimated_time, greedy.estimated_time);
+    // The frontier is scored through the batch route.
+    EXPECT_GT(beam.stats.batch_chunks, 0);
+    EXPECT_GE(beam.stats.batch_candidates, beam.stats.batch_chunks);
+  }
+}
+
+TEST(BeamSearch, RejectsInvalidOptions) {
+  BeamOptions bad_width;
+  bad_width.width = 0;
+  EXPECT_THROW(BeamMapper{bad_width}, hmpi::InvalidArgument);
+  BeamOptions bad_rounds;
+  bad_rounds.max_rounds = -1;
+  EXPECT_THROW(BeamMapper{bad_rounds}, hmpi::InvalidArgument);
+  BeamOptions bad_top_k;
+  bad_top_k.locality.top_k = 0;
+  EXPECT_THROW(BeamMapper{bad_top_k}, hmpi::InvalidArgument);
+}
+
+TEST(WorkStealingAnnealing, BitIdenticalAcrossThreadsCacheAndPlans) {
+  support::Rng rng(2026'08'08);
+  for (int trial = 0; trial < 3; ++trial) {
+    Scenario s(rng);
+    expect_context_invariant(WorkStealingAnnealingMapper(), s, s.candidates());
+  }
+}
+
+TEST(WorkStealingAnnealing, NeverWorseThanGreedy) {
+  // Chains track their best-seen state and every chain starts from the
+  // greedy selection, so the reduction can never lose to greedy.
+  support::Rng rng(67);
+  for (int trial = 0; trial < 4; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    const auto greedy =
+        GreedyMapper().select(s.instance, candidates, 0, s.network, s.options);
+    const auto ws = WorkStealingAnnealingMapper().select(
+        s.instance, candidates, 0, s.network, s.options);
+    EXPECT_LE(ws.estimated_time, greedy.estimated_time);
+  }
+}
+
+TEST(WorkStealingAnnealing, ChainSeedDerivationIsPinned) {
+  // base xor golden-ratio multiples — changing this silently changes every
+  // work-stealing selection, so the exact values are pinned here.
+  EXPECT_EQ(WorkStealingAnnealingMapper::chain_seed(0, 0),
+            0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(WorkStealingAnnealingMapper::chain_seed(0, 1),
+            0x3c6ef372fe94f82aULL);
+  EXPECT_EQ(WorkStealingAnnealingMapper::chain_seed(7, 0),
+            0x9e3779b97f4a7c12ULL);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) {
+      EXPECT_NE(WorkStealingAnnealingMapper::chain_seed(123, i),
+                WorkStealingAnnealingMapper::chain_seed(123, j));
+    }
+  }
+}
+
+TEST(WorkStealingAnnealing, RejectsInvalidOptions) {
+  WorkStealingOptions bad_chains;
+  bad_chains.chains = 0;
+  EXPECT_THROW(WorkStealingAnnealingMapper{bad_chains}, hmpi::InvalidArgument);
+  WorkStealingOptions bad_chunk;
+  bad_chunk.chunk = -2;
+  EXPECT_THROW(WorkStealingAnnealingMapper{bad_chunk}, hmpi::InvalidArgument);
+}
+
+/// At-scale scenario: the A10 seeded heterogeneous cluster gives far more
+/// candidates than PortfolioOptions::scale_threshold, so the portfolio
+/// enrolls {greedy, beam, work-stealing annealing}.
+struct AtScaleScenario {
+  hnoc::Cluster cluster;
+  hnoc::NetworkModel network;
+  ModelInstance instance;
+  est::EstimateOptions options;
+
+  explicit AtScaleScenario(support::Rng& rng, int machines = 100)
+      : cluster(hnoc::testbeds::large_cluster(machines)),
+        network(cluster),
+        instance(Scenario::random_instance(rng)),
+        options(Scenario::random_options(rng)) {}
+
+  std::vector<Candidate> candidates() const {
+    std::vector<Candidate> cs;
+    for (int i = 0; i < cluster.size(); ++i) cs.push_back({i, i});
+    return cs;
+  }
+};
+
+/// Trimmed at-scale knobs so the property loop stays fast; bit-identity must
+/// hold for any tunables.
+PortfolioOptions quick_scale_options() {
+  PortfolioOptions o;
+  o.work_stealing.annealing.iterations = 200;
+  o.beam.max_rounds = 4;
+  return o;
+}
+
+TEST(PortfolioAtScale, BitIdenticalAcrossThreadsCacheAndPlans) {
+  support::Rng rng(2026'08'10);
+  for (int trial = 0; trial < 2; ++trial) {
+    AtScaleScenario s(rng);
+    ASSERT_GT(static_cast<int>(s.candidates().size()),
+              PortfolioOptions().scale_threshold);
+    PortfolioMapper mapper(quick_scale_options());
+    const MappingResult serial =
+        mapper.select(s.instance, s.candidates(), 0, s.network, s.options);
+    for (int threads : {1, 2, 8}) {
+      for (const bool cached : {false, true}) {
+        support::ThreadPool pool(threads);
+        est::EstimateCache cache;
+        est::PlanCache plans;
+        SearchContext context;
+        context.pool = &pool;
+        context.cache = cached ? &cache : nullptr;
+        context.plans = &plans;
+        const MappingResult got = mapper.select(s.instance, s.candidates(), 0,
+                                                s.network, s.options, context);
+        expect_bit_identical(serial, got, "portfolio, at scale");
+      }
+    }
+  }
+}
+
+TEST(PortfolioAtScale, NeverWorseThanGreedyAndScoresInBatches) {
+  support::Rng rng(73);
+  AtScaleScenario s(rng);
+  auto candidates = s.candidates();
+  const auto greedy =
+      GreedyMapper().select(s.instance, candidates, 0, s.network, s.options);
+  const auto scaled = PortfolioMapper(quick_scale_options())
+                          .select(s.instance, candidates, 0, s.network,
+                                  s.options);
+  EXPECT_LE(scaled.estimated_time, greedy.estimated_time);
+  EXPECT_GT(scaled.stats.batch_chunks, 0);
+  EXPECT_GE(scaled.stats.batch_candidates, scaled.stats.batch_chunks);
+}
+
+TEST(PortfolioAtScale, BelowThresholdPathIsUnchanged) {
+  // At or below scale_threshold the member list — and the selection — must
+  // be exactly the pre-scaling portfolio's. A threshold too high to ever
+  // trigger stands in for the pre-scaling build.
+  support::Rng rng(79);
+  for (int trial = 0; trial < 3; ++trial) {
+    Scenario s(rng);
+    auto candidates = s.candidates();
+    PortfolioOptions legacy;
+    legacy.scale_threshold = 1 << 30;
+    const auto before = PortfolioMapper(legacy).select(
+        s.instance, candidates, 0, s.network, s.options);
+    const auto after = PortfolioMapper().select(s.instance, candidates, 0,
+                                                s.network, s.options);
+    expect_bit_identical(before, after, "portfolio, below threshold");
+  }
+}
+
+TEST(PortfolioAtScale, RejectsInvalidScaleOptions) {
+  PortfolioOptions bad_threshold;
+  bad_threshold.scale_threshold = -1;
+  EXPECT_THROW(PortfolioMapper{bad_threshold}, hmpi::InvalidArgument);
+  PortfolioOptions bad_beam;
+  bad_beam.beam.width = 0;
+  EXPECT_THROW(PortfolioMapper{bad_beam}, hmpi::InvalidArgument);
+  PortfolioOptions bad_ws;
+  bad_ws.work_stealing.chains = 0;
+  EXPECT_THROW(PortfolioMapper{bad_ws}, hmpi::InvalidArgument);
+}
+
 TEST(ParallelMapper, StatsRecordThreadsAndWallTime) {
   support::Rng rng(3);
   Scenario s(rng);

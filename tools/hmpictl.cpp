@@ -8,12 +8,16 @@
 // HMPI_SCHED_* environment overrides apply on top of the flags.
 //
 //   hmpictl [--policy fifo|priority] [--jobs N] [--seed S] [--slots K]
-//           [--machines M] [--no-backfill] [--no-preempt] [--no-execute]
-//           [--json PATH]
+//           [--machines M] [--large-cluster] [--mapper NAME]
+//           [--no-backfill] [--no-preempt] [--no-execute] [--json PATH]
 //
-// --json writes the `{"scheduler": {...}}` document (telemetry_check's
-// scheduler shape) to PATH, or to stdout when PATH is "-". Exit status 0 on
-// success, 2 on usage errors.
+// --large-cluster swaps the three-tier testbed for the seeded heterogeneous
+// large_cluster of the A10 mapping-scale experiments (same seed as
+// bench/ablation_mapscale, so numbers compare); pair it with --machines 1000
+// and --mapper portfolio|beam|annealing-ws to exercise the at-scale
+// selection path. --json writes the `{"scheduler": {...}}` document
+// (telemetry_check's scheduler shape) to PATH, or to stdout when PATH is
+// "-". Exit status 0 on success, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,9 +39,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: hmpictl [--policy fifo|priority] [--jobs N] [--seed S]"
                " [--slots K]\n"
-               "               [--machines M] [--no-backfill] [--no-preempt]"
-               " [--no-execute]\n"
-               "               [--json PATH]\n");
+               "               [--machines M] [--large-cluster]"
+               " [--mapper NAME]\n"
+               "               [--no-backfill] [--no-preempt] [--no-execute]"
+               " [--json PATH]\n");
   return 2;
 }
 
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   config.slots_per_machine = 2;
   config.execute = true;
   int machines = 12;
+  bool large_cluster = false;
   bench::ArrivalTraceOptions trace_options;
   trace_options.jobs = 200;
   trace_options.ring_bytes = 1 << 20;
@@ -98,6 +104,12 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr || std::atoi(v) < 3) return usage();
       machines = std::atoi(v);
+    } else if (arg == "--large-cluster") {
+      large_cluster = true;
+    } else if (arg == "--mapper") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      config.mapper = v;  // validated by the scheduler (unknown names throw)
     } else if (arg == "--no-backfill") {
       config.backfill = false;
     } else if (arg == "--no-preempt") {
@@ -116,7 +128,9 @@ int main(int argc, char** argv) {
   trace_options.max_width = std::min(10, machines - 2);
   trace_options.with_bodies = config.execute;
 
-  const hnoc::Cluster cluster = make_cluster(machines);
+  const hnoc::Cluster cluster = large_cluster
+                                    ? bench::make_large_cluster(machines)
+                                    : make_cluster(machines);
   sched::Scheduler scheduler(cluster, config);
   for (sched::JobSpec& spec : bench::make_arrival_trace(trace_options)) {
     scheduler.submit(std::move(spec));

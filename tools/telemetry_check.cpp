@@ -12,10 +12,14 @@
 //     histograms `coll.<op>.seconds`, with <op>/<algo> names from the
 //     coll policy tables (docs/collectives.md). Metrics in the reserved
 //     `est.` namespace must follow the estimator grammar: counters
-//     `est.compile.count|hits|misses|evaluations` or
-//     `est.delta.evaluations|ops_replayed|ops_total`, gauge
+//     `est.compile.count|hits|misses|evaluations`,
+//     `est.delta.evaluations|ops_replayed|ops_total`,
+//     `est.cache.hits|misses`, or `est.batch.evaluations`, gauge
 //     `est.delta.savings`, histogram `est.compile.seconds`
-//     (docs/estimator.md). Metrics in the reserved `adapt.` namespace must
+//     (docs/estimator.md). Metrics in the reserved `mapper.` namespace must
+//     follow the batch-search grammar: counters
+//     `mapper.batch.chunks|candidates` only (docs/mapper.md). Metrics in the
+//     reserved `adapt.` namespace must
 //     follow the adaptation grammar: counters
 //     `adapt.checks|triggers|migrations|rollbacks|suppressed`, gauges
 //     `adapt.divergence|drift`, histograms
@@ -256,11 +260,27 @@ bool valid_est_metric(const std::string& name, MetricKind kind) {
              name == "est.compile.evaluations" ||
              name == "est.delta.evaluations" ||
              name == "est.delta.ops_replayed" ||
-             name == "est.delta.ops_total";
+             name == "est.delta.ops_total" || name == "est.cache.hits" ||
+             name == "est.cache.misses" || name == "est.batch.evaluations";
     case MetricKind::kGauge:
       return name == "est.delta.savings";
     case MetricKind::kHistogram:
       return name == "est.compile.seconds";
+  }
+  return false;
+}
+// The batch-search grammar for the reserved "mapper." namespace
+// (docs/mapper.md): counters only, emitted by searches that took the batch
+// scoring path. (The legacy underscore names mapper_searches etc. are not in
+// this namespace and stay unconstrained.)
+bool valid_mapper_metric(const std::string& name, MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return name == "mapper.batch.chunks" ||
+             name == "mapper.batch.candidates";
+    case MetricKind::kGauge:
+    case MetricKind::kHistogram:
+      return false;
   }
   return false;
 }
@@ -291,8 +311,15 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
           !valid_est_metric(name, MetricKind::kCounter)) {
         fail(file, "counter '" + name +
                        "' violates the est.* grammar (expected "
-                       "est.compile.count|hits|misses|evaluations or "
-                       "est.delta.evaluations|ops_replayed|ops_total)");
+                       "est.compile.count|hits|misses|evaluations, "
+                       "est.delta.evaluations|ops_replayed|ops_total, "
+                       "est.cache.hits|misses, or est.batch.evaluations)");
+      }
+      if (name.rfind("mapper.", 0) == 0 &&
+          !valid_mapper_metric(name, MetricKind::kCounter)) {
+        fail(file, "counter '" + name +
+                       "' violates the mapper.* grammar (expected "
+                       "mapper.batch.chunks|candidates)");
       }
       if (name.rfind("adapt.", 0) == 0 &&
           !valid_adapt_metric(name, MetricKind::kCounter)) {
@@ -337,6 +364,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
         fail(file, "gauge '" + name +
                        "' violates the est.* grammar (expected "
                        "est.delta.savings)");
+      }
+      if (name.rfind("mapper.", 0) == 0 &&
+          !valid_mapper_metric(name, MetricKind::kGauge)) {
+        fail(file, "gauge '" + name +
+                       "' violates the mapper.* grammar (mapper.* holds "
+                       "counters only)");
       }
       if (name.rfind("adapt.", 0) == 0 &&
           !valid_adapt_metric(name, MetricKind::kGauge)) {
@@ -391,6 +424,12 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
       fail(file, "histogram '" + name +
                      "' violates the est.* grammar (expected "
                      "est.compile.seconds)");
+    }
+    if (name.rfind("mapper.", 0) == 0 &&
+        !valid_mapper_metric(name, MetricKind::kHistogram)) {
+      fail(file, "histogram '" + name +
+                     "' violates the mapper.* grammar (mapper.* holds "
+                     "counters only)");
     }
     if (name.rfind("adapt.", 0) == 0 &&
         !valid_adapt_metric(name, MetricKind::kHistogram)) {
